@@ -1,0 +1,62 @@
+// Design-choice ablation (not a paper table): the bias driver.
+//
+// DESIGN.md argues that the domain bias studied by the paper is a
+// statistical property of the data — unequal per-domain fake ratios plus
+// content ambiguity make the domain prior a rewarded shortcut. This bench
+// sweeps the generator's `ambiguous_frac` and reports the plain student's
+// performance/bias, demonstrating that the phenomenon scales with the
+// ambiguity the corpus offers (and vanishes without it).
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/generator.h"
+#include "dtdbd/trainer.h"
+#include "models/model.h"
+#include "text/frozen_encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace dtdbd;
+  FlagParser flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.3);
+  const int epochs = flags.GetInt("epochs", 8);
+
+  std::printf("=== bench_ablation_bias_driver: ambiguity sweep ===\n");
+  std::printf("profile: scale=%.2f epochs=%d\n\n", scale, epochs);
+
+  TablePrinter table({"ambiguous_frac", "F1", "FNED", "FPED", "Total"});
+  for (double ambiguous : {0.0, 0.15, 0.30, 0.45}) {
+    data::CorpusConfig corpus = data::Weibo21Config(scale, /*seed=*/61);
+    corpus.ambiguous_frac = ambiguous;
+    data::NewsDataset dataset = data::GenerateCorpus(corpus);
+    Rng rng(67);
+    data::DatasetSplits splits =
+        data::StratifiedSplit(dataset, 0.6, 0.1, &rng);
+    text::FrozenEncoder encoder(dataset.vocab->size(), 32, /*seed=*/71);
+    models::ModelConfig config;
+    config.vocab_size = dataset.vocab->size();
+    config.num_domains = dataset.num_domains();
+    config.encoder = &encoder;
+    config.seed = 73;
+    auto model = models::CreateModel("TextCNN-S", config);
+    TrainOptions options;
+    options.epochs = epochs;
+    TrainSupervised(model.get(), splits.train, nullptr, options);
+    auto report = EvaluateModel(model.get(), splits.test);
+    table.AddRow({TablePrinter::Fmt(ambiguous, 2),
+                  TablePrinter::Fmt(report.f1),
+                  TablePrinter::Fmt(report.fned),
+                  TablePrinter::Fmt(report.fped),
+                  TablePrinter::Fmt(report.Total())});
+    std::printf("ambiguous=%.2f  %s\n", ambiguous,
+                report.Summary().c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nExpected: F1 falls and the bias Total rises with ambiguity — the"
+      " domain-prior shortcut\nis only rewarded when content alone cannot"
+      " resolve veracity.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Figure 3: case studies of individual news items.
+//
+//   Case 1 — REAL news from a fake-heavy domain (Ent. in the paper's
+//            case 1 is real finance/ent news misread as fake): baselines
+//            over-predict "fake"; DTDBD does not.
+//   Case 2 — FAKE news from a real-heavy domain: baselines over-predict
+//            "real"; DTDBD does not.
+//   Case 3 — Clear-cut fake news: every model should catch it, DTDBD with
+//            the highest confidence.
+//
+// We report the mean P(fake) of M3FEND, MDFEND, and the DTDBD student on
+// small case sets drawn from the test split.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "eval/case_study.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dtdbd;
+  using namespace dtdbd::bench;
+  FlagParser flags(argc, argv);
+  Profile profile = ProfileFromFlags(flags);
+  const int cases_per_study = flags.GetInt("cases", 12);
+
+  std::printf("=== bench_fig3_cases: paper Figure 3 ===\n");
+  std::printf("profile: scale=%.2f epochs=%d cases=%d\n\n", profile.scale,
+              profile.epochs, cases_per_study);
+  auto bench = MakeChineseBench(profile);
+
+  metrics::EvalReport report;
+  auto mdfend = bench->TrainBaseline("MDFEND", &report);
+  std::printf("trained MDFEND %s\n", report.Summary().c_str());
+  auto m3fend = bench->TrainBaseline("M3FEND", &report);
+  std::printf("trained M3FEND %s\n", report.Summary().c_str());
+  auto unbiased = bench->TrainUnbiasedTeacher("TextCNN-S", 0.2f, &report);
+  auto dtdbd_student = bench->RunDtdbd("TextCNN-S", unbiased.get(),
+                                       m3fend.get(), DtdbdOptions{}, &report);
+  std::printf("trained DTDBD  %s\n\n", report.Summary().c_str());
+
+  struct Study {
+    const char* name;
+    int domain;
+    int label;
+  };
+  // Disaster is 76% fake; Finance is 27% fake (paper Table IV).
+  const Study studies[] = {
+      {"Case1: REAL news, fake-heavy domain (Disaster)", data::kDisaster,
+       data::kReal},
+      {"Case2: FAKE news, real-heavy domain (Finance)", data::kFinance,
+       data::kFake},
+      {"Case3: FAKE news, balanced domain (Health)", data::kHealth,
+       data::kFake},
+  };
+
+  std::vector<models::FakeNewsModel*> compared{m3fend.get(), mdfend.get(),
+                                               dtdbd_student.get()};
+  for (const Study& study : studies) {
+    data::NewsDataset cases = eval::SelectCases(bench->test(), study.domain,
+                                                study.label,
+                                                cases_per_study);
+    std::printf("\n%s  (n=%lld, truth=%s)\n", study.name,
+                static_cast<long long>(cases.size()),
+                study.label == data::kFake ? "fake" : "real");
+    TablePrinter table({"Model", "mean P(fake)", "accuracy"});
+    for (const auto& result : eval::CompareOnCases(compared, cases)) {
+      std::string display = result.model;
+      if (display == "TextCNN-S") display = "DTDBD(student)";
+      table.AddRow({display,
+                    TablePrinter::Fmt(result.mean_fake_probability),
+                    TablePrinter::Fmt(result.accuracy)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper Figure 3 shape: baselines lean toward the domain prior"
+      " (P(fake) high in Case 1, low in Case 2);\nDTDBD tracks the truth in"
+      " both and detects the clear fake (Case 3) confidently.\n");
+  return 0;
+}

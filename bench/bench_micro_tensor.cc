@@ -1,0 +1,113 @@
+// Micro-benchmarks of the tensor/NN substrate (google-benchmark). Not a
+// paper artifact — sanity numbers for the engine the experiments run on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/rnn.h"
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "text/frozen_encoder.h"
+
+namespace {
+
+using namespace dtdbd;
+using tensor::Tensor;
+
+Tensor RandomTensor(const tensor::Shape& shape, uint64_t seed,
+                    bool requires_grad = false) {
+  Rng rng(seed);
+  return tensor::NormalInit(shape, 1.0f, &rng, requires_grad);
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({n, n}, 1);
+  Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv1dSeq(benchmark::State& state) {
+  const int64_t batch = 32, time = 24, embed = 32, channels = 32, k = 3;
+  Tensor x = RandomTensor({batch, time, embed}, 3);
+  Tensor w = RandomTensor({channels, k * embed}, 4);
+  Tensor b = RandomTensor({channels}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Conv1dSeq(x, w, b, k).data().data());
+  }
+}
+BENCHMARK(BM_Conv1dSeq);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Tensor x = RandomTensor({256, 64}, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Softmax(x).data().data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_PairwiseSquaredDistances(benchmark::State& state) {
+  Tensor x = RandomTensor({64, 128}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::PairwiseSquaredDistances(x).data().data());
+  }
+}
+BENCHMARK(BM_PairwiseSquaredDistances);
+
+void BM_GruStep(benchmark::State& state) {
+  Rng rng(8);
+  nn::GruCell cell(32, 32, &rng);
+  Tensor x = RandomTensor({32, 32}, 9);
+  Tensor h = RandomTensor({32, 32}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Step(x, h).data().data());
+  }
+}
+BENCHMARK(BM_GruStep);
+
+void BM_ForwardBackwardMlp(benchmark::State& state) {
+  Tensor w1 = RandomTensor({64, 64}, 11, true);
+  Tensor w2 = RandomTensor({64, 2}, 12, true);
+  Tensor x = RandomTensor({32, 64}, 13);
+  std::vector<int> labels(32);
+  for (int i = 0; i < 32; ++i) labels[i] = i % 2;
+  for (auto _ : state) {
+    Tensor h = tensor::Relu(tensor::MatMul(x, w1));
+    Tensor logits = tensor::MatMul(h, w2);
+    Tensor loss = tensor::CrossEntropyLoss(logits, labels);
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(w1.grad().data());
+  }
+}
+BENCHMARK(BM_ForwardBackwardMlp);
+
+void BM_FrozenEncoder(benchmark::State& state) {
+  text::FrozenEncoder encoder(1000, 32, 14);
+  Rng rng(15);
+  std::vector<int> ids(32 * 24);
+  for (auto& id : ids) id = static_cast<int>(rng.UniformInt(1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(ids, 32, 24).data().data());
+  }
+}
+BENCHMARK(BM_FrozenEncoder);
+
+void BM_DistillKl(benchmark::State& state) {
+  Tensor t = RandomTensor({32, 32}, 16);
+  Tensor s = RandomTensor({32, 32}, 17, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::DistillKlLoss(t, s, 2.0f).item());
+  }
+}
+BENCHMARK(BM_DistillKl);
+
+}  // namespace
+
+BENCHMARK_MAIN();

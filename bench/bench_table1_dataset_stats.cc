@@ -1,0 +1,66 @@
+// Reproduces paper Table I (Weibo21 %Fake / %News per domain) and the
+// dataset statistics of Tables IV (Chinese) and V (English) from the
+// synthetic corpora at full scale. This bench validates that the data
+// substrate matches the published marginals exactly.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "data/generator.h"
+
+namespace {
+
+using namespace dtdbd;
+
+void PrintCountsTable(const char* title, const data::NewsDataset& ds) {
+  std::printf("\n%s\n", title);
+  TablePrinter table({"Domain", "Fake", "Real", "Total", "%Fake", "%News"});
+  auto stats = ds.DomainStats();
+  int64_t total_fake = 0, total_real = 0;
+  for (const auto& s : stats) {
+    total_fake += s.fake;
+    total_real += s.total - s.fake;
+  }
+  const double total = static_cast<double>(ds.size());
+  double avg_fake_rate = 0.0;
+  for (int d = 0; d < ds.num_domains(); ++d) {
+    const auto& s = stats[d];
+    avg_fake_rate += 100.0 * s.fake / s.total;
+    table.AddRow({ds.domain_names[d], std::to_string(s.fake),
+                  std::to_string(s.total - s.fake), std::to_string(s.total),
+                  TablePrinter::Fmt(100.0 * s.fake / s.total, 1),
+                  TablePrinter::Fmt(100.0 * s.total / total, 1)});
+  }
+  table.AddRow({"All", std::to_string(total_fake),
+                std::to_string(total_real),
+                std::to_string(total_fake + total_real),
+                TablePrinter::Fmt(avg_fake_rate / ds.num_domains(), 1),
+                TablePrinter::Fmt(100.0, 1)});
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtdbd;
+  FlagParser flags(argc, argv);
+  const uint64_t seed = flags.GetInt("seed", 7);
+
+  std::printf("=== bench_table1_dataset_stats: paper Tables I / IV / V ===\n");
+  data::NewsDataset chinese =
+      data::GenerateCorpus(data::Weibo21Config(1.0, seed));
+  PrintCountsTable("Table IV — Chinese (Weibo21-like), full scale:", chinese);
+  std::printf("\nPaper Table IV reference: Science 93/143, Military 222/121,"
+              "\n  Education 248/243, Disaster 591/185, Politics 546/306,"
+              "\n  Health 515/485, Finance 362/959, Ent. 440/1000,"
+              "\n  Society 1471/1198; All 4488/4640 (9128).\n");
+
+  data::NewsDataset english =
+      data::GenerateCorpus(data::EnglishConfig(1.0, seed));
+  PrintCountsTable("Table V — English (FakeNewsNet+COVID-like), full scale:",
+                   english);
+  std::printf("\nPaper Table V reference: Gossipcop 5067/16804,"
+              " Politifact 379/447, COVID 1317/4750; All 6763/22001"
+              " (28764).\n");
+  return 0;
+}

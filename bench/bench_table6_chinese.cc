@@ -1,0 +1,71 @@
+// Reproduces paper Table VI: per-domain F1 plus overall F1/FNED/FPED/Total
+// for every baseline and for DTDBD with MDFEND ("Our(MD)") and M3FEND
+// ("Our(M3)") clean teachers, on the Chinese (Weibo21-like) corpus.
+//
+// Expected shape: the Our(*) rows achieve the lowest Total (FNED+FPED)
+// while their F1 is at or above the best baseline's.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dtdbd;
+  using namespace dtdbd::bench;
+  FlagParser flags(argc, argv);
+  Profile profile = ProfileFromFlags(flags);
+
+  std::printf("=== bench_table6_chinese: paper Table VI ===\n");
+  std::printf("profile: scale=%.2f epochs=%d distill_epochs=%d\n\n",
+              profile.scale, profile.epochs, profile.distill_epochs);
+  auto bench = MakeChineseBench(profile);
+
+  std::vector<std::string> header{"Method"};
+  for (const auto& d : bench->dataset().domain_names) header.push_back(d);
+  header.insert(header.end(), {"F1", "FNED", "FPED", "Total"});
+  TablePrinter table(header);
+
+  // Baselines, in the paper's row order. MDFEND and M3FEND double as the
+  // clean teachers for the Our(*) rows.
+  const std::vector<std::string> baselines = {
+      "BiGRU",      "TextCNN",     "BERT",   "RoBERTa", "StyleLSTM",
+      "DualEmo",    "EANN",        "EANN_NoDAT", "MMoE", "MoSE",
+      "EDDFN",      "EDDFN_NoDAT", "MDFEND", "M3FEND"};
+  std::unique_ptr<models::FakeNewsModel> mdfend;
+  std::unique_ptr<models::FakeNewsModel> m3fend;
+  for (const std::string& name : baselines) {
+    metrics::EvalReport report;
+    auto model = bench->TrainBaseline(name, &report);
+    table.AddRow(ReportRow(name, report));
+    std::printf("trained %-12s %s\n", name.c_str(),
+                report.Summary().c_str());
+    if (name == "MDFEND") mdfend = std::move(model);
+    if (name == "M3FEND") m3fend = std::move(model);
+  }
+
+  // Unbiased teacher shared by both DTDBD rows.
+  metrics::EvalReport teacher_report;
+  auto unbiased = bench->TrainUnbiasedTeacher("TextCNN-S", 0.2f,
+                                              &teacher_report);
+  std::printf("trained DAT-IE teacher  %s\n", teacher_report.Summary().c_str());
+
+  metrics::EvalReport our_md_report;
+  bench->RunDtdbd("TextCNN-S", unbiased.get(), mdfend.get(), DtdbdOptions{},
+                  &our_md_report);
+  table.AddRow(ReportRow("Our(MD)", our_md_report));
+  std::printf("trained Our(MD)      %s\n", our_md_report.Summary().c_str());
+
+  metrics::EvalReport our_m3_report;
+  bench->RunDtdbd("TextCNN-S", unbiased.get(), m3fend.get(), DtdbdOptions{},
+                  &our_m3_report);
+  table.AddRow(ReportRow("Our(M3)", our_m3_report));
+  std::printf("trained Our(M3)      %s\n\n", our_m3_report.Summary().c_str());
+
+  table.Print();
+  std::printf(
+      "\nPaper Table VI shape: Our(MD)/Our(M3) have the lowest Total"
+      " (0.7500/0.7484 vs >= 0.7848 for all baselines)\nwhile also the"
+      " best overall F1 (0.9213/0.9290).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Table VII: the English (FakeNewsNet+COVID-like) corpus,
+// per-domain F1 plus overall F1/FNED/FPED/Total for all baselines and the
+// two DTDBD variants.
+//
+// Expected shape: Our(MD)/Our(M3) have by far the lowest Total; their F1
+// sits slightly below the strongest multi-domain baselines (MDFEND/M3FEND)
+// because the three English domains share little cross-domain knowledge.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dtdbd;
+  using namespace dtdbd::bench;
+  FlagParser flags(argc, argv);
+  Profile profile = ProfileFromFlags(flags);
+
+  std::printf("=== bench_table7_english: paper Table VII ===\n");
+  std::printf("profile: scale=%.2f epochs=%d distill_epochs=%d\n\n",
+              profile.scale, profile.epochs, profile.distill_epochs);
+  auto bench = MakeEnglishBench(profile);
+
+  std::vector<std::string> header{"Method"};
+  for (const auto& d : bench->dataset().domain_names) header.push_back(d);
+  header.insert(header.end(), {"F1", "FNED", "FPED", "Total"});
+  TablePrinter table(header);
+
+  const std::vector<std::string> baselines = {
+      "BiGRU",   "TextCNN", "RoBERTa", "StyleLSTM",   "DualEmo",
+      "EANN",    "EANN_NoDAT", "MMoE", "MoSE",        "EDDFN",
+      "EDDFN_NoDAT", "MDFEND",  "M3FEND"};
+  std::unique_ptr<models::FakeNewsModel> mdfend;
+  std::unique_ptr<models::FakeNewsModel> m3fend;
+  for (const std::string& name : baselines) {
+    metrics::EvalReport report;
+    auto model = bench->TrainBaseline(name, &report);
+    table.AddRow(ReportRow(name, report));
+    std::printf("trained %-12s %s\n", name.c_str(),
+                report.Summary().c_str());
+    if (name == "MDFEND") mdfend = std::move(model);
+    if (name == "M3FEND") m3fend = std::move(model);
+  }
+
+  metrics::EvalReport teacher_report;
+  auto unbiased = bench->TrainUnbiasedTeacher("TextCNN-S", 0.2f,
+                                              &teacher_report);
+  std::printf("trained DAT-IE teacher  %s\n", teacher_report.Summary().c_str());
+
+  metrics::EvalReport our_md_report;
+  bench->RunDtdbd("TextCNN-S", unbiased.get(), mdfend.get(), DtdbdOptions{},
+                  &our_md_report);
+  table.AddRow(ReportRow("Our(MD)", our_md_report));
+  std::printf("trained Our(MD)      %s\n", our_md_report.Summary().c_str());
+
+  metrics::EvalReport our_m3_report;
+  bench->RunDtdbd("TextCNN-S", unbiased.get(), m3fend.get(), DtdbdOptions{},
+                  &our_m3_report);
+  table.AddRow(ReportRow("Our(M3)", our_m3_report));
+  std::printf("trained Our(M3)      %s\n\n", our_m3_report.Summary().c_str());
+
+  table.Print();
+  std::printf(
+      "\nPaper Table VII shape: Our(MD)=0.2609 / Our(M3)=0.2698 Total vs"
+      " >= 0.2671 (EANN) and >= 0.5452 (MDFEND);\nOur F1 (0.8294/0.8359)"
+      " slightly below MDFEND/M3FEND (0.8433/0.8454).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Table IX: traditional domain adversarial training (DAT)
+// vs. the paper's DAT-IE (DAT + information-entropy loss, Eq. 10-11) on
+// both student architectures.
+//
+// Expected shape: both variants cut the plain student's bias sharply;
+// DAT-IE beats plain DAT on F1 *and* on Total, because the entropy term
+// stops the encoder from taking the "one most-related domain" shortcut.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dtdbd;
+  using namespace dtdbd::bench;
+  FlagParser flags(argc, argv);
+  Profile profile = ProfileFromFlags(flags);
+
+  std::printf("=== bench_table9_dat_ie: paper Table IX ===\n");
+  std::printf("profile: scale=%.2f epochs=%d\n\n", profile.scale,
+              profile.epochs);
+  auto bench = MakeChineseBench(profile);
+
+  TablePrinter table({"Model", "Student", "F1", "FNED", "FPED", "Total"});
+  for (const char* student_arch : {"TextCNN-S", "BiGRU-S"}) {
+    std::printf("--- student architecture: %s ---\n", student_arch);
+    metrics::EvalReport plain;
+    bench->TrainBaseline(student_arch, &plain);
+    table.AddRow({"Student", student_arch, TablePrinter::Fmt(plain.f1),
+                  TablePrinter::Fmt(plain.fned),
+                  TablePrinter::Fmt(plain.fped),
+                  TablePrinter::Fmt(plain.Total())});
+    std::printf("Student          %s\n", plain.Summary().c_str());
+
+    metrics::EvalReport dat;
+    bench->TrainUnbiasedTeacher(student_arch, /*beta_ratio=*/0.0f, &dat);
+    table.AddRow({"Student+DAT", student_arch, TablePrinter::Fmt(dat.f1),
+                  TablePrinter::Fmt(dat.fned), TablePrinter::Fmt(dat.fped),
+                  TablePrinter::Fmt(dat.Total())});
+    std::printf("Student+DAT      %s\n", dat.Summary().c_str());
+
+    metrics::EvalReport datie;
+    bench->TrainUnbiasedTeacher(student_arch, /*beta_ratio=*/0.2f, &datie);
+    table.AddRow({"Student+DAT-IE", student_arch,
+                  TablePrinter::Fmt(datie.f1),
+                  TablePrinter::Fmt(datie.fned),
+                  TablePrinter::Fmt(datie.fped),
+                  TablePrinter::Fmt(datie.Total())});
+    std::printf("Student+DAT-IE   %s\n\n", datie.Summary().c_str());
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper Table IX shape (TextCNN-S): Student 0.9136 F1 / 1.1220"
+      " Total; +DAT 0.8856 / 0.7526; +DAT-IE 0.8967 / 0.6756\n(DAT-IE"
+      " strictly better than DAT on both axes).\n");
+  return 0;
+}

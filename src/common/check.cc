@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace dtdbd::internal_check {
+
+void CheckFailure(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fprintf(stderr, "[DTDBD CHECK FAILED] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dtdbd::internal_check

@@ -1,0 +1,58 @@
+// Invariant-checking macros. The project does not use exceptions (Google
+// style); unrecoverable programming errors abort with a readable message.
+#ifndef DTDBD_COMMON_CHECK_H_
+#define DTDBD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dtdbd::internal_check {
+
+// Formats and prints the failure, then aborts. Kept out-of-line so the macro
+// expansion stays small at every call site.
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+// Stream sink used by the DTDBD_CHECK macros to collect an optional message.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailure(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dtdbd::internal_check
+
+// DTDBD_CHECK(cond) << "extra context";  -- aborts when cond is false.
+#define DTDBD_CHECK(cond)                                              \
+  while (!(cond))                                                      \
+  ::dtdbd::internal_check::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define DTDBD_CHECK_EQ(a, b) DTDBD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DTDBD_CHECK_NE(a, b) DTDBD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DTDBD_CHECK_LT(a, b) DTDBD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DTDBD_CHECK_LE(a, b) DTDBD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DTDBD_CHECK_GT(a, b) DTDBD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DTDBD_CHECK_GE(a, b) DTDBD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DTDBD_COMMON_CHECK_H_

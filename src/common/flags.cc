@@ -1,0 +1,60 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace dtdbd {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (arg.rfind("no-", 0) == 0) {
+      // --no-foo is always the boolean "foo=false"; it never consumes the
+      // following argument.
+      values_[arg.substr(3)] = "false";
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+int FlagParser::GetInt(const std::string& name, int default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::atoi(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::atof(it->second.c_str());
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace dtdbd

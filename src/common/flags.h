@@ -1,0 +1,35 @@
+// Tiny command-line flag parser shared by the bench/example binaries.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#ifndef DTDBD_COMMON_FLAGS_H_
+#define DTDBD_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtdbd {
+
+class FlagParser {
+ public:
+  // Parses argv; unknown flags are kept and reported by Unknown().
+  FlagParser(int argc, char** argv);
+
+  bool GetBool(const std::string& name, bool default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+  bool Has(const std::string& name) const;
+
+  // Positional (non-flag) arguments.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_COMMON_FLAGS_H_

@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Verbosity is a process-wide setting so
+// the bench harnesses can silence training chatter.
+#ifndef DTDBD_COMMON_LOGGING_H_
+#define DTDBD_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dtdbd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace dtdbd
+
+#define DTDBD_LOG(level)                                        \
+  ::dtdbd::internal_log::LogMessage(::dtdbd::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+#endif  // DTDBD_COMMON_LOGGING_H_

@@ -1,0 +1,35 @@
+// Fixed-width text table printer used by the bench harnesses to emit the
+// paper's tables in a readable aligned form.
+#ifndef DTDBD_COMMON_TABLE_H_
+#define DTDBD_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dtdbd {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells are
+  // blank.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double value, int precision = 4);
+
+  // Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_COMMON_TABLE_H_

@@ -1,0 +1,47 @@
+#include "dtdbd/distill.h"
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+
+namespace dtdbd {
+
+using tensor::Tensor;
+
+namespace {
+
+// Row-standardizes a [B,B] correlation matrix (zero mean, unit variance per
+// row) with constant scale/shift. Without this the softmax contrast would
+// depend on each network's arbitrary feature scale: a wide-feature teacher
+// would produce near-one-hot rows while a compact student produced
+// near-uniform ones, and the KL would carry almost no signal.
+Tensor StandardizeRows(const Tensor& m) {
+  const int64_t b = m.dim(1);
+  Tensor gamma = Tensor::Full({b}, 1.0f);
+  Tensor beta = Tensor::Zeros({b});
+  return tensor::LayerNormOp(m, gamma, beta);
+}
+
+}  // namespace
+
+Tensor AdversarialDebiasDistillLoss(const Tensor& teacher_features,
+                                    const Tensor& student_features,
+                                    float tau) {
+  DTDBD_CHECK_EQ(teacher_features.dim(0), student_features.dim(0))
+      << "ADD: teacher and student batch sizes differ";
+  // Correlation matrices (Eq. 5), row-standardized so teacher and student
+  // softened distributions are comparable. The teacher side is detached:
+  // the unbiased distribution is knowledge, not a training signal for the
+  // (frozen) teacher.
+  Tensor m_teacher = StandardizeRows(
+      tensor::PairwiseSquaredDistances(teacher_features.Detach()));
+  Tensor m_student = StandardizeRows(
+      tensor::PairwiseSquaredDistances(student_features));
+  return tensor::DistillKlLoss(m_teacher, m_student, tau);
+}
+
+Tensor DomainKnowledgeDistillLoss(const Tensor& teacher_logits,
+                                  const Tensor& student_logits, float tau) {
+  return tensor::DistillKlLoss(teacher_logits.Detach(), student_logits, tau);
+}
+
+}  // namespace dtdbd

@@ -1,0 +1,34 @@
+// DTDBD's two distillation losses.
+//
+// Adversarial de-biasing distillation (Eq. 5-6): bias lives in the
+// *relative relationships among samples*, so the knowledge transferred from
+// the unbiased teacher is the batch correlation matrix M of pairwise
+// squared Euclidean distances between intermediate features. The student
+// matches the teacher's softened row distributions under a temperature-tau
+// KL, scaled by tau^2.
+//
+// Domain knowledge distillation (Eq. 12): classic logits distillation from
+// the clean teacher's classifier, transferring fuzzy cross-domain knowledge
+// while regularizing away redundant domain-specific shortcuts.
+#ifndef DTDBD_DTDBD_DISTILL_H_
+#define DTDBD_DTDBD_DISTILL_H_
+
+#include "tensor/tensor.h"
+
+namespace dtdbd {
+
+// L_ADD: teacher_features and student_features are [B, F_t] / [B, F_s]
+// (feature widths may differ — only the BxB correlation matrices are
+// compared). No gradient flows to the teacher.
+tensor::Tensor AdversarialDebiasDistillLoss(
+    const tensor::Tensor& teacher_features,
+    const tensor::Tensor& student_features, float tau);
+
+// L_DKD: logits distillation, teacher [B,C] vs student [B,C].
+tensor::Tensor DomainKnowledgeDistillLoss(
+    const tensor::Tensor& teacher_logits,
+    const tensor::Tensor& student_logits, float tau);
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_DTDBD_DISTILL_H_

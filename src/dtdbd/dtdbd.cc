@@ -1,0 +1,125 @@
+#include "dtdbd/dtdbd.h"
+
+#include "common/logging.h"
+#include "dtdbd/distill.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace dtdbd {
+
+using tensor::Tensor;
+
+DtdbdResult TrainDtdbd(models::FakeNewsModel* student,
+                       models::FakeNewsModel* unbiased_teacher,
+                       models::FakeNewsModel* clean_teacher,
+                       const data::NewsDataset& train,
+                       const data::NewsDataset& val,
+                       const DtdbdOptions& options) {
+  DTDBD_CHECK(student != nullptr);
+  DTDBD_CHECK(!options.use_add || unbiased_teacher != nullptr)
+      << "ADD enabled but no unbiased teacher";
+  DTDBD_CHECK(!options.use_dkd || clean_teacher != nullptr)
+      << "DKD enabled but no clean teacher";
+  DTDBD_CHECK(options.use_add || options.use_dkd)
+      << "at least one distillation loss must be enabled";
+
+  // Freeze the teachers (paper: teacher weights are frozen during
+  // distillation).
+  if (unbiased_teacher != nullptr) unbiased_teacher->Freeze();
+  if (clean_teacher != nullptr) clean_teacher->Freeze();
+
+  std::vector<Tensor> params;
+  for (auto& p : student->Parameters()) {
+    if (p.requires_grad()) params.push_back(p);
+  }
+  tensor::Adam optimizer(std::move(params), options.lr);
+  data::DataLoader loader(&train, options.batch_size, /*shuffle=*/true,
+                          options.seed);
+
+  MomentumWeightAdjuster adjuster(options.momentum, options.w_add_init,
+                                  options.min_teacher_weight);
+
+  DtdbdResult result;
+  double w_add = options.w_add_init;
+  double w_dkd = 1.0 - w_add;
+  // Single-loss ablations put the whole distillation budget on that loss.
+  if (!options.use_add) {
+    w_add = 0.0;
+    w_dkd = 1.0;
+  } else if (!options.use_dkd) {
+    w_add = 1.0;
+    w_dkd = 0.0;
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    loader.NewEpoch();
+    double epoch_loss = 0.0;
+    double epoch_ce = 0.0, epoch_add = 0.0, epoch_dkd = 0.0;
+    result.w_add_per_epoch.push_back(w_add);
+    for (int64_t b = 0; b < loader.num_batches(); ++b) {
+      const data::Batch batch = loader.GetBatch(b);
+
+      // Teachers run without autograd: they are frozen knowledge sources.
+      Tensor teacher_features, teacher_logits;
+      {
+        tensor::NoGradGuard no_grad;
+        if (options.use_add) {
+          teacher_features =
+              unbiased_teacher->Forward(batch, /*training=*/false).features;
+        }
+        if (options.use_dkd) {
+          teacher_logits =
+              clean_teacher->Forward(batch, /*training=*/false).logits;
+        }
+      }
+
+      models::ModelOutput out = student->Forward(batch, /*training=*/true);
+      Tensor l_ce = tensor::CrossEntropyLoss(out.logits, batch.labels);
+      epoch_ce += l_ce.item();
+      Tensor loss = tensor::ScalarMul(l_ce, options.w_student_ce);
+      if (options.use_add) {
+        Tensor l_add = tensor::ScalarMul(
+            AdversarialDebiasDistillLoss(teacher_features, out.features,
+                                         options.tau),
+            options.add_loss_scale);
+        epoch_add += l_add.item();
+        loss = tensor::Add(loss,
+                           tensor::ScalarMul(l_add, static_cast<float>(w_add)));
+      }
+      if (options.use_dkd) {
+        Tensor l_dkd = DomainKnowledgeDistillLoss(teacher_logits, out.logits,
+                                                  options.tau);
+        epoch_dkd += l_dkd.item();
+        loss = tensor::Add(loss,
+                           tensor::ScalarMul(l_dkd, static_cast<float>(w_dkd)));
+      }
+
+      optimizer.ZeroGrad();
+      loss.Backward();
+      tensor::ClipGradNorm(optimizer.params(), options.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+    }
+    epoch_loss /= static_cast<double>(loader.num_batches());
+    result.train_loss_per_epoch.push_back(epoch_loss);
+
+    // Epoch-end evaluation drives the momentum-based dynamic adjustment.
+    metrics::EvalReport report = EvaluateModel(student, val);
+    result.val_reports.push_back(report);
+    if (options.use_add && options.use_dkd && options.use_daa) {
+      w_add = adjuster.Update(report.f1, report.Total());
+      w_dkd = 1.0 - w_add;
+    }
+    if (options.verbose) {
+      const double nb = static_cast<double>(loader.num_batches());
+      DTDBD_LOG(Info) << "DTDBD epoch " << epoch << " loss=" << epoch_loss
+                      << " (ce=" << epoch_ce / nb << " add=" << epoch_add / nb
+                      << " dkd=" << epoch_dkd / nb << ") val "
+                      << report.Summary() << " w_add=" << w_add;
+    }
+  }
+  return result;
+}
+
+}  // namespace dtdbd

@@ -1,0 +1,38 @@
+#include "dtdbd/momentum.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dtdbd {
+
+MomentumWeightAdjuster::MomentumWeightAdjuster(double momentum,
+                                               double initial_w_add,
+                                               double min_weight)
+    : momentum_(momentum), min_weight_(min_weight), w_add_(initial_w_add) {
+  DTDBD_CHECK_GE(momentum, 0.0);
+  DTDBD_CHECK_LT(momentum, 1.0);
+  DTDBD_CHECK_GE(min_weight, 0.0);
+  DTDBD_CHECK_LT(min_weight, 0.5);
+  DTDBD_CHECK_GE(initial_w_add, min_weight);
+  DTDBD_CHECK_LE(initial_w_add, 1.0 - min_weight);
+}
+
+double MomentumWeightAdjuster::Update(double f1, double bias_total) {
+  if (has_previous_) {
+    const double delta_f1 = f1 - prev_f1_;
+    const double delta_bias = bias_total - prev_bias_;
+    // The raw (dBias - dF1) difference is clamped to +/-1 so one noisy
+    // validation epoch (bias metrics on small splits swing by several
+    // tenths) cannot slam the weight to an extreme in a single update.
+    const double signal = std::clamp(delta_bias - delta_f1, -1.0, 1.0);
+    w_add_ = momentum_ * w_add_ - (1.0 - momentum_) * signal;
+    w_add_ = std::clamp(w_add_, min_weight_, 1.0 - min_weight_);
+  }
+  has_previous_ = true;
+  prev_f1_ = f1;
+  prev_bias_ = bias_total;
+  return w_add_;
+}
+
+}  // namespace dtdbd

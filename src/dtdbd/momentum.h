@@ -1,0 +1,41 @@
+// Momentum-based dynamic adjustment of the two teachers' weights
+// (paper Eq. 13-15).
+//
+// After every epoch the student is evaluated; from the change in
+// performance (dF1) and bias (dBias = d(FNED+FPED)) the adversarial
+// de-biasing weight is updated with momentum m:
+//   w_ADD(r) = m * w_ADD(r-1) - (1-m) * (dBias - dF1),
+//   w_DKD(r) = 1 - w_ADD(r).
+// Falling bias (dBias < 0) and rising F1 (dF1 > 0) both push w_ADD up:
+// the algorithm reinforces whichever teacher is currently paying off.
+// Weights are clamped to [min_weight, 1 - min_weight] so neither teacher is
+// ever silenced completely.
+#ifndef DTDBD_DTDBD_MOMENTUM_H_
+#define DTDBD_DTDBD_MOMENTUM_H_
+
+namespace dtdbd {
+
+class MomentumWeightAdjuster {
+ public:
+  MomentumWeightAdjuster(double momentum, double initial_w_add,
+                         double min_weight = 0.05);
+
+  // Feeds the epoch-r validation measurements; from the second call on the
+  // weights move. Returns the new w_ADD.
+  double Update(double f1, double bias_total);
+
+  double w_add() const { return w_add_; }
+  double w_dkd() const { return 1.0 - w_add_; }
+
+ private:
+  double momentum_;
+  double min_weight_;
+  double w_add_;
+  bool has_previous_ = false;
+  double prev_f1_ = 0.0;
+  double prev_bias_ = 0.0;
+};
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_DTDBD_MOMENTUM_H_

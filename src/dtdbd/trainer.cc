@@ -1,0 +1,144 @@
+#include "dtdbd/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace dtdbd {
+
+using tensor::Tensor;
+
+namespace {
+
+// Only trainable parameters go to the optimizer (frozen encoders and
+// teachers keep requires_grad = false and are skipped upstream).
+std::vector<Tensor> TrainableParams(models::FakeNewsModel* model) {
+  std::vector<Tensor> params;
+  for (auto& p : model->Parameters()) {
+    if (p.requires_grad()) params.push_back(p);
+  }
+  DTDBD_CHECK(!params.empty()) << model->name() << " has no trainable params";
+  return params;
+}
+
+}  // namespace
+
+TrainResult TrainSupervised(models::FakeNewsModel* model,
+                            const data::NewsDataset& train,
+                            const data::NewsDataset* val,
+                            const TrainOptions& options) {
+  DTDBD_CHECK(model != nullptr);
+  DTDBD_CHECK_GT(train.size(), 0);
+  TrainResult result;
+  tensor::Adam optimizer(TrainableParams(model), options.lr, 0.9f, 0.999f,
+                         1e-8f, options.weight_decay);
+  data::DataLoader loader(&train, options.batch_size, /*shuffle=*/true,
+                          options.seed);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    loader.NewEpoch();
+    double epoch_loss = 0.0;
+    for (int64_t b = 0; b < loader.num_batches(); ++b) {
+      const data::Batch batch = loader.GetBatch(b);
+      models::ModelOutput out = model->Forward(batch, /*training=*/true);
+      Tensor loss = tensor::CrossEntropyLoss(out.logits, batch.labels);
+      if (out.domain_logits.defined() && options.domain_loss_weight > 0.0f) {
+        Tensor domain_ce =
+            tensor::CrossEntropyLoss(out.domain_logits, batch.domains);
+        loss = tensor::Add(
+            loss, tensor::ScalarMul(domain_ce, options.domain_loss_weight));
+        if (options.entropy_loss_weight > 0.0f) {
+          Tensor ie = tensor::NegativeEntropyLoss(out.domain_logits);
+          loss = tensor::Add(
+              loss, tensor::ScalarMul(ie, options.entropy_loss_weight));
+        }
+      }
+      optimizer.ZeroGrad();
+      loss.Backward();
+      tensor::ClipGradNorm(optimizer.params(), options.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+    }
+    epoch_loss /= static_cast<double>(loader.num_batches());
+    result.train_loss_per_epoch.push_back(epoch_loss);
+    if (val != nullptr) {
+      result.val_reports.push_back(EvaluateModel(model, *val));
+    }
+    if (options.verbose) {
+      DTDBD_LOG(Info) << model->name() << " epoch " << epoch
+                      << " loss=" << epoch_loss
+                      << (val != nullptr
+                              ? " val " + result.val_reports.back().Summary()
+                              : "");
+    }
+  }
+  return result;
+}
+
+std::vector<int> Predict(models::FakeNewsModel* model,
+                         const data::NewsDataset& dataset,
+                         int64_t batch_size) {
+  const std::vector<float> probs =
+      PredictFakeProbability(model, dataset, batch_size);
+  std::vector<int> preds(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    preds[i] = probs[i] >= 0.5f ? data::kFake : data::kReal;
+  }
+  return preds;
+}
+
+metrics::EvalReport EvaluateModel(models::FakeNewsModel* model,
+                                  const data::NewsDataset& dataset,
+                                  int64_t batch_size) {
+  const std::vector<int> preds = Predict(model, dataset, batch_size);
+  std::vector<int> labels, domains;
+  labels.reserve(dataset.size());
+  domains.reserve(dataset.size());
+  for (const auto& s : dataset.samples) {
+    labels.push_back(s.label);
+    domains.push_back(s.domain);
+  }
+  return metrics::Evaluate(preds, labels, domains, dataset.num_domains());
+}
+
+std::vector<float> PredictFakeProbability(models::FakeNewsModel* model,
+                                          const data::NewsDataset& dataset,
+                                          int64_t batch_size) {
+  DTDBD_CHECK(model != nullptr);
+  DTDBD_CHECK_GT(dataset.size(), 0);
+  tensor::NoGradGuard no_grad;
+  data::DataLoader loader(&dataset, batch_size, /*shuffle=*/false, 0);
+  std::vector<float> probs;
+  probs.reserve(dataset.size());
+  for (int64_t b = 0; b < loader.num_batches(); ++b) {
+    const data::Batch batch = loader.GetBatch(b);
+    models::ModelOutput out = model->Forward(batch, /*training=*/false);
+    Tensor p = tensor::Softmax(out.logits);
+    for (int64_t i = 0; i < batch.batch_size; ++i) {
+      probs.push_back(p.at(i * 2 + data::kFake));
+    }
+  }
+  return probs;
+}
+
+std::vector<float> ExtractFeatures(models::FakeNewsModel* model,
+                                   const data::NewsDataset& dataset,
+                                   int64_t batch_size) {
+  DTDBD_CHECK(model != nullptr);
+  tensor::NoGradGuard no_grad;
+  data::DataLoader loader(&dataset, batch_size, /*shuffle=*/false, 0);
+  std::vector<float> features;
+  features.reserve(dataset.size() * model->feature_dim());
+  for (int64_t b = 0; b < loader.num_batches(); ++b) {
+    const data::Batch batch = loader.GetBatch(b);
+    models::ModelOutput out = model->Forward(batch, /*training=*/false);
+    DTDBD_CHECK_EQ(out.features.dim(1), model->feature_dim());
+    const auto& data = out.features.data();
+    features.insert(features.end(), data.begin(), data.end());
+  }
+  return features;
+}
+
+}  // namespace dtdbd

@@ -1,0 +1,69 @@
+// Generic supervised training and evaluation over FakeNewsModel.
+//
+// Handles every baseline of the paper's tables: models that expose a
+// domain head (EANN, EDDFN, DAT wrappers) automatically get the domain
+// cross-entropy term; gradient reversal inside the model turns it into
+// adversarial training.
+#ifndef DTDBD_DTDBD_TRAINER_H_
+#define DTDBD_DTDBD_TRAINER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+#include "models/model.h"
+
+namespace dtdbd {
+
+struct TrainOptions {
+  int epochs = 3;
+  int64_t batch_size = 32;
+  float lr = 1e-3f;
+  float weight_decay = 0.0f;
+  float grad_clip = 5.0f;
+  // Weight on the domain-classification loss when the model emits domain
+  // logits (alpha in DTDBD Eq. 11; EANN/EDDFN adversarial weight).
+  float domain_loss_weight = 0.0f;
+  // Weight on the information-entropy term (beta in Eq. 11). The paper
+  // sets beta = 0.2 * alpha for DAT-IE; 0 recovers plain DAT.
+  float entropy_loss_weight = 0.0f;
+  uint64_t seed = 1234;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<double> train_loss_per_epoch;
+  std::vector<metrics::EvalReport> val_reports;  // empty if no val set
+};
+
+// Trains `model` with Adam on cross-entropy (+ optional domain terms).
+// `val` may be null.
+TrainResult TrainSupervised(models::FakeNewsModel* model,
+                            const data::NewsDataset& train,
+                            const data::NewsDataset* val,
+                            const TrainOptions& options);
+
+// Argmax predictions over a dataset (no grad, eval mode).
+std::vector<int> Predict(models::FakeNewsModel* model,
+                         const data::NewsDataset& dataset,
+                         int64_t batch_size = 64);
+
+// Convenience: Predict + metrics::Evaluate.
+metrics::EvalReport EvaluateModel(models::FakeNewsModel* model,
+                                  const data::NewsDataset& dataset,
+                                  int64_t batch_size = 64);
+
+// P(fake) for each sample (softmax of logits), eval mode.
+std::vector<float> PredictFakeProbability(models::FakeNewsModel* model,
+                                          const data::NewsDataset& dataset,
+                                          int64_t batch_size = 64);
+
+// Intermediate features for each sample, row-major [N, feature_dim];
+// used by the t-SNE visualization (Fig. 2) and analysis tools.
+std::vector<float> ExtractFeatures(models::FakeNewsModel* model,
+                                   const data::NewsDataset& dataset,
+                                   int64_t batch_size = 64);
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_DTDBD_TRAINER_H_

@@ -1,0 +1,51 @@
+#include "eval/case_study.h"
+
+#include "common/check.h"
+#include "dtdbd/trainer.h"
+
+namespace dtdbd::eval {
+
+data::NewsDataset SelectCases(const data::NewsDataset& source, int domain,
+                              int label, int count) {
+  DTDBD_CHECK_GT(count, 0);
+  data::NewsDataset cases;
+  cases.vocab = source.vocab;
+  cases.domain_names = source.domain_names;
+  cases.seq_len = source.seq_len;
+  for (const auto& s : source.samples) {
+    if (s.domain == domain && s.label == label) {
+      cases.samples.push_back(s);
+      if (static_cast<int>(cases.samples.size()) == count) break;
+    }
+  }
+  DTDBD_CHECK(!cases.samples.empty())
+      << "no samples with domain=" << domain << " label=" << label;
+  return cases;
+}
+
+std::vector<CasePrediction> CompareOnCases(
+    const std::vector<models::FakeNewsModel*>& models_to_compare,
+    const data::NewsDataset& cases) {
+  std::vector<CasePrediction> results;
+  for (models::FakeNewsModel* model : models_to_compare) {
+    DTDBD_CHECK(model != nullptr);
+    const std::vector<float> probs =
+        PredictFakeProbability(model, cases);
+    CasePrediction cp;
+    cp.model = model->name();
+    int correct = 0;
+    double sum = 0.0;
+    for (size_t i = 0; i < probs.size(); ++i) {
+      sum += probs[i];
+      const int pred = probs[i] >= 0.5f ? data::kFake : data::kReal;
+      if (pred == cases.samples[i].label) ++correct;
+    }
+    cp.mean_fake_probability = sum / static_cast<double>(probs.size());
+    cp.accuracy = static_cast<double>(correct) /
+                  static_cast<double>(probs.size());
+    results.push_back(cp);
+  }
+  return results;
+}
+
+}  // namespace dtdbd::eval

@@ -1,0 +1,33 @@
+// Helpers for the Figure 3 case studies: pick individual news items with a
+// prescribed (domain, label) and compare per-model fake probabilities.
+#ifndef DTDBD_EVAL_CASE_STUDY_H_
+#define DTDBD_EVAL_CASE_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model.h"
+
+namespace dtdbd::eval {
+
+// Extracts up to `count` samples matching (domain, label) into a standalone
+// dataset sharing the source vocabulary.
+data::NewsDataset SelectCases(const data::NewsDataset& source, int domain,
+                              int label, int count);
+
+struct CasePrediction {
+  std::string model;
+  double mean_fake_probability = 0.0;
+  double accuracy = 0.0;  // fraction of cases classified correctly
+};
+
+// Runs every model on the case set and reports its mean P(fake) and
+// accuracy against the true labels.
+std::vector<CasePrediction> CompareOnCases(
+    const std::vector<models::FakeNewsModel*>& models_to_compare,
+    const data::NewsDataset& cases);
+
+}  // namespace dtdbd::eval
+
+#endif  // DTDBD_EVAL_CASE_STUDY_H_

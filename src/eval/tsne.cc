@@ -1,0 +1,192 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dtdbd::eval {
+
+namespace {
+
+// Squared Euclidean distances between rows of features.
+std::vector<double> PairwiseSq(const std::vector<float>& x, int n, int dim) {
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < dim; ++k) {
+        const double delta = static_cast<double>(x[i * dim + k]) -
+                             static_cast<double>(x[j * dim + k]);
+        acc += delta * delta;
+      }
+      d[i * n + j] = acc;
+      d[j * n + i] = acc;
+    }
+  }
+  return d;
+}
+
+// Binary-searches the Gaussian bandwidth of row i to hit the target
+// perplexity; writes conditional probabilities p_{j|i}.
+void RowConditionals(const std::vector<double>& dist, int n, int i,
+                     double perplexity, double* p_row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = 0.0, beta_max = 1e30;
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      p_row[j] = j == i ? 0.0 : std::exp(-beta * dist[i * n + j]);
+      sum += p_row[j];
+    }
+    if (sum <= 1e-300) {
+      beta /= 2.0;
+      beta_max = beta * 2.0;
+      continue;
+    }
+    double entropy = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (p_row[j] > 0.0) {
+        const double p = p_row[j] / sum;
+        entropy -= p * std::log(p);
+      }
+    }
+    for (int j = 0; j < n; ++j) p_row[j] /= sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) return;
+    if (diff > 0.0) {  // entropy too high -> sharpen
+      beta_min = beta;
+      beta = beta_max > 1e29 ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = 0.5 * (beta + beta_min);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> RunTsne(const std::vector<float>& features, int n,
+                            int dim, const TsneOptions& options) {
+  DTDBD_CHECK_GT(n, 3);
+  DTDBD_CHECK_GT(dim, 0);
+  DTDBD_CHECK_EQ(static_cast<size_t>(n) * dim, features.size());
+  DTDBD_CHECK_LT(3 * options.perplexity, n)
+      << "perplexity too large for n=" << n;
+
+  const std::vector<double> dist = PairwiseSq(features, n, dim);
+
+  // Symmetric joint probabilities P.
+  std::vector<double> p(static_cast<size_t>(n) * n, 0.0);
+  {
+    std::vector<double> row(n);
+    for (int i = 0; i < n; ++i) {
+      RowConditionals(dist, n, i, options.perplexity, row.data());
+      for (int j = 0; j < n; ++j) p[i * n + j] = row[j];
+    }
+  }
+  double p_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = (p[i * n + j] + p[j * n + i]) / (2.0 * n);
+      p[i * n + j] = v;
+      p[j * n + i] = v;
+      p_sum += 2.0 * v;
+    }
+  }
+  (void)p_sum;
+  for (auto& v : p) v = std::max(v, 1e-12);
+
+  // Gradient descent on the 2-D embedding.
+  Rng rng(options.seed);
+  std::vector<double> y(static_cast<size_t>(n) * 2);
+  for (auto& v : y) v = rng.Normal(0.0, 1e-2);
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> gains(y.size(), 1.0);
+  std::vector<double> q(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> grad(y.size(), 0.0);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_until ? options.early_exaggeration : 1.0;
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dx = y[i * 2] - y[j * 2];
+        const double dy = y[i * 2 + 1] - y[j * 2 + 1];
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    // Gradient.
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[i * n + j];
+        const double coeff =
+            4.0 * (exaggeration * p[i * n + j] - w / q_sum) * w;
+        grad[i * 2] += coeff * (y[i * 2] - y[j * 2]);
+        grad[i * 2 + 1] += coeff * (y[i * 2 + 1] - y[j * 2 + 1]);
+      }
+    }
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum_initial
+                                : options.momentum_final;
+    for (size_t k = 0; k < y.size(); ++k) {
+      // Adaptive gains as in the reference implementation.
+      gains[k] = (grad[k] > 0.0) != (velocity[k] > 0.0) ? gains[k] + 0.2
+                                                        : gains[k] * 0.8;
+      gains[k] = std::max(gains[k], 0.01);
+      velocity[k] = momentum * velocity[k] -
+                    options.learning_rate * gains[k] * grad[k];
+      y[k] += velocity[k];
+    }
+    // Re-center.
+    double mean_x = 0.0, mean_y = 0.0;
+    for (int i = 0; i < n; ++i) {
+      mean_x += y[i * 2];
+      mean_y += y[i * 2 + 1];
+    }
+    mean_x /= n;
+    mean_y /= n;
+    for (int i = 0; i < n; ++i) {
+      y[i * 2] -= mean_x;
+      y[i * 2 + 1] -= mean_y;
+    }
+  }
+  return y;
+}
+
+double DomainMixingScore(const std::vector<double>& embedding, int n,
+                         const std::vector<int>& domains, int k) {
+  DTDBD_CHECK_EQ(static_cast<size_t>(n) * 2, embedding.size());
+  DTDBD_CHECK_EQ(static_cast<size_t>(n), domains.size());
+  DTDBD_CHECK_GT(k, 0);
+  DTDBD_CHECK_LT(k, n);
+  double total = 0.0;
+  std::vector<std::pair<double, int>> neighbors(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double dx = embedding[i * 2] - embedding[j * 2];
+      const double dy = embedding[i * 2 + 1] - embedding[j * 2 + 1];
+      neighbors[j] = {dx * dx + dy * dy, j};
+    }
+    neighbors[i].first = 1e300;  // exclude self
+    std::partial_sort(neighbors.begin(), neighbors.begin() + k,
+                      neighbors.end());
+    int other = 0;
+    for (int t = 0; t < k; ++t) {
+      if (domains[neighbors[t].second] != domains[i]) ++other;
+    }
+    total += static_cast<double>(other) / k;
+  }
+  return total / n;
+}
+
+}  // namespace dtdbd::eval

@@ -1,0 +1,37 @@
+// Exact (O(N^2)) t-SNE (van der Maaten & Hinton 2008) for the Figure 2
+// feature-space visualization. Suitable for the few hundred test points
+// the figure plots.
+#ifndef DTDBD_EVAL_TSNE_H_
+#define DTDBD_EVAL_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dtdbd::eval {
+
+struct TsneOptions {
+  double perplexity = 20.0;
+  int iterations = 350;
+  double learning_rate = 100.0;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 120;
+  double early_exaggeration = 4.0;
+  int exaggeration_until = 80;
+  uint64_t seed = 42;
+};
+
+// features: row-major [n, dim]. Returns row-major [n, 2] embedding.
+std::vector<double> RunTsne(const std::vector<float>& features, int n,
+                            int dim, const TsneOptions& options);
+
+// Quantifies how mixed the domains are in an embedding: the mean fraction
+// of each point's k nearest neighbors that belong to a *different* domain.
+// Higher = domains more blended (what DTDBD's Fig. 2 panel shows); a model
+// with hard domain clusters scores low.
+double DomainMixingScore(const std::vector<double>& embedding, int n,
+                         const std::vector<int>& domains, int k = 10);
+
+}  // namespace dtdbd::eval
+
+#endif  // DTDBD_EVAL_TSNE_H_

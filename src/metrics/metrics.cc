@@ -1,0 +1,114 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dtdbd::metrics {
+
+namespace {
+double SafeDiv(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+}  // namespace
+
+double Confusion::Fnr() const {
+  return SafeDiv(static_cast<double>(fn), static_cast<double>(fn + tp));
+}
+
+double Confusion::Fpr() const {
+  return SafeDiv(static_cast<double>(fp), static_cast<double>(fp + tn));
+}
+
+double Confusion::Accuracy() const {
+  return SafeDiv(static_cast<double>(tp + tn), static_cast<double>(total()));
+}
+
+double Confusion::F1Positive() const {
+  const double precision =
+      SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fp));
+  const double recall =
+      SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fn));
+  return SafeDiv(2.0 * precision * recall, precision + recall);
+}
+
+double Confusion::F1Negative() const {
+  const double precision =
+      SafeDiv(static_cast<double>(tn), static_cast<double>(tn + fn));
+  const double recall =
+      SafeDiv(static_cast<double>(tn), static_cast<double>(tn + fp));
+  return SafeDiv(2.0 * precision * recall, precision + recall);
+}
+
+double Confusion::MacroF1() const {
+  return 0.5 * (F1Positive() + F1Negative());
+}
+
+Confusion CountConfusion(const std::vector<int>& predictions,
+                         const std::vector<int>& labels) {
+  DTDBD_CHECK_EQ(predictions.size(), labels.size());
+  Confusion c;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred_fake = predictions[i] == 1;
+    const bool is_fake = labels[i] == 1;
+    if (pred_fake && is_fake) {
+      ++c.tp;
+    } else if (pred_fake && !is_fake) {
+      ++c.fp;
+    } else if (!pred_fake && is_fake) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+EvalReport Evaluate(const std::vector<int>& predictions,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& domains, int num_domains) {
+  DTDBD_CHECK_EQ(predictions.size(), labels.size());
+  DTDBD_CHECK_EQ(predictions.size(), domains.size());
+  DTDBD_CHECK_GT(num_domains, 0);
+
+  EvalReport report;
+  report.overall = CountConfusion(predictions, labels);
+  report.per_domain.assign(num_domains, Confusion{});
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    DTDBD_CHECK_GE(domains[i], 0);
+    DTDBD_CHECK_LT(domains[i], num_domains);
+    Confusion& c = report.per_domain[domains[i]];
+    const bool pred_fake = predictions[i] == 1;
+    const bool is_fake = labels[i] == 1;
+    if (pred_fake && is_fake) {
+      ++c.tp;
+    } else if (pred_fake && !is_fake) {
+      ++c.fp;
+    } else if (!pred_fake && is_fake) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+
+  report.f1 = report.overall.MacroF1();
+  const double fnr = report.overall.Fnr();
+  const double fpr = report.overall.Fpr();
+  for (const Confusion& c : report.per_domain) {
+    report.domain_f1.push_back(c.MacroF1());
+    // Domains with no samples contribute zero (rather than |rate - 0|):
+    // otherwise empty evaluation slices would inflate the bias measure.
+    if (c.total() == 0) continue;
+    report.fned += std::abs(fnr - c.Fnr());
+    report.fped += std::abs(fpr - c.Fpr());
+  }
+  return report;
+}
+
+std::string EvalReport::Summary() const {
+  std::ostringstream out;
+  out << "F1=" << f1 << " FNED=" << fned << " FPED=" << fped
+      << " Total=" << Total();
+  return out.str();
+}
+
+}  // namespace dtdbd::metrics

@@ -1,0 +1,61 @@
+// Performance and bias metrics for multi-domain fake news detection.
+//
+// Follows the paper's evaluation protocol: macro F1 for performance, and
+// the equality-difference bias metrics of Dixon et al. (Eq. 16-17):
+//   FPED = sum_d |FPR - FPR_d|,  FNED = sum_d |FNR - FNR_d|,
+//   Total = FPED + FNED.
+// The fake class (label 1) is the positive class.
+#ifndef DTDBD_METRICS_METRICS_H_
+#define DTDBD_METRICS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace dtdbd::metrics {
+
+// Binary confusion counts with fake (1) as positive.
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+
+  int64_t total() const { return tp + fp + tn + fn; }
+  // False negative rate P(pred=real | fake); 0 when no positives.
+  double Fnr() const;
+  // False positive rate P(pred=fake | real); 0 when no negatives.
+  double Fpr() const;
+  double Accuracy() const;
+  // F1 of the positive class.
+  double F1Positive() const;
+  // F1 of the negative class.
+  double F1Negative() const;
+  // Macro F1 (mean of both class F1s) — the paper's "F1".
+  double MacroF1() const;
+};
+
+Confusion CountConfusion(const std::vector<int>& predictions,
+                         const std::vector<int>& labels);
+
+// Full evaluation report over a labeled multi-domain prediction set.
+struct EvalReport {
+  Confusion overall;
+  std::vector<Confusion> per_domain;
+
+  double f1 = 0.0;                 // overall macro F1
+  std::vector<double> domain_f1;   // per-domain macro F1
+  double fned = 0.0;
+  double fped = 0.0;
+
+  double Total() const { return fned + fped; }
+  std::string Summary() const;
+};
+
+// predictions/labels in {0,1}; domains in [0, num_domains).
+EvalReport Evaluate(const std::vector<int>& predictions,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& domains, int num_domains);
+
+}  // namespace dtdbd::metrics
+
+#endif  // DTDBD_METRICS_METRICS_H_

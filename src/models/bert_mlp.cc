@@ -1,0 +1,33 @@
+#include "models/bert_mlp.h"
+
+#include "tensor/ops.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+BertMlpModel::BertMlpModel(std::string name, const ModelConfig& config)
+    : name_(std::move(name)), config_(config), rng_(config.seed) {
+  DTDBD_CHECK(config_.encoder != nullptr)
+      << name_ << " requires a frozen encoder";
+  projector_ = std::make_unique<nn::Linear>(config_.encoder->dim(),
+                                            config_.hidden_dim, &rng_);
+  RegisterChild("projector", projector_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{config_.hidden_dim, config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+}
+
+ModelOutput BertMlpModel::Forward(const data::Batch& batch, bool training) {
+  Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
+                                           batch.seq_len);
+  Tensor pooled = tensor::MeanOverTime(encoded);
+  ModelOutput out;
+  out.features = tensor::Relu(projector_->Forward(pooled));
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  return out;
+}
+
+}  // namespace dtdbd::models

@@ -1,0 +1,32 @@
+// Frozen-encoder + MLP baselines ("BERT" and "RoBERTa" rows of the paper's
+// tables: a frozen pre-trained encoder with only the MLP head trained).
+#ifndef DTDBD_MODELS_BERT_MLP_H_
+#define DTDBD_MODELS_BERT_MLP_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+#include "nn/linear.h"
+
+namespace dtdbd::models {
+
+class BertMlpModel : public FakeNewsModel {
+ public:
+  BertMlpModel(std::string name, const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return config_.hidden_dim; }
+
+ private:
+  std::string name_;
+  ModelConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Linear> projector_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_BERT_MLP_H_

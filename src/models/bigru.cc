@@ -1,0 +1,49 @@
+#include "models/bigru.h"
+
+#include "tensor/ops.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+BiGruModel::BiGruModel(std::string name, const ModelConfig& config,
+                       bool use_frozen_encoder)
+    : name_(std::move(name)),
+      config_(config),
+      use_frozen_encoder_(use_frozen_encoder),
+      rng_(config.seed) {
+  int64_t input_dim;
+  if (use_frozen_encoder_) {
+    DTDBD_CHECK(config_.encoder != nullptr)
+        << name_ << " requires a frozen encoder";
+    input_dim = config_.encoder->dim();
+  } else {
+    DTDBD_CHECK_GT(config_.vocab_size, 0);
+    embedding_ = std::make_unique<nn::Embedding>(config_.vocab_size,
+                                                 config_.embed_dim, &rng_);
+    RegisterChild("embedding", embedding_.get());
+    input_dim = config_.embed_dim;
+  }
+  rnn_ = std::make_unique<nn::BiGru>(input_dim, config_.rnn_hidden, &rng_);
+  RegisterChild("rnn", rnn_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{rnn_->output_dim(), config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+}
+
+ModelOutput BiGruModel::Forward(const data::Batch& batch, bool training) {
+  Tensor encoded =
+      use_frozen_encoder_
+          ? config_.encoder->Encode(batch.tokens, batch.batch_size,
+                                    batch.seq_len)
+          : embedding_->Forward(batch.tokens, batch.batch_size,
+                                batch.seq_len);
+  ModelOutput out;
+  out.features = tensor::MeanOverTime(rnn_->Forward(encoded));
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  return out;
+}
+
+}  // namespace dtdbd::models

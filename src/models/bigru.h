@@ -1,0 +1,38 @@
+// BiGRU classifier (Ma et al. 2016 baseline). Covers:
+//  * "BiGRU"   — trainable word embeddings + one-layer BiGRU;
+//  * "BiGRU-S" — the DTDBD ablation student: frozen encoder + BiGRU.
+#ifndef DTDBD_MODELS_BIGRU_H_
+#define DTDBD_MODELS_BIGRU_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace dtdbd::models {
+
+class BiGruModel : public FakeNewsModel {
+ public:
+  BiGruModel(std::string name, const ModelConfig& config,
+             bool use_frozen_encoder);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return rnn_->output_dim(); }
+
+ private:
+  std::string name_;
+  ModelConfig config_;
+  bool use_frozen_encoder_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::BiGru> rnn_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_BIGRU_H_

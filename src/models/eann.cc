@@ -1,0 +1,47 @@
+#include "models/eann.h"
+
+#include "tensor/ops.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+EannModel::EannModel(const ModelConfig& config, bool use_dat)
+    : name_(use_dat ? "EANN" : "EANN_NoDAT"),
+      config_(config),
+      use_dat_(use_dat),
+      rng_(config.seed) {
+  DTDBD_CHECK(config_.encoder != nullptr) << "EANN requires a frozen encoder";
+  conv_ = std::make_unique<nn::Conv1dBank>(
+      config_.encoder->dim(), config_.conv_channels,
+      std::vector<int64_t>{1, 2, 3, 5}, &rng_);
+  RegisterChild("conv", conv_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{conv_->output_dim(), config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+  if (use_dat_) {
+    domain_head_ = std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{conv_->output_dim(), config_.hidden_dim,
+                             config_.num_domains},
+        config_.dropout, &rng_);
+    RegisterChild("domain_head", domain_head_.get());
+  }
+}
+
+ModelOutput EannModel::Forward(const data::Batch& batch, bool training) {
+  Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
+                                           batch.seq_len);
+  ModelOutput out;
+  out.features = conv_->Forward(encoded);
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  if (use_dat_) {
+    Tensor reversed =
+        tensor::GradReverse(out.features, config_.adversarial_lambda);
+    out.domain_logits = domain_head_->Forward(reversed, training, &rng_);
+  }
+  return out;
+}
+
+}  // namespace dtdbd::models

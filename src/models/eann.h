@@ -1,0 +1,37 @@
+// EANN (Wang et al. 2018): a shared TextCNN feature extractor with a fake
+// news classifier and an adversarial event/domain discriminator behind a
+// gradient-reversal layer. "EANN_NoDAT" drops the discriminator (the
+// ablation row of the paper's tables).
+#ifndef DTDBD_MODELS_EANN_H_
+#define DTDBD_MODELS_EANN_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+
+namespace dtdbd::models {
+
+class EannModel : public FakeNewsModel {
+ public:
+  EannModel(const ModelConfig& config, bool use_dat);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return conv_->output_dim(); }
+
+ private:
+  std::string name_;
+  ModelConfig config_;
+  bool use_dat_;
+  Rng rng_;
+  std::unique_ptr<nn::Conv1dBank> conv_;
+  std::unique_ptr<nn::Mlp> classifier_;
+  std::unique_ptr<nn::Mlp> domain_head_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_EANN_H_

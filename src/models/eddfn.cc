@@ -1,0 +1,77 @@
+#include "models/eddfn.h"
+
+#include "tensor/ops.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+EddfnModel::EddfnModel(const ModelConfig& config, bool use_dat)
+    : name_(use_dat ? "EDDFN" : "EDDFN_NoDAT"),
+      config_(config),
+      use_dat_(use_dat),
+      rng_(config.seed) {
+  DTDBD_CHECK(config_.encoder != nullptr) << "EDDFN requires a frozen encoder";
+  DTDBD_CHECK_GT(config_.num_domains, 0);
+  conv_ = std::make_unique<nn::Conv1dBank>(
+      config_.encoder->dim(), config_.conv_channels,
+      std::vector<int64_t>{2, 3, 5}, &rng_);
+  RegisterChild("conv", conv_.get());
+  shared_head_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{conv_->output_dim(), config_.hidden_dim},
+      config_.dropout, &rng_);
+  RegisterChild("shared_head", shared_head_.get());
+  for (int d = 0; d < config_.num_domains; ++d) {
+    domain_heads_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{conv_->output_dim(), config_.hidden_dim},
+        config_.dropout, &rng_));
+    RegisterChild("domain_head" + std::to_string(d),
+                  domain_heads_.back().get());
+  }
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{feature_dim(), config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+  if (use_dat_) {
+    discriminator_ = std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{config_.hidden_dim, config_.hidden_dim,
+                             config_.num_domains},
+        config_.dropout, &rng_);
+    RegisterChild("discriminator", discriminator_.get());
+  }
+}
+
+ModelOutput EddfnModel::Forward(const data::Batch& batch, bool training) {
+  Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
+                                           batch.seq_len);
+  Tensor base = conv_->Forward(encoded);
+  Tensor shared = tensor::Relu(shared_head_->Forward(base, training, &rng_));
+
+  // Per-domain heads evaluated for all domains, then each sample selects
+  // its own via a one-hot weighting (keeps everything batched).
+  std::vector<Tensor> head_outs;
+  for (const auto& head : domain_heads_) {
+    head_outs.push_back(tensor::Relu(head->Forward(base, training, &rng_)));
+  }
+  std::vector<float> onehot(batch.batch_size * config_.num_domains, 0.0f);
+  for (int64_t i = 0; i < batch.batch_size; ++i) {
+    onehot[i * config_.num_domains + batch.domains[i]] = 1.0f;
+  }
+  Tensor selector = Tensor::FromData({batch.batch_size, config_.num_domains},
+                                     std::move(onehot));
+  Tensor specific =
+      tensor::WeightedSumOverTime(tensor::StackTime(head_outs), selector);
+
+  ModelOutput out;
+  out.features = tensor::ConcatLastDim({shared, specific});
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  if (use_dat_) {
+    Tensor reversed =
+        tensor::GradReverse(shared, config_.adversarial_lambda);
+    out.domain_logits = discriminator_->Forward(reversed, training, &rng_);
+  }
+  return out;
+}
+
+}  // namespace dtdbd::models

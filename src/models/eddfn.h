@@ -1,0 +1,40 @@
+// EDDFN (Silva et al. 2021): preserves domain-specific and cross-domain
+// knowledge via a shared representation (adversarially domain-scrubbed)
+// plus per-domain representation heads routed by the sample's domain
+// label. "EDDFN_NoDAT" drops the adversarial discriminator.
+#ifndef DTDBD_MODELS_EDDFN_H_
+#define DTDBD_MODELS_EDDFN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+
+namespace dtdbd::models {
+
+class EddfnModel : public FakeNewsModel {
+ public:
+  EddfnModel(const ModelConfig& config, bool use_dat);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return 2 * config_.hidden_dim; }
+
+ private:
+  std::string name_;
+  ModelConfig config_;
+  bool use_dat_;
+  Rng rng_;
+  std::unique_ptr<nn::Conv1dBank> conv_;
+  std::unique_ptr<nn::Mlp> shared_head_;
+  std::vector<std::unique_ptr<nn::Mlp>> domain_heads_;
+  std::unique_ptr<nn::Mlp> classifier_;
+  std::unique_ptr<nn::Mlp> discriminator_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_EDDFN_H_

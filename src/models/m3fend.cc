@@ -1,0 +1,141 @@
+#include "models/m3fend.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "text/features.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+M3fendModel::M3fendModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed), view_dim_(config.hidden_dim) {
+  DTDBD_CHECK(config_.encoder != nullptr)
+      << "M3FEND requires a frozen encoder";
+  DTDBD_CHECK_GT(config_.num_domains, 0);
+  semantic_view_ = std::make_unique<nn::Conv1dBank>(
+      config_.encoder->dim(), config_.conv_channels,
+      std::vector<int64_t>{1, 2, 3, 5}, &rng_);
+  RegisterChild("semantic_view", semantic_view_.get());
+  semantic_proj_ = std::make_unique<nn::Linear>(semantic_view_->output_dim(),
+                                                view_dim_, &rng_);
+  RegisterChild("semantic_proj", semantic_proj_.get());
+  emotion_view_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{text::kEmotionFeatureDim, config_.hidden_dim,
+                           view_dim_},
+      config_.dropout, &rng_);
+  RegisterChild("emotion_view", emotion_view_.get());
+  style_view_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{text::kStyleFeatureDim, config_.hidden_dim,
+                           view_dim_},
+      config_.dropout, &rng_);
+  RegisterChild("style_view", style_view_.get());
+  adapter_gate_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{view_dim_ + config_.num_domains,
+                           config_.hidden_dim, 3},
+      config_.dropout, &rng_);
+  RegisterChild("adapter_gate", adapter_gate_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{view_dim_, config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+
+  memory_.assign(config_.num_domains,
+                 std::vector<float>(view_dim_, 0.0f));
+  memory_initialized_.assign(config_.num_domains, false);
+}
+
+Tensor M3fendModel::DomainDistribution(const Tensor& semantic,
+                                       const data::Batch& batch,
+                                       bool training) {
+  const int64_t b = batch.batch_size;
+  const int d = config_.num_domains;
+
+  // EMA-update the memory with this batch's (detached) semantic vectors.
+  if (training) {
+    std::vector<std::vector<float>> sums(
+        d, std::vector<float>(view_dim_, 0.0f));
+    std::vector<int> counts(d, 0);
+    for (int64_t i = 0; i < b; ++i) {
+      const int dom = batch.domains[i];
+      for (int64_t j = 0; j < view_dim_; ++j) {
+        sums[dom][j] += semantic.data()[i * view_dim_ + j];
+      }
+      ++counts[dom];
+    }
+    for (int dom = 0; dom < d; ++dom) {
+      if (counts[dom] == 0) continue;
+      for (int64_t j = 0; j < view_dim_; ++j) {
+        const float mean = sums[dom][j] / static_cast<float>(counts[dom]);
+        if (!memory_initialized_[dom]) {
+          memory_[dom][j] = mean;
+        } else {
+          memory_[dom][j] = static_cast<float>(
+              memory_decay_ * memory_[dom][j] + (1.0 - memory_decay_) * mean);
+        }
+      }
+      memory_initialized_[dom] = true;
+    }
+  }
+
+  // Soft domain labels: softmax over negative squared distances to the
+  // prototypes. Uninitialized prototypes get a strongly negative score.
+  std::vector<float> dist(b * d);
+  for (int64_t i = 0; i < b; ++i) {
+    float mx = -1e30f;
+    for (int dom = 0; dom < d; ++dom) {
+      float score;
+      if (!memory_initialized_[dom]) {
+        score = -1e4f;
+      } else {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < view_dim_; ++j) {
+          const float delta =
+              semantic.data()[i * view_dim_ + j] - memory_[dom][j];
+          acc += delta * delta;
+        }
+        score = -acc / static_cast<float>(view_dim_);
+      }
+      dist[i * d + dom] = score;
+      mx = std::max(mx, score);
+    }
+    float sum = 0.0f;
+    for (int dom = 0; dom < d; ++dom) {
+      dist[i * d + dom] = std::exp(dist[i * d + dom] - mx);
+      sum += dist[i * d + dom];
+    }
+    for (int dom = 0; dom < d; ++dom) dist[i * d + dom] /= sum;
+  }
+  last_domain_distribution_ = dist;
+  return Tensor::FromData({b, d}, std::move(dist));
+}
+
+ModelOutput M3fendModel::Forward(const data::Batch& batch, bool training) {
+  Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
+                                           batch.seq_len);
+  Tensor semantic = tensor::Relu(
+      semantic_proj_->Forward(semantic_view_->Forward(encoded)));
+  Tensor emotion =
+      tensor::Relu(emotion_view_->Forward(batch.emotion, training, &rng_));
+  Tensor style =
+      tensor::Relu(style_view_->Forward(batch.style, training, &rng_));
+
+  // Fuzzy domain labels from the memory bank (constant wrt autograd).
+  Tensor domain_dist =
+      DomainDistribution(semantic.Detach(), batch, training);
+
+  // Domain adapter: gate the three views conditioned on the semantic
+  // vector and the soft domain distribution.
+  Tensor gate_in = tensor::ConcatLastDim({semantic, domain_dist});
+  Tensor gate_weights =
+      tensor::Softmax(adapter_gate_->Forward(gate_in, training, &rng_));
+  Tensor views = tensor::StackTime({semantic, emotion, style});
+  ModelOutput out;
+  out.features = tensor::WeightedSumOverTime(views, gate_weights);
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  return out;
+}
+
+}  // namespace dtdbd::models

@@ -1,0 +1,64 @@
+// M3FEND (Zhu et al. 2022): memory-guided multi-view multi-domain fake news
+// detection. Three views (semantics / emotion / style) are projected to a
+// common width; a Domain Memory Bank maintains a running prototype of each
+// domain's semantic representation and converts every sample into a soft
+// (fuzzy) domain-label distribution by similarity to the prototypes; a
+// domain adapter gates the views conditioned on that distribution.
+//
+// This is the paper's strongest baseline and the "clean teacher" of DTDBD's
+// domain knowledge distillation.
+#ifndef DTDBD_MODELS_M3FEND_H_
+#define DTDBD_MODELS_M3FEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+
+namespace dtdbd::models {
+
+class M3fendModel : public FakeNewsModel {
+ public:
+  explicit M3fendModel(const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return view_dim_; }
+
+  // Soft domain-label distribution of the last forward batch (row-major
+  // [B, D]); exposed for inspection/tests.
+  const std::vector<float>& last_domain_distribution() const {
+    return last_domain_distribution_;
+  }
+
+ private:
+  // Similarity of each sample's semantic vector to the domain prototypes,
+  // softmax-normalized. Returns a detached [B, D] tensor.
+  tensor::Tensor DomainDistribution(const tensor::Tensor& semantic,
+                                    const data::Batch& batch, bool training);
+
+  std::string name_ = "M3FEND";
+  ModelConfig config_;
+  Rng rng_;
+  int64_t view_dim_;
+  std::unique_ptr<nn::Conv1dBank> semantic_view_;
+  std::unique_ptr<nn::Linear> semantic_proj_;
+  std::unique_ptr<nn::Mlp> emotion_view_;
+  std::unique_ptr<nn::Mlp> style_view_;
+  std::unique_ptr<nn::Mlp> adapter_gate_;
+  std::unique_ptr<nn::Mlp> classifier_;
+
+  // Domain Memory Bank: one prototype per domain, EMA-updated with
+  // detached semantic features during training.
+  double memory_decay_ = 0.95;
+  std::vector<std::vector<float>> memory_;
+  std::vector<bool> memory_initialized_;
+  std::vector<float> last_domain_distribution_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_M3FEND_H_

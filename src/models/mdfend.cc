@@ -1,0 +1,62 @@
+#include "models/mdfend.h"
+
+#include "tensor/ops.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+MdfendModel::MdfendModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  DTDBD_CHECK(config_.encoder != nullptr)
+      << "MDFEND requires a frozen encoder";
+  DTDBD_CHECK_GT(config_.num_domains, 0);
+  const int64_t e = config_.encoder->dim();
+  // Experts use half the channel budget of the standalone TextCNN: the
+  // ensemble width is what matters (paper: TextCNN expert networks).
+  const int64_t expert_channels = std::max<int64_t>(8, config_.conv_channels / 2);
+  for (int64_t k = 0; k < config_.num_experts; ++k) {
+    experts_.push_back(std::make_unique<nn::Conv1dBank>(
+        e, expert_channels, std::vector<int64_t>{1, 2, 3, 5}, &rng_));
+    RegisterChild("expert" + std::to_string(k), experts_.back().get());
+  }
+  domain_embedding_ = std::make_unique<nn::Embedding>(
+      config_.num_domains, domain_embed_dim_, &rng_);
+  RegisterChild("domain_embedding", domain_embedding_.get());
+  gate_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{domain_embed_dim_ + e, config_.hidden_dim,
+                           config_.num_experts},
+      config_.dropout, &rng_);
+  RegisterChild("gate", gate_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{feature_dim(), config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+}
+
+int64_t MdfendModel::feature_dim() const { return experts_[0]->output_dim(); }
+
+ModelOutput MdfendModel::Forward(const data::Batch& batch, bool training) {
+  Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
+                                           batch.seq_len);
+  std::vector<Tensor> expert_outs;
+  for (const auto& expert : experts_) {
+    expert_outs.push_back(expert->Forward(encoded));
+  }
+  // Domain gate: trainable domain embedding + pooled text features.
+  Tensor dom_embed = tensor::Reshape(
+      domain_embedding_->Forward(batch.domains, batch.batch_size, 1),
+      {batch.batch_size, domain_embed_dim_});
+  Tensor pooled = tensor::MeanOverTime(encoded);
+  Tensor gate_in = tensor::ConcatLastDim({dom_embed, pooled});
+  Tensor gate_weights =
+      tensor::Softmax(gate_->Forward(gate_in, training, &rng_));
+  ModelOutput out;
+  out.features = tensor::WeightedSumOverTime(tensor::StackTime(expert_outs),
+                                             gate_weights);
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  return out;
+}
+
+}  // namespace dtdbd::models

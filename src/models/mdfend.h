@@ -1,0 +1,39 @@
+// MDFEND (Nan et al. 2021): multiple TextCNN experts over frozen-encoder
+// features aggregated by a learnable domain gate conditioned on a trainable
+// domain embedding plus the pooled text representation.
+#ifndef DTDBD_MODELS_MDFEND_H_
+#define DTDBD_MODELS_MDFEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/conv.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace dtdbd::models {
+
+class MdfendModel : public FakeNewsModel {
+ public:
+  explicit MdfendModel(const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override;
+
+ private:
+  std::string name_ = "MDFEND";
+  ModelConfig config_;
+  Rng rng_;
+  int64_t domain_embed_dim_ = 16;
+  std::vector<std::unique_ptr<nn::Conv1dBank>> experts_;
+  std::unique_ptr<nn::Embedding> domain_embedding_;
+  std::unique_ptr<nn::Mlp> gate_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_MDFEND_H_

@@ -1,0 +1,83 @@
+#include "models/model.h"
+
+#include "models/bert_mlp.h"
+#include "models/bigru.h"
+#include "models/eann.h"
+#include "models/eddfn.h"
+#include "models/m3fend.h"
+#include "models/mdfend.h"
+#include "models/moe.h"
+#include "models/style_emotion.h"
+#include "models/textcnn.h"
+
+namespace dtdbd::models {
+
+std::unique_ptr<FakeNewsModel> CreateModel(const std::string& name,
+                                           const ModelConfig& config) {
+  if (name == "BiGRU") {
+    return std::make_unique<BiGruModel>(name, config,
+                                        /*use_frozen_encoder=*/false);
+  }
+  if (name == "BiGRU-S") {
+    return std::make_unique<BiGruModel>(name, config,
+                                        /*use_frozen_encoder=*/true);
+  }
+  if (name == "TextCNN") {
+    return std::make_unique<TextCnnModel>(
+        name, config, /*use_frozen_encoder=*/false,
+        std::vector<int64_t>{1, 2, 3, 5, 10});
+  }
+  if (name == "TextCNN-S") {
+    return std::make_unique<TextCnnModel>(name, config,
+                                          /*use_frozen_encoder=*/true,
+                                          std::vector<int64_t>{1, 2, 3, 5});
+  }
+  if (name == "BERT" || name == "RoBERTa") {
+    ModelConfig c = config;
+    // Distinct random heads so the two frozen-encoder baselines differ the
+    // way two different pre-trained encoders would.
+    if (name == "RoBERTa") c.seed = config.seed * 2654435761ULL + 17;
+    return std::make_unique<BertMlpModel>(name, c);
+  }
+  if (name == "StyleLSTM") {
+    return std::make_unique<StyleLstmModel>(config);
+  }
+  if (name == "DualEmo") {
+    return std::make_unique<DualEmoModel>(config);
+  }
+  if (name == "MMoE") {
+    return std::make_unique<MmoeModel>(config);
+  }
+  if (name == "MoSE") {
+    return std::make_unique<MoseModel>(config);
+  }
+  if (name == "EANN") {
+    return std::make_unique<EannModel>(config, /*use_dat=*/true);
+  }
+  if (name == "EANN_NoDAT") {
+    return std::make_unique<EannModel>(config, /*use_dat=*/false);
+  }
+  if (name == "EDDFN") {
+    return std::make_unique<EddfnModel>(config, /*use_dat=*/true);
+  }
+  if (name == "EDDFN_NoDAT") {
+    return std::make_unique<EddfnModel>(config, /*use_dat=*/false);
+  }
+  if (name == "MDFEND") {
+    return std::make_unique<MdfendModel>(config);
+  }
+  if (name == "M3FEND") {
+    return std::make_unique<M3fendModel>(config);
+  }
+  DTDBD_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> AllModelNames() {
+  return {"BiGRU",       "TextCNN", "BERT",        "RoBERTa",
+          "StyleLSTM",   "DualEmo", "EANN",        "EANN_NoDAT",
+          "MMoE",        "MoSE",    "EDDFN",       "EDDFN_NoDAT",
+          "MDFEND",      "M3FEND",  "TextCNN-S",   "BiGRU-S"};
+}
+
+}  // namespace dtdbd::models

@@ -1,0 +1,72 @@
+// Shared interface for every fake-news detection model in the zoo.
+//
+// All baselines from the paper's Tables VI/VII plus the two student
+// architectures implement FakeNewsModel, so trainers, metrics, the
+// distillation losses, and the t-SNE tooling are model-agnostic. The
+// `features` tensor is the intermediate representation fed to the
+// classifier head — the layer DTDBD's adversarial de-biasing distillation
+// (Eq. 5) and Figure 2's visualization operate on.
+#ifndef DTDBD_MODELS_MODEL_H_
+#define DTDBD_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "text/frozen_encoder.h"
+
+namespace dtdbd::models {
+
+struct ModelOutput {
+  tensor::Tensor features;       // [B, feature_dim]
+  tensor::Tensor logits;         // [B, 2]
+  tensor::Tensor domain_logits;  // [B, D] if the model has a domain head
+};
+
+// Construction-time configuration shared by all models. Dimensions default
+// to the scaled-down quick profile; `--full` experiment profiles raise them.
+struct ModelConfig {
+  int vocab_size = 0;
+  int num_domains = 0;
+  int64_t embed_dim = 32;       // trainable word-embedding models
+  int64_t hidden_dim = 64;      // classifier MLP hidden width
+  int64_t conv_channels = 32;   // TextCNN channel count per kernel
+  int64_t rnn_hidden = 32;      // BiGRU/BiLSTM hidden size
+  int64_t num_experts = 4;      // MMoE/MoSE/MDFEND experts
+  double dropout = 0.2;
+  float adversarial_lambda = 1.0f;  // gradient-reversal strength
+  // Frozen upstream encoder (the paper's frozen BERT); required by the
+  // BERT/RoBERTa baselines, the multi-domain models, and both students.
+  const text::FrozenEncoder* encoder = nullptr;
+  uint64_t seed = 7;
+};
+
+class FakeNewsModel : public nn::Module {
+ public:
+  ~FakeNewsModel() override = default;
+
+  // Runs the model on a batch. `training` enables dropout and any
+  // training-time state updates (e.g. M3FEND's domain memory).
+  virtual ModelOutput Forward(const data::Batch& batch, bool training) = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual int64_t feature_dim() const = 0;
+};
+
+// Factory over the full zoo. Recognized names:
+//   BiGRU, TextCNN, BERT, RoBERTa, StyleLSTM, DualEmo, MMoE, MoSE,
+//   EANN, EANN_NoDAT, EDDFN, EDDFN_NoDAT, MDFEND, M3FEND,
+//   TextCNN-S, BiGRU-S.
+// DTDBD_CHECK-fails on an unknown name.
+std::unique_ptr<FakeNewsModel> CreateModel(const std::string& name,
+                                           const ModelConfig& config);
+
+// All names CreateModel accepts, in the paper's table order.
+std::vector<std::string> AllModelNames();
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_MODEL_H_

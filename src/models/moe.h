@@ -1,0 +1,54 @@
+// Mixture-of-experts baselines:
+//  * MMoE (Ma et al. 2018): MLP experts over pooled frozen-encoder features
+//    combined by a learned softmax gate.
+//  * MoSE: same gating with sequential (LSTM) experts.
+#ifndef DTDBD_MODELS_MOE_H_
+#define DTDBD_MODELS_MOE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace dtdbd::models {
+
+class MmoeModel : public FakeNewsModel {
+ public:
+  explicit MmoeModel(const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return config_.hidden_dim; }
+
+ private:
+  std::string name_ = "MMoE";
+  ModelConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<nn::Mlp>> experts_;
+  std::unique_ptr<nn::Linear> gate_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+class MoseModel : public FakeNewsModel {
+ public:
+  explicit MoseModel(const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override;
+
+ private:
+  std::string name_ = "MoSE";
+  ModelConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<nn::LstmCell>> experts_;
+  std::unique_ptr<nn::Linear> gate_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_MOE_H_

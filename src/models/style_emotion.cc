@@ -1,0 +1,70 @@
+#include "models/style_emotion.h"
+
+#include "tensor/ops.h"
+#include "text/features.h"
+
+namespace dtdbd::models {
+
+using tensor::Tensor;
+
+StyleLstmModel::StyleLstmModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  DTDBD_CHECK_GT(config_.vocab_size, 0);
+  embedding_ = std::make_unique<nn::Embedding>(config_.vocab_size,
+                                               config_.embed_dim, &rng_);
+  RegisterChild("embedding", embedding_.get());
+  rnn_ = std::make_unique<nn::BiLstm>(config_.embed_dim, config_.rnn_hidden,
+                                      &rng_);
+  RegisterChild("rnn", rnn_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{feature_dim(), config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+}
+
+int64_t StyleLstmModel::feature_dim() const {
+  return rnn_->output_dim() + text::kStyleFeatureDim;
+}
+
+ModelOutput StyleLstmModel::Forward(const data::Batch& batch, bool training) {
+  Tensor embedded = embedding_->Forward(batch.tokens, batch.batch_size,
+                                        batch.seq_len);
+  Tensor text_repr = tensor::MeanOverTime(rnn_->Forward(embedded));
+  ModelOutput out;
+  out.features = tensor::ConcatLastDim({text_repr, batch.style});
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  return out;
+}
+
+DualEmoModel::DualEmoModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  DTDBD_CHECK_GT(config_.vocab_size, 0);
+  embedding_ = std::make_unique<nn::Embedding>(config_.vocab_size,
+                                               config_.embed_dim, &rng_);
+  RegisterChild("embedding", embedding_.get());
+  rnn_ = std::make_unique<nn::BiGru>(config_.embed_dim, config_.rnn_hidden,
+                                     &rng_);
+  RegisterChild("rnn", rnn_.get());
+  classifier_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{feature_dim(), config_.hidden_dim, 2},
+      config_.dropout, &rng_);
+  RegisterChild("classifier", classifier_.get());
+}
+
+int64_t DualEmoModel::feature_dim() const {
+  return rnn_->output_dim() + text::kEmotionFeatureDim;
+}
+
+ModelOutput DualEmoModel::Forward(const data::Batch& batch, bool training) {
+  Tensor embedded = embedding_->Forward(batch.tokens, batch.batch_size,
+                                        batch.seq_len);
+  Tensor text_repr = tensor::MeanOverTime(rnn_->Forward(embedded));
+  ModelOutput out;
+  out.features = tensor::ConcatLastDim({text_repr, batch.emotion});
+  Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
+  out.logits = classifier_->Forward(h, training, &rng_);
+  return out;
+}
+
+}  // namespace dtdbd::models

@@ -1,0 +1,55 @@
+// Content-feature baselines:
+//  * StyleLSTM (Przybyla 2020): BiLSTM text encoding concatenated with
+//    engineered style features before the MLP head.
+//  * DualEmo (Zhang et al. 2021): BiGRU text encoding concatenated with
+//    dual-emotion features before the MLP head.
+#ifndef DTDBD_MODELS_STYLE_EMOTION_H_
+#define DTDBD_MODELS_STYLE_EMOTION_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace dtdbd::models {
+
+class StyleLstmModel : public FakeNewsModel {
+ public:
+  explicit StyleLstmModel(const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override;
+
+ private:
+  std::string name_ = "StyleLSTM";
+  ModelConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::BiLstm> rnn_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+class DualEmoModel : public FakeNewsModel {
+ public:
+  explicit DualEmoModel(const ModelConfig& config);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override;
+
+ private:
+  std::string name_ = "DualEmo";
+  ModelConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::BiGru> rnn_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_STYLE_EMOTION_H_

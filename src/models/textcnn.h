@@ -1,0 +1,41 @@
+// TextCNN classifier (Kim 2014). Covers two zoo entries:
+//  * "TextCNN"   — trainable word embeddings, kernel widths {1,2,3,5,10}
+//                  (the paper's baseline setup);
+//  * "TextCNN-S" — the DTDBD student: frozen BERT-substitute features with
+//                  kernel widths {1,2,3,5}.
+#ifndef DTDBD_MODELS_TEXTCNN_H_
+#define DTDBD_MODELS_TEXTCNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/conv.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace dtdbd::models {
+
+class TextCnnModel : public FakeNewsModel {
+ public:
+  TextCnnModel(std::string name, const ModelConfig& config,
+               bool use_frozen_encoder, std::vector<int64_t> kernel_widths);
+
+  ModelOutput Forward(const data::Batch& batch, bool training) override;
+  const std::string& name() const override { return name_; }
+  int64_t feature_dim() const override { return conv_->output_dim(); }
+
+ private:
+  std::string name_;
+  ModelConfig config_;
+  bool use_frozen_encoder_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> embedding_;  // only when trainable input
+  std::unique_ptr<nn::Conv1dBank> conv_;
+  std::unique_ptr<nn::Mlp> classifier_;
+};
+
+}  // namespace dtdbd::models
+
+#endif  // DTDBD_MODELS_TEXTCNN_H_

@@ -1,0 +1,26 @@
+#include "nn/attention.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace dtdbd::nn {
+
+using tensor::Tensor;
+
+AttentionPool::AttentionPool(int64_t feature_dim, Rng* rng)
+    : feature_dim_(feature_dim) {
+  score_ = RegisterParam(
+      "score", tensor::XavierInit({feature_dim, 1}, feature_dim, 1, rng));
+}
+
+Tensor AttentionPool::Forward(const Tensor& x) const {
+  DTDBD_CHECK_EQ(x.ndim(), 3);
+  DTDBD_CHECK_EQ(x.dim(2), feature_dim_);
+  const int64_t b = x.dim(0), t = x.dim(1);
+  Tensor flat = tensor::Reshape(x, {b * t, feature_dim_});
+  Tensor scores = tensor::Reshape(tensor::MatMul(flat, score_), {b, t});
+  Tensor weights = tensor::Softmax(scores);
+  return tensor::WeightedSumOverTime(x, weights);
+}
+
+}  // namespace dtdbd::nn

@@ -1,0 +1,26 @@
+// Additive attention pooling: a learned scoring vector turns a [B,T,N]
+// sequence into a [B,N] summary. Used by the M3FEND view aggregators.
+#ifndef DTDBD_NN_ATTENTION_H_
+#define DTDBD_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::nn {
+
+class AttentionPool : public Module {
+ public:
+  AttentionPool(int64_t feature_dim, Rng* rng);
+
+  // x [B,T,N] -> [B,N]; weights = softmax_t(x · w).
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+ private:
+  int64_t feature_dim_;
+  tensor::Tensor score_;  // [N, 1]
+};
+
+}  // namespace dtdbd::nn
+
+#endif  // DTDBD_NN_ATTENTION_H_

@@ -1,0 +1,40 @@
+// TextCNN-style convolution bank: parallel 1-D convolutions of different
+// kernel widths over a token-embedding sequence, each followed by ReLU and
+// max-over-time pooling, concatenated into a fixed-size feature vector
+// (Kim 2014, used by the paper's TextCNN baseline, the MDFEND experts, and
+// the TextCNN-S student).
+#ifndef DTDBD_NN_CONV_H_
+#define DTDBD_NN_CONV_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::nn {
+
+class Conv1dBank : public Module {
+ public:
+  // One convolution per entry of kernel_widths, each with `channels`
+  // output channels.
+  Conv1dBank(int64_t embed_dim, int64_t channels,
+             std::vector<int64_t> kernel_widths, Rng* rng);
+
+  // x [B,T,E] -> [B, channels * kernel_widths.size()]. T must be >= the
+  // largest kernel width.
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t output_dim() const;
+
+ private:
+  int64_t embed_dim_;
+  int64_t channels_;
+  std::vector<int64_t> kernel_widths_;
+  std::vector<tensor::Tensor> weights_;  // [C, k*E] each
+  std::vector<tensor::Tensor> biases_;   // [C] each
+};
+
+}  // namespace dtdbd::nn
+
+#endif  // DTDBD_NN_CONV_H_

@@ -1,0 +1,21 @@
+#include "nn/embedding.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace dtdbd::nn {
+
+using tensor::Tensor;
+
+Embedding::Embedding(int64_t vocab_size, int64_t embed_dim, Rng* rng)
+    : vocab_size_(vocab_size), embed_dim_(embed_dim) {
+  table_ = RegisterParam(
+      "table", tensor::NormalInit({vocab_size, embed_dim}, 0.1f, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int>& ids, int64_t batch,
+                          int64_t time) const {
+  return tensor::EmbeddingGather(table_, ids, batch, time);
+}
+
+}  // namespace dtdbd::nn

@@ -1,0 +1,31 @@
+// Trainable token embedding table.
+#ifndef DTDBD_NN_EMBEDDING_H_
+#define DTDBD_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::nn {
+
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t embed_dim, Rng* rng);
+
+  // ids laid out row-major [batch, time] -> [batch, time, E].
+  tensor::Tensor Forward(const std::vector<int>& ids, int64_t batch,
+                         int64_t time) const;
+
+  int64_t embed_dim() const { return embed_dim_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t embed_dim_;
+  tensor::Tensor table_;
+};
+
+}  // namespace dtdbd::nn
+
+#endif  // DTDBD_NN_EMBEDDING_H_

@@ -1,0 +1,45 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace dtdbd::nn {
+
+using tensor::Tensor;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParam(
+      "weight", tensor::XavierInit({in_features, out_features}, in_features,
+                                   out_features, rng));
+  bias_ = RegisterParam("bias", Tensor::Zeros({out_features}, true));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  DTDBD_CHECK_EQ(x.ndim(), 2);
+  DTDBD_CHECK_EQ(x.dim(1), in_features_);
+  return tensor::AddBias(tensor::MatMul(x, weight_), bias_);
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, double dropout, Rng* rng)
+    : dropout_(dropout) {
+  DTDBD_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterChild("fc" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = tensor::Relu(h);
+      if (dropout_ > 0.0) h = tensor::Dropout(h, dropout_, rng, training);
+    }
+  }
+  return h;
+}
+
+}  // namespace dtdbd::nn

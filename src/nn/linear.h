@@ -1,0 +1,51 @@
+// Dense layers: Linear and a small multilayer perceptron.
+#ifndef DTDBD_NN_LINEAR_H_
+#define DTDBD_NN_LINEAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::nn {
+
+// y = x W + b with W [in, out], b [out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng);
+
+  // x [B, in] -> [B, out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;
+};
+
+// MLP with ReLU activations between layers and optional dropout. The last
+// layer has no activation (it produces logits / features).
+class Mlp : public Module {
+ public:
+  // dims: {in, h1, ..., out}; at least {in, out}.
+  Mlp(const std::vector<int64_t>& dims, double dropout, Rng* rng);
+
+  // `training` enables dropout; `rng` is the dropout stream (may be null
+  // when !training or dropout == 0).
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training,
+                         Rng* rng) const;
+
+ private:
+  double dropout_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace dtdbd::nn
+
+#endif  // DTDBD_NN_LINEAR_H_

@@ -1,0 +1,57 @@
+#include "nn/module.h"
+
+namespace dtdbd::nn {
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<tensor::Tensor> out;
+  for (const auto& [name, t] : params_) out.push_back(t);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::map<std::string, tensor::Tensor> Module::NamedParameters() const {
+  std::map<std::string, tensor::Tensor> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(const std::string& prefix,
+                          std::map<std::string, tensor::Tensor>* out) const {
+  for (const auto& [name, t] : params_) {
+    (*out)[prefix + name] = t;
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+void Module::Freeze() {
+  for (auto& t : Parameters()) t.set_requires_grad(false);
+}
+
+void Module::Unfreeze() {
+  for (auto& t : Parameters()) t.set_requires_grad(true);
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t n = 0;
+  for (const auto& t : Parameters()) n += t.numel();
+  return n;
+}
+
+tensor::Tensor Module::RegisterParam(const std::string& name,
+                                     tensor::Tensor t) {
+  DTDBD_CHECK(t.defined());
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterChild(const std::string& name, Module* child) {
+  DTDBD_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace dtdbd::nn

@@ -1,0 +1,57 @@
+// Module base class: a named tree of parameters. Layers register their
+// tensors (and sub-modules) so trainers, optimizers, and serialization can
+// walk the whole model generically.
+#ifndef DTDBD_NN_MODULE_H_
+#define DTDBD_NN_MODULE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dtdbd::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and its children, in registration order.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  // Parameters keyed by hierarchical name ("child.weight").
+  std::map<std::string, tensor::Tensor> NamedParameters() const;
+
+  // Marks every parameter trainable / frozen. A frozen module still runs
+  // forward but contributes no gradients (DTDBD freezes both teachers).
+  void Freeze();
+  void Unfreeze();
+
+  // Total number of scalar parameters (the paper quotes model sizes:
+  // MDFEND 8.14M, M3FEND 11.36M, TextCNN-S 7.71M).
+  int64_t ParameterCount() const;
+
+ protected:
+  // Registers a parameter under `name` and returns it.
+  tensor::Tensor RegisterParam(const std::string& name, tensor::Tensor t);
+
+  // Registers a child module; `child` must outlive this module (it is
+  // normally a data member of the subclass).
+  void RegisterChild(const std::string& name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::map<std::string, tensor::Tensor>* out) const;
+
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace dtdbd::nn
+
+#endif  // DTDBD_NN_MODULE_H_

@@ -1,0 +1,19 @@
+#include "nn/norm.h"
+
+#include "tensor/ops.h"
+
+namespace dtdbd::nn {
+
+using tensor::Tensor;
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  gamma_ = RegisterParam("gamma", Tensor::Full({dim}, 1.0f, true));
+  beta_ = RegisterParam("beta", Tensor::Zeros({dim}, true));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  DTDBD_CHECK_EQ(x.shape().back(), dim_);
+  return tensor::LayerNormOp(x, gamma_, beta_, eps_);
+}
+
+}  // namespace dtdbd::nn

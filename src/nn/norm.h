@@ -1,0 +1,25 @@
+// LayerNorm module wrapping the fused tensor op with learned scale/shift.
+#ifndef DTDBD_NN_NORM_H_
+#define DTDBD_NN_NORM_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+ private:
+  int64_t dim_;
+  float eps_;
+  tensor::Tensor gamma_;
+  tensor::Tensor beta_;
+};
+
+}  // namespace dtdbd::nn
+
+#endif  // DTDBD_NN_NORM_H_

@@ -1,0 +1,31 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace dtdbd::tensor {
+
+Tensor UniformInit(const Shape& shape, float bound, Rng* rng,
+                   bool requires_grad) {
+  DTDBD_CHECK(rng != nullptr);
+  std::vector<float> data(NumElements(shape));
+  for (auto& v : data) v = static_cast<float>(rng->Uniform(-bound, bound));
+  return Tensor::FromData(shape, std::move(data), requires_grad);
+}
+
+Tensor XavierInit(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                  Rng* rng, bool requires_grad) {
+  DTDBD_CHECK_GT(fan_in + fan_out, 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return UniformInit(shape, bound, rng, requires_grad);
+}
+
+Tensor NormalInit(const Shape& shape, float stddev, Rng* rng,
+                  bool requires_grad) {
+  DTDBD_CHECK(rng != nullptr);
+  std::vector<float> data(NumElements(shape));
+  for (auto& v : data) v = static_cast<float>(rng->Normal(0.0, stddev));
+  return Tensor::FromData(shape, std::move(data), requires_grad);
+}
+
+}  // namespace dtdbd::tensor

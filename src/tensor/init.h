@@ -1,0 +1,24 @@
+// Deterministic parameter initializers.
+#ifndef DTDBD_TENSOR_INIT_H_
+#define DTDBD_TENSOR_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+// Uniform in [-bound, bound].
+Tensor UniformInit(const Shape& shape, float bound, Rng* rng,
+                   bool requires_grad = true);
+
+// Glorot/Xavier uniform for a [fan_out, fan_in]-style weight.
+Tensor XavierInit(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                  Rng* rng, bool requires_grad = true);
+
+// N(0, stddev).
+Tensor NormalInit(const Shape& shape, float stddev, Rng* rng,
+                  bool requires_grad = true);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_INIT_H_

@@ -1,0 +1,182 @@
+#include "tensor/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace dtdbd::tensor {
+
+namespace {
+
+using internal::Node;
+
+// Row-wise softmax with temperature into out; also fills log probabilities
+// if log_out != nullptr.
+void SoftmaxWithTemperature(const float* in, float* out, float* log_out,
+                            int64_t rows, int64_t cols, float tau) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    float mx = x[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sum += std::exp((x[j] - mx) / tau);
+    const float lse = mx / tau + std::log(sum);
+    for (int64_t j = 0; j < cols; ++j) {
+      const float lp = x[j] / tau - lse;
+      out[r * cols + j] = std::exp(lp);
+      if (log_out != nullptr) log_out[r * cols + j] = lp;
+    }
+  }
+}
+
+Tensor MakeScalarLoss(const char* name, float value, std::vector<Tensor> inputs,
+                      const std::function<std::function<void()>(Node*)>&
+                          make_backward) {
+  auto node = std::make_shared<Node>();
+  node->shape = {1};
+  node->data = {value};
+  node->op_name = name;
+  bool any_grad = false;
+  for (const auto& in : inputs) any_grad = any_grad || in.requires_grad();
+  if (GradEnabled() && any_grad) {
+    node->requires_grad = true;
+    for (const auto& in : inputs) node->inputs.push_back(in.node());
+    node->backward = make_backward(node.get());
+  }
+  return Tensor::FromNode(std::move(node));
+}
+
+}  // namespace
+
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels) {
+  DTDBD_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0), c = logits.dim(1);
+  DTDBD_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  // probs and the loss value.
+  auto probs = std::make_shared<std::vector<float>>(logits.data().size());
+  std::vector<float> logp(logits.data().size());
+  SoftmaxWithTemperature(logits.data().data(), probs->data(), logp.data(), b,
+                         c, 1.0f);
+  float loss = 0.0f;
+  for (int64_t i = 0; i < b; ++i) {
+    DTDBD_CHECK_GE(labels[i], 0);
+    DTDBD_CHECK_LT(labels[i], c);
+    loss -= logp[i * c + labels[i]];
+  }
+  loss /= static_cast<float>(b);
+  auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  return MakeScalarLoss(
+      "CrossEntropyLoss", loss, {logits}, [b, c, probs, labels_copy](
+                                              Node* self) {
+        return [self, b, c, probs, labels_copy]() {
+          Node* in = self->inputs[0].get();
+          if (!in->requires_grad) return;
+          const float g = self->grad[0] / static_cast<float>(b);
+          for (int64_t i = 0; i < b; ++i) {
+            for (int64_t j = 0; j < c; ++j) {
+              float d = (*probs)[i * c + j];
+              if (j == (*labels_copy)[i]) d -= 1.0f;
+              in->grad[i * c + j] += g * d;
+            }
+          }
+        };
+      });
+}
+
+Tensor DistillKlLoss(const Tensor& teacher_logits,
+                     const Tensor& student_logits, float tau) {
+  DTDBD_CHECK_GT(tau, 0.0f);
+  DTDBD_CHECK(teacher_logits.shape() == student_logits.shape())
+      << "DistillKlLoss: teacher " << ShapeToString(teacher_logits.shape())
+      << " vs student " << ShapeToString(student_logits.shape());
+  const int64_t c = teacher_logits.shape().back();
+  const int64_t b = teacher_logits.numel() / c;
+  auto pt = std::make_shared<std::vector<float>>(teacher_logits.numel());
+  std::vector<float> log_pt(teacher_logits.numel());
+  SoftmaxWithTemperature(teacher_logits.data().data(), pt->data(),
+                         log_pt.data(), b, c, tau);
+  auto ps = std::make_shared<std::vector<float>>(student_logits.numel());
+  std::vector<float> log_ps(student_logits.numel());
+  SoftmaxWithTemperature(student_logits.data().data(), ps->data(),
+                         log_ps.data(), b, c, tau);
+  float loss = 0.0f;
+  for (int64_t i = 0; i < b * c; ++i) {
+    if ((*pt)[i] > 0.0f) loss += (*pt)[i] * (log_pt[i] - log_ps[i]);
+  }
+  loss = loss * tau * tau / static_cast<float>(b);
+  // Only the student receives gradient: the teacher is knowledge, not a
+  // trainee (paper: teacher weights are frozen during distillation).
+  return MakeScalarLoss(
+      "DistillKlLoss", loss, {student_logits},
+      [b, c, tau, pt, ps](Node* self) {
+        return [self, b, c, tau, pt, ps]() {
+          Node* in = self->inputs[0].get();
+          if (!in->requires_grad) return;
+          // d loss / d s = tau^2/B * (1/tau) (p_s - p_t) = tau/B (p_s - p_t).
+          const float g = self->grad[0] * tau / static_cast<float>(b);
+          for (int64_t i = 0; i < b * c; ++i) {
+            in->grad[i] += g * ((*ps)[i] - (*pt)[i]);
+          }
+        };
+      });
+}
+
+Tensor NegativeEntropyLoss(const Tensor& logits) {
+  DTDBD_CHECK_GE(logits.ndim(), 1);
+  const int64_t c = logits.shape().back();
+  const int64_t b = logits.numel() / c;
+  auto probs = std::make_shared<std::vector<float>>(logits.numel());
+  std::vector<float> logp(logits.numel());
+  SoftmaxWithTemperature(logits.data().data(), probs->data(), logp.data(), b,
+                         c, 1.0f);
+  float loss = 0.0f;
+  for (int64_t i = 0; i < b * c; ++i) loss += (*probs)[i] * logp[i];
+  loss /= static_cast<float>(b);
+  auto logp_copy = std::make_shared<std::vector<float>>(std::move(logp));
+  return MakeScalarLoss(
+      "NegativeEntropyLoss", loss, {logits},
+      [b, c, probs, logp_copy](Node* self) {
+        return [self, b, c, probs, logp_copy]() {
+          Node* in = self->inputs[0].get();
+          if (!in->requires_grad) return;
+          const float g = self->grad[0] / static_cast<float>(b);
+          // L_row = sum_c p_c log p_c; dL/dx_j = p_j (log p_j - L_row).
+          for (int64_t r = 0; r < b; ++r) {
+            float row_ne = 0.0f;
+            for (int64_t j = 0; j < c; ++j) {
+              row_ne += (*probs)[r * c + j] * (*logp_copy)[r * c + j];
+            }
+            for (int64_t j = 0; j < c; ++j) {
+              in->grad[r * c + j] += g * (*probs)[r * c + j] *
+                                     ((*logp_copy)[r * c + j] - row_ne);
+            }
+          }
+        };
+      });
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b) {
+  DTDBD_CHECK(a.shape() == b.shape());
+  const int64_t n = a.numel();
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = a.data()[i] - b.data()[i];
+    loss += d * d;
+  }
+  loss /= static_cast<float>(n);
+  return MakeScalarLoss("MseLoss", loss, {a, b}, [n](Node* self) {
+    return [self, n]() {
+      Node* an = self->inputs[0].get();
+      Node* bn = self->inputs[1].get();
+      const float g = self->grad[0] * 2.0f / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const float d = g * (an->data[i] - bn->data[i]);
+        if (an->requires_grad) an->grad[i] += d;
+        if (bn->requires_grad) bn->grad[i] -= d;
+      }
+    };
+  });
+}
+
+}  // namespace dtdbd::tensor

@@ -1,0 +1,33 @@
+// Fused loss functions. All return scalar tensors (mean over the batch)
+// and are differentiable with respect to their logits arguments.
+#ifndef DTDBD_TENSOR_LOSS_H_
+#define DTDBD_TENSOR_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+// Softmax cross entropy: logits [B,C], labels[i] in [0,C).
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels);
+
+// Temperature-scaled distillation KL (Hinton 2015; DTDBD Eq. 6 and 12):
+//   tau^2 * mean_rows KL( softmax(teacher/tau) || softmax(student/tau) ).
+// The teacher side is treated as a constant (no gradient flows to it even if
+// it requires grad), matching the frozen-teacher setting.
+Tensor DistillKlLoss(const Tensor& teacher_logits, const Tensor& student_logits,
+                     float tau);
+
+// Negative entropy of softmax(logits), averaged over rows (DTDBD Eq. 10):
+//   mean_rows sum_c p_c log p_c.
+// Minimizing this maximizes the entropy of the domain classifier output,
+// which is the information-entropy term of the DAT-IE loss.
+Tensor NegativeEntropyLoss(const Tensor& logits);
+
+// Mean squared error between same-shape tensors.
+Tensor MseLoss(const Tensor& a, const Tensor& b);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_LOSS_H_

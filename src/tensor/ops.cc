@@ -1,0 +1,908 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dtdbd::tensor {
+
+namespace {
+
+using internal::Node;
+
+// Creates the output node for an op. `inputs` are recorded (and the backward
+// closure installed via `set_backward`) only when gradient mode is on and at
+// least one input is differentiable.
+Tensor MakeOp(const char* op_name, Shape shape, std::vector<float> data,
+              std::vector<Tensor> inputs,
+              const std::function<std::function<void()>(Node*)>&
+                  make_backward) {
+  auto node = std::make_shared<Node>();
+  node->shape = std::move(shape);
+  node->data = std::move(data);
+  node->op_name = op_name;
+  bool any_grad = false;
+  for (const auto& in : inputs) {
+    DTDBD_CHECK(in.defined()) << op_name << ": undefined input";
+    any_grad = any_grad || in.requires_grad();
+  }
+  if (GradEnabled() && any_grad) {
+    node->requires_grad = true;
+    for (const auto& in : inputs) node->inputs.push_back(in.node());
+    node->backward = make_backward(node.get());
+  }
+  return Tensor::FromNode(std::move(node));
+}
+
+void CheckSameShape(const char* op, const Tensor& a, const Tensor& b) {
+  DTDBD_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+// Shared implementation for unary elementwise ops.
+//   fwd(x) -> y;  dydx(x, y) -> local derivative
+template <typename Fwd, typename Dydx>
+Tensor UnaryOp(const char* name, const Tensor& a, Fwd fwd, Dydx dydx) {
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i]);
+  return MakeOp(name, a.shape(), std::move(out), {a}, [=](Node* self) {
+    return [self, dydx]() {
+      Node* in = self->inputs[0].get();
+      if (!in->requires_grad) return;
+      for (size_t i = 0; i < self->data.size(); ++i) {
+        in->grad[i] += self->grad[i] * dydx(in->data[i], self->data[i]);
+      }
+    };
+  });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape("Add", a, b);
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
+  return MakeOp("Add", a.shape(), std::move(out), {a, b}, [](Node* self) {
+    return [self]() {
+      for (int k = 0; k < 2; ++k) {
+        Node* in = self->inputs[k].get();
+        if (!in->requires_grad) continue;
+        for (size_t i = 0; i < self->data.size(); ++i) {
+          in->grad[i] += self->grad[i];
+        }
+      }
+    };
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape("Sub", a, b);
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] - b.data()[i];
+  return MakeOp("Sub", a.shape(), std::move(out), {a, b}, [](Node* self) {
+    return [self]() {
+      Node* lhs = self->inputs[0].get();
+      Node* rhs = self->inputs[1].get();
+      for (size_t i = 0; i < self->data.size(); ++i) {
+        if (lhs->requires_grad) lhs->grad[i] += self->grad[i];
+        if (rhs->requires_grad) rhs->grad[i] -= self->grad[i];
+      }
+    };
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape("Mul", a, b);
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
+  return MakeOp("Mul", a.shape(), std::move(out), {a, b}, [](Node* self) {
+    return [self]() {
+      Node* lhs = self->inputs[0].get();
+      Node* rhs = self->inputs[1].get();
+      for (size_t i = 0; i < self->data.size(); ++i) {
+        if (lhs->requires_grad) lhs->grad[i] += self->grad[i] * rhs->data[i];
+        if (rhs->requires_grad) rhs->grad[i] += self->grad[i] * lhs->data[i];
+      }
+    };
+  });
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  DTDBD_CHECK_EQ(bias.ndim(), 1);
+  const int64_t n = bias.dim(0);
+  DTDBD_CHECK(x.ndim() >= 1 && x.shape().back() == n)
+      << "AddBias: last dim of " << ShapeToString(x.shape()) << " vs bias "
+      << n;
+  std::vector<float> out(x.data().size());
+  const int64_t rows = x.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[r * n + j] = x.data()[r * n + j] + bias.data()[j];
+    }
+  }
+  return MakeOp("AddBias", x.shape(), std::move(out), {x, bias},
+                [n, rows](Node* self) {
+                  return [self, n, rows]() {
+                    Node* xin = self->inputs[0].get();
+                    Node* bin = self->inputs[1].get();
+                    for (int64_t r = 0; r < rows; ++r) {
+                      for (int64_t j = 0; j < n; ++j) {
+                        const float g = self->grad[r * n + j];
+                        if (xin->requires_grad) xin->grad[r * n + j] += g;
+                        if (bin->requires_grad) bin->grad[j] += g;
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      "Neg", a, [](float x) { return -x; },
+      [](float, float) { return -1.0f; });
+}
+
+Tensor ScalarMul(const Tensor& a, float s) {
+  return UnaryOp(
+      "ScalarMul", a, [s](float x) { return s * x; },
+      [s](float, float) { return s; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      "Tanh", a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      "Exp", a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  for (float v : a.data()) {
+    DTDBD_CHECK_GT(v, 0.0f) << "Log: non-positive input";
+  }
+  return UnaryOp(
+      "Log", a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      "Square", a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DTDBD_CHECK_EQ(a.ndim(), 2);
+  DTDBD_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DTDBD_CHECK_EQ(k, b.dim(0)) << "MatMul: inner dims "
+                              << ShapeToString(a.shape()) << " x "
+                              << ShapeToString(b.shape());
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  // ikj order: streaming access to b and out rows.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return MakeOp("MatMul", {m, n}, std::move(out), {a, b},
+                [m, k, n](Node* self) {
+                  return [self, m, k, n]() {
+                    Node* an = self->inputs[0].get();
+                    Node* bn = self->inputs[1].get();
+                    const float* g = self->grad.data();
+                    if (an->requires_grad) {
+                      // gA[i,kk] += sum_j g[i,j] * B[kk,j]
+                      const float* pb = bn->data.data();
+                      for (int64_t i = 0; i < m; ++i) {
+                        for (int64_t kk = 0; kk < k; ++kk) {
+                          const float* brow = pb + kk * n;
+                          const float* grow = g + i * n;
+                          float acc = 0.0f;
+                          for (int64_t j = 0; j < n; ++j) {
+                            acc += grow[j] * brow[j];
+                          }
+                          an->grad[i * k + kk] += acc;
+                        }
+                      }
+                    }
+                    if (bn->requires_grad) {
+                      // gB[kk,j] += sum_i A[i,kk] * g[i,j]
+                      const float* pa = an->data.data();
+                      for (int64_t i = 0; i < m; ++i) {
+                        const float* grow = g + i * n;
+                        for (int64_t kk = 0; kk < k; ++kk) {
+                          const float av = pa[i * k + kk];
+                          if (av == 0.0f) continue;
+                          float* brow = bn->grad.data() + kk * n;
+                          for (int64_t j = 0; j < n; ++j) {
+                            brow[j] += av * grow[j];
+                          }
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  DTDBD_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a.data()[i * n + j];
+  }
+  return MakeOp("Transpose2d", {n, m}, std::move(out), {a},
+                [m, n](Node* self) {
+                  return [self, m, n]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t i = 0; i < m; ++i) {
+                      for (int64_t j = 0; j < n; ++j) {
+                        in->grad[i * n + j] += self->grad[j * m + i];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor Sum(const Tensor& a) {
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  return MakeOp("Sum", {1}, {total}, {a}, [](Node* self) {
+    return [self]() {
+      Node* in = self->inputs[0].get();
+      if (!in->requires_grad) return;
+      const float g = self->grad[0];
+      for (auto& gv : in->grad) gv += g;
+    };
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  DTDBD_CHECK_GT(a.numel(), 0);
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  const float inv_n = 1.0f / static_cast<float>(a.numel());
+  return MakeOp("Mean", {1}, {total * inv_n}, {a}, [inv_n](Node* self) {
+    return [self, inv_n]() {
+      Node* in = self->inputs[0].get();
+      if (!in->requires_grad) return;
+      const float g = self->grad[0] * inv_n;
+      for (auto& gv : in->grad) gv += g;
+    };
+  });
+}
+
+Tensor MeanOverTime(const Tensor& x) {
+  DTDBD_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_GT(t, 0);
+  std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ti = 0; ti < t; ++ti) {
+      for (int64_t j = 0; j < n; ++j) {
+        out[bi * n + j] += x.data()[(bi * t + ti) * n + j];
+      }
+    }
+  }
+  const float inv_t = 1.0f / static_cast<float>(t);
+  for (auto& v : out) v *= inv_t;
+  return MakeOp("MeanOverTime", {b, n}, std::move(out), {x},
+                [b, t, n, inv_t](Node* self) {
+                  return [self, b, t, n, inv_t]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t bi = 0; bi < b; ++bi) {
+                      for (int64_t ti = 0; ti < t; ++ti) {
+                        for (int64_t j = 0; j < n; ++j) {
+                          in->grad[(bi * t + ti) * n + j] +=
+                              self->grad[bi * n + j] * inv_t;
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor MaxOverTime(const Tensor& x) {
+  DTDBD_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_GT(t, 0);
+  std::vector<float> out(static_cast<size_t>(b * n));
+  auto argmax = std::make_shared<std::vector<int32_t>>(
+      static_cast<size_t>(b * n));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t j = 0; j < n; ++j) {
+      float best = x.data()[(bi * t + 0) * n + j];
+      int32_t best_t = 0;
+      for (int64_t ti = 1; ti < t; ++ti) {
+        const float v = x.data()[(bi * t + ti) * n + j];
+        if (v > best) {
+          best = v;
+          best_t = static_cast<int32_t>(ti);
+        }
+      }
+      out[bi * n + j] = best;
+      (*argmax)[bi * n + j] = best_t;
+    }
+  }
+  return MakeOp("MaxOverTime", {b, n}, std::move(out), {x},
+                [b, t, n, argmax](Node* self) {
+                  return [self, b, t, n, argmax]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t bi = 0; bi < b; ++bi) {
+                      for (int64_t j = 0; j < n; ++j) {
+                        const int32_t ti = (*argmax)[bi * n + j];
+                        in->grad[(bi * t + ti) * n + j] +=
+                            self->grad[bi * n + j];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor Reshape(const Tensor& a, const Shape& new_shape) {
+  DTDBD_CHECK_EQ(NumElements(new_shape), a.numel())
+      << "Reshape to " << ShapeToString(new_shape);
+  std::vector<float> out = a.data();
+  return MakeOp("Reshape", new_shape, std::move(out), {a}, [](Node* self) {
+    return [self]() {
+      Node* in = self->inputs[0].get();
+      if (!in->requires_grad) return;
+      for (size_t i = 0; i < self->data.size(); ++i) {
+        in->grad[i] += self->grad[i];
+      }
+    };
+  });
+}
+
+Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
+  DTDBD_CHECK(!parts.empty());
+  const int64_t rows = parts[0].dim(0);
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    DTDBD_CHECK_EQ(p.ndim(), 2);
+    DTDBD_CHECK_EQ(p.dim(0), rows);
+    total += p.dim(1);
+  }
+  std::vector<float> out(static_cast<size_t>(rows * total));
+  std::vector<int64_t> offsets;
+  int64_t off = 0;
+  for (const auto& p : parts) {
+    offsets.push_back(off);
+    const int64_t w = p.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy_n(p.data().data() + r * w, w,
+                  out.data() + r * total + off);
+    }
+    off += w;
+  }
+  return MakeOp("ConcatLastDim", {rows, total}, std::move(out), parts,
+                [rows, total, offsets](Node* self) {
+                  return [self, rows, total, offsets]() {
+                    for (size_t k = 0; k < self->inputs.size(); ++k) {
+                      Node* in = self->inputs[k].get();
+                      if (!in->requires_grad) continue;
+                      const int64_t w = in->shape[1];
+                      for (int64_t r = 0; r < rows; ++r) {
+                        for (int64_t j = 0; j < w; ++j) {
+                          in->grad[r * w + j] +=
+                              self->grad[r * total + offsets[k] + j];
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor SliceLastDim(const Tensor& x, int64_t start, int64_t len) {
+  DTDBD_CHECK_EQ(x.ndim(), 2);
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  DTDBD_CHECK_GE(start, 0);
+  DTDBD_CHECK_LE(start + len, cols);
+  std::vector<float> out(static_cast<size_t>(rows * len));
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy_n(x.data().data() + r * cols + start, len,
+                out.data() + r * len);
+  }
+  return MakeOp("SliceLastDim", {rows, len}, std::move(out), {x},
+                [rows, cols, start, len](Node* self) {
+                  return [self, rows, cols, start, len]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t r = 0; r < rows; ++r) {
+                      for (int64_t j = 0; j < len; ++j) {
+                        in->grad[r * cols + start + j] +=
+                            self->grad[r * len + j];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor SliceTime(const Tensor& x, int64_t t) {
+  DTDBD_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), tt = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_GE(t, 0);
+  DTDBD_CHECK_LT(t, tt);
+  std::vector<float> out(static_cast<size_t>(b * n));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    std::copy_n(x.data().data() + (bi * tt + t) * n, n, out.data() + bi * n);
+  }
+  return MakeOp("SliceTime", {b, n}, std::move(out), {x},
+                [b, tt, n, t](Node* self) {
+                  return [self, b, tt, n, t]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t bi = 0; bi < b; ++bi) {
+                      for (int64_t j = 0; j < n; ++j) {
+                        in->grad[(bi * tt + t) * n + j] +=
+                            self->grad[bi * n + j];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor StackTime(const std::vector<Tensor>& steps) {
+  DTDBD_CHECK(!steps.empty());
+  const int64_t b = steps[0].dim(0), h = steps[0].dim(1);
+  const int64_t t = static_cast<int64_t>(steps.size());
+  for (const auto& s : steps) {
+    DTDBD_CHECK_EQ(s.ndim(), 2);
+    DTDBD_CHECK_EQ(s.dim(0), b);
+    DTDBD_CHECK_EQ(s.dim(1), h);
+  }
+  std::vector<float> out(static_cast<size_t>(b * t * h));
+  for (int64_t ti = 0; ti < t; ++ti) {
+    for (int64_t bi = 0; bi < b; ++bi) {
+      std::copy_n(steps[ti].data().data() + bi * h, h,
+                  out.data() + (bi * t + ti) * h);
+    }
+  }
+  return MakeOp("StackTime", {b, t, h}, std::move(out), steps,
+                [b, t, h](Node* self) {
+                  return [self, b, t, h]() {
+                    for (int64_t ti = 0; ti < t; ++ti) {
+                      Node* in = self->inputs[ti].get();
+                      if (!in->requires_grad) continue;
+                      for (int64_t bi = 0; bi < b; ++bi) {
+                        for (int64_t j = 0; j < h; ++j) {
+                          in->grad[bi * h + j] +=
+                              self->grad[(bi * t + ti) * h + j];
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+namespace {
+
+// Computes row-wise softmax of `in` (rows x cols) into `out`.
+void RowSoftmax(const float* in, float* out, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    float* y = out + r * cols;
+    float mx = x[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, x[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < cols; ++j) y[j] *= inv;
+  }
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& x) {
+  DTDBD_CHECK_GE(x.ndim(), 1);
+  const int64_t cols = x.shape().back();
+  const int64_t rows = x.numel() / cols;
+  std::vector<float> out(x.data().size());
+  RowSoftmax(x.data().data(), out.data(), rows, cols);
+  return MakeOp("Softmax", x.shape(), std::move(out), {x},
+                [rows, cols](Node* self) {
+                  return [self, rows, cols]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t r = 0; r < rows; ++r) {
+                      const float* y = self->data.data() + r * cols;
+                      const float* g = self->grad.data() + r * cols;
+                      float dot = 0.0f;
+                      for (int64_t j = 0; j < cols; ++j) dot += g[j] * y[j];
+                      float* gi = in->grad.data() + r * cols;
+                      for (int64_t j = 0; j < cols; ++j) {
+                        gi[j] += y[j] * (g[j] - dot);
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  DTDBD_CHECK_GE(x.ndim(), 1);
+  const int64_t cols = x.shape().back();
+  const int64_t rows = x.numel() / cols;
+  std::vector<float> out(x.data().size());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xi = x.data().data() + r * cols;
+    float* y = out.data() + r * cols;
+    float mx = xi[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t j = 0; j < cols; ++j) y[j] = xi[j] - lse;
+  }
+  return MakeOp("LogSoftmax", x.shape(), std::move(out), {x},
+                [rows, cols](Node* self) {
+                  return [self, rows, cols]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t r = 0; r < rows; ++r) {
+                      const float* y = self->data.data() + r * cols;
+                      const float* g = self->grad.data() + r * cols;
+                      float gsum = 0.0f;
+                      for (int64_t j = 0; j < cols; ++j) gsum += g[j];
+                      float* gi = in->grad.data() + r * cols;
+                      for (int64_t j = 0; j < cols; ++j) {
+                        gi[j] += g[j] - std::exp(y[j]) * gsum;
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids,
+                       int64_t batch, int64_t time) {
+  DTDBD_CHECK_EQ(table.ndim(), 2);
+  DTDBD_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * time);
+  const int64_t v = table.dim(0), e = table.dim(1);
+  std::vector<float> out(static_cast<size_t>(batch * time * e));
+  for (int64_t i = 0; i < batch * time; ++i) {
+    DTDBD_CHECK_GE(ids[i], 0);
+    DTDBD_CHECK_LT(ids[i], v) << "token id out of vocabulary";
+    std::copy_n(table.data().data() + static_cast<int64_t>(ids[i]) * e, e,
+                out.data() + i * e);
+  }
+  auto ids_copy = std::make_shared<std::vector<int>>(ids);
+  return MakeOp("EmbeddingGather", {batch, time, e}, std::move(out), {table},
+                [e, ids_copy](Node* self) {
+                  return [self, e, ids_copy]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (size_t i = 0; i < ids_copy->size(); ++i) {
+                      const int64_t row = (*ids_copy)[i];
+                      for (int64_t j = 0; j < e; ++j) {
+                        in->grad[row * e + j] += self->grad[i * e + j];
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                 int64_t kernel_width) {
+  DTDBD_CHECK_EQ(x.ndim(), 3);
+  DTDBD_CHECK_EQ(weight.ndim(), 2);
+  DTDBD_CHECK_EQ(bias.ndim(), 1);
+  const int64_t b = x.dim(0), t = x.dim(1), e = x.dim(2);
+  const int64_t c = weight.dim(0);
+  DTDBD_CHECK_EQ(weight.dim(1), kernel_width * e)
+      << "Conv1dSeq: weight must be [C, k*E]";
+  DTDBD_CHECK_EQ(bias.dim(0), c);
+  DTDBD_CHECK_GE(t, kernel_width)
+      << "Conv1dSeq: sequence shorter than kernel";
+  const int64_t to = t - kernel_width + 1;
+  std::vector<float> out(static_cast<size_t>(b * to * c));
+  const float* px = x.data().data();
+  const float* pw = weight.data().data();
+  const float* pbias = bias.data().data();
+  const int64_t win = kernel_width * e;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t o = 0; o < to; ++o) {
+      // The window x[bi, o:o+k, :] is contiguous of length k*E.
+      const float* window = px + (bi * t + o) * e;
+      float* orow = out.data() + (bi * to + o) * c;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        const float* wrow = pw + ci * win;
+        float acc = pbias[ci];
+        for (int64_t j = 0; j < win; ++j) acc += window[j] * wrow[j];
+        orow[ci] = acc;
+      }
+    }
+  }
+  return MakeOp(
+      "Conv1dSeq", {b, to, c}, std::move(out), {x, weight, bias},
+      [b, t, e, c, to, win](Node* self) {
+        return [self, b, t, e, c, to, win]() {
+          Node* xn = self->inputs[0].get();
+          Node* wn = self->inputs[1].get();
+          Node* bn = self->inputs[2].get();
+          (void)t;
+          for (int64_t bi = 0; bi < b; ++bi) {
+            for (int64_t o = 0; o < to; ++o) {
+              const float* g = self->grad.data() + (bi * to + o) * c;
+              const int64_t window_off = (bi * t + o) * e;
+              for (int64_t ci = 0; ci < c; ++ci) {
+                const float gv = g[ci];
+                if (gv == 0.0f) continue;
+                if (bn->requires_grad) bn->grad[ci] += gv;
+                const float* wrow = wn->data.data() + ci * win;
+                if (xn->requires_grad) {
+                  float* gx = xn->grad.data() + window_off;
+                  for (int64_t j = 0; j < win; ++j) gx[j] += gv * wrow[j];
+                }
+                if (wn->requires_grad) {
+                  const float* window = xn->data.data() + window_off;
+                  float* gw = wn->grad.data() + ci * win;
+                  for (int64_t j = 0; j < win; ++j) gw[j] += gv * window[j];
+                }
+              }
+            }
+          }
+        };
+      });
+}
+
+Tensor GradReverse(const Tensor& x, float lambda) {
+  std::vector<float> out = x.data();
+  return MakeOp("GradReverse", x.shape(), std::move(out), {x},
+                [lambda](Node* self) {
+                  return [self, lambda]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (size_t i = 0; i < self->data.size(); ++i) {
+                      in->grad[i] -= lambda * self->grad[i];
+                    }
+                  };
+                });
+}
+
+Tensor Dropout(const Tensor& x, double p, Rng* rng, bool training) {
+  DTDBD_CHECK_GE(p, 0.0);
+  DTDBD_CHECK_LT(p, 1.0);
+  if (!training || p == 0.0) return ScalarMul(x, 1.0f);
+  DTDBD_CHECK(rng != nullptr);
+  const float scale = static_cast<float>(1.0 / (1.0 - p));
+  auto mask = std::make_shared<std::vector<float>>(x.data().size());
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng->Bernoulli(p) ? 0.0f : scale;
+    (*mask)[i] = m;
+    out[i] = x.data()[i] * m;
+  }
+  return MakeOp("Dropout", x.shape(), std::move(out), {x},
+                [mask](Node* self) {
+                  return [self, mask]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (size_t i = 0; i < self->data.size(); ++i) {
+                      in->grad[i] += self->grad[i] * (*mask)[i];
+                    }
+                  };
+                });
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  DTDBD_CHECK_GE(x.ndim(), 1);
+  const int64_t n = x.shape().back();
+  DTDBD_CHECK_EQ(gamma.ndim(), 1);
+  DTDBD_CHECK_EQ(gamma.dim(0), n);
+  DTDBD_CHECK_EQ(beta.ndim(), 1);
+  DTDBD_CHECK_EQ(beta.dim(0), n);
+  const int64_t rows = x.numel() / n;
+  std::vector<float> out(x.data().size());
+  // Normalized values (pre gamma/beta) retained for backward.
+  auto xhat = std::make_shared<std::vector<float>>(x.data().size());
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xi = x.data().data() + r * n;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) mean += xi[j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = xi[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float is = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[r] = is;
+    for (int64_t j = 0; j < n; ++j) {
+      const float h = (xi[j] - mean) * is;
+      (*xhat)[r * n + j] = h;
+      out[r * n + j] = gamma.data()[j] * h + beta.data()[j];
+    }
+  }
+  return MakeOp(
+      "LayerNorm", x.shape(), std::move(out), {x, gamma, beta},
+      [rows, n, xhat, inv_std](Node* self) {
+        return [self, rows, n, xhat, inv_std]() {
+          Node* xn = self->inputs[0].get();
+          Node* gn = self->inputs[1].get();
+          Node* bn = self->inputs[2].get();
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* g = self->grad.data() + r * n;
+            const float* h = xhat->data() + r * n;
+            // Gradients wrt gamma/beta.
+            for (int64_t j = 0; j < n; ++j) {
+              if (gn->requires_grad) gn->grad[j] += g[j] * h[j];
+              if (bn->requires_grad) bn->grad[j] += g[j];
+            }
+            if (!xn->requires_grad) continue;
+            // dL/dxhat_j = g_j * gamma_j; standard layernorm backward.
+            float sum_dh = 0.0f, sum_dh_h = 0.0f;
+            for (int64_t j = 0; j < n; ++j) {
+              const float dh = g[j] * gn->data[j];
+              sum_dh += dh;
+              sum_dh_h += dh * h[j];
+            }
+            const float is = (*inv_std)[r];
+            const float inv_n = 1.0f / static_cast<float>(n);
+            float* gx = xn->grad.data() + r * n;
+            for (int64_t j = 0; j < n; ++j) {
+              const float dh = g[j] * gn->data[j];
+              gx[j] += is * (dh - inv_n * sum_dh - h[j] * inv_n * sum_dh_h);
+            }
+          }
+        };
+      });
+}
+
+Tensor WeightedSumOverTime(const Tensor& x, const Tensor& w) {
+  DTDBD_CHECK_EQ(x.ndim(), 3);
+  DTDBD_CHECK_EQ(w.ndim(), 2);
+  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_EQ(w.dim(0), b);
+  DTDBD_CHECK_EQ(w.dim(1), t);
+  std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ti = 0; ti < t; ++ti) {
+      const float wv = w.data()[bi * t + ti];
+      const float* xr = x.data().data() + (bi * t + ti) * n;
+      float* orow = out.data() + bi * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += wv * xr[j];
+    }
+  }
+  return MakeOp("WeightedSumOverTime", {b, n}, std::move(out), {x, w},
+                [b, t, n](Node* self) {
+                  return [self, b, t, n]() {
+                    Node* xn = self->inputs[0].get();
+                    Node* wn = self->inputs[1].get();
+                    for (int64_t bi = 0; bi < b; ++bi) {
+                      const float* g = self->grad.data() + bi * n;
+                      for (int64_t ti = 0; ti < t; ++ti) {
+                        const float wv = wn->data[bi * t + ti];
+                        const float* xr =
+                            xn->data.data() + (bi * t + ti) * n;
+                        if (xn->requires_grad) {
+                          float* gx =
+                              xn->grad.data() + (bi * t + ti) * n;
+                          for (int64_t j = 0; j < n; ++j) {
+                            gx[j] += wv * g[j];
+                          }
+                        }
+                        if (wn->requires_grad) {
+                          float acc = 0.0f;
+                          for (int64_t j = 0; j < n; ++j) {
+                            acc += xr[j] * g[j];
+                          }
+                          wn->grad[bi * t + ti] += acc;
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor RowL2Normalize(const Tensor& x, float eps) {
+  DTDBD_CHECK_EQ(x.ndim(), 2);
+  const int64_t b = x.dim(0), n = x.dim(1);
+  std::vector<float> out(x.data().size());
+  auto inv_norms = std::make_shared<std::vector<float>>(b);
+  for (int64_t i = 0; i < b; ++i) {
+    const float* xi = x.data().data() + i * n;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < n; ++j) acc += xi[j] * xi[j];
+    const float inv = 1.0f / std::max(std::sqrt(acc), eps);
+    (*inv_norms)[i] = inv;
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] = xi[j] * inv;
+  }
+  return MakeOp("RowL2Normalize", x.shape(), std::move(out), {x},
+                [b, n, inv_norms](Node* self) {
+                  return [self, b, n, inv_norms]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    for (int64_t i = 0; i < b; ++i) {
+                      const float* y = self->data.data() + i * n;
+                      const float* g = self->grad.data() + i * n;
+                      float dot = 0.0f;
+                      for (int64_t j = 0; j < n; ++j) dot += g[j] * y[j];
+                      const float inv = (*inv_norms)[i];
+                      float* gx = in->grad.data() + i * n;
+                      for (int64_t j = 0; j < n; ++j) {
+                        gx[j] += inv * (g[j] - dot * y[j]);
+                      }
+                    }
+                  };
+                });
+}
+
+Tensor PairwiseSquaredDistances(const Tensor& x) {
+  DTDBD_CHECK_EQ(x.ndim(), 2);
+  const int64_t b = x.dim(0), n = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(b * b), 0.0f);
+  const float* px = x.data().data();
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = i + 1; j < b; ++j) {
+      float acc = 0.0f;
+      const float* xi = px + i * n;
+      const float* xj = px + j * n;
+      for (int64_t kk = 0; kk < n; ++kk) {
+        const float d = xi[kk] - xj[kk];
+        acc += d * d;
+      }
+      out[i * b + j] = acc;
+      out[j * b + i] = acc;
+    }
+  }
+  return MakeOp("PairwiseSquaredDistances", {b, b}, std::move(out), {x},
+                [b, n](Node* self) {
+                  return [self, b, n]() {
+                    Node* in = self->inputs[0].get();
+                    if (!in->requires_grad) return;
+                    const float* px = in->data.data();
+                    for (int64_t i = 0; i < b; ++i) {
+                      for (int64_t j = 0; j < b; ++j) {
+                        if (i == j) continue;
+                        // d M[i,j] / d x[i,:] = 2 (x_i - x_j); gradient from
+                        // both symmetric entries flows through.
+                        const float g = self->grad[i * b + j];
+                        if (g == 0.0f) continue;
+                        const float* xi = px + i * n;
+                        const float* xj = px + j * n;
+                        float* gi = in->grad.data() + i * n;
+                        float* gj = in->grad.data() + j * n;
+                        for (int64_t kk = 0; kk < n; ++kk) {
+                          const float d = 2.0f * (xi[kk] - xj[kk]) * g;
+                          gi[kk] += d;
+                          gj[kk] -= d;
+                        }
+                      }
+                    }
+                  };
+                });
+}
+
+}  // namespace dtdbd::tensor

@@ -1,0 +1,102 @@
+// Differentiable operations on Tensor. Each op records a backward closure
+// when gradient mode is enabled and at least one input requires grad.
+//
+// Conventions:
+//  * 2-D tensors are row-major [rows, cols]; batched sequences are
+//    [batch, time, features].
+//  * "last dim" ops (softmax, concat, bias) operate on the final axis.
+#ifndef DTDBD_TENSOR_OPS_H_
+#define DTDBD_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+// ----- Elementwise binary (shapes must match exactly) -----
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+// Adds bias[N] to every row of x[..., N].
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+// ----- Elementwise unary -----
+Tensor Neg(const Tensor& a);
+Tensor ScalarMul(const Tensor& a, float s);
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  // input must be strictly positive
+Tensor Square(const Tensor& a);
+
+// ----- Linear algebra -----
+// [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// [m,n] -> [n,m].
+Tensor Transpose2d(const Tensor& a);
+
+// ----- Reductions -----
+Tensor Sum(const Tensor& a);   // -> scalar
+Tensor Mean(const Tensor& a);  // -> scalar
+// [B,T,N] -> [B,N] mean / max over the time axis. MaxOverTime is the
+// "max-over-time pooling" used by TextCNN.
+Tensor MeanOverTime(const Tensor& x);
+Tensor MaxOverTime(const Tensor& x);
+
+// ----- Shape manipulation -----
+Tensor Reshape(const Tensor& a, const Shape& new_shape);
+// Concatenates 2-D tensors [B, Ni] along the last dim.
+Tensor ConcatLastDim(const std::vector<Tensor>& parts);
+// x[B, N] -> x[:, start:start+len].
+Tensor SliceLastDim(const Tensor& x, int64_t start, int64_t len);
+// x[B,T,E] -> x[:, t, :] as [B,E].
+Tensor SliceTime(const Tensor& x, int64_t t);
+// Stacks T tensors of shape [B,H] into [B,T,H].
+Tensor StackTime(const std::vector<Tensor>& steps);
+
+// ----- Softmax family (over the last dim) -----
+Tensor Softmax(const Tensor& x);
+Tensor LogSoftmax(const Tensor& x);
+
+// ----- Embedding lookup -----
+// table[V,E]; ids laid out row-major as [batch, time]; returns [batch,time,E].
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids,
+                       int64_t batch, int64_t time);
+
+// ----- Convolution over a token sequence (TextCNN) -----
+// x[B,T,E], weight[C, k*E], bias[C], kernel width k; returns [B, T-k+1, C].
+Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                 int64_t kernel_width);
+
+// ----- Gradient reversal (domain adversarial training) -----
+// Identity forward; backward multiplies incoming gradient by -lambda.
+Tensor GradReverse(const Tensor& x, float lambda);
+
+// ----- Dropout (inverted scaling). Identity when !training. -----
+Tensor Dropout(const Tensor& x, double p, Rng* rng, bool training);
+
+// ----- Layer normalization over the last dim -----
+// x[..., N], gamma[N], beta[N]; y = gamma * (x - mean) / sqrt(var + eps) + beta.
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+
+// ----- Attention-weighted pooling -----
+// x[B,T,N], w[B,T] -> [B,N]; out[b,:] = sum_t w[b,t] * x[b,t,:].
+Tensor WeightedSumOverTime(const Tensor& x, const Tensor& w);
+
+// ----- Row-wise L2 normalization -----
+// x[B,N] -> y with y[i,:] = x[i,:] / max(||x[i,:]||, eps).
+Tensor RowL2Normalize(const Tensor& x, float eps = 1e-8f);
+
+// ----- Pairwise squared Euclidean distances -----
+// x[B,N] -> [B,B]; entry (i,j) = ||x_i - x_j||^2. This is the correlation
+// matrix M of DTDBD Eq. (5).
+Tensor PairwiseSquaredDistances(const Tensor& x);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_OPS_H_

@@ -1,0 +1,100 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace dtdbd::tensor {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    DTDBD_CHECK(p.defined());
+    DTDBD_CHECK(p.requires_grad()) << "optimizer given a frozen tensor";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].numel(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j] + weight_decay_ * data[j];
+      if (momentum_ != 0.0f) {
+        vel[j] = momentum_ * vel[j] + g;
+        g = vel[j];
+      }
+      data[j] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].numel(), 0.0f);
+    v_[i].assign(params_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      const float g = grad[j] + weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  DTDBD_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const auto& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const auto& p : params) {
+      for (auto& g : const_cast<std::vector<float>&>(p.grad())) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace dtdbd::tensor

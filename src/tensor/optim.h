@@ -1,0 +1,79 @@
+// Optimizers over a flat parameter list. Parameters are leaf tensors with
+// requires_grad(); the optimizer owns per-parameter state keyed by position.
+#ifndef DTDBD_TENSOR_OPTIM_H_
+#define DTDBD_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+// Interface shared by all optimizers.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+// SGD with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// Adam (Kingma & Ba 2015) with optional L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Clips the global L2 norm of all parameter gradients to max_norm.
+// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_OPTIM_H_

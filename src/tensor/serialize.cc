@@ -1,0 +1,122 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace dtdbd::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'T', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+Status SaveTensors(const std::map<std::string, Tensor>& tensors,
+                   const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  const uint64_t count = tensors.size();
+  if (!WriteBytes(f.get(), kMagic, 4) ||
+      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f.get(), &count, sizeof(count))) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (const auto& [name, t] : tensors) {
+    if (!t.defined()) return Status::InvalidArgument("undefined tensor: " + name);
+    const uint64_t name_len = name.size();
+    const uint64_t ndim = t.shape().size();
+    if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
+        !WriteBytes(f.get(), name.data(), name.size()) ||
+        !WriteBytes(f.get(), &ndim, sizeof(ndim)) ||
+        !WriteBytes(f.get(), t.shape().data(), ndim * sizeof(int64_t)) ||
+        !WriteBytes(f.get(), t.data().data(),
+                    t.data().size() * sizeof(float))) {
+      return Status::IoError("write failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadBytes(f.get(), magic, 4) ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!ReadBytes(f.get(), &version, sizeof(version)) || version != kVersion) {
+    return Status::InvalidArgument("unsupported version in " + path);
+  }
+  if (!ReadBytes(f.get(), &count, sizeof(count))) {
+    return Status::IoError("truncated header in " + path);
+  }
+  std::map<std::string, Tensor> result;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadBytes(f.get(), &name_len, sizeof(name_len)) ||
+        name_len > (1u << 20)) {
+      return Status::IoError("truncated entry in " + path);
+    }
+    std::string name(name_len, '\0');
+    uint64_t ndim = 0;
+    if (!ReadBytes(f.get(), name.data(), name_len) ||
+        !ReadBytes(f.get(), &ndim, sizeof(ndim)) || ndim > 8) {
+      return Status::IoError("truncated entry in " + path);
+    }
+    Shape shape(ndim);
+    if (!ReadBytes(f.get(), shape.data(), ndim * sizeof(int64_t))) {
+      return Status::IoError("truncated shape in " + path);
+    }
+    const int64_t n = NumElements(shape);
+    std::vector<float> data(n);
+    if (!ReadBytes(f.get(), data.data(), n * sizeof(float))) {
+      return Status::IoError("truncated data in " + path);
+    }
+    result.emplace(std::move(name),
+                   Tensor::FromData(shape, std::move(data)));
+  }
+  return result;
+}
+
+Status RestoreInto(const std::map<std::string, Tensor>& loaded,
+                   std::map<std::string, Tensor>* params) {
+  DTDBD_CHECK(params != nullptr);
+  for (auto& [name, dst] : *params) {
+    auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      return Status::NotFound("missing parameter: " + name);
+    }
+    if (it->second.shape() != dst.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": saved " +
+          ShapeToString(it->second.shape()) + " vs model " +
+          ShapeToString(dst.shape()));
+    }
+    dst.data() = it->second.data();
+  }
+  return Status::Ok();
+}
+
+}  // namespace dtdbd::tensor

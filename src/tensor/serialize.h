@@ -1,0 +1,29 @@
+// Binary (de)serialization of named parameter sets. Format:
+//   magic "DTDB" | u32 version | u64 count |
+//   per entry: u64 name_len | name bytes | u64 ndim | i64 dims[] | f32 data[]
+#ifndef DTDBD_TENSOR_SERIALIZE_H_
+#define DTDBD_TENSOR_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+// Writes the named tensors to `path`.
+Status SaveTensors(const std::map<std::string, Tensor>& tensors,
+                   const std::string& path);
+
+// Reads tensors from `path`. Loaded tensors are leaves with
+// requires_grad=false; callers re-enable grad as needed.
+StatusOr<std::map<std::string, Tensor>> LoadTensors(const std::string& path);
+
+// Copies loaded values into an existing parameter map (shapes must match).
+Status RestoreInto(const std::map<std::string, Tensor>& loaded,
+                   std::map<std::string, Tensor>* params);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_SERIALIZE_H_

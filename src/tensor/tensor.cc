@@ -1,0 +1,203 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace dtdbd::tensor {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    DTDBD_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto node = std::make_shared<internal::Node>();
+  node->shape = shape;
+  node->data.assign(NumElements(shape), value);
+  node->requires_grad = requires_grad;
+  node->op_name = "leaf";
+  return FromNode(std::move(node));
+}
+
+Tensor Tensor::FromData(const Shape& shape, std::vector<float> data,
+                        bool requires_grad) {
+  DTDBD_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()))
+      << "shape " << ShapeToString(shape) << " does not match data size";
+  auto node = std::make_shared<internal::Node>();
+  node->shape = shape;
+  node->data = std::move(data);
+  node->requires_grad = requires_grad;
+  node->op_name = "leaf";
+  return FromNode(std::move(node));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  DTDBD_CHECK(defined());
+  return node_->shape;
+}
+
+int64_t Tensor::dim(int i) const {
+  DTDBD_CHECK(defined());
+  DTDBD_CHECK_GE(i, 0);
+  DTDBD_CHECK_LT(i, ndim());
+  return node_->shape[i];
+}
+
+int Tensor::ndim() const {
+  DTDBD_CHECK(defined());
+  return static_cast<int>(node_->shape.size());
+}
+
+int64_t Tensor::numel() const {
+  DTDBD_CHECK(defined());
+  return static_cast<int64_t>(node_->data.size());
+}
+
+std::vector<float>& Tensor::data() {
+  DTDBD_CHECK(defined());
+  return node_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  DTDBD_CHECK(defined());
+  return node_->data;
+}
+
+std::vector<float>& Tensor::grad() {
+  DTDBD_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  DTDBD_CHECK(defined());
+  const_cast<internal::Node*>(node_.get())->EnsureGrad();
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  DTDBD_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  DTDBD_CHECK(defined());
+  DTDBD_CHECK(node_->inputs.empty())
+      << "set_requires_grad is only valid on leaf tensors";
+  node_->requires_grad = value;
+}
+
+float Tensor::item() const {
+  DTDBD_CHECK(defined());
+  DTDBD_CHECK_EQ(numel(), 1) << "item() requires a 1-element tensor";
+  return node_->data[0];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  DTDBD_CHECK(defined());
+  DTDBD_CHECK_GE(flat_index, 0);
+  DTDBD_CHECK_LT(flat_index, numel());
+  return node_->data[flat_index];
+}
+
+void Tensor::ZeroGrad() {
+  DTDBD_CHECK(defined());
+  node_->EnsureGrad();
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  DTDBD_CHECK(defined());
+  DTDBD_CHECK_EQ(numel(), 1) << "Backward() must start from a scalar";
+  DTDBD_CHECK(requires_grad()) << "Backward() on a non-differentiable tensor";
+
+  // Topological order via iterative DFS.
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  std::vector<std::pair<internal::Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_input] = stack.back();
+    if (next_input < node->inputs.size()) {
+      internal::Node* input = node->inputs[next_input++].get();
+      if (input->requires_grad && visited.insert(input).second) {
+        stack.emplace_back(input, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  node_->EnsureGrad();
+  node_->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* node = *it;
+    if (node->backward) {
+      for (auto& input : node->inputs) {
+        if (input->requires_grad) input->EnsureGrad();
+      }
+      node->backward();
+    }
+  }
+}
+
+Tensor Tensor::Detach() const {
+  DTDBD_CHECK(defined());
+  auto node = std::make_shared<internal::Node>();
+  node->shape = node_->shape;
+  node->data = node_->data;  // copy: keeps semantics simple and safe
+  node->requires_grad = false;
+  node->op_name = "detach";
+  return FromNode(std::move(node));
+}
+
+Tensor Tensor::Clone() const {
+  DTDBD_CHECK(defined());
+  return FromData(node_->shape, node_->data, node_->requires_grad);
+}
+
+Tensor Tensor::FromNode(std::shared_ptr<internal::Node> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool GradEnabled() { return g_grad_enabled; }
+
+}  // namespace dtdbd::tensor

@@ -1,0 +1,128 @@
+// A small CPU tensor with reverse-mode automatic differentiation.
+//
+// Tensor is a cheap shared handle to a Node holding float storage, an
+// optional gradient buffer, and the backward closure linking it to its
+// inputs. Calling Backward() on a scalar tensor propagates gradients through
+// the recorded graph in reverse topological order.
+//
+// This is the substrate that replaces PyTorch for the DTDBD reproduction: it
+// supports exactly what the paper's training loops need (dense layers,
+// conv-over-sequence, recurrent cells, softmax/KL losses, gradient reversal)
+// on CPU with deterministic seeded initialization.
+#ifndef DTDBD_TENSOR_TENSOR_H_
+#define DTDBD_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dtdbd::tensor {
+
+using Shape = std::vector<int64_t>;
+
+// Number of elements implied by a shape.
+int64_t NumElements(const Shape& shape);
+
+// Human-readable shape, e.g. "[2, 3]".
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+// Graph node. Owned via shared_ptr by Tensor handles and by downstream
+// nodes (each op output keeps its inputs alive until backward).
+struct Node {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;   // allocated lazily, same size as data
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::function<void()> backward;  // accumulates into inputs' grads
+  std::string op_name;             // for error messages
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+// Value-semantic handle to a graph node. Copies alias the same storage.
+class Tensor {
+ public:
+  // Null handle; most APIs DTDBD_CHECK against using it.
+  Tensor() = default;
+
+  // ----- Factories -----
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  static Tensor FromData(const Shape& shape, std::vector<float> data,
+                         bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Shape& shape() const;
+  int64_t dim(int i) const;
+  int ndim() const;
+  int64_t numel() const;
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+
+  // Gradient buffer; only meaningful after Backward(). Allocates if needed.
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+
+  bool requires_grad() const;
+  // Marks a leaf tensor as trainable. Must not be called on op outputs.
+  void set_requires_grad(bool value);
+
+  float item() const;  // value of a 1-element tensor
+  float at(int64_t flat_index) const;
+
+  // Fills the gradient buffer with zeros (used by optimizers between steps).
+  void ZeroGrad();
+
+  // Runs backpropagation from this scalar tensor (numel()==1).
+  void Backward();
+
+  // Returns a new leaf tensor sharing this tensor's storage but detached
+  // from the autograd graph (used for frozen teacher outputs).
+  Tensor Detach() const;
+
+  // Deep copy of data into a fresh leaf tensor.
+  Tensor Clone() const;
+
+  // Internal: used by ops to build graph nodes.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+  static Tensor FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// RAII guard that disables gradient recording in its scope. Ops executed
+// under the guard produce detached outputs; used for evaluation and for
+// frozen-teacher forward passes.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// True when gradient recording is currently enabled.
+bool GradEnabled();
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_TENSOR_H_

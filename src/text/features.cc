@@ -1,0 +1,106 @@
+#include "text/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dtdbd::text {
+
+namespace {
+
+struct TokenCounts {
+  int total = 0;  // non-pad
+  int pad = 0;
+  int fake_cue = 0;
+  int real_cue = 0;
+  int topic = 0;
+  int sensational = 0;
+  int neutral = 0;
+  int pos_emotion = 0;
+  int neg_emotion = 0;
+  int noise = 0;
+  int distinct = 0;
+};
+
+TokenCounts Count(const Vocab& vocab, const std::vector<int>& tokens) {
+  TokenCounts c;
+  std::set<int> seen;
+  for (int id : tokens) {
+    switch (vocab.KindOf(id)) {
+      case TokenKind::kPad:
+        ++c.pad;
+        continue;
+      case TokenKind::kFakeCue:
+        ++c.fake_cue;
+        break;
+      case TokenKind::kRealCue:
+        ++c.real_cue;
+        break;
+      case TokenKind::kTopic:
+        ++c.topic;
+        break;
+      case TokenKind::kSensationalStyle:
+        ++c.sensational;
+        break;
+      case TokenKind::kNeutralStyle:
+        ++c.neutral;
+        break;
+      case TokenKind::kPositiveEmotion:
+        ++c.pos_emotion;
+        break;
+      case TokenKind::kNegativeEmotion:
+        ++c.neg_emotion;
+        break;
+      case TokenKind::kNoise:
+        ++c.noise;
+        break;
+    }
+    ++c.total;
+    seen.insert(id);
+  }
+  c.distinct = static_cast<int>(seen.size());
+  return c;
+}
+
+float SafeRate(int count, int total) {
+  return total > 0 ? static_cast<float>(count) / static_cast<float>(total)
+                   : 0.0f;
+}
+
+}  // namespace
+
+std::vector<float> StyleFeatures(const Vocab& vocab,
+                                 const std::vector<int>& tokens) {
+  const TokenCounts c = Count(vocab, tokens);
+  const int n = c.total;
+  std::vector<float> f(kStyleFeatureDim);
+  f[0] = SafeRate(c.sensational, n);
+  f[1] = SafeRate(c.neutral, n);
+  f[2] = SafeRate(c.fake_cue + c.real_cue, n);   // cue density
+  f[3] = SafeRate(c.distinct, n + c.pad);        // lexical diversity
+  f[4] = SafeRate(c.pad, n + c.pad);             // padding ratio
+  f[5] = SafeRate(c.topic, n);                   // topic concentration
+  return f;
+}
+
+std::vector<float> EmotionFeatures(const Vocab& vocab,
+                                   const std::vector<int>& tokens) {
+  const TokenCounts c = Count(vocab, tokens);
+  const int n = c.total;
+  std::vector<float> f(kEmotionFeatureDim);
+  f[0] = SafeRate(c.pos_emotion, n);
+  f[1] = SafeRate(c.neg_emotion, n);
+  const float affect = SafeRate(c.pos_emotion + c.neg_emotion, n);
+  f[2] = affect;  // affect density
+  // Polarity balance in [-1, 1].
+  f[3] = (c.pos_emotion + c.neg_emotion) > 0
+             ? static_cast<float>(c.pos_emotion - c.neg_emotion) /
+                   static_cast<float>(c.pos_emotion + c.neg_emotion)
+             : 0.0f;
+  // Interaction terms: affect co-occurring with veracity cues.
+  f[4] = affect * SafeRate(c.fake_cue, n);
+  f[5] = affect * SafeRate(c.real_cue, n);
+  return f;
+}
+
+}  // namespace dtdbd::text

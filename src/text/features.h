@@ -1,0 +1,31 @@
+// Hand-crafted auxiliary feature extractors: the "style" and "emotion"
+// views consumed by the StyleLSTM, DualEmo and M3FEND baselines. Both are
+// deterministic lexicon-count functions of the token sequence, mirroring
+// the engineered features those papers derive from text.
+#ifndef DTDBD_TEXT_FEATURES_H_
+#define DTDBD_TEXT_FEATURES_H_
+
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace dtdbd::text {
+
+// Dimension of the style feature vector.
+inline constexpr int kStyleFeatureDim = 6;
+// Dimension of the emotion feature vector.
+inline constexpr int kEmotionFeatureDim = 6;
+
+// Style view: sensational/neutral token rates, cue density, lexical
+// diversity, padding ratio, topic concentration.
+std::vector<float> StyleFeatures(const Vocab& vocab,
+                                 const std::vector<int>& tokens);
+
+// Emotion view: positive/negative token rates, polarity balance, affect
+// density, fake-cue vs real-cue affect interaction terms.
+std::vector<float> EmotionFeatures(const Vocab& vocab,
+                                   const std::vector<int>& tokens);
+
+}  // namespace dtdbd::text
+
+#endif  // DTDBD_TEXT_FEATURES_H_

@@ -1,0 +1,66 @@
+#include "text/frozen_encoder.h"
+
+#include <cmath>
+
+#include "tensor/init.h"
+
+namespace dtdbd::text {
+
+using tensor::Tensor;
+
+FrozenEncoder::FrozenEncoder(int vocab_size, int64_t dim, uint64_t seed)
+    : dim_(dim) {
+  Rng rng(seed);
+  table_ = tensor::NormalInit({vocab_size, dim}, 0.5f, &rng,
+                              /*requires_grad=*/false);
+  mix_w_ = tensor::XavierInit({2 * dim, dim}, 2 * dim, dim, &rng,
+                              /*requires_grad=*/false);
+  mix_b_ = tensor::UniformInit({dim}, 0.1f, &rng, /*requires_grad=*/false);
+}
+
+Tensor FrozenEncoder::Encode(const std::vector<int>& ids, int64_t batch,
+                             int64_t time) const {
+  DTDBD_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * time);
+  const int64_t v = table_.dim(0);
+  std::vector<float> out(static_cast<size_t>(batch * time * dim_));
+  const float* tab = table_.data().data();
+  const float* w = mix_w_.data().data();
+  const float* b = mix_b_.data().data();
+  // h_t = tanh(W [e_t ; ctx_t] + b), ctx_t = mean of the +/-1 neighborhood.
+  std::vector<float> cat(2 * dim_);
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    for (int64_t ti = 0; ti < time; ++ti) {
+      const int id = ids[bi * time + ti];
+      DTDBD_CHECK_GE(id, 0);
+      DTDBD_CHECK_LT(id, v);
+      const float* e = tab + static_cast<int64_t>(id) * dim_;
+      // Context: average of neighbors (PAD-free best effort at edges).
+      for (int64_t j = 0; j < dim_; ++j) cat[j] = e[j];
+      int count = 0;
+      for (int64_t j = 0; j < dim_; ++j) cat[dim_ + j] = 0.0f;
+      for (int64_t dt : {int64_t{-1}, int64_t{1}}) {
+        const int64_t tn = ti + dt;
+        if (tn < 0 || tn >= time) continue;
+        const int idn = ids[bi * time + tn];
+        const float* en = tab + static_cast<int64_t>(idn) * dim_;
+        for (int64_t j = 0; j < dim_; ++j) cat[dim_ + j] += en[j];
+        ++count;
+      }
+      if (count > 0) {
+        const float inv = 1.0f / static_cast<float>(count);
+        for (int64_t j = 0; j < dim_; ++j) cat[dim_ + j] *= inv;
+      }
+      float* orow = out.data() + (bi * time + ti) * dim_;
+      for (int64_t j = 0; j < dim_; ++j) {
+        float acc = b[j];
+        for (int64_t k = 0; k < 2 * dim_; ++k) {
+          acc += cat[k] * w[k * dim_ + j];
+        }
+        orow[j] = std::tanh(acc);
+      }
+    }
+  }
+  return Tensor::FromData({batch, time, dim_}, std::move(out));
+}
+
+}  // namespace dtdbd::text

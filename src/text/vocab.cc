@@ -1,0 +1,123 @@
+#include "text/vocab.h"
+
+namespace dtdbd::text {
+
+Vocab::Vocab(const Config& config) : config_(config) {
+  DTDBD_CHECK_GT(config_.num_domains, 0);
+  int next = 1;  // 0 is PAD
+  fake_cue_base_ = next;
+  next += config_.fake_cues;
+  real_cue_base_ = next;
+  next += config_.real_cues;
+  topic_base_ = next;
+  next += config_.num_domains * config_.topic_tokens_per_domain;
+  sensational_base_ = next;
+  next += config_.style_tokens;
+  neutral_base_ = next;
+  next += config_.style_tokens;
+  pos_emotion_base_ = next;
+  next += config_.emotion_tokens;
+  neg_emotion_base_ = next;
+  next += config_.emotion_tokens;
+  noise_base_ = next;
+  next += config_.noise_tokens;
+  size_ = next;
+}
+
+int Vocab::FakeCue(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.fake_cues);
+  return fake_cue_base_ + index;
+}
+
+int Vocab::RealCue(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.real_cues);
+  return real_cue_base_ + index;
+}
+
+int Vocab::Topic(int domain, int index) const {
+  DTDBD_CHECK_GE(domain, 0);
+  DTDBD_CHECK_LT(domain, config_.num_domains);
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.topic_tokens_per_domain);
+  return topic_base_ + domain * config_.topic_tokens_per_domain + index;
+}
+
+int Vocab::Sensational(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.style_tokens);
+  return sensational_base_ + index;
+}
+
+int Vocab::Neutral(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.style_tokens);
+  return neutral_base_ + index;
+}
+
+int Vocab::PositiveEmotion(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.emotion_tokens);
+  return pos_emotion_base_ + index;
+}
+
+int Vocab::NegativeEmotion(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.emotion_tokens);
+  return neg_emotion_base_ + index;
+}
+
+int Vocab::Noise(int index) const {
+  DTDBD_CHECK_GE(index, 0);
+  DTDBD_CHECK_LT(index, config_.noise_tokens);
+  return noise_base_ + index;
+}
+
+TokenKind Vocab::KindOf(int id) const {
+  DTDBD_CHECK_GE(id, 0);
+  DTDBD_CHECK_LT(id, size_);
+  if (id == 0) return TokenKind::kPad;
+  if (id < real_cue_base_) return TokenKind::kFakeCue;
+  if (id < topic_base_) return TokenKind::kRealCue;
+  if (id < sensational_base_) return TokenKind::kTopic;
+  if (id < neutral_base_) return TokenKind::kSensationalStyle;
+  if (id < pos_emotion_base_) return TokenKind::kNeutralStyle;
+  if (id < neg_emotion_base_) return TokenKind::kPositiveEmotion;
+  if (id < noise_base_) return TokenKind::kNegativeEmotion;
+  return TokenKind::kNoise;
+}
+
+int Vocab::TopicDomainOf(int id) const {
+  DTDBD_CHECK(KindOf(id) == TokenKind::kTopic);
+  return (id - topic_base_) / config_.topic_tokens_per_domain;
+}
+
+std::string Vocab::TokenName(int id) const {
+  switch (KindOf(id)) {
+    case TokenKind::kPad:
+      return "<pad>";
+    case TokenKind::kFakeCue:
+      return "fake_cue_" + std::to_string(id - fake_cue_base_);
+    case TokenKind::kRealCue:
+      return "real_cue_" + std::to_string(id - real_cue_base_);
+    case TokenKind::kTopic: {
+      const int d = TopicDomainOf(id);
+      const int i = (id - topic_base_) % config_.topic_tokens_per_domain;
+      return "topic_d" + std::to_string(d) + "_" + std::to_string(i);
+    }
+    case TokenKind::kSensationalStyle:
+      return "style_sens_" + std::to_string(id - sensational_base_);
+    case TokenKind::kNeutralStyle:
+      return "style_neut_" + std::to_string(id - neutral_base_);
+    case TokenKind::kPositiveEmotion:
+      return "emo_pos_" + std::to_string(id - pos_emotion_base_);
+    case TokenKind::kNegativeEmotion:
+      return "emo_neg_" + std::to_string(id - neg_emotion_base_);
+    case TokenKind::kNoise:
+      return "noise_" + std::to_string(id - noise_base_);
+  }
+  return "<unknown>";
+}
+
+}  // namespace dtdbd::text

@@ -1,0 +1,100 @@
+// Vocabulary layout for the synthetic multi-domain news corpora.
+//
+// The generator (src/data) composes news items from typed token blocks:
+//   * veracity cues: tokens correlated with the fake/real label, shared by
+//     all domains (the transferable signal a good detector should use);
+//   * per-domain topic tokens: identify the domain (the spurious signal a
+//     biased detector latches onto when fake ratios differ per domain);
+//   * style tokens: sensational vs. neutral writing style;
+//   * emotion tokens: positive vs. negative affect lexicon;
+//   * noise tokens: uninformative filler.
+// This mirrors the structure the paper attributes to real news: domain
+// drift in vocabulary/style/emotion plus cross-domain shared veracity
+// signals (Sec. IV-B).
+#ifndef DTDBD_TEXT_VOCAB_H_
+#define DTDBD_TEXT_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dtdbd::text {
+
+enum class TokenKind {
+  kPad = 0,
+  kFakeCue,
+  kRealCue,
+  kTopic,
+  kSensationalStyle,
+  kNeutralStyle,
+  kPositiveEmotion,
+  kNegativeEmotion,
+  kNoise,
+};
+
+// Immutable id-space description. Token ids are assigned contiguously per
+// block; the class answers "what kind is id x" and "give me the i-th token
+// of kind k (for domain d)".
+class Vocab {
+ public:
+  struct Config {
+    int num_domains = 9;
+    int fake_cues = 24;
+    int real_cues = 24;
+    int topic_tokens_per_domain = 40;
+    int style_tokens = 16;    // per style polarity
+    int emotion_tokens = 16;  // per emotion polarity
+    // Kept deliberately small: a large noise vocabulary would let models
+    // reduce training loss by memorizing per-sample noise patterns instead
+    // of learning the (domain-prior) shortcut the bias study needs.
+    int noise_tokens = 48;
+  };
+
+  explicit Vocab(const Config& config);
+
+  int size() const { return size_; }
+  int num_domains() const { return config_.num_domains; }
+
+  int pad_id() const { return 0; }
+
+  // Token id accessors; `index` addresses within the block.
+  int FakeCue(int index) const;
+  int RealCue(int index) const;
+  int Topic(int domain, int index) const;
+  int Sensational(int index) const;
+  int Neutral(int index) const;
+  int PositiveEmotion(int index) const;
+  int NegativeEmotion(int index) const;
+  int Noise(int index) const;
+
+  int fake_cue_count() const { return config_.fake_cues; }
+  int real_cue_count() const { return config_.real_cues; }
+  int topic_count_per_domain() const { return config_.topic_tokens_per_domain; }
+  int style_count() const { return config_.style_tokens; }
+  int emotion_count() const { return config_.emotion_tokens; }
+  int noise_count() const { return config_.noise_tokens; }
+
+  TokenKind KindOf(int id) const;
+  // For kTopic tokens, the owning domain; DTDBD_CHECKs otherwise.
+  int TopicDomainOf(int id) const;
+
+  // Debug name such as "fake_cue_3" or "topic_d2_17".
+  std::string TokenName(int id) const;
+
+ private:
+  Config config_;
+  int fake_cue_base_;
+  int real_cue_base_;
+  int topic_base_;
+  int sensational_base_;
+  int neutral_base_;
+  int pos_emotion_base_;
+  int neg_emotion_base_;
+  int noise_base_;
+  int size_;
+};
+
+}  // namespace dtdbd::text
+
+#endif  // DTDBD_TEXT_VOCAB_H_

@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace dtdbd {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - 600);
+    EXPECT_LT(c, n / 10 + 600);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[1] / 30000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts[0] / 30000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeights) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent's outputs.
+  Rng parent2(31);
+  parent2.Fork();
+  EXPECT_NE(child.Next(), parent.Next());
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status e = Status::NotFound("missing thing");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok_value(42);
+  EXPECT_TRUE(ok_value.ok());
+  EXPECT_EQ(ok_value.value(), 42);
+
+  StatusOr<int> err(Status::IoError("disk"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kIoError);
+}
+
+TEST(FlagParserTest, ParsesForms) {
+  const char* argv[] = {"prog",        "--alpha=2.5", "--epochs", "7",
+                        "--verbose",   "--no-daa",    "pos1",     "--name",
+                        "experiment1"};
+  FlagParser flags(9, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 2.5);
+  EXPECT_EQ(flags.GetInt("epochs", 0), 7);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("daa", true));
+  EXPECT_EQ(flags.GetString("name", ""), "experiment1");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(FlagParserTest, Defaults) {
+  const char* argv[] = {"prog"};
+  FlagParser flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 5), 5);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer_name", "2.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(0.123456, 4), "0.1235");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 1), "2.0");
+}
+
+TEST(CheckDeathTest, FailsWithMessage) {
+  EXPECT_DEATH(DTDBD_CHECK(false) << "custom context 42",
+               "custom context 42");
+  EXPECT_DEATH(DTDBD_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  DTDBD_CHECK(true);
+  DTDBD_CHECK_EQ(3, 3);
+  DTDBD_CHECK_LT(1, 2) << "not printed";
+}
+
+}  // namespace
+}  // namespace dtdbd

@@ -1,0 +1,46 @@
+// Finite-difference gradient checking helper for autograd tests.
+#ifndef DTDBD_TESTS_GRADCHECK_H_
+#define DTDBD_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace dtdbd::testing {
+
+// `forward` must rebuild the graph from `input`'s *current data* and return
+// a scalar. Checks every coordinate of d(forward)/d(input) against central
+// differences.
+inline void ExpectGradMatchesNumeric(
+    tensor::Tensor input, const std::function<tensor::Tensor()>& forward,
+    float eps = 1e-2f, float rel_tol = 3e-2f, float abs_tol = 2e-3f) {
+  ASSERT_TRUE(input.requires_grad());
+  tensor::Tensor loss = forward();
+  ASSERT_EQ(loss.numel(), 1);
+  input.ZeroGrad();
+  loss.Backward();
+  std::vector<float> analytic = input.grad();
+
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float original = input.data()[i];
+    input.data()[i] = original + eps;
+    const float plus = forward().item();
+    input.data()[i] = original - eps;
+    const float minus = forward().item();
+    input.data()[i] = original;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    const float diff = std::abs(analytic[i] - numeric);
+    const float scale = std::max({std::abs(analytic[i]), std::abs(numeric),
+                                  1.0f});
+    EXPECT_LE(diff, std::max(abs_tol, rel_tol * scale))
+        << "coordinate " << i << ": analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+}  // namespace dtdbd::testing
+
+#endif  // DTDBD_TESTS_GRADCHECK_H_

@@ -1,0 +1,193 @@
+// Cross-module integration tests: the bias phenomenon, adversarial
+// training, the case-study tooling, and weight persistence, exercised
+// end-to-end on small corpora. Thresholds are deliberately loose — these
+// verify mechanisms, not benchmark numbers (EXPERIMENTS.md records those).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "dtdbd/dat.h"
+#include "dtdbd/dtdbd.h"
+#include "dtdbd/trainer.h"
+#include "eval/case_study.h"
+#include "models/model.h"
+#include "tensor/serialize.h"
+#include "text/frozen_encoder.h"
+
+namespace dtdbd {
+namespace {
+
+// A 2-domain corpus with an extreme prior gap: domain 0 is 80% fake,
+// domain 1 is 20% fake. With 40% ambiguous items the domain-prior shortcut
+// is strongly rewarded.
+data::CorpusConfig BiasProbeConfig(uint64_t seed) {
+  data::CorpusConfig config;
+  config.seed = seed;
+  config.seq_len = 16;
+  config.ambiguous_frac = 0.4;
+  config.domains = {{"FakeHeavy", 480, 120}, {"RealHeavy", 120, 480}};
+  config.relatedness = {{0.9, 0.05}, {0.05, 0.9}};
+  return config;
+}
+
+class BiasPhenomenonTest : public ::testing::Test {
+ protected:
+  BiasPhenomenonTest() {
+    dataset_ = data::GenerateCorpus(BiasProbeConfig(31));
+    Rng rng(7);
+    splits_ = data::StratifiedSplit(dataset_, 0.65, 0.1, &rng);
+    encoder_ = std::make_unique<text::FrozenEncoder>(dataset_.vocab->size(),
+                                                     24, 11);
+    config_.vocab_size = dataset_.vocab->size();
+    config_.num_domains = 2;
+    config_.encoder = encoder_.get();
+    config_.hidden_dim = 32;
+    config_.conv_channels = 16;
+    config_.rnn_hidden = 16;
+    config_.seed = 3;
+  }
+
+  data::NewsDataset dataset_;
+  data::DatasetSplits splits_;
+  std::unique_ptr<text::FrozenEncoder> encoder_;
+  models::ModelConfig config_;
+};
+
+TEST_F(BiasPhenomenonTest, PlainStudentLearnsDomainPrior) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 8;
+  TrainSupervised(model.get(), splits_.train, nullptr, opts);
+  auto report = EvaluateModel(model.get(), splits_.test);
+  // Decent accuracy overall...
+  EXPECT_GT(report.f1, 0.65);
+  // ...but the Table III pattern: the fake-heavy domain gets a higher FPR,
+  // the real-heavy domain a higher FNR.
+  EXPECT_GT(report.per_domain[0].Fpr(), report.per_domain[1].Fpr());
+  EXPECT_GT(report.per_domain[1].Fnr(), report.per_domain[0].Fnr());
+  EXPECT_GT(report.Total(), 0.3);
+}
+
+TEST_F(BiasPhenomenonTest, DatIeTeacherReducesBias) {
+  // Plain student for reference.
+  auto plain = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 8;
+  TrainSupervised(plain.get(), splits_.train, nullptr, opts);
+  auto plain_report = EvaluateModel(plain.get(), splits_.test);
+
+  // DAT-IE teacher.
+  DatIeOptions dat;
+  dat.train.epochs = 8;
+  models::ModelConfig teacher_config = config_;
+  teacher_config.adversarial_lambda = 1.5f;
+  auto teacher = TrainUnbiasedTeacher("TextCNN-S", teacher_config,
+                                      splits_.train, nullptr, dat);
+  auto teacher_report = EvaluateModel(teacher.get(), splits_.test);
+
+  EXPECT_LT(teacher_report.Total(), plain_report.Total());
+  // Performance cost should be bounded (the trade-off the paper manages).
+  EXPECT_GT(teacher_report.f1, plain_report.f1 - 0.1);
+}
+
+TEST_F(BiasPhenomenonTest, DtdbdStudentInheritsDebiasing) {
+  auto plain = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 8;
+  TrainSupervised(plain.get(), splits_.train, nullptr, opts);
+  auto plain_report = EvaluateModel(plain.get(), splits_.test);
+
+  DatIeOptions dat;
+  dat.train.epochs = 8;
+  models::ModelConfig teacher_config = config_;
+  teacher_config.adversarial_lambda = 1.5f;
+  auto unbiased = TrainUnbiasedTeacher("TextCNN-S", teacher_config,
+                                       splits_.train, nullptr, dat);
+  auto clean = models::CreateModel("MDFEND", config_);
+  TrainSupervised(clean.get(), splits_.train, nullptr, opts);
+
+  models::ModelConfig student_config = config_;
+  student_config.seed = 17;
+  auto student = models::CreateModel("TextCNN-S", student_config);
+  DtdbdOptions dopts;
+  dopts.epochs = 10;
+  TrainDtdbd(student.get(), unbiased.get(), clean.get(), splits_.train,
+             splits_.val, dopts);
+  auto report = EvaluateModel(student.get(), splits_.test);
+
+  EXPECT_LT(report.Total(), plain_report.Total());
+  EXPECT_GT(report.f1, plain_report.f1 - 0.05);
+}
+
+TEST_F(BiasPhenomenonTest, CaseStudySelectsAndCompares) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 3;
+  TrainSupervised(model.get(), splits_.train, nullptr, opts);
+
+  data::NewsDataset cases =
+      eval::SelectCases(splits_.test, /*domain=*/0, /*label=*/data::kReal, 5);
+  EXPECT_LE(cases.size(), 5);
+  for (const auto& s : cases.samples) {
+    EXPECT_EQ(s.domain, 0);
+    EXPECT_EQ(s.label, data::kReal);
+  }
+  auto results = eval::CompareOnCases({model.get()}, cases);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GE(results[0].mean_fake_probability, 0.0);
+  EXPECT_LE(results[0].mean_fake_probability, 1.0);
+}
+
+TEST_F(BiasPhenomenonTest, ModelWeightsRoundTripThroughDisk) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 2;
+  TrainSupervised(model.get(), splits_.train, nullptr, opts);
+  auto probs_before = PredictFakeProbability(model.get(), splits_.test);
+
+  const std::string path = ::testing::TempDir() + "/student.bin";
+  ASSERT_TRUE(tensor::SaveTensors(model->NamedParameters(), path).ok());
+
+  // Fresh model, different init -> restore -> identical predictions.
+  models::ModelConfig other = config_;
+  other.seed = 999;
+  auto restored = models::CreateModel("TextCNN-S", other);
+  auto loaded = tensor::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  auto params = restored->NamedParameters();
+  ASSERT_TRUE(tensor::RestoreInto(loaded.value(), &params).ok());
+  auto probs_after = PredictFakeProbability(restored.get(), splits_.test);
+  ASSERT_EQ(probs_before.size(), probs_after.size());
+  for (size_t i = 0; i < probs_before.size(); ++i) {
+    EXPECT_NEAR(probs_before[i], probs_after[i], 1e-5f);
+  }
+}
+
+TEST(AdversarialTrainingTest, EannDomainHeadTrainsWithoutDivergence) {
+  data::NewsDataset ds = data::GenerateCorpus(data::MicroConfig(41));
+  Rng rng(1);
+  auto splits = data::StratifiedSplit(ds, 0.8, 0.1, &rng);
+  text::FrozenEncoder encoder(ds.vocab->size(), 16, 2);
+  models::ModelConfig config;
+  config.vocab_size = ds.vocab->size();
+  config.num_domains = ds.num_domains();
+  config.encoder = &encoder;
+  config.conv_channels = 8;
+  config.hidden_dim = 16;
+  auto model = models::CreateModel("EANN", config);
+  TrainOptions opts;
+  opts.epochs = 10;
+  opts.lr = 2e-3f;
+  opts.domain_loss_weight = 0.5f;
+  TrainResult result = TrainSupervised(model.get(), splits.train, nullptr,
+                                       opts);
+  for (double loss : result.train_loss_per_epoch) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+  auto report = EvaluateModel(model.get(), splits.test);
+  EXPECT_GT(report.f1, 0.5);
+}
+
+}  // namespace
+}  // namespace dtdbd

@@ -1,0 +1,152 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dtdbd::metrics {
+namespace {
+
+TEST(ConfusionTest, CountsAndRates) {
+  // preds:  1 1 0 0 1 0
+  // labels: 1 0 0 1 1 0
+  Confusion c = CountConfusion({1, 1, 0, 0, 1, 0}, {1, 0, 0, 1, 1, 0});
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 2);
+  EXPECT_DOUBLE_EQ(c.Fnr(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Fpr(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 4.0 / 6.0);
+}
+
+TEST(ConfusionTest, F1HandComputed) {
+  Confusion c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 4;
+  c.tn = 6;
+  const double precision = 8.0 / 10.0;
+  const double recall = 8.0 / 12.0;
+  EXPECT_DOUBLE_EQ(c.F1Positive(),
+                   2 * precision * recall / (precision + recall));
+  const double nprec = 6.0 / 10.0;
+  const double nrec = 6.0 / 8.0;
+  EXPECT_DOUBLE_EQ(c.F1Negative(), 2 * nprec * nrec / (nprec + nrec));
+  EXPECT_DOUBLE_EQ(c.MacroF1(),
+                   0.5 * (c.F1Positive() + c.F1Negative()));
+}
+
+TEST(ConfusionTest, EmptyDenominatorsAreZero) {
+  Confusion c;  // all zero
+  EXPECT_DOUBLE_EQ(c.Fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1Positive(), 0.0);
+}
+
+TEST(ConfusionTest, PerfectClassifier) {
+  Confusion c = CountConfusion({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.MacroF1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Fpr(), 0.0);
+}
+
+TEST(EvaluateTest, UnbiasedClassifierHasZeroEqualityDifference) {
+  // Same error rates in both domains -> FNED = FPED = 0.
+  std::vector<int> preds, labels, domains;
+  for (int d = 0; d < 2; ++d) {
+    // Per domain: 2 fake (1 caught, 1 missed), 2 real (1 ok, 1 false pos).
+    preds.insert(preds.end(), {1, 0, 0, 1});
+    labels.insert(labels.end(), {1, 1, 0, 0});
+    domains.insert(domains.end(), {d, d, d, d});
+  }
+  EvalReport report = Evaluate(preds, labels, domains, 2);
+  EXPECT_NEAR(report.fned, 0.0, 1e-12);
+  EXPECT_NEAR(report.fped, 0.0, 1e-12);
+}
+
+TEST(EvaluateTest, BiasedClassifierMeasuredPerEquation) {
+  // Domain 0: FNR 0, FPR 1 (always predicts fake).
+  // Domain 1: FNR 1, FPR 0 (always predicts real).
+  std::vector<int> preds = {1, 1, 0, 0};
+  std::vector<int> labels = {1, 0, 1, 0};
+  std::vector<int> domains = {0, 0, 1, 1};
+  EvalReport report = Evaluate(preds, labels, domains, 2);
+  // Overall FNR = 0.5, FPR = 0.5.
+  EXPECT_DOUBLE_EQ(report.overall.Fnr(), 0.5);
+  EXPECT_DOUBLE_EQ(report.overall.Fpr(), 0.5);
+  // FNED = |0.5-0| + |0.5-1| = 1; FPED likewise.
+  EXPECT_DOUBLE_EQ(report.fned, 1.0);
+  EXPECT_DOUBLE_EQ(report.fped, 1.0);
+  EXPECT_DOUBLE_EQ(report.Total(), 2.0);
+}
+
+TEST(EvaluateTest, SampleOrderInvariance) {
+  Rng rng(3);
+  std::vector<int> preds, labels, domains;
+  for (int i = 0; i < 200; ++i) {
+    preds.push_back(rng.Bernoulli(0.4));
+    labels.push_back(rng.Bernoulli(0.5));
+    domains.push_back(static_cast<int>(rng.UniformInt(4)));
+  }
+  EvalReport a = Evaluate(preds, labels, domains, 4);
+  // Shuffle consistently.
+  std::vector<int> order(200);
+  for (int i = 0; i < 200; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<int> p2, l2, d2;
+  for (int i : order) {
+    p2.push_back(preds[i]);
+    l2.push_back(labels[i]);
+    d2.push_back(domains[i]);
+  }
+  EvalReport b = Evaluate(p2, l2, d2, 4);
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+  EXPECT_DOUBLE_EQ(a.fned, b.fned);
+  EXPECT_DOUBLE_EQ(a.fped, b.fped);
+}
+
+TEST(EvaluateTest, EmptyDomainContributesNothing) {
+  std::vector<int> preds = {1, 0};
+  std::vector<int> labels = {1, 0};
+  std::vector<int> domains = {0, 0};
+  EvalReport report = Evaluate(preds, labels, domains, 3);
+  EXPECT_DOUBLE_EQ(report.fned, 0.0);
+  EXPECT_DOUBLE_EQ(report.fped, 0.0);
+  EXPECT_EQ(report.per_domain[2].total(), 0);
+}
+
+TEST(EvaluateTest, PerDomainF1Computed) {
+  std::vector<int> preds = {1, 0, 1, 1};
+  std::vector<int> labels = {1, 0, 1, 0};
+  std::vector<int> domains = {0, 0, 1, 1};
+  EvalReport report = Evaluate(preds, labels, domains, 2);
+  EXPECT_DOUBLE_EQ(report.domain_f1[0], 1.0);
+  EXPECT_LT(report.domain_f1[1], 1.0);
+}
+
+TEST(EvaluateTest, MoreBiasedMeansLargerTotal) {
+  // Gradually skew one domain's errors and confirm Total is monotone.
+  auto total_for = [](int biased_fp) {
+    std::vector<int> preds, labels, domains;
+    for (int d = 0; d < 2; ++d) {
+      for (int i = 0; i < 10; ++i) {
+        labels.push_back(i < 5 ? 1 : 0);
+        const bool flip = d == 1 && i >= 5 && (i - 5) < biased_fp;
+        preds.push_back(flip ? 1 : labels.back());
+        domains.push_back(d);
+      }
+    }
+    return Evaluate(preds, labels, domains, 2).Total();
+  };
+  EXPECT_LT(total_for(0), total_for(2));
+  EXPECT_LT(total_for(2), total_for(4));
+}
+
+TEST(EvaluateDeathTest, SizeMismatch) {
+  EXPECT_DEATH(Evaluate({1}, {1, 0}, {0, 0}, 1), "");
+  EXPECT_DEATH(Evaluate({1}, {1}, {5}, 2), "");
+}
+
+}  // namespace
+}  // namespace dtdbd::metrics

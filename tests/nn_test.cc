@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/norm.h"
+#include "nn/rnn.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+
+namespace dtdbd::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearTest, ShapeAndParamCount) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+  Tensor y = layer.Forward(Tensor::Zeros({2, 4}));
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng);
+  auto named = layer.NamedParameters();
+  named.at("bias").data() = {1.5f, -0.5f};
+  Tensor y = layer.Forward(Tensor::Zeros({1, 3}));
+  EXPECT_FLOAT_EQ(y.at(0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(1), -0.5f);
+}
+
+TEST(LinearTest, GradientsFlowToParams) {
+  Rng rng(3);
+  Linear layer(3, 2, &rng);
+  Tensor x = Tensor::Full({2, 3}, 1.0f);
+  Tensor loss = tensor::Mean(tensor::Square(layer.Forward(x)));
+  loss.Backward();
+  for (auto& p : layer.Parameters()) {
+    float norm = 0.0f;
+    for (float g : p.grad()) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+TEST(MlpTest, HiddenLayersAndOutput) {
+  Rng rng(4);
+  Mlp mlp({5, 8, 8, 2}, 0.0, &rng);
+  Tensor y = mlp.Forward(Tensor::Zeros({3, 5}), /*training=*/false, nullptr);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(mlp.ParameterCount(), (5 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2));
+}
+
+TEST(ModuleTest, FreezeUnfreeze) {
+  Rng rng(5);
+  Linear layer(2, 2, &rng);
+  layer.Freeze();
+  for (auto& p : layer.Parameters()) EXPECT_FALSE(p.requires_grad());
+  layer.Unfreeze();
+  for (auto& p : layer.Parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(ModuleTest, NamedParametersHierarchical) {
+  Rng rng(6);
+  Mlp mlp({2, 3, 2}, 0.0, &rng);
+  auto named = mlp.NamedParameters();
+  EXPECT_EQ(named.size(), 4u);
+  EXPECT_TRUE(named.count("fc0.weight"));
+  EXPECT_TRUE(named.count("fc0.bias"));
+  EXPECT_TRUE(named.count("fc1.weight"));
+  EXPECT_TRUE(named.count("fc1.bias"));
+}
+
+TEST(EmbeddingTest, LookupShape) {
+  Rng rng(7);
+  Embedding emb(10, 4, &rng);
+  Tensor out = emb.Forward({1, 2, 3, 4, 5, 6}, 2, 3);
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 4}));
+}
+
+TEST(Conv1dBankTest, OutputDimAndShape) {
+  Rng rng(8);
+  Conv1dBank bank(6, 5, {1, 2, 3}, &rng);
+  EXPECT_EQ(bank.output_dim(), 15);
+  Tensor y = bank.Forward(Tensor::Zeros({4, 10, 6}));
+  EXPECT_EQ(y.shape(), (Shape{4, 15}));
+}
+
+TEST(Conv1dBankTest, TranslationInvarianceOfMaxPool) {
+  // A pattern detected by max-over-time pooling should produce the same
+  // output wherever it appears in the sequence.
+  Rng rng(9);
+  Conv1dBank bank(2, 3, {2}, &rng);
+  std::vector<float> early(8 * 2, 0.0f);
+  std::vector<float> late(8 * 2, 0.0f);
+  // Place the same bigram at t=1 and t=5, both with zero margins on each
+  // side so the multiset of convolution windows is identical and only the
+  // pattern's position differs.
+  for (int e = 0; e < 2; ++e) {
+    early[1 * 2 + e] = 1.0f + e;
+    early[2 * 2 + e] = -1.0f;
+    late[5 * 2 + e] = 1.0f + e;
+    late[6 * 2 + e] = -1.0f;
+  }
+  Tensor ye = bank.Forward(Tensor::FromData({1, 8, 2}, early));
+  Tensor yl = bank.Forward(Tensor::FromData({1, 8, 2}, late));
+  for (int64_t i = 0; i < ye.numel(); ++i) {
+    EXPECT_NEAR(ye.at(i), yl.at(i), 1e-5f);
+  }
+}
+
+TEST(GruCellTest, StepShapesAndBounds) {
+  Rng rng(10);
+  GruCell cell(3, 5, &rng);
+  Tensor h = Tensor::Zeros({2, 5});
+  Tensor x = Tensor::Full({2, 3}, 0.3f);
+  Tensor h2 = cell.Step(x, h);
+  EXPECT_EQ(h2.shape(), (Shape{2, 5}));
+  // GRU state is a convex-ish combination of tanh outputs: bounded by 1.
+  for (float v : h2.data()) {
+    EXPECT_LT(std::abs(v), 1.0f);
+  }
+}
+
+TEST(GruCellTest, ZeroInputZeroStateStaysBounded) {
+  Rng rng(11);
+  GruCell cell(2, 3, &rng);
+  Tensor h = Tensor::Zeros({1, 3});
+  Tensor x = Tensor::Zeros({1, 2});
+  for (int i = 0; i < 50; ++i) h = cell.Step(x, h);
+  for (float v : h.data()) EXPECT_LT(std::abs(v), 1.0f);
+}
+
+TEST(LstmCellTest, StepShapes) {
+  Rng rng(12);
+  LstmCell cell(3, 4, &rng);
+  LstmCell::State s{Tensor::Zeros({2, 4}), Tensor::Zeros({2, 4})};
+  s = cell.Step(Tensor::Full({2, 3}, 1.0f), s);
+  EXPECT_EQ(s.h.shape(), (Shape{2, 4}));
+  EXPECT_EQ(s.c.shape(), (Shape{2, 4}));
+}
+
+TEST(BiGruTest, OutputShapeAndOrderSensitivity) {
+  Rng rng(13);
+  BiGru rnn(2, 3, &rng);
+  EXPECT_EQ(rnn.output_dim(), 6);
+  Tensor fwd_order = Tensor::FromData({1, 3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor rev_order = Tensor::FromData({1, 3, 2}, {1, 1, 0, 1, 1, 0});
+  Tensor a = tensor::MeanOverTime(rnn.Forward(fwd_order));
+  Tensor b = tensor::MeanOverTime(rnn.Forward(rev_order));
+  // A recurrent encoder must distinguish token order.
+  float diff = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) diff += std::abs(a.at(i) - b.at(i));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(BiLstmTest, OutputShape) {
+  Rng rng(14);
+  BiLstm rnn(3, 4, &rng);
+  EXPECT_EQ(rnn.output_dim(), 8);
+  Tensor y = rnn.Forward(Tensor::Zeros({2, 5, 3}));
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+}
+
+TEST(RnnGradTest, BackpropThroughTime) {
+  // Gradcheck a tiny GRU over 3 steps wrt the input sequence.
+  Rng rng(15);
+  GruCell cell(2, 2, &rng);
+  Tensor x = Tensor::FromData({1, 3, 2}, {0.5f, -0.2f, 0.1f, 0.3f, -0.4f,
+                                          0.2f},
+                              true);
+  dtdbd::testing::ExpectGradMatchesNumeric(x, [&]() {
+    Tensor h = Tensor::Zeros({1, 2});
+    for (int t = 0; t < 3; ++t) h = cell.Step(tensor::SliceTime(x, t), h);
+    return tensor::Mean(tensor::Square(h));
+  });
+}
+
+TEST(AttentionPoolTest, OutputShapeAndWeightsEffect) {
+  Rng rng(16);
+  AttentionPool pool(3, &rng);
+  Tensor x = Tensor::FromData({1, 2, 3}, {1, 1, 1, -1, -1, -1});
+  Tensor y = pool.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  // Output is a convex combination of the two time steps: within [-1, 1].
+  for (float v : y.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(LayerNormModuleTest, NormalizesAndLearnsScale) {
+  LayerNorm norm(4);
+  Tensor x = Tensor::FromData({1, 4}, {10, 20, 30, 40});
+  Tensor y = norm.Forward(x);
+  float mean = 0.0f;
+  for (float v : y.data()) mean += v;
+  EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-5f);
+  EXPECT_EQ(norm.ParameterCount(), 8);
+}
+
+}  // namespace
+}  // namespace dtdbd::nn

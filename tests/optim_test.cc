@@ -1,0 +1,148 @@
+#include "tensor/optim.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+namespace {
+
+// Minimizes f(x) = sum((x - target)^2) and returns the final x.
+template <typename MakeOpt>
+std::vector<float> Minimize(MakeOpt make_optimizer, int steps) {
+  Tensor x = Tensor::FromData({3}, {5.0f, -5.0f, 2.0f}, true);
+  Tensor target = Tensor::FromData({3}, {1.0f, 2.0f, -3.0f});
+  auto opt = make_optimizer(std::vector<Tensor>{x});
+  for (int i = 0; i < steps; ++i) {
+    Tensor loss = Sum(Square(Sub(x, target)));
+    opt->ZeroGrad();
+    loss.Backward();
+    opt->Step();
+  }
+  return x.data();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  auto x = Minimize(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      100);
+  EXPECT_NEAR(x[0], 1.0f, 1e-3f);
+  EXPECT_NEAR(x[1], 2.0f, 1e-3f);
+  EXPECT_NEAR(x[2], -3.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  auto x = Minimize(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      200);
+  EXPECT_NEAR(x[0], 1.0f, 1e-2f);
+}
+
+TEST(SgdTest, WeightDecayShrinksTowardZero) {
+  // With pure weight decay (no loss gradient), parameters decay
+  // geometrically.
+  Tensor x = Tensor::FromData({1}, {1.0f}, true);
+  Sgd opt({x}, /*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/1.0f);
+  opt.ZeroGrad();
+  opt.Step();
+  EXPECT_NEAR(x.at(0), 0.9f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  auto x = Minimize(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<Adam>(std::move(p), 0.2f);
+      },
+      300);
+  EXPECT_NEAR(x[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(x[1], 2.0f, 1e-2f);
+  EXPECT_NEAR(x[2], -3.0f, 1e-2f);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // Adam's bias correction makes the first update ~lr * sign(grad).
+  Tensor x = Tensor::FromData({1}, {0.0f}, true);
+  Adam opt({x}, 0.5f);
+  Tensor loss = Sum(Mul(x, Tensor::FromData({1}, {3.0f})));
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(x.at(0), -0.5f, 1e-4f);
+}
+
+TEST(OptimizerDeathTest, RejectsFrozenTensor) {
+  Tensor frozen = Tensor::Zeros({2}, /*requires_grad=*/false);
+  EXPECT_DEATH(Sgd({frozen}, 0.1f), "frozen");
+}
+
+TEST(ClipGradNormTest, NoOpBelowThreshold) {
+  Tensor x = Tensor::FromData({2}, {0.0f, 0.0f}, true);
+  x.grad()[0] = 0.3f;
+  x.grad()[1] = 0.4f;  // norm 0.5
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.3f);
+}
+
+TEST(ClipGradNormTest, ScalesAboveThreshold) {
+  Tensor x = Tensor::FromData({2}, {0.0f, 0.0f}, true);
+  x.grad()[0] = 3.0f;
+  x.grad()[1] = 4.0f;  // norm 5
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  std::map<std::string, Tensor> params;
+  params["a"] = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  params["b.weight"] = Tensor::FromData({3}, {-1, 0, 1});
+  ASSERT_TRUE(SaveTensors(params, path).ok());
+
+  auto loaded_or = LoadTensors(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const auto& loaded = loaded_or.value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at("a").shape(), (Shape{2, 2}));
+  EXPECT_EQ(loaded.at("a").data(), params["a"].data());
+  EXPECT_EQ(loaded.at("b.weight").data(), params["b.weight"].data());
+}
+
+TEST(SerializeTest, RestoreIntoChecksShapes) {
+  const std::string path = ::testing::TempDir() + "/params2.bin";
+  std::map<std::string, Tensor> params;
+  params["w"] = Tensor::FromData({2}, {5, 6});
+  ASSERT_TRUE(SaveTensors(params, path).ok());
+  auto loaded = LoadTensors(path).value();
+
+  std::map<std::string, Tensor> target;
+  target["w"] = Tensor::Zeros({2});
+  ASSERT_TRUE(RestoreInto(loaded, &target).ok());
+  EXPECT_EQ(target["w"].data(), params["w"].data());
+
+  std::map<std::string, Tensor> bad_shape;
+  bad_shape["w"] = Tensor::Zeros({3});
+  EXPECT_FALSE(RestoreInto(loaded, &bad_shape).ok());
+
+  std::map<std::string, Tensor> missing;
+  missing["other"] = Tensor::Zeros({2});
+  EXPECT_FALSE(RestoreInto(loaded, &missing).ok());
+}
+
+TEST(SerializeTest, MissingFileIsError) {
+  EXPECT_FALSE(LoadTensors("/nonexistent/path/params.bin").ok());
+}
+
+}  // namespace
+}  // namespace dtdbd::tensor

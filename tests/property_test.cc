@@ -1,0 +1,198 @@
+// Property-style parameterized suites across module boundaries:
+//  * every model in the zoo round-trips its weights through disk;
+//  * metric identities hold over randomized confusion tables;
+//  * composite nn modules pass finite-difference gradient checks through
+//    their registered parameters.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "dtdbd/trainer.h"
+#include "gradcheck.h"
+#include "metrics/metrics.h"
+#include "models/model.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "nn/rnn.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "text/frozen_encoder.h"
+
+namespace dtdbd {
+namespace {
+
+// ---------- zoo-wide serialization round trip ----------
+
+class ZooRoundTripTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  ZooRoundTripTest() {
+    dataset_ = data::GenerateCorpus(data::MicroConfig(61));
+    encoder_ = std::make_unique<text::FrozenEncoder>(dataset_.vocab->size(),
+                                                     16, 5);
+    config_.vocab_size = dataset_.vocab->size();
+    config_.num_domains = dataset_.num_domains();
+    config_.encoder = encoder_.get();
+    config_.embed_dim = 12;
+    config_.hidden_dim = 16;
+    config_.conv_channels = 8;
+    config_.rnn_hidden = 8;
+    config_.num_experts = 2;
+    config_.seed = 3;
+  }
+
+  data::NewsDataset dataset_;
+  std::unique_ptr<text::FrozenEncoder> encoder_;
+  models::ModelConfig config_;
+};
+
+TEST_P(ZooRoundTripTest, WeightsSurviveDisk) {
+  const std::string name = GetParam();
+  auto model = models::CreateModel(name, config_);
+  const std::string path = ::testing::TempDir() + "/zoo_" + name + ".bin";
+  ASSERT_TRUE(tensor::SaveTensors(model->NamedParameters(), path).ok());
+
+  models::ModelConfig other = config_;
+  other.seed = 4242;  // different random init
+  auto restored = models::CreateModel(name, other);
+  auto loaded = tensor::LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  auto params = restored->NamedParameters();
+  ASSERT_TRUE(tensor::RestoreInto(loaded.value(), &params).ok());
+
+  // Identical parameters imply identical eval-mode predictions.
+  // (M3FEND additionally carries non-parameter memory state, which is
+  // empty for both fresh models here.)
+  auto probs_a = PredictFakeProbability(model.get(), dataset_, 32);
+  auto probs_b = PredictFakeProbability(restored.get(), dataset_, 32);
+  ASSERT_EQ(probs_a.size(), probs_b.size());
+  for (size_t i = 0; i < probs_a.size(); ++i) {
+    EXPECT_NEAR(probs_a[i], probs_b[i], 1e-6f) << name << " sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooRoundTripTest,
+    ::testing::ValuesIn(models::AllModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------- metric identities over randomized inputs ----------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  const int n = 300;
+  const int num_domains = 1 + static_cast<int>(rng.UniformInt(6));
+  std::vector<int> preds(n), labels(n), domains(n);
+  for (int i = 0; i < n; ++i) {
+    preds[i] = rng.Bernoulli(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.5);
+    domains[i] = static_cast<int>(rng.UniformInt(num_domains));
+  }
+  auto report = metrics::Evaluate(preds, labels, domains, num_domains);
+
+  // Bounds.
+  EXPECT_GE(report.f1, 0.0);
+  EXPECT_LE(report.f1, 1.0);
+  EXPECT_GE(report.fned, 0.0);
+  EXPECT_GE(report.fped, 0.0);
+  // Each domain contributes at most 1 to each equality difference.
+  EXPECT_LE(report.fned, static_cast<double>(num_domains));
+  EXPECT_LE(report.fped, static_cast<double>(num_domains));
+
+  // Per-domain confusions partition the overall confusion.
+  int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (const auto& c : report.per_domain) {
+    tp += c.tp;
+    fp += c.fp;
+    tn += c.tn;
+    fn += c.fn;
+  }
+  EXPECT_EQ(tp, report.overall.tp);
+  EXPECT_EQ(fp, report.overall.fp);
+  EXPECT_EQ(tn, report.overall.tn);
+  EXPECT_EQ(fn, report.overall.fn);
+
+  // Flipping predictions and labels together swaps FNR/FPR, preserving
+  // Total.
+  std::vector<int> preds_flipped(n), labels_flipped(n);
+  for (int i = 0; i < n; ++i) {
+    preds_flipped[i] = 1 - preds[i];
+    labels_flipped[i] = 1 - labels[i];
+  }
+  auto flipped = metrics::Evaluate(preds_flipped, labels_flipped, domains,
+                                   num_domains);
+  EXPECT_NEAR(flipped.fned, report.fped, 1e-12);
+  EXPECT_NEAR(flipped.fped, report.fned, 1e-12);
+  EXPECT_NEAR(flipped.Total(), report.Total(), 1e-12);
+  EXPECT_NEAR(flipped.f1, report.f1, 1e-12);  // macro F1 is class-symmetric
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(11, 23, 37, 59, 71, 97));
+
+// ---------- gradient checks through composite modules ----------
+
+TEST(ModuleGradTest, Conv1dBankThroughParameters) {
+  Rng rng(7);
+  nn::Conv1dBank bank(3, 2, {1, 2}, &rng);
+  Rng data_rng(9);
+  tensor::Tensor x = tensor::NormalInit({2, 5, 3}, 1.0f, &data_rng);
+  for (auto& p : bank.Parameters()) {
+    dtdbd::testing::ExpectGradMatchesNumeric(p, [&]() {
+      return tensor::Mean(tensor::Square(bank.Forward(x)));
+    });
+  }
+}
+
+TEST(ModuleGradTest, BiGruThroughInput) {
+  Rng rng(11);
+  nn::BiGru gru(2, 2, &rng);
+  Rng data_rng(13);
+  tensor::Tensor x = tensor::NormalInit({1, 3, 2}, 0.7f, &data_rng,
+                                        /*requires_grad=*/true);
+  dtdbd::testing::ExpectGradMatchesNumeric(x, [&]() {
+    return tensor::Mean(tensor::Square(
+        tensor::MeanOverTime(gru.Forward(x))));
+  });
+}
+
+TEST(ModuleGradTest, AttentionPoolThroughInputAndParams) {
+  Rng rng(17);
+  nn::AttentionPool pool(3, &rng);
+  Rng data_rng(19);
+  tensor::Tensor x = tensor::NormalInit({2, 4, 3}, 1.0f, &data_rng,
+                                        /*requires_grad=*/true);
+  dtdbd::testing::ExpectGradMatchesNumeric(x, [&]() {
+    return tensor::Mean(tensor::Square(pool.Forward(x)));
+  });
+  for (auto& p : pool.Parameters()) {
+    dtdbd::testing::ExpectGradMatchesNumeric(p, [&]() {
+      return tensor::Mean(tensor::Square(pool.Forward(x)));
+    });
+  }
+}
+
+TEST(ModuleGradTest, LstmThroughInput) {
+  Rng rng(23);
+  nn::BiLstm lstm(2, 2, &rng);
+  Rng data_rng(29);
+  tensor::Tensor x = tensor::NormalInit({1, 3, 2}, 0.7f, &data_rng,
+                                        /*requires_grad=*/true);
+  dtdbd::testing::ExpectGradMatchesNumeric(x, [&]() {
+    return tensor::Mean(tensor::Square(
+        tensor::MeanOverTime(lstm.Forward(x))));
+  });
+}
+
+}  // namespace
+}  // namespace dtdbd

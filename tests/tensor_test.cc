@@ -1,0 +1,144 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace dtdbd::tensor {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, FactoriesAndAccessors) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_EQ(z.dim(0), 2);
+  EXPECT_EQ(z.dim(1), 3);
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor f = Tensor::Full({2}, 1.5f);
+  EXPECT_EQ(f.at(0), 1.5f);
+  EXPECT_EQ(f.at(1), 1.5f);
+
+  Tensor s = Tensor::Scalar(-2.0f);
+  EXPECT_EQ(s.item(), -2.0f);
+
+  Tensor d = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(d.at(3), 4.0f);
+}
+
+TEST(TensorTest, UndefinedByDefault) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;
+  b.data()[0] = 7.0f;
+  EXPECT_EQ(a.at(0), 7.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a.Clone();
+  b.data()[0] = 7.0f;
+  EXPECT_EQ(a.at(0), 0.0f);
+}
+
+TEST(TensorTest, DetachBreaksGraph) {
+  Tensor a = Tensor::Full({2}, 2.0f, /*requires_grad=*/true);
+  Tensor b = Mul(a, a);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at(0), 4.0f);
+}
+
+TEST(TensorTest, BackwardSimpleChain) {
+  // loss = sum((2x)^2) = 4 * sum(x^2); dloss/dx = 8x.
+  Tensor x = Tensor::FromData({3}, {1, 2, 3}, true);
+  Tensor y = ScalarMul(x, 2.0f);
+  Tensor loss = Sum(Square(y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 16.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 24.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesOverUses) {
+  // loss = sum(x * x) with x used twice as inputs of Mul.
+  Tensor x = Tensor::FromData({2}, {3, 4}, true);
+  Tensor loss = Sum(Mul(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 8.0f);
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor x = Tensor::FromData({1}, {2}, true);
+  Tensor loss = Square(x);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphBackward) {
+  // y = x^2; loss = sum(y + y): gradient must flow twice through y.
+  Tensor x = Tensor::FromData({2}, {1, 2}, true);
+  Tensor y = Square(x);
+  Tensor loss = Sum(Add(y, y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);   // 2 * 2x = 4x
+  EXPECT_FLOAT_EQ(x.grad()[1], 8.0f);
+}
+
+TEST(NoGradTest, GuardDisablesRecording) {
+  Tensor x = Tensor::FromData({2}, {1, 2}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradEnabled());
+    Tensor y = Square(x);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(GradEnabled());
+  Tensor y = Square(x);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(NoGradTest, GuardNests) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_FALSE(GradEnabled());
+}
+
+TEST(TensorDeathTest, ItemRequiresScalar) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_DEATH(t.item(), "1-element");
+}
+
+TEST(TensorDeathTest, BackwardRequiresScalar) {
+  Tensor t = Tensor::Zeros({2}, true);
+  EXPECT_DEATH(t.Backward(), "scalar");
+}
+
+TEST(TensorDeathTest, FromDataShapeMismatch) {
+  EXPECT_DEATH(Tensor::FromData({2, 2}, {1.0f, 2.0f}), "does not match");
+}
+
+}  // namespace
+}  // namespace dtdbd::tensor

@@ -1,0 +1,177 @@
+// Focused tests of the generic training loop (src/dtdbd/trainer.*):
+// option handling, validation reporting, stability, and consistency
+// between the prediction helpers.
+#include "dtdbd/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "metrics/metrics.h"
+#include "models/model.h"
+#include "text/frozen_encoder.h"
+
+namespace dtdbd {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  TrainerTest() {
+    dataset_ = data::GenerateCorpus(data::MicroConfig(51));
+    Rng rng(3);
+    splits_ = data::StratifiedSplit(dataset_, 0.7, 0.15, &rng);
+    encoder_ = std::make_unique<text::FrozenEncoder>(dataset_.vocab->size(),
+                                                     16, 8);
+    config_.vocab_size = dataset_.vocab->size();
+    config_.num_domains = dataset_.num_domains();
+    config_.encoder = encoder_.get();
+    config_.hidden_dim = 16;
+    config_.conv_channels = 8;
+    config_.rnn_hidden = 8;
+    config_.seed = 21;
+  }
+
+  data::NewsDataset dataset_;
+  data::DatasetSplits splits_;
+  std::unique_ptr<text::FrozenEncoder> encoder_;
+  models::ModelConfig config_;
+};
+
+TEST_F(TrainerTest, ValReportsCollectedPerEpoch) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 3;
+  TrainResult result =
+      TrainSupervised(model.get(), splits_.train, &splits_.val, opts);
+  EXPECT_EQ(result.val_reports.size(), 3u);
+  EXPECT_EQ(result.train_loss_per_epoch.size(), 3u);
+}
+
+TEST_F(TrainerTest, NoValSetMeansNoReports) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 2;
+  TrainResult result =
+      TrainSupervised(model.get(), splits_.train, nullptr, opts);
+  EXPECT_TRUE(result.val_reports.empty());
+}
+
+TEST_F(TrainerTest, DeterministicGivenSeed) {
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.seed = 77;
+  models::ModelConfig c = config_;
+  c.seed = 5;
+  auto a = models::CreateModel("TextCNN-S", c);
+  auto b = models::CreateModel("TextCNN-S", c);
+  TrainResult ra = TrainSupervised(a.get(), splits_.train, nullptr, opts);
+  TrainResult rb = TrainSupervised(b.get(), splits_.train, nullptr, opts);
+  ASSERT_EQ(ra.train_loss_per_epoch.size(), rb.train_loss_per_epoch.size());
+  for (size_t i = 0; i < ra.train_loss_per_epoch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.train_loss_per_epoch[i], rb.train_loss_per_epoch[i]);
+  }
+}
+
+TEST_F(TrainerTest, DomainLossOnlyAppliesWhenModelEmitsDomainLogits) {
+  // TextCNN-S emits no domain logits: domain_loss_weight must not change
+  // the training trajectory.
+  TrainOptions base;
+  base.epochs = 2;
+  TrainOptions with_domain = base;
+  with_domain.domain_loss_weight = 5.0f;
+  models::ModelConfig c = config_;
+  c.seed = 5;
+  auto a = models::CreateModel("TextCNN-S", c);
+  auto b = models::CreateModel("TextCNN-S", c);
+  TrainResult ra = TrainSupervised(a.get(), splits_.train, nullptr, base);
+  TrainResult rb =
+      TrainSupervised(b.get(), splits_.train, nullptr, with_domain);
+  EXPECT_DOUBLE_EQ(ra.train_loss_per_epoch.back(),
+                   rb.train_loss_per_epoch.back());
+}
+
+TEST_F(TrainerTest, DomainLossRaisesTrainingObjectiveForEann) {
+  // For EANN the reported loss includes the (weighted) domain CE term.
+  TrainOptions base;
+  base.epochs = 1;
+  TrainOptions with_domain = base;
+  with_domain.domain_loss_weight = 1.0f;
+  models::ModelConfig c = config_;
+  c.seed = 6;
+  auto a = models::CreateModel("EANN", c);
+  auto b = models::CreateModel("EANN", c);
+  TrainResult ra = TrainSupervised(a.get(), splits_.train, nullptr, base);
+  TrainResult rb =
+      TrainSupervised(b.get(), splits_.train, nullptr, with_domain);
+  EXPECT_GT(rb.train_loss_per_epoch[0], ra.train_loss_per_epoch[0]);
+}
+
+TEST_F(TrainerTest, HugeLearningRateStaysFiniteUnderClipping) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.lr = 0.5f;  // absurd for Adam, but grad clipping keeps things sane
+  opts.grad_clip = 1.0f;
+  TrainResult result =
+      TrainSupervised(model.get(), splits_.train, nullptr, opts);
+  for (double loss : result.train_loss_per_epoch) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+  for (float p : PredictFakeProbability(model.get(), splits_.test)) {
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST_F(TrainerTest, PredictConsistentWithProbabilities) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  auto preds = Predict(model.get(), splits_.test);
+  auto probs = PredictFakeProbability(model.get(), splits_.test);
+  ASSERT_EQ(preds.size(), probs.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_EQ(preds[i], probs[i] >= 0.5f ? data::kFake : data::kReal);
+  }
+}
+
+TEST_F(TrainerTest, EvaluateModelAgreesWithManualMetrics) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  auto report = EvaluateModel(model.get(), splits_.test);
+  auto preds = Predict(model.get(), splits_.test);
+  std::vector<int> labels, domains;
+  for (const auto& s : splits_.test.samples) {
+    labels.push_back(s.label);
+    domains.push_back(s.domain);
+  }
+  auto manual = metrics::Evaluate(preds, labels, domains,
+                                  splits_.test.num_domains());
+  EXPECT_DOUBLE_EQ(report.f1, manual.f1);
+  EXPECT_DOUBLE_EQ(report.fned, manual.fned);
+  EXPECT_DOUBLE_EQ(report.fped, manual.fped);
+}
+
+TEST_F(TrainerTest, BatchSizeDoesNotChangeEvaluation) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  auto r16 = EvaluateModel(model.get(), splits_.test, 16);
+  auto r64 = EvaluateModel(model.get(), splits_.test, 64);
+  EXPECT_DOUBLE_EQ(r16.f1, r64.f1);
+  EXPECT_DOUBLE_EQ(r16.Total(), r64.Total());
+}
+
+TEST_F(TrainerTest, ExtractFeaturesMatchesForward) {
+  auto model = models::CreateModel("TextCNN-S", config_);
+  auto features = ExtractFeatures(model.get(), splits_.val, 16);
+  // Recompute the first batch manually.
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < std::min<int64_t>(16, splits_.val.size()); ++i) {
+    indices.push_back(i);
+  }
+  tensor::NoGradGuard guard;
+  data::Batch batch = data::MakeBatch(splits_.val, indices);
+  auto out = model->Forward(batch, /*training=*/false);
+  for (int64_t i = 0; i < out.features.numel(); ++i) {
+    EXPECT_FLOAT_EQ(features[i], out.features.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace dtdbd

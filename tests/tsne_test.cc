@@ -1,0 +1,98 @@
+#include "eval/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dtdbd::eval {
+namespace {
+
+// Two well-separated Gaussian blobs in 5-D.
+std::vector<float> TwoBlobs(int per_blob, int dim, std::vector<int>* groups,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (int i = 0; i < per_blob; ++i) {
+      for (int d = 0; d < dim; ++d) {
+        x.push_back(static_cast<float>(rng.Normal(blob * 20.0, 0.5)));
+      }
+      groups->push_back(blob);
+    }
+  }
+  return x;
+}
+
+TEST(TsneTest, OutputShapeAndFinite) {
+  std::vector<int> groups;
+  auto x = TwoBlobs(20, 5, &groups, 1);
+  TsneOptions opts;
+  opts.perplexity = 8.0;
+  opts.iterations = 150;
+  auto y = RunTsne(x, 40, 5, opts);
+  ASSERT_EQ(y.size(), 80u);
+  for (double v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TsneTest, Deterministic) {
+  std::vector<int> groups;
+  auto x = TwoBlobs(15, 4, &groups, 2);
+  TsneOptions opts;
+  opts.perplexity = 6.0;
+  opts.iterations = 100;
+  auto y1 = RunTsne(x, 30, 4, opts);
+  auto y2 = RunTsne(x, 30, 4, opts);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(TsneTest, SeparatedBlobsStaySeparated) {
+  std::vector<int> groups;
+  auto x = TwoBlobs(25, 5, &groups, 3);
+  TsneOptions opts;
+  opts.perplexity = 10.0;
+  opts.iterations = 250;
+  auto y = RunTsne(x, 50, 5, opts);
+  // Nearly all near neighbors should come from the same blob.
+  const double mixing = DomainMixingScore(y, 50, groups, 5);
+  EXPECT_LT(mixing, 0.1);
+}
+
+TEST(DomainMixingScoreTest, HandComputedCases) {
+  // Four points on a line: two groups interleaved vs separated.
+  std::vector<double> separated = {0, 0, 1, 0, 10, 0, 11, 0};
+  std::vector<int> grp_separated = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(DomainMixingScore(separated, 4, grp_separated, 1), 0.0);
+
+  std::vector<double> interleaved = {0, 0, 1, 0, 2, 0, 3, 0};
+  std::vector<int> grp_inter = {0, 1, 0, 1};
+  // Every point's nearest neighbor is from the other group.
+  EXPECT_DOUBLE_EQ(DomainMixingScore(interleaved, 4, grp_inter, 1), 1.0);
+}
+
+TEST(DomainMixingScoreTest, UniformMixtureNearHalf) {
+  // Random 2-D scatter with random groups: expected mixing ~ 0.5.
+  Rng rng(4);
+  const int n = 200;
+  std::vector<double> y;
+  std::vector<int> groups;
+  for (int i = 0; i < n; ++i) {
+    y.push_back(rng.Uniform());
+    y.push_back(rng.Uniform());
+    groups.push_back(static_cast<int>(rng.UniformInt(2)));
+  }
+  const double mixing = DomainMixingScore(y, n, groups, 10);
+  EXPECT_GT(mixing, 0.4);
+  EXPECT_LT(mixing, 0.6);
+}
+
+TEST(TsneDeathTest, PerplexityTooLargeForN) {
+  std::vector<float> x(10 * 3, 0.0f);
+  TsneOptions opts;
+  opts.perplexity = 10.0;  // needs n > 3 * perplexity
+  EXPECT_DEATH(RunTsne(x, 10, 3, opts), "perplexity");
+}
+
+}  // namespace
+}  // namespace dtdbd::eval
