@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bias_driver.dir/bench_ablation_bias_driver.cc.o"
+  "CMakeFiles/bench_ablation_bias_driver.dir/bench_ablation_bias_driver.cc.o.d"
+  "bench_ablation_bias_driver"
+  "bench_ablation_bias_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bias_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

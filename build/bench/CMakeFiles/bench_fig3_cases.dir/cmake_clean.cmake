@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cases.dir/bench_fig3_cases.cc.o"
+  "CMakeFiles/bench_fig3_cases.dir/bench_fig3_cases.cc.o.d"
+  "bench_fig3_cases"
+  "bench_fig3_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_domain_bias.dir/bench_table3_domain_bias.cc.o"
+  "CMakeFiles/bench_table3_domain_bias.dir/bench_table3_domain_bias.cc.o.d"
+  "bench_table3_domain_bias"
+  "bench_table3_domain_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_domain_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

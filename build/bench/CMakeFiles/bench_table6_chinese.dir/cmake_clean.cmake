@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_chinese.dir/bench_table6_chinese.cc.o"
+  "CMakeFiles/bench_table6_chinese.dir/bench_table6_chinese.cc.o.d"
+  "bench_table6_chinese"
+  "bench_table6_chinese.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_chinese.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_english.dir/bench_table7_english.cc.o"
+  "CMakeFiles/bench_table7_english.dir/bench_table7_english.cc.o.d"
+  "bench_table7_english"
+  "bench_table7_english.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_english.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_dat_ie.dir/bench_table9_dat_ie.cc.o"
+  "CMakeFiles/bench_table9_dat_ie.dir/bench_table9_dat_ie.cc.o.d"
+  "bench_table9_dat_ie"
+  "bench_table9_dat_ie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_dat_ie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dtdbd_bench_harness.dir/harness.cc.o.d"
+  "libdtdbd_bench_harness.a"
+  "libdtdbd_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

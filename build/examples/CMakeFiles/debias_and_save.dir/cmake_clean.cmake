@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debias_and_save.dir/debias_and_save.cpp.o"
+  "CMakeFiles/debias_and_save.dir/debias_and_save.cpp.o.d"
+  "debias_and_save"
+  "debias_and_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debias_and_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/english_bias_study.dir/english_bias_study.cpp.o"
+  "CMakeFiles/english_bias_study.dir/english_bias_study.cpp.o.d"
+  "english_bias_study"
+  "english_bias_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/english_bias_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_baseline_zoo.dir/train_baseline_zoo.cpp.o"
+  "CMakeFiles/train_baseline_zoo.dir/train_baseline_zoo.cpp.o.d"
+  "train_baseline_zoo"
+  "train_baseline_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_baseline_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_common.dir/check.cc.o"
+  "CMakeFiles/dtdbd_common.dir/check.cc.o.d"
+  "CMakeFiles/dtdbd_common.dir/flags.cc.o"
+  "CMakeFiles/dtdbd_common.dir/flags.cc.o.d"
+  "CMakeFiles/dtdbd_common.dir/logging.cc.o"
+  "CMakeFiles/dtdbd_common.dir/logging.cc.o.d"
+  "CMakeFiles/dtdbd_common.dir/rng.cc.o"
+  "CMakeFiles/dtdbd_common.dir/rng.cc.o.d"
+  "CMakeFiles/dtdbd_common.dir/status.cc.o"
+  "CMakeFiles/dtdbd_common.dir/status.cc.o.d"
+  "CMakeFiles/dtdbd_common.dir/table.cc.o"
+  "CMakeFiles/dtdbd_common.dir/table.cc.o.d"
+  "libdtdbd_common.a"
+  "libdtdbd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_data.dir/dataset.cc.o"
+  "CMakeFiles/dtdbd_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dtdbd_data.dir/generator.cc.o"
+  "CMakeFiles/dtdbd_data.dir/generator.cc.o.d"
+  "libdtdbd_data.a"
+  "libdtdbd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

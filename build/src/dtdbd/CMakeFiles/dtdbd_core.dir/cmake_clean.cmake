@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_core.dir/dat.cc.o"
+  "CMakeFiles/dtdbd_core.dir/dat.cc.o.d"
+  "CMakeFiles/dtdbd_core.dir/distill.cc.o"
+  "CMakeFiles/dtdbd_core.dir/distill.cc.o.d"
+  "CMakeFiles/dtdbd_core.dir/dtdbd.cc.o"
+  "CMakeFiles/dtdbd_core.dir/dtdbd.cc.o.d"
+  "CMakeFiles/dtdbd_core.dir/momentum.cc.o"
+  "CMakeFiles/dtdbd_core.dir/momentum.cc.o.d"
+  "CMakeFiles/dtdbd_core.dir/trainer.cc.o"
+  "CMakeFiles/dtdbd_core.dir/trainer.cc.o.d"
+  "libdtdbd_core.a"
+  "libdtdbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_eval.dir/case_study.cc.o"
+  "CMakeFiles/dtdbd_eval.dir/case_study.cc.o.d"
+  "CMakeFiles/dtdbd_eval.dir/tsne.cc.o"
+  "CMakeFiles/dtdbd_eval.dir/tsne.cc.o.d"
+  "libdtdbd_eval.a"
+  "libdtdbd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_metrics.dir/metrics.cc.o"
+  "CMakeFiles/dtdbd_metrics.dir/metrics.cc.o.d"
+  "libdtdbd_metrics.a"
+  "libdtdbd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

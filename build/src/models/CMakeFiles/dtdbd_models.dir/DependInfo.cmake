@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bert_mlp.cc" "src/models/CMakeFiles/dtdbd_models.dir/bert_mlp.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/bert_mlp.cc.o.d"
+  "/root/repo/src/models/bigru.cc" "src/models/CMakeFiles/dtdbd_models.dir/bigru.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/bigru.cc.o.d"
+  "/root/repo/src/models/eann.cc" "src/models/CMakeFiles/dtdbd_models.dir/eann.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/eann.cc.o.d"
+  "/root/repo/src/models/eddfn.cc" "src/models/CMakeFiles/dtdbd_models.dir/eddfn.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/eddfn.cc.o.d"
+  "/root/repo/src/models/m3fend.cc" "src/models/CMakeFiles/dtdbd_models.dir/m3fend.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/m3fend.cc.o.d"
+  "/root/repo/src/models/mdfend.cc" "src/models/CMakeFiles/dtdbd_models.dir/mdfend.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/mdfend.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/dtdbd_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/model.cc.o.d"
+  "/root/repo/src/models/moe.cc" "src/models/CMakeFiles/dtdbd_models.dir/moe.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/moe.cc.o.d"
+  "/root/repo/src/models/style_emotion.cc" "src/models/CMakeFiles/dtdbd_models.dir/style_emotion.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/style_emotion.cc.o.d"
+  "/root/repo/src/models/textcnn.cc" "src/models/CMakeFiles/dtdbd_models.dir/textcnn.cc.o" "gcc" "src/models/CMakeFiles/dtdbd_models.dir/textcnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dtdbd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dtdbd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dtdbd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dtdbd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtdbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

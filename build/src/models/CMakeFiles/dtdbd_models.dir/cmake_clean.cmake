@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_models.dir/bert_mlp.cc.o"
+  "CMakeFiles/dtdbd_models.dir/bert_mlp.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/bigru.cc.o"
+  "CMakeFiles/dtdbd_models.dir/bigru.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/eann.cc.o"
+  "CMakeFiles/dtdbd_models.dir/eann.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/eddfn.cc.o"
+  "CMakeFiles/dtdbd_models.dir/eddfn.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/m3fend.cc.o"
+  "CMakeFiles/dtdbd_models.dir/m3fend.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/mdfend.cc.o"
+  "CMakeFiles/dtdbd_models.dir/mdfend.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/model.cc.o"
+  "CMakeFiles/dtdbd_models.dir/model.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/moe.cc.o"
+  "CMakeFiles/dtdbd_models.dir/moe.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/style_emotion.cc.o"
+  "CMakeFiles/dtdbd_models.dir/style_emotion.cc.o.d"
+  "CMakeFiles/dtdbd_models.dir/textcnn.cc.o"
+  "CMakeFiles/dtdbd_models.dir/textcnn.cc.o.d"
+  "libdtdbd_models.a"
+  "libdtdbd_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/norm.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/norm.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/dtdbd_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/dtdbd_nn.dir/rnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dtdbd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtdbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_nn.dir/attention.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/attention.cc.o.d"
+  "CMakeFiles/dtdbd_nn.dir/conv.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/conv.cc.o.d"
+  "CMakeFiles/dtdbd_nn.dir/embedding.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/dtdbd_nn.dir/linear.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/linear.cc.o.d"
+  "CMakeFiles/dtdbd_nn.dir/module.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/module.cc.o.d"
+  "CMakeFiles/dtdbd_nn.dir/norm.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/norm.cc.o.d"
+  "CMakeFiles/dtdbd_nn.dir/rnn.cc.o"
+  "CMakeFiles/dtdbd_nn.dir/rnn.cc.o.d"
+  "libdtdbd_nn.a"
+  "libdtdbd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_tensor.dir/init.cc.o"
+  "CMakeFiles/dtdbd_tensor.dir/init.cc.o.d"
+  "CMakeFiles/dtdbd_tensor.dir/loss.cc.o"
+  "CMakeFiles/dtdbd_tensor.dir/loss.cc.o.d"
+  "CMakeFiles/dtdbd_tensor.dir/ops.cc.o"
+  "CMakeFiles/dtdbd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/dtdbd_tensor.dir/optim.cc.o"
+  "CMakeFiles/dtdbd_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/dtdbd_tensor.dir/serialize.cc.o"
+  "CMakeFiles/dtdbd_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/dtdbd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/dtdbd_tensor.dir/tensor.cc.o.d"
+  "libdtdbd_tensor.a"
+  "libdtdbd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

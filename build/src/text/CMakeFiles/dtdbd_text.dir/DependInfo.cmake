@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/features.cc" "src/text/CMakeFiles/dtdbd_text.dir/features.cc.o" "gcc" "src/text/CMakeFiles/dtdbd_text.dir/features.cc.o.d"
+  "/root/repo/src/text/frozen_encoder.cc" "src/text/CMakeFiles/dtdbd_text.dir/frozen_encoder.cc.o" "gcc" "src/text/CMakeFiles/dtdbd_text.dir/frozen_encoder.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/dtdbd_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/dtdbd_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dtdbd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtdbd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_text.dir/features.cc.o"
+  "CMakeFiles/dtdbd_text.dir/features.cc.o.d"
+  "CMakeFiles/dtdbd_text.dir/frozen_encoder.cc.o"
+  "CMakeFiles/dtdbd_text.dir/frozen_encoder.cc.o.d"
+  "CMakeFiles/dtdbd_text.dir/vocab.cc.o"
+  "CMakeFiles/dtdbd_text.dir/vocab.cc.o.d"
+  "libdtdbd_text.a"
+  "libdtdbd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtdbd_text.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdbd_test.dir/dtdbd_test.cc.o"
+  "CMakeFiles/dtdbd_test.dir/dtdbd_test.cc.o.d"
+  "dtdbd_test"
+  "dtdbd_test.pdb"
+  "dtdbd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
