@@ -1,12 +1,13 @@
 // Example: the production-shaped DTDBD workflow.
 //
-//  1. Train teachers, distill a student with DTDBD.
+//  1. Train teachers, distill a student with DTDBD — checkpointing every
+//     epoch and resuming mid-run, the way a preemptible job would.
 //  2. Persist the student's weights to disk.
 //  3. Reload them into a fresh model and verify identical predictions.
 //  4. Print the per-domain error-rate profile of the deployed model.
 //
 //   ./build/examples/debias_and_save [--scale 0.3] [--epochs 8] \
-//       [--out /tmp/dtdbd_student.bin]
+//       [--out /tmp/dtdbd_student.bin] [--ckpt /tmp/dtdbd_student.ckpt]
 #include <cstdio>
 
 #include "common/flags.h"
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   const int epochs = flags.GetInt("epochs", 8);
   const std::string out_path =
       flags.GetString("out", "/tmp/dtdbd_student.bin");
+  const std::string ckpt_path =
+      flags.GetString("ckpt", "/tmp/dtdbd_student.ckpt");
 
   data::NewsDataset dataset =
       data::GenerateCorpus(data::Weibo21Config(scale, /*seed=*/13));
@@ -52,14 +55,47 @@ int main(int argc, char** argv) {
   topts.epochs = epochs;
   TrainSupervised(clean.get(), splits.train, nullptr, topts);
 
-  // Student.
+  // Student, distilled in two runs to demonstrate crash-resume. The first
+  // run checkpoints every epoch and stops halfway (as if preempted); the
+  // second starts from a *fresh* model object and resumes from the
+  // checkpoint — parameters, Adam moments, RNG streams, shuffle order, and
+  // the DAA momentum state all come from the file, so the combined
+  // trajectory is bitwise identical to one uninterrupted run.
+  const int total_epochs = epochs + 2;
   models::ModelConfig student_config = config;
   student_config.seed = 29;
-  auto student = models::CreateModel("TextCNN-S", student_config);
+  auto half_trained = models::CreateModel("TextCNN-S", student_config);
   DtdbdOptions dopts;
-  dopts.epochs = epochs + 2;
-  TrainDtdbd(student.get(), unbiased.get(), clean.get(), splits.train,
-             splits.val, dopts);
+  dopts.epochs = total_epochs / 2;
+  dopts.checkpoint_path = ckpt_path;
+  dopts.checkpoint_every = 1;
+  DtdbdResult first_half = TrainDtdbd(half_trained.get(), unbiased.get(),
+                                      clean.get(), splits.train, splits.val,
+                                      dopts);
+  if (!first_half.status.ok()) {
+    std::printf("training failed: %s\n",
+                first_half.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %d/%d epochs, checkpointing each to %s\n",
+              dopts.epochs, total_epochs, ckpt_path.c_str());
+
+  models::ModelConfig resumed_config = student_config;
+  resumed_config.seed = 777;  // init is irrelevant: state comes from disk
+  auto student = models::CreateModel("TextCNN-S", resumed_config);
+  DtdbdOptions resume_opts = dopts;
+  resume_opts.epochs = total_epochs;
+  resume_opts.resume_from = ckpt_path;
+  DtdbdResult second_half =
+      TrainDtdbd(student.get(), unbiased.get(), clean.get(), splits.train,
+                 splits.val, resume_opts);
+  if (!second_half.status.ok()) {
+    std::printf("resume failed: %s\n",
+                second_half.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("resumed and finished epochs %d..%d\n", dopts.epochs + 1,
+              total_epochs);
   auto report = EvaluateModel(student.get(), splits.test);
   std::printf("distilled student: %s\n", report.Summary().c_str());
 

@@ -15,7 +15,25 @@ namespace dtdbd {
 // quality; not cryptographic (not needed here).
 class Rng {
  public:
+  // Complete generator state; capturing and restoring it resumes the stream
+  // at exactly the same point (used by training checkpoints).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+
+    bool operator==(const State& other) const {
+      return s[0] == other.s[0] && s[1] == other.s[1] && s[2] == other.s[2] &&
+             s[3] == other.s[3] &&
+             has_cached_normal == other.has_cached_normal &&
+             cached_normal == other.cached_normal;
+    }
+  };
+
   explicit Rng(uint64_t seed);
+
+  State GetState() const;
+  void SetState(const State& state);
 
   // Uniform 64-bit value.
   uint64_t Next();

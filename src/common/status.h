@@ -4,6 +4,7 @@
 #ifndef DTDBD_COMMON_STATUS_H_
 #define DTDBD_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -55,7 +56,8 @@ class Status {
   std::string message_;
 };
 
-// Minimal StatusOr: either a Status (non-ok) or a value.
+// Minimal StatusOr: either a Status (non-ok) or a value. The value lives in
+// a std::optional so T does not have to be default-constructible.
 template <typename T>
 class StatusOr {
  public:
@@ -69,22 +71,42 @@ class StatusOr {
 
   const T& value() const& {
     DTDBD_CHECK(ok()) << status_.ToString();
-    return value_;
+    return *value_;
   }
   T& value() & {
     DTDBD_CHECK(ok()) << status_.ToString();
-    return value_;
+    return *value_;
   }
   T&& value() && {
     DTDBD_CHECK(ok()) << status_.ToString();
-    return std::move(value_);
+    return std::move(*value_);
   }
 
  private:
   Status status_;
-  T value_{};
+  std::optional<T> value_;
 };
 
 }  // namespace dtdbd
+
+// Propagates a non-ok Status out of the current function.
+#define DTDBD_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::dtdbd::Status _dtdbd_status = (expr);      \
+    if (!_dtdbd_status.ok()) return _dtdbd_status; \
+  } while (0)
+
+#define DTDBD_STATUS_CONCAT_INNER_(a, b) a##b
+#define DTDBD_STATUS_CONCAT_(a, b) DTDBD_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on error propagates the
+// Status, otherwise moves the value into `lhs` (which may be a declaration,
+// e.g. DTDBD_ASSIGN_OR_RETURN(auto x, Foo())).
+#define DTDBD_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  auto DTDBD_STATUS_CONCAT_(_dtdbd_statusor_, __LINE__) = (rexpr);         \
+  if (!DTDBD_STATUS_CONCAT_(_dtdbd_statusor_, __LINE__).ok()) {            \
+    return DTDBD_STATUS_CONCAT_(_dtdbd_statusor_, __LINE__).status();      \
+  }                                                                        \
+  lhs = std::move(DTDBD_STATUS_CONCAT_(_dtdbd_statusor_, __LINE__)).value()
 
 #endif  // DTDBD_COMMON_STATUS_H_

@@ -102,6 +102,28 @@ void DataLoader::NewEpoch() {
   if (shuffle_) rng_.Shuffle(&order_);
 }
 
+DataLoader::State DataLoader::GetState() const {
+  return State{rng_.GetState(), order_};
+}
+
+Status DataLoader::SetState(const State& state) {
+  if (static_cast<int64_t>(state.order.size()) != dataset_->size()) {
+    return Status::InvalidArgument(
+        "loader state holds " + std::to_string(state.order.size()) +
+        " indices, dataset has " + std::to_string(dataset_->size()));
+  }
+  std::vector<bool> seen(state.order.size(), false);
+  for (int64_t idx : state.order) {
+    if (idx < 0 || idx >= dataset_->size() || seen[idx]) {
+      return Status::InvalidArgument("loader state is not a permutation");
+    }
+    seen[idx] = true;
+  }
+  rng_.SetState(state.rng);
+  order_ = state.order;
+  return Status::Ok();
+}
+
 int64_t DataLoader::num_batches() const {
   return (dataset_->size() + batch_size_ - 1) / batch_size_;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "tensor/tensor.h"
 #include "text/features.h"
 #include "text/vocab.h"
@@ -73,12 +74,25 @@ Batch MakeBatch(const NewsDataset& dataset,
 // Epoch-oriented shuffling batch iterator.
 class DataLoader {
  public:
+  // Full iteration state. The shuffle is in-place Fisher-Yates, so the next
+  // epoch's order depends on both the RNG state and the current permutation;
+  // checkpoints must capture both to replay the exact same batch sequence.
+  struct State {
+    Rng::State rng;
+    std::vector<int64_t> order;
+  };
+
   // The dataset must outlive the loader.
   DataLoader(const NewsDataset* dataset, int64_t batch_size, bool shuffle,
              uint64_t seed);
 
   // Reshuffles (when enabled); call once per epoch.
   void NewEpoch();
+
+  State GetState() const;
+  // Restores a captured state; fails if `state.order` is not a permutation
+  // of this loader's dataset indices (checkpoint from a different dataset).
+  Status SetState(const State& state);
 
   int64_t num_batches() const;
   Batch GetBatch(int64_t index) const;

@@ -32,6 +32,11 @@ class DatWrapper : public models::FakeNewsModel {
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override { return base_->feature_dim(); }
 
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+    base_->CollectRngs(rngs);
+  }
+
   models::FakeNewsModel* base() { return base_.get(); }
 
  private:

@@ -53,9 +53,22 @@ struct DtdbdOptions {
   bool use_daa = true;   // ablation: w/o DAA freezes the weights
   uint64_t seed = 99;
   bool verbose = false;
+
+  // --- Fault tolerance (src/train/); see TrainOptions for semantics. ---
+  // Checkpoints additionally carry the DAA momentum state (w_ADD and the
+  // previous F1/bias of Eq. 14), so a resumed run replays the exact same
+  // dynamic-weight trajectory.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  std::string resume_from;
+  train::GuardOptions guard;
+  train::FaultInjector* fault_injector = nullptr;  // test hook, not owned
 };
 
 struct DtdbdResult {
+  // Non-ok when resume failed, the guard gave up on a diverged run, or a
+  // fault injector simulated a crash. Histories cover completed epochs.
+  Status status = Status::Ok();
   std::vector<double> train_loss_per_epoch;
   std::vector<metrics::EvalReport> val_reports;
   std::vector<double> w_add_per_epoch;  // weight in effect during epoch r

@@ -18,6 +18,17 @@ MomentumWeightAdjuster::MomentumWeightAdjuster(double momentum,
   DTDBD_CHECK_LE(initial_w_add, 1.0 - min_weight);
 }
 
+MomentumWeightAdjuster::State MomentumWeightAdjuster::GetState() const {
+  return State{w_add_, has_previous_, prev_f1_, prev_bias_};
+}
+
+void MomentumWeightAdjuster::SetState(const State& state) {
+  w_add_ = state.w_add;
+  has_previous_ = state.has_previous;
+  prev_f1_ = state.prev_f1;
+  prev_bias_ = state.prev_bias;
+}
+
 double MomentumWeightAdjuster::Update(double f1, double bias_total) {
   if (has_previous_) {
     const double delta_f1 = f1 - prev_f1_;

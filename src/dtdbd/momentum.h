@@ -17,6 +17,15 @@ namespace dtdbd {
 
 class MomentumWeightAdjuster {
  public:
+  // Cross-epoch carry-over (Eq. 14 state). Checkpoints persist it so a
+  // resumed run replays the exact same weight trajectory.
+  struct State {
+    double w_add = 0.0;
+    bool has_previous = false;
+    double prev_f1 = 0.0;
+    double prev_bias = 0.0;
+  };
+
   MomentumWeightAdjuster(double momentum, double initial_w_add,
                          double min_weight = 0.05);
 
@@ -26,6 +35,9 @@ class MomentumWeightAdjuster {
 
   double w_add() const { return w_add_; }
   double w_dkd() const { return 1.0 - w_add_; }
+
+  State GetState() const;
+  void SetState(const State& state);
 
  private:
   double momentum_;

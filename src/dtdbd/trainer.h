@@ -4,14 +4,23 @@
 // domain head (EANN, EDDFN, DAT wrappers) automatically get the domain
 // cross-entropy term; gradient reversal inside the model turns it into
 // adversarial training.
+//
+// The loop is fault-tolerant (see src/train/): it can periodically persist
+// an atomic checkpoint, resume from one with a bitwise-identical
+// trajectory, skip NaN-poisoned steps, and roll back to the last good
+// checkpoint with a reduced learning rate when training diverges.
 #ifndef DTDBD_DTDBD_TRAINER_H_
 #define DTDBD_DTDBD_TRAINER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/dataset.h"
 #include "metrics/metrics.h"
 #include "models/model.h"
+#include "train/fault_injector.h"
+#include "train/guard.h"
 
 namespace dtdbd {
 
@@ -29,9 +38,27 @@ struct TrainOptions {
   float entropy_loss_weight = 0.0f;
   uint64_t seed = 1234;
   bool verbose = false;
+
+  // --- Fault tolerance (src/train/) ---
+  // When non-empty, an atomic checkpoint is written here every
+  // `checkpoint_every` epochs and after the final epoch.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  // When non-empty, the full training state (parameters, Adam moments,
+  // RNG streams, loader order, epoch counter) is restored from this file
+  // before the first step; the resumed trajectory is bitwise identical to
+  // an uninterrupted run. On failure the result carries a non-ok status
+  // and no training happens.
+  std::string resume_from;
+  train::GuardOptions guard;
+  // Test hook for fault-injection tests; not owned. May be null.
+  train::FaultInjector* fault_injector = nullptr;
 };
 
 struct TrainResult {
+  // Non-ok when resume failed, the guard gave up on a diverged run, or a
+  // fault injector simulated a crash. Histories cover completed epochs.
+  Status status = Status::Ok();
   std::vector<double> train_loss_per_epoch;
   std::vector<metrics::EvalReport> val_reports;  // empty if no val set
 };
@@ -43,23 +70,27 @@ TrainResult TrainSupervised(models::FakeNewsModel* model,
                             const data::NewsDataset* val,
                             const TrainOptions& options);
 
-// Argmax predictions over a dataset (no grad, eval mode).
+// Argmax predictions over a dataset (no grad, eval mode). An empty dataset
+// or non-positive batch_size yields an empty result.
 std::vector<int> Predict(models::FakeNewsModel* model,
                          const data::NewsDataset& dataset,
                          int64_t batch_size = 64);
 
-// Convenience: Predict + metrics::Evaluate.
+// Convenience: Predict + metrics::Evaluate. An empty dataset or
+// non-positive batch_size yields a default (all-zero) report.
 metrics::EvalReport EvaluateModel(models::FakeNewsModel* model,
                                   const data::NewsDataset& dataset,
                                   int64_t batch_size = 64);
 
-// P(fake) for each sample (softmax of logits), eval mode.
+// P(fake) for each sample (softmax of logits), eval mode. An empty dataset
+// or non-positive batch_size yields an empty result.
 std::vector<float> PredictFakeProbability(models::FakeNewsModel* model,
                                           const data::NewsDataset& dataset,
                                           int64_t batch_size = 64);
 
 // Intermediate features for each sample, row-major [N, feature_dim];
-// used by the t-SNE visualization (Fig. 2) and analysis tools.
+// used by the t-SNE visualization (Fig. 2) and analysis tools. An empty
+// dataset or non-positive batch_size yields an empty result.
 std::vector<float> ExtractFeatures(models::FakeNewsModel* model,
                                    const data::NewsDataset& dataset,
                                    int64_t batch_size = 64);

@@ -18,6 +18,9 @@ class BertMlpModel : public FakeNewsModel {
   ModelOutput Forward(const data::Batch& batch, bool training) override;
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override { return config_.hidden_dim; }
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+  }
 
  private:
   std::string name_;

@@ -22,6 +22,9 @@ class EddfnModel : public FakeNewsModel {
   ModelOutput Forward(const data::Batch& batch, bool training) override;
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override { return 2 * config_.hidden_dim; }
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+  }
 
  private:
   std::string name_;

@@ -27,6 +27,9 @@ class M3fendModel : public FakeNewsModel {
   ModelOutput Forward(const data::Batch& batch, bool training) override;
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override { return view_dim_; }
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+  }
 
   // Soft domain-label distribution of the last forward batch (row-major
   // [B, D]); exposed for inspection/tests.

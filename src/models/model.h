@@ -54,6 +54,12 @@ class FakeNewsModel : public nn::Module {
 
   virtual const std::string& name() const = 0;
   virtual int64_t feature_dim() const = 0;
+
+  // Appends the RNG streams driving training-time stochasticity (dropout),
+  // outermost model first. Checkpoint/resume captures and restores them so
+  // a resumed run replays the exact same dropout masks; a model that adds a
+  // new randomness source must register it here or lose bitwise resume.
+  virtual void CollectRngs(std::vector<Rng*>* rngs) { (void)rngs; }
 };
 
 // Factory over the full zoo. Recognized names:

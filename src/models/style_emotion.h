@@ -23,6 +23,9 @@ class StyleLstmModel : public FakeNewsModel {
   ModelOutput Forward(const data::Batch& batch, bool training) override;
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override;
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+  }
 
  private:
   std::string name_ = "StyleLSTM";
@@ -40,6 +43,9 @@ class DualEmoModel : public FakeNewsModel {
   ModelOutput Forward(const data::Batch& batch, bool training) override;
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override;
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+  }
 
  private:
   std::string name_ = "DualEmo";

@@ -25,6 +25,9 @@ class TextCnnModel : public FakeNewsModel {
   ModelOutput Forward(const data::Batch& batch, bool training) override;
   const std::string& name() const override { return name_; }
   int64_t feature_dim() const override { return conv_->output_dim(); }
+  void CollectRngs(std::vector<Rng*>* rngs) override {
+    rngs->push_back(&rng_);
+  }
 
  private:
   std::string name_;

@@ -81,6 +81,36 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status Adam::ImportState(const AdamState& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam state has " + std::to_string(state.m.size()) +
+        " slots, optimizer has " + std::to_string(params_.size()));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const size_t n = static_cast<size_t>(params_[i].numel());
+    if (state.m[i].size() != n || state.v[i].size() != n) {
+      return Status::InvalidArgument(
+          "Adam moment size mismatch at slot " + std::to_string(i));
+    }
+  }
+  if (state.step_count < 0) {
+    return Status::InvalidArgument("negative Adam step count");
+  }
+  step_count_ = state.step_count;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::Ok();
+}
+
 float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
   DTDBD_CHECK_GT(max_norm, 0.0f);
   double total = 0.0;

@@ -5,9 +5,19 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace dtdbd::tensor {
+
+// Snapshot of Adam's per-parameter moments, keyed by parameter position.
+// Exported into training checkpoints so a resumed run continues with the
+// exact same update trajectory.
+struct AdamState {
+  int64_t step_count = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
 
 // Interface shared by all optimizers.
 class Optimizer {
@@ -58,6 +68,13 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  // Deep-copies the optimizer state (step count + both moment buffers).
+  AdamState ExportState() const;
+
+  // Restores previously exported state; fails if the moment buffers do not
+  // match this optimizer's parameter count/sizes (wrong model or ordering).
+  Status ImportState(const AdamState& state);
 
  private:
   float lr_;

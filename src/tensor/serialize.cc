@@ -1,5 +1,6 @@
 #include "tensor/serialize.h"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -11,7 +12,15 @@ namespace dtdbd::tensor {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'T', 'D', 'B'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;  // no per-entry CRC
+constexpr uint32_t kVersion = 2;
+
+// Hard ceilings on header fields; anything larger is rejected before any
+// allocation is attempted.
+constexpr uint64_t kMaxEntries = 1u << 20;
+constexpr uint64_t kMaxNameLen = 1u << 16;
+constexpr uint64_t kMaxNdim = 8;
+constexpr int64_t kMaxElements = int64_t{1} << 40;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -24,11 +33,123 @@ bool WriteBytes(std::FILE* f, const void* data, size_t n) {
   return std::fwrite(data, 1, n, f) == n;
 }
 
-bool ReadBytes(std::FILE* f, void* data, size_t n) {
-  return std::fread(data, 1, n, f) == n;
+// Stream reader that refuses to read past the known file size, so hostile
+// length fields can never trigger oversized reads or allocations.
+class BoundedReader {
+ public:
+  BoundedReader(std::FILE* f, int64_t size) : f_(f), size_(size) {}
+
+  int64_t remaining() const { return size_ - pos_; }
+
+  bool Read(void* data, int64_t n) {
+    if (n < 0 || n > remaining()) return false;
+    if (std::fread(data, 1, static_cast<size_t>(n), f_) !=
+        static_cast<size_t>(n)) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadScalar(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+ private:
+  std::FILE* f_;
+  int64_t size_;
+  int64_t pos_ = 0;
+};
+
+// Element count of a shape with explicit overflow/negativity checks.
+Status CheckedNumElements(const Shape& shape, int64_t* out) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) return Status::InvalidArgument("negative dimension");
+    if (d > 0 && n > kMaxElements / d) {
+      return Status::InvalidArgument("absurd tensor size");
+    }
+    n *= d;
+  }
+  *out = n;
+  return Status::Ok();
+}
+
+Status ReadOneTensor(BoundedReader* reader, uint32_t version,
+                     const std::string& path, std::string* name_out,
+                     Tensor* tensor_out) {
+  uint64_t name_len = 0;
+  if (!reader->ReadScalar(&name_len)) {
+    return Status::IoError("truncated entry in " + path);
+  }
+  if (name_len > kMaxNameLen) {
+    return Status::InvalidArgument("absurd name length in " + path);
+  }
+  uint32_t crc = Crc32(&name_len, sizeof(name_len));
+  std::string name(name_len, '\0');
+  uint64_t ndim = 0;
+  if (!reader->Read(name.data(), static_cast<int64_t>(name_len)) ||
+      !reader->ReadScalar(&ndim)) {
+    return Status::IoError("truncated entry in " + path);
+  }
+  if (ndim > kMaxNdim) {
+    return Status::InvalidArgument("absurd ndim in " + path);
+  }
+  crc = Crc32(name.data(), name.size(), crc);
+  crc = Crc32(&ndim, sizeof(ndim), crc);
+  Shape shape(ndim);
+  if (!reader->Read(shape.data(),
+                    static_cast<int64_t>(ndim * sizeof(int64_t)))) {
+    return Status::IoError("truncated shape in " + path);
+  }
+  crc = Crc32(shape.data(), ndim * sizeof(int64_t), crc);
+  int64_t n = 0;
+  DTDBD_RETURN_IF_ERROR(CheckedNumElements(shape, &n));
+  if (n * static_cast<int64_t>(sizeof(float)) > reader->remaining()) {
+    return Status::IoError("truncated data in " + path);
+  }
+  std::vector<float> data(n);
+  if (!reader->Read(data.data(), n * static_cast<int64_t>(sizeof(float)))) {
+    return Status::IoError("truncated data in " + path);
+  }
+  if (version >= kVersion) {
+    crc = Crc32(data.data(), data.size() * sizeof(float), crc);
+    uint32_t stored = 0;
+    if (!reader->ReadScalar(&stored)) {
+      return Status::IoError("truncated CRC in " + path);
+    }
+    if (stored != crc) {
+      return Status::InvalidArgument("CRC mismatch for entry '" + name +
+                                     "' in " + path);
+    }
+  }
+  *name_out = std::move(name);
+  *tensor_out = Tensor::FromData(shape, std::move(data));
+  return Status::Ok();
 }
 
 }  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 Status SaveTensors(const std::map<std::string, Tensor>& tensors,
                    const std::string& path) {
@@ -44,12 +165,18 @@ Status SaveTensors(const std::map<std::string, Tensor>& tensors,
     if (!t.defined()) return Status::InvalidArgument("undefined tensor: " + name);
     const uint64_t name_len = name.size();
     const uint64_t ndim = t.shape().size();
+    uint32_t crc = Crc32(&name_len, sizeof(name_len));
+    crc = Crc32(name.data(), name.size(), crc);
+    crc = Crc32(&ndim, sizeof(ndim), crc);
+    crc = Crc32(t.shape().data(), ndim * sizeof(int64_t), crc);
+    crc = Crc32(t.data().data(), t.data().size() * sizeof(float), crc);
     if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
         !WriteBytes(f.get(), name.data(), name.size()) ||
         !WriteBytes(f.get(), &ndim, sizeof(ndim)) ||
         !WriteBytes(f.get(), t.shape().data(), ndim * sizeof(int64_t)) ||
         !WriteBytes(f.get(), t.data().data(),
-                    t.data().size() * sizeof(float))) {
+                    t.data().size() * sizeof(float)) ||
+        !WriteBytes(f.get(), &crc, sizeof(crc))) {
       return Status::IoError("write failed: " + path);
     }
   }
@@ -59,43 +186,39 @@ Status SaveTensors(const std::map<std::string, Tensor>& tensors,
 StatusOr<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open for read: " + path);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek: " + path);
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) return Status::IoError("cannot stat: " + path);
+  std::rewind(f.get());
+
+  BoundedReader reader(f.get(), file_size);
   char magic[4];
   uint32_t version = 0;
   uint64_t count = 0;
-  if (!ReadBytes(f.get(), magic, 4) ||
-      std::memcmp(magic, kMagic, 4) != 0) {
+  if (!reader.Read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::InvalidArgument("bad magic in " + path);
   }
-  if (!ReadBytes(f.get(), &version, sizeof(version)) || version != kVersion) {
+  if (!reader.ReadScalar(&version) ||
+      (version != kVersionLegacy && version != kVersion)) {
     return Status::InvalidArgument("unsupported version in " + path);
   }
-  if (!ReadBytes(f.get(), &count, sizeof(count))) {
+  if (!reader.ReadScalar(&count)) {
     return Status::IoError("truncated header in " + path);
+  }
+  if (count > kMaxEntries) {
+    return Status::InvalidArgument("absurd entry count in " + path);
   }
   std::map<std::string, Tensor> result;
   for (uint64_t i = 0; i < count; ++i) {
-    uint64_t name_len = 0;
-    if (!ReadBytes(f.get(), &name_len, sizeof(name_len)) ||
-        name_len > (1u << 20)) {
-      return Status::IoError("truncated entry in " + path);
-    }
-    std::string name(name_len, '\0');
-    uint64_t ndim = 0;
-    if (!ReadBytes(f.get(), name.data(), name_len) ||
-        !ReadBytes(f.get(), &ndim, sizeof(ndim)) || ndim > 8) {
-      return Status::IoError("truncated entry in " + path);
-    }
-    Shape shape(ndim);
-    if (!ReadBytes(f.get(), shape.data(), ndim * sizeof(int64_t))) {
-      return Status::IoError("truncated shape in " + path);
-    }
-    const int64_t n = NumElements(shape);
-    std::vector<float> data(n);
-    if (!ReadBytes(f.get(), data.data(), n * sizeof(float))) {
-      return Status::IoError("truncated data in " + path);
-    }
-    result.emplace(std::move(name),
-                   Tensor::FromData(shape, std::move(data)));
+    std::string name;
+    Tensor t;
+    DTDBD_RETURN_IF_ERROR(ReadOneTensor(&reader, version, path, &name, &t));
+    result.emplace(std::move(name), std::move(t));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in " + path);
   }
   return result;
 }

@@ -1,0 +1,80 @@
+#include "train/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <limits>
+
+namespace dtdbd::train {
+
+bool FaultInjector::MaybeCorruptGradients(
+    int64_t step, const std::vector<tensor::Tensor>& params) {
+  bool fire = false;
+  auto it = nan_steps_.find(step);
+  if (it != nan_steps_.end()) {
+    nan_steps_.erase(it);
+    fire = true;
+  }
+  if (!fire && nan_probability_ > 0.0 && rng_.Bernoulli(nan_probability_)) {
+    fire = true;
+  }
+  if (!fire || params.empty()) return false;
+  const int64_t p = rng_.UniformInt(static_cast<int64_t>(params.size()));
+  auto& grad = const_cast<std::vector<float>&>(params[p].grad());
+  if (grad.empty()) return false;
+  const int64_t j = rng_.UniformInt(static_cast<int64_t>(grad.size()));
+  grad[j] = std::numeric_limits<float>::quiet_NaN();
+  ++injected_nan_steps_;
+  return true;
+}
+
+bool FaultInjector::ShouldAbort(int64_t step) {
+  auto it = abort_steps_.find(step);
+  if (it == abort_steps_.end()) return false;
+  abort_steps_.erase(it);
+  return true;
+}
+
+Status FaultInjector::TruncateFile(const std::string& path,
+                                   double keep_fraction) {
+  if (keep_fraction < 0.0 || keep_fraction > 1.0) {
+    return Status::InvalidArgument("keep_fraction must be in [0, 1]");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) return Status::IoError("cannot stat: " + path);
+  const auto new_size = static_cast<off_t>(size * keep_fraction);
+  if (truncate(path.c_str(), new_size) != 0) {
+    return Status::IoError("truncate failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::FlipBit(const std::string& path, int64_t byte_offset,
+                              int bit) {
+  if (bit < 0 || bit > 7) return Status::InvalidArgument("bit must be in [0, 7]");
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (byte_offset < 0 || byte_offset >= size) {
+    std::fclose(f);
+    return Status::InvalidArgument("byte_offset out of range");
+  }
+  unsigned char byte = 0;
+  bool ok = std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) == 0 &&
+            std::fread(&byte, 1, 1, f) == 1;
+  if (ok) {
+    byte = static_cast<unsigned char>(byte ^ (1u << bit));
+    ok = std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) == 0 &&
+         std::fwrite(&byte, 1, 1, f) == 1;
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("bit flip failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace dtdbd::train

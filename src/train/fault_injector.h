@@ -1,0 +1,59 @@
+// Seeded fault injection for robustness testing.
+//
+// The injector is handed to a training loop as a test hook. It can poison
+// gradients with NaNs (one-shot at a scheduled global step, or i.i.d. with a
+// probability per step) and simulate a mid-epoch crash by aborting the run
+// at a scheduled step. The static file-corruption helpers (truncation, bit
+// flip) exercise the checkpoint loader's integrity checks.
+#ifndef DTDBD_TRAIN_FAULT_INJECTOR_H_
+#define DTDBD_TRAIN_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::train {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // One-shot faults keyed by the loop's global step counter. A scheduled
+  // step fires exactly once, so a rolled-back epoch replays clean.
+  void ScheduleGradNanAtStep(int64_t step) { nan_steps_.insert(step); }
+  void ScheduleAbortAtStep(int64_t step) { abort_steps_.insert(step); }
+
+  // Additionally corrupts every step independently with this probability.
+  void set_grad_nan_probability(double p) { nan_probability_ = p; }
+
+  // Called by the trainer after backward; overwrites one randomly chosen
+  // gradient element with NaN when a fault fires. Returns true if it did.
+  bool MaybeCorruptGradients(int64_t step,
+                             const std::vector<tensor::Tensor>& params);
+
+  // Called by the trainer before each batch; true simulates a crash (the
+  // trainer returns immediately, losing all non-checkpointed state).
+  bool ShouldAbort(int64_t step);
+
+  int64_t injected_nan_steps() const { return injected_nan_steps_; }
+
+  // On-disk corruption, for checkpoint-integrity tests.
+  static Status TruncateFile(const std::string& path, double keep_fraction);
+  static Status FlipBit(const std::string& path, int64_t byte_offset, int bit);
+
+ private:
+  Rng rng_;
+  std::set<int64_t> nan_steps_;
+  std::set<int64_t> abort_steps_;
+  double nan_probability_ = 0.0;
+  int64_t injected_nan_steps_ = 0;
+};
+
+}  // namespace dtdbd::train
+
+#endif  // DTDBD_TRAIN_FAULT_INJECTOR_H_

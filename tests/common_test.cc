@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -121,6 +122,63 @@ TEST(StatusOrTest, HoldsValueOrStatus) {
   StatusOr<int> err(Status::IoError("disk"));
   EXPECT_FALSE(err.ok());
   EXPECT_EQ(err.status().code(), StatusCode::kIoError);
+}
+
+// A payload type with no default constructor: StatusOr must not require one
+// (it stores the value in a std::optional).
+struct NoDefault {
+  explicit NoDefault(int v) : value(v) {}
+  NoDefault(const NoDefault&) = default;
+  NoDefault(NoDefault&&) = default;
+  int value;
+};
+
+TEST(StatusOrTest, WorksWithNonDefaultConstructibleType) {
+  StatusOr<NoDefault> ok_value(NoDefault(7));
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(ok_value.value().value, 7);
+
+  StatusOr<NoDefault> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+
+  // Move extraction hands the payload out without a default-constructed hole.
+  StatusOr<std::unique_ptr<int>> ptr(std::make_unique<int>(5));
+  ASSERT_TRUE(ptr.ok());
+  std::unique_ptr<int> owned = std::move(ptr).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+namespace statusor_macros {
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status CheckPositive(int x) {
+  DTDBD_RETURN_IF_ERROR(ParsePositive(x).status());
+  return Status::Ok();
+}
+
+StatusOr<int> SumOfTwo(int a, int b) {
+  DTDBD_ASSIGN_OR_RETURN(int pa, ParsePositive(a));
+  DTDBD_ASSIGN_OR_RETURN(int pb, ParsePositive(b));
+  return pa + pb;
+}
+
+}  // namespace statusor_macros
+
+TEST(StatusOrTest, MacrosPropagateErrors) {
+  EXPECT_TRUE(statusor_macros::CheckPositive(3).ok());
+  EXPECT_EQ(statusor_macros::CheckPositive(-1).code(),
+            StatusCode::kInvalidArgument);
+
+  auto sum = statusor_macros::SumOfTwo(2, 3);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value(), 5);
+  EXPECT_FALSE(statusor_macros::SumOfTwo(2, -3).ok());
+  EXPECT_FALSE(statusor_macros::SumOfTwo(-2, 3).ok());
 }
 
 TEST(FlagParserTest, ParsesForms) {
