@@ -1,12 +1,30 @@
-// Micro-benchmarks of the tensor/NN substrate (google-benchmark). Not a
-// paper artifact — sanity numbers for the engine the experiments run on.
+// Micro-benchmarks of the tensor/NN substrate. Not a paper artifact —
+// sanity numbers for the engine the experiments run on.
+//
+// Default mode sweeps the hot kernels (MatMul, Conv1dSeq, Softmax,
+// EmbeddingGather) across --sweep-threads (default 1,2,4,8), verifies the
+// forward and backward results are bitwise identical to the 1-thread run,
+// and writes BENCH_tensor.json. Pass --gbench to run the google-benchmark
+// suite instead (it accepts the usual --benchmark_* flags).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/rnn.h"
 #include "tensor/init.h"
 #include "tensor/loss.h"
 #include "tensor/ops.h"
+#include "tensor/registry.h"
 #include "text/frozen_encoder.h"
 
 namespace {
@@ -19,6 +37,225 @@ Tensor RandomTensor(const tensor::Shape& shape, uint64_t seed,
   Rng rng(seed);
   return tensor::NormalInit(shape, 1.0f, &rng, requires_grad);
 }
+
+// ----- Thread-sweep mode ---------------------------------------------------
+
+// One forward+backward evaluation of a kernel: builds fresh leaves from
+// fixed seeds, reduces the op output with Sum, backprops, and returns the
+// output plus every leaf gradient so runs can be compared bitwise.
+struct FwdBwdResult {
+  std::vector<float> out;
+  std::vector<std::vector<float>> grads;
+};
+
+struct SweepOp {
+  std::string name;
+  std::string workload;
+  std::function<Tensor()> forward;          // timed; run under NoGradGuard
+  std::function<FwdBwdResult()> fwd_bwd;    // timed + bitwise-compared
+};
+
+// Leaves are built once (outside the timed region); each fwd_bwd call
+// rebuilds the graph from them, zeroes grads, and backprops.
+FwdBwdResult RunFwdBwd(const std::vector<Tensor>& leaves, const Tensor& out) {
+  Tensor loss = tensor::Sum(out);
+  loss.Backward();
+  FwdBwdResult r;
+  r.out = out.ToVector();
+  for (const Tensor& leaf : leaves) r.grads.push_back(leaf.grad());
+  return r;
+}
+
+void ZeroGrads(std::vector<Tensor>& leaves) {
+  for (Tensor& leaf : leaves) leaf.ZeroGrad();
+}
+
+std::vector<SweepOp> MakeSweepOps() {
+  std::vector<SweepOp> ops;
+
+  {
+    Tensor a = RandomTensor({128, 128}, 1, true);
+    Tensor b = RandomTensor({128, 128}, 2, true);
+    std::vector<Tensor> leaves = {a, b};
+    ops.push_back({"MatMul", "a[128,128] @ b[128,128]",
+                   [a, b] { return tensor::MatMul(a, b); },
+                   [a, b, leaves]() mutable {
+                     ZeroGrads(leaves);
+                     return RunFwdBwd(leaves, tensor::MatMul(a, b));
+                   }});
+  }
+
+  {
+    Tensor x = RandomTensor({32, 24, 32}, 3, true);
+    Tensor w = RandomTensor({32, 96}, 4, true);
+    Tensor b = RandomTensor({32}, 5, true);
+    std::vector<Tensor> leaves = {x, w, b};
+    ops.push_back({"Conv1dSeq", "x[32,24,32], w[32,3*32], k=3",
+                   [x, w, b] { return tensor::Conv1dSeq(x, w, b, 3); },
+                   [x, w, b, leaves]() mutable {
+                     ZeroGrads(leaves);
+                     return RunFwdBwd(leaves, tensor::Conv1dSeq(x, w, b, 3));
+                   }});
+  }
+
+  {
+    Tensor x = RandomTensor({256, 64}, 6, true);
+    std::vector<Tensor> leaves = {x};
+    ops.push_back({"Softmax", "x[256,64]",
+                   [x] { return tensor::Softmax(x); },
+                   [x, leaves]() mutable {
+                     ZeroGrads(leaves);
+                     return RunFwdBwd(leaves, tensor::Softmax(x));
+                   }});
+  }
+
+  {
+    Tensor table = RandomTensor({5000, 64}, 8, true);
+    Rng rng(7);
+    std::vector<int> ids(32 * 24);
+    for (auto& id : ids) id = static_cast<int>(rng.UniformInt(5000));
+    std::vector<Tensor> leaves = {table};
+    ops.push_back(
+        {"EmbeddingGather", "table[5000,64], ids[32*24]",
+         [table, ids] { return tensor::EmbeddingGather(table, ids, 32, 24); },
+         [table, ids, leaves]() mutable {
+           ZeroGrads(leaves);
+           return RunFwdBwd(leaves,
+                            tensor::EmbeddingGather(table, ids, 32, 24));
+         }});
+  }
+
+  return ops;
+}
+
+// Wall-clock ms per iteration; repeats until >= 60 ms of work was measured.
+template <typename Fn>
+double TimeMs(const Fn& fn, int warmup = 2) {
+  for (int i = 0; i < warmup; ++i) fn();
+  using clock = std::chrono::steady_clock;
+  int iters = 0;
+  const auto start = clock::now();
+  double elapsed_ms = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed_ms = std::chrono::duration<double, std::milli>(clock::now() -
+                                                           start)
+                     .count();
+  } while (elapsed_ms < 60.0 && iters < 10000);
+  return elapsed_ms / iters;
+}
+
+bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+bool SameBits(const FwdBwdResult& a, const FwdBwdResult& b) {
+  if (!SameBits(a.out, b.out) || a.grads.size() != b.grads.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.grads.size(); ++i) {
+    if (!SameBits(a.grads[i], b.grads[i])) return false;
+  }
+  return true;
+}
+
+std::vector<int> ParseThreadList(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const int v = std::atoi(csv.substr(pos, comma - pos).c_str());
+    if (v > 0) out.push_back(v);
+    pos = comma + 1;
+  }
+  return out.empty() ? std::vector<int>{1, 2, 4, 8} : out;
+}
+
+int RunSweep(const FlagParser& flags) {
+  const std::vector<int> thread_counts =
+      ParseThreadList(flags.GetString("sweep-threads", "1,2,4,8"));
+  const std::string json_path = flags.GetString("json", "BENCH_tensor.json");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  struct Row {
+    std::string op, workload;
+    int threads;
+    double fwd_ms, fwd_bwd_ms;
+    bool bitwise_equal;
+  };
+  std::vector<Row> rows;
+  bool all_equal = true;
+
+  for (const SweepOp& op : MakeSweepOps()) {
+    // Reference results at 1 thread; every other count must match bitwise.
+    SetNumThreads(1);
+    std::vector<float> ref_out;
+    {
+      tensor::NoGradGuard no_grad;
+      ref_out = op.forward().ToVector();
+    }
+    const FwdBwdResult ref = op.fwd_bwd();
+
+    for (int t : thread_counts) {
+      SetNumThreads(t);
+      std::vector<float> out;
+      {
+        tensor::NoGradGuard no_grad;
+        out = op.forward().ToVector();
+      }
+      const bool equal = SameBits(out, ref_out) && SameBits(op.fwd_bwd(), ref);
+      all_equal = all_equal && equal;
+
+      double fwd_ms;
+      {
+        tensor::NoGradGuard no_grad;
+        fwd_ms = TimeMs([&] { op.forward(); });
+      }
+      const double fwd_bwd_ms = TimeMs([&] { op.fwd_bwd(); });
+      rows.push_back({op.name, op.workload, t, fwd_ms, fwd_bwd_ms, equal});
+      std::printf("%-16s %-28s threads=%d  fwd %8.4f ms  fwd+bwd %8.4f ms  %s\n",
+                  op.name.c_str(), op.workload.c_str(), t, fwd_ms, fwd_bwd_ms,
+                  equal ? "bitwise==t1" : "MISMATCH");
+    }
+  }
+  SetNumThreads(1);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for write\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"tensor_substrate_thread_sweep\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f,
+               "  \"note\": \"static-partition deterministic backend; results "
+               "are bitwise identical across thread counts. Wall-clock "
+               "speedup requires hardware_concurrency > 1; on a 1-CPU host "
+               "the extra thread counts measure scheduling overhead only.\",\n");
+  std::fprintf(f, "  \"all_bitwise_equal\": %s,\n",
+               all_equal ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
+                 "\"fwd_ms_per_iter\": %.6f, \"fwd_bwd_ms_per_iter\": %.6f, "
+                 "\"bitwise_equal_to_1_thread\": %s}%s\n",
+                 r.op.c_str(), r.workload.c_str(), r.threads, r.fwd_ms,
+                 r.fwd_bwd_ms, r.bitwise_equal ? "true" : "false",
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_equal ? 0 : 1;
+}
+
+// ----- google-benchmark suite (--gbench) -----------------------------------
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -110,4 +347,14 @@ BENCHMARK(BM_DistillKl);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dtdbd::FlagParser flags(argc, argv);
+  if (flags.GetBool("gbench", false)) {
+    dtdbd::InitThreadsFromFlags(flags);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return RunSweep(flags);
+}

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "dtdbd/dat.h"
 #include "dtdbd/dtdbd.h"
@@ -20,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace dtdbd;
   FlagParser flags(argc, argv);
+  InitThreadsFromFlags(flags);  // --threads=N / DTDBD_NUM_THREADS
   const double scale = flags.GetDouble("scale", 0.12);
   const int epochs = flags.GetInt("epochs", 3);
 

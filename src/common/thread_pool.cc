@@ -1,0 +1,185 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace dtdbd {
+
+namespace {
+
+// Marks threads that are currently executing a shard, so nested ParallelFor
+// calls degrade to inline execution instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+class Pool {
+ public:
+  explicit Pool(int nthreads) : nthreads_(nthreads) {
+    DTDBD_CHECK_GE(nthreads, 1);
+    workers_.reserve(nthreads - 1);
+    for (int i = 0; i < nthreads - 1; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int nthreads() const { return nthreads_; }
+
+  // Runs fn(shard) for every shard in [0, nshards); the calling thread
+  // participates. Returns after all shards completed.
+  void Run(int nshards, const std::function<void(int)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fn_ = &fn;
+      nshards_ = nshards;
+      next_shard_.store(0, std::memory_order_relaxed);
+      pending_.store(nshards, std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_.notify_all();
+    DrainShards();
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    std::lock_guard<std::mutex> reset(mu_);
+    fn_ = nullptr;
+  }
+
+ private:
+  void DrainShards() {
+    int shard;
+    while ((shard = next_shard_.fetch_add(1, std::memory_order_relaxed)) <
+           nshards_) {
+      (*fn_)(shard);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this, seen_generation] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+      }
+      DrainShards();
+    }
+  }
+
+  const int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(int)>* fn_ = nullptr;
+  int nshards_ = 0;
+  std::atomic<int> next_shard_{0};
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::atomic<int> pending_{0};
+};
+
+std::unique_ptr<Pool> g_pool;       // null until first use or SetNumThreads
+int g_num_threads = 0;              // 0 = not yet initialized
+
+void EnsurePool() {
+  if (g_num_threads == 0) {
+    g_num_threads = DefaultNumThreads();
+  }
+  if (!g_pool && g_num_threads > 1) {
+    g_pool = std::make_unique<Pool>(g_num_threads);
+  }
+}
+
+}  // namespace
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("DTDBD_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int GetNumThreads() {
+  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+  return g_num_threads;
+}
+
+void SetNumThreads(int n) {
+  DTDBD_CHECK(!t_in_parallel_region)
+      << "SetNumThreads inside a ParallelFor body";
+  const int want = n <= 0 ? DefaultNumThreads() : n;
+  if (want == g_num_threads && (g_pool || want == 1)) return;
+  g_pool.reset();
+  g_num_threads = want;
+  if (want > 1) g_pool = std::make_unique<Pool>(want);
+}
+
+int InitThreadsFromFlags(const FlagParser& flags) {
+  const int n = flags.GetInt("threads", DefaultNumThreads());
+  SetNumThreads(n);
+  return GetNumThreads();
+}
+
+namespace internal {
+
+void ParallelForImpl(int64_t n, int64_t grain, void* ctx,
+                     void (*fn)(void* ctx, int64_t begin, int64_t end)) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  EnsurePool();
+  const int threads = g_num_threads;
+  if (threads == 1 || t_in_parallel_region || n <= grain) {
+    fn(ctx, 0, n);
+    return;
+  }
+  const int64_t max_shards = (n + grain - 1) / grain;
+  const int shards =
+      static_cast<int>(std::min<int64_t>(threads, max_shards));
+  if (shards <= 1) {
+    fn(ctx, 0, n);
+    return;
+  }
+  g_pool->Run(shards, [&](int s) {
+    t_in_parallel_region = true;
+    const int64_t begin = n * s / shards;
+    const int64_t end = n * (s + 1) / shards;
+    if (begin < end) fn(ctx, begin, end);
+    t_in_parallel_region = false;
+  });
+}
+
+}  // namespace internal
+
+}  // namespace dtdbd

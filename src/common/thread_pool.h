@@ -1,0 +1,64 @@
+// Process-wide worker pool and deterministic parallel-for used by the
+// tensor kernels.
+//
+// Determinism contract: ParallelFor splits [0, n) into contiguous shards
+// with fixed arithmetic boundaries and hands each shard to one worker.
+// Kernels built on it must (a) write only to locations derived from the
+// indices they were given (disjoint across shards) and (b) compute each
+// output element with an operation order that does not depend on where the
+// shard boundaries fall. Under those two rules the result is bitwise
+// identical for every thread count, including 1 — which is what the
+// backend-consistency test asserts for every registered tensor op.
+#ifndef DTDBD_COMMON_THREAD_POOL_H_
+#define DTDBD_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace dtdbd {
+
+class FlagParser;
+
+// Number of worker threads the kernels currently use (>= 1). Lazily
+// initialized from DTDBD_NUM_THREADS or std::thread::hardware_concurrency.
+int GetNumThreads();
+
+// Sets the process-wide thread count. n <= 0 restores the default
+// (environment / hardware). n == 1 runs every kernel inline on the calling
+// thread, which is byte-for-byte the single-threaded engine. Must be called
+// from the main thread, outside any ParallelFor region.
+void SetNumThreads(int n);
+
+// Default thread count: DTDBD_NUM_THREADS if set and positive, else
+// hardware concurrency (at least 1).
+int DefaultNumThreads();
+
+// Reads --threads=N (falling back to DTDBD_NUM_THREADS, then hardware) and
+// applies it via SetNumThreads. Every bench/example main calls this so perf
+// runs are reproducible from the command line.
+int InitThreadsFromFlags(const FlagParser& flags);
+
+namespace internal {
+// Type-erased core; `fn(ctx, begin, end)` is invoked once per shard.
+void ParallelForImpl(int64_t n, int64_t grain, void* ctx,
+                     void (*fn)(void* ctx, int64_t begin, int64_t end));
+}  // namespace internal
+
+// Runs body(begin, end) over a static partition of [0, n). `grain` is the
+// minimum work per shard; ranges smaller than one grain run inline. Nested
+// calls (body itself calling ParallelFor) run inline rather than deadlock.
+// Header template so the hot path never allocates a std::function.
+template <typename Body>
+void ParallelFor(int64_t n, int64_t grain, Body&& body) {
+  using BodyT = std::remove_reference_t<Body>;
+  internal::ParallelForImpl(
+      n, grain, const_cast<BodyT*>(std::addressof(body)),
+      [](void* ctx, int64_t begin, int64_t end) {
+        (*static_cast<BodyT*>(ctx))(begin, end);
+      });
+}
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_COMMON_THREAD_POOL_H_

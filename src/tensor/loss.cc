@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "tensor/ops.h"
+#include "tensor/registry.h"
 
 namespace dtdbd::tensor {
 
@@ -30,153 +33,202 @@ void SoftmaxWithTemperature(const float* in, float* out, float* log_out,
   }
 }
 
-Tensor MakeScalarLoss(const char* name, float value, std::vector<Tensor> inputs,
-                      const std::function<std::function<void()>(Node*)>&
-                          make_backward) {
-  auto node = std::make_shared<Node>();
-  node->shape = {1};
-  node->data = {value};
-  node->op_name = name;
-  bool any_grad = false;
-  for (const auto& in : inputs) any_grad = any_grad || in.requires_grad();
-  if (GradEnabled() && any_grad) {
-    node->requires_grad = true;
-    for (const auto& in : inputs) node->inputs.push_back(in.node());
-    node->backward = make_backward(node.get());
+// ----- CrossEntropyLoss -----
+
+struct CrossEntropyState {
+  std::vector<float> probs;
+  std::vector<int> labels;
+};
+
+void CrossEntropyBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t c = in->shape[1];
+  const int64_t b = in->shape[0];
+  const auto* st = static_cast<const CrossEntropyState*>(self->saved.get());
+  const float g = self->grad[0] / static_cast<float>(b);
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      float d = st->probs[static_cast<size_t>(i * c + j)];
+      if (j == st->labels[static_cast<size_t>(i)]) d -= 1.0f;
+      in->grad[i * c + j] += g * d;
+    }
   }
-  return Tensor::FromNode(std::move(node));
 }
+
+const Op* const kCrossEntropyLoss =
+    OpRegistry::Get().Register({"CrossEntropyLoss", 1, &CrossEntropyBackward});
+
+// ----- DistillKlLoss -----
+
+struct DistillKlState {
+  std::vector<float> pt;
+  std::vector<float> ps;
+  float tau;
+};
+
+void DistillKlBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t c = in->shape.back();
+  const int64_t b = c > 0 ? in->numel / c : 0;
+  const auto* st = static_cast<const DistillKlState*>(self->saved.get());
+  // d loss / d s = tau^2/B * (1/tau) (p_s - p_t) = tau/B (p_s - p_t).
+  const float g = self->grad[0] * st->tau / static_cast<float>(b);
+  for (int64_t i = 0; i < b * c; ++i) {
+    in->grad[i] += g * (st->ps[static_cast<size_t>(i)] -
+                        st->pt[static_cast<size_t>(i)]);
+  }
+}
+
+const Op* const kDistillKlLoss =
+    OpRegistry::Get().Register({"DistillKlLoss", 1, &DistillKlBackward});
+
+// ----- NegativeEntropyLoss -----
+
+struct NegativeEntropyState {
+  std::vector<float> probs;
+  std::vector<float> logp;
+};
+
+void NegativeEntropyBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t c = in->shape.back();
+  const int64_t b = c > 0 ? in->numel / c : 0;
+  const auto* st = static_cast<const NegativeEntropyState*>(self->saved.get());
+  const float g = self->grad[0] / static_cast<float>(b);
+  // L_row = sum_c p_c log p_c; dL/dx_j = p_j (log p_j - L_row).
+  for (int64_t r = 0; r < b; ++r) {
+    float row_ne = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      row_ne += st->probs[static_cast<size_t>(r * c + j)] *
+                st->logp[static_cast<size_t>(r * c + j)];
+    }
+    for (int64_t j = 0; j < c; ++j) {
+      in->grad[r * c + j] += g * st->probs[static_cast<size_t>(r * c + j)] *
+                             (st->logp[static_cast<size_t>(r * c + j)] -
+                              row_ne);
+    }
+  }
+}
+
+const Op* const kNegativeEntropyLoss = OpRegistry::Get().Register(
+    {"NegativeEntropyLoss", 1, &NegativeEntropyBackward});
+
+// ----- MseLoss -----
+
+void MseBackward(Node* self) {
+  Node* an = self->inputs[0].get();
+  Node* bn = self->inputs[1].get();
+  const int64_t n = an->numel;
+  const float* pa = an->cdata();
+  const float* pb = bn->cdata();
+  const float g = self->grad[0] * 2.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = g * (pa[i] - pb[i]);
+    if (an->requires_grad) an->grad[i] += d;
+    if (bn->requires_grad) bn->grad[i] -= d;
+  }
+}
+
+const Op* const kMseLoss =
+    OpRegistry::Get().Register({"MseLoss", 2, &MseBackward});
 
 }  // namespace
 
-Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int>& labels) {
-  DTDBD_CHECK_EQ(logits.ndim(), 2);
+Tensor CrossEntropyLoss(const Tensor& logits_in,
+                        const std::vector<int>& labels) {
+  DTDBD_CHECK_EQ(logits_in.ndim(), 2);
+  Tensor logits = Contiguous(logits_in);
   const int64_t b = logits.dim(0), c = logits.dim(1);
   DTDBD_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
-  // probs and the loss value.
-  auto probs = std::make_shared<std::vector<float>>(logits.data().size());
-  std::vector<float> logp(logits.data().size());
-  SoftmaxWithTemperature(logits.data().data(), probs->data(), logp.data(), b,
-                         c, 1.0f);
+  ScopedOpTimer timer(kCrossEntropyLoss);
+  auto state = std::make_shared<CrossEntropyState>();
+  state->probs.resize(static_cast<size_t>(logits.numel()));
+  state->labels = labels;
+  std::vector<float> logp(static_cast<size_t>(logits.numel()));
+  SoftmaxWithTemperature(logits.data().data(), state->probs.data(),
+                         logp.data(), b, c, 1.0f);
   float loss = 0.0f;
   for (int64_t i = 0; i < b; ++i) {
-    DTDBD_CHECK_GE(labels[i], 0);
-    DTDBD_CHECK_LT(labels[i], c);
-    loss -= logp[i * c + labels[i]];
+    DTDBD_CHECK_GE(labels[static_cast<size_t>(i)], 0);
+    DTDBD_CHECK_LT(labels[static_cast<size_t>(i)], c);
+    loss -= logp[static_cast<size_t>(i * c + labels[static_cast<size_t>(i)])];
   }
   loss /= static_cast<float>(b);
-  auto labels_copy = std::make_shared<std::vector<int>>(labels);
-  return MakeScalarLoss(
-      "CrossEntropyLoss", loss, {logits}, [b, c, probs, labels_copy](
-                                              Node* self) {
-        return [self, b, c, probs, labels_copy]() {
-          Node* in = self->inputs[0].get();
-          if (!in->requires_grad) return;
-          const float g = self->grad[0] / static_cast<float>(b);
-          for (int64_t i = 0; i < b; ++i) {
-            for (int64_t j = 0; j < c; ++j) {
-              float d = (*probs)[i * c + j];
-              if (j == (*labels_copy)[i]) d -= 1.0f;
-              in->grad[i * c + j] += g * d;
-            }
-          }
-        };
-      });
+  return MakeOp(kCrossEntropyLoss, {1}, {loss}, {logits}, state);
 }
 
 Tensor DistillKlLoss(const Tensor& teacher_logits,
-                     const Tensor& student_logits, float tau) {
+                     const Tensor& student_logits_in, float tau) {
   DTDBD_CHECK_GT(tau, 0.0f);
-  DTDBD_CHECK(teacher_logits.shape() == student_logits.shape())
+  DTDBD_CHECK(teacher_logits.shape() == student_logits_in.shape())
       << "DistillKlLoss: teacher " << ShapeToString(teacher_logits.shape())
-      << " vs student " << ShapeToString(student_logits.shape());
-  const int64_t c = teacher_logits.shape().back();
-  const int64_t b = teacher_logits.numel() / c;
-  auto pt = std::make_shared<std::vector<float>>(teacher_logits.numel());
-  std::vector<float> log_pt(teacher_logits.numel());
-  SoftmaxWithTemperature(teacher_logits.data().data(), pt->data(),
+      << " vs student " << ShapeToString(student_logits_in.shape());
+  Tensor teacher = Contiguous(teacher_logits);
+  Tensor student = Contiguous(student_logits_in);
+  const int64_t c = teacher.shape().back();
+  const int64_t b = c > 0 ? teacher.numel() / c : 0;
+  ScopedOpTimer timer(kDistillKlLoss);
+  auto state = std::make_shared<DistillKlState>();
+  state->tau = tau;
+  state->pt.resize(static_cast<size_t>(teacher.numel()));
+  state->ps.resize(static_cast<size_t>(student.numel()));
+  std::vector<float> log_pt(static_cast<size_t>(teacher.numel()));
+  std::vector<float> log_ps(static_cast<size_t>(student.numel()));
+  SoftmaxWithTemperature(teacher.data().data(), state->pt.data(),
                          log_pt.data(), b, c, tau);
-  auto ps = std::make_shared<std::vector<float>>(student_logits.numel());
-  std::vector<float> log_ps(student_logits.numel());
-  SoftmaxWithTemperature(student_logits.data().data(), ps->data(),
+  SoftmaxWithTemperature(student.data().data(), state->ps.data(),
                          log_ps.data(), b, c, tau);
   float loss = 0.0f;
   for (int64_t i = 0; i < b * c; ++i) {
-    if ((*pt)[i] > 0.0f) loss += (*pt)[i] * (log_pt[i] - log_ps[i]);
+    const size_t si = static_cast<size_t>(i);
+    if (state->pt[si] > 0.0f) {
+      loss += state->pt[si] * (log_pt[si] - log_ps[si]);
+    }
   }
   loss = loss * tau * tau / static_cast<float>(b);
   // Only the student receives gradient: the teacher is knowledge, not a
   // trainee (paper: teacher weights are frozen during distillation).
-  return MakeScalarLoss(
-      "DistillKlLoss", loss, {student_logits},
-      [b, c, tau, pt, ps](Node* self) {
-        return [self, b, c, tau, pt, ps]() {
-          Node* in = self->inputs[0].get();
-          if (!in->requires_grad) return;
-          // d loss / d s = tau^2/B * (1/tau) (p_s - p_t) = tau/B (p_s - p_t).
-          const float g = self->grad[0] * tau / static_cast<float>(b);
-          for (int64_t i = 0; i < b * c; ++i) {
-            in->grad[i] += g * ((*ps)[i] - (*pt)[i]);
-          }
-        };
-      });
+  return MakeOp(kDistillKlLoss, {1}, {loss}, {student}, state);
 }
 
-Tensor NegativeEntropyLoss(const Tensor& logits) {
-  DTDBD_CHECK_GE(logits.ndim(), 1);
+Tensor NegativeEntropyLoss(const Tensor& logits_in) {
+  DTDBD_CHECK_GE(logits_in.ndim(), 1);
+  Tensor logits = Contiguous(logits_in);
   const int64_t c = logits.shape().back();
-  const int64_t b = logits.numel() / c;
-  auto probs = std::make_shared<std::vector<float>>(logits.numel());
-  std::vector<float> logp(logits.numel());
-  SoftmaxWithTemperature(logits.data().data(), probs->data(), logp.data(), b,
-                         c, 1.0f);
+  const int64_t b = c > 0 ? logits.numel() / c : 0;
+  ScopedOpTimer timer(kNegativeEntropyLoss);
+  auto state = std::make_shared<NegativeEntropyState>();
+  state->probs.resize(static_cast<size_t>(logits.numel()));
+  state->logp.resize(static_cast<size_t>(logits.numel()));
+  SoftmaxWithTemperature(logits.data().data(), state->probs.data(),
+                         state->logp.data(), b, c, 1.0f);
   float loss = 0.0f;
-  for (int64_t i = 0; i < b * c; ++i) loss += (*probs)[i] * logp[i];
+  for (int64_t i = 0; i < b * c; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    loss += state->probs[si] * state->logp[si];
+  }
   loss /= static_cast<float>(b);
-  auto logp_copy = std::make_shared<std::vector<float>>(std::move(logp));
-  return MakeScalarLoss(
-      "NegativeEntropyLoss", loss, {logits},
-      [b, c, probs, logp_copy](Node* self) {
-        return [self, b, c, probs, logp_copy]() {
-          Node* in = self->inputs[0].get();
-          if (!in->requires_grad) return;
-          const float g = self->grad[0] / static_cast<float>(b);
-          // L_row = sum_c p_c log p_c; dL/dx_j = p_j (log p_j - L_row).
-          for (int64_t r = 0; r < b; ++r) {
-            float row_ne = 0.0f;
-            for (int64_t j = 0; j < c; ++j) {
-              row_ne += (*probs)[r * c + j] * (*logp_copy)[r * c + j];
-            }
-            for (int64_t j = 0; j < c; ++j) {
-              in->grad[r * c + j] += g * (*probs)[r * c + j] *
-                                     ((*logp_copy)[r * c + j] - row_ne);
-            }
-          }
-        };
-      });
+  return MakeOp(kNegativeEntropyLoss, {1}, {loss}, {logits}, state);
 }
 
-Tensor MseLoss(const Tensor& a, const Tensor& b) {
-  DTDBD_CHECK(a.shape() == b.shape());
+Tensor MseLoss(const Tensor& a_in, const Tensor& b_in) {
+  DTDBD_CHECK(a_in.shape() == b_in.shape());
+  Tensor a = Contiguous(a_in);
+  Tensor b = Contiguous(b_in);
   const int64_t n = a.numel();
+  ScopedOpTimer timer(kMseLoss);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
   float loss = 0.0f;
   for (int64_t i = 0; i < n; ++i) {
-    const float d = a.data()[i] - b.data()[i];
+    const float d = pa[i] - pb[i];
     loss += d * d;
   }
   loss /= static_cast<float>(n);
-  return MakeScalarLoss("MseLoss", loss, {a, b}, [n](Node* self) {
-    return [self, n]() {
-      Node* an = self->inputs[0].get();
-      Node* bn = self->inputs[1].get();
-      const float g = self->grad[0] * 2.0f / static_cast<float>(n);
-      for (int64_t i = 0; i < n; ++i) {
-        const float d = g * (an->data[i] - bn->data[i]);
-        if (an->requires_grad) an->grad[i] += d;
-        if (bn->requires_grad) bn->grad[i] -= d;
-      }
-    };
-  });
+  return MakeOp(kMseLoss, {1}, {loss}, {a, b});
 }
 
 }  // namespace dtdbd::tensor

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "tensor/registry.h"
 
 namespace dtdbd::tensor {
 
@@ -10,28 +15,69 @@ namespace {
 
 using internal::Node;
 
-// Creates the output node for an op. `inputs` are recorded (and the backward
-// closure installed via `set_backward`) only when gradient mode is on and at
-// least one input is differentiable.
-Tensor MakeOp(const char* op_name, Shape shape, std::vector<float> data,
-              std::vector<Tensor> inputs,
-              const std::function<std::function<void()>(Node*)>&
-                  make_backward) {
-  auto node = std::make_shared<Node>();
-  node->shape = std::move(shape);
-  node->data = std::move(data);
-  node->op_name = op_name;
-  bool any_grad = false;
-  for (const auto& in : inputs) {
-    DTDBD_CHECK(in.defined()) << op_name << ": undefined input";
-    any_grad = any_grad || in.requires_grad();
+// Minimum elements of work per ParallelFor shard; below this, kernels run
+// inline. Shard boundaries never influence results (see thread_pool.h), so
+// this is purely a scheduling knob.
+constexpr int64_t kGrain = 4096;
+
+// Grain for row-sharded loops: enough rows that one shard covers ~kGrain
+// scalar operations.
+int64_t GrainForRows(int64_t work_per_row) {
+  return std::max<int64_t>(1, kGrain / std::max<int64_t>(1, work_per_row));
+}
+
+// Strided row-major reader over a node's logical elements. Valid for dense
+// tensors (flat) and for views whose trailing dims are canonically strided
+// with an arbitrary outer stride — which covers every view the models
+// produce in hot loops (SliceLastDim gate slices, SliceTime steps). Layouts
+// outside this family (e.g. Transpose2d) are materialized via Contiguous().
+struct Reader {
+  const float* ptr = nullptr;  // logical element 0
+  int64_t cols = 1;            // inner-dense block length
+  int64_t row_stride = 1;      // physical stride between blocks
+  bool flat = true;
+
+  float at(int64_t i) const {
+    return flat ? ptr[i] : ptr[(i / cols) * row_stride + (i % cols)];
   }
-  if (GradEnabled() && any_grad) {
-    node->requires_grad = true;
-    for (const auto& in : inputs) node->inputs.push_back(in.node());
-    node->backward = make_backward(node.get());
+  const float* row(int64_t r) const { return ptr + r * row_stride; }
+};
+
+bool MakeReader(const Node* n, Reader* r) {
+  if (n->contiguous) {
+    r->ptr = n->storage->buf.data() + n->offset;
+    const int64_t d0 = n->shape.empty() ? 1 : n->shape[0];
+    r->cols = d0 > 0 ? n->numel / d0 : 1;
+    r->row_stride = r->cols;
+    r->flat = true;
+    return true;
   }
-  return Tensor::FromNode(std::move(node));
+  const int nd = static_cast<int>(n->shape.size());
+  if (nd == 0) return false;
+  const Shape canon = CanonicalStrides(n->shape);
+  for (int d = 1; d < nd; ++d) {
+    if (n->shape[d] > 1 && n->strides[d] != canon[d]) return false;
+  }
+  r->ptr = n->storage->buf.data() + n->offset;
+  r->cols = n->shape[0] > 0 ? n->numel / n->shape[0] : 1;
+  r->row_stride = n->strides[0];
+  r->flat = false;
+  return true;
+}
+
+Reader ReadOf(const Node* n) {
+  Reader r;
+  DTDBD_CHECK(MakeReader(n, &r))
+      << n->op_name() << ": layout not readable " << ShapeToString(n->shape);
+  return r;
+}
+
+// The tensor itself when a Reader can address it; otherwise a materialized
+// dense copy recorded through the Contiguous op (so gradient still flows).
+Tensor EnsureReadable(const Tensor& t) {
+  Reader r;
+  if (MakeReader(t.node().get(), &r)) return t;
+  return Contiguous(t);
 }
 
 void CheckSameShape(const char* op, const Tensor& a, const Tensor& b) {
@@ -40,471 +86,488 @@ void CheckSameShape(const char* op, const Tensor& a, const Tensor& b) {
       << ShapeToString(b.shape());
 }
 
-// Shared implementation for unary elementwise ops.
-//   fwd(x) -> y;  dydx(x, y) -> local derivative
-template <typename Fwd, typename Dydx>
-Tensor UnaryOp(const char* name, const Tensor& a, Fwd fwd, Dydx dydx) {
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i]);
-  return MakeOp(name, a.shape(), std::move(out), {a}, [=](Node* self) {
-    return [self, dydx]() {
-      Node* in = self->inputs[0].get();
-      if (!in->requires_grad) return;
-      for (size_t i = 0; i < self->data.size(); ++i) {
-        in->grad[i] += self->grad[i] * dydx(in->data[i], self->data[i]);
-      }
-    };
+// ----- Contiguous -----
+
+void ContiguousBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] += g[i];
   });
 }
+
+const Op* const kContiguous =
+    OpRegistry::Get().Register({"Contiguous", 1, &ContiguousBackward});
 
 }  // namespace
 
-Tensor Add(const Tensor& a, const Tensor& b) {
-  CheckSameShape("Add", a, b);
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
-  return MakeOp("Add", a.shape(), std::move(out), {a, b}, [](Node* self) {
-    return [self]() {
-      for (int k = 0; k < 2; ++k) {
-        Node* in = self->inputs[k].get();
-        if (!in->requires_grad) continue;
-        for (size_t i = 0; i < self->data.size(); ++i) {
-          in->grad[i] += self->grad[i];
-        }
-      }
-    };
+Tensor Contiguous(const Tensor& a) {
+  DTDBD_CHECK(a.defined());
+  if (a.contiguous()) return a;
+  const Node* n = a.node().get();
+  ScopedOpTimer timer(kContiguous);
+  std::vector<float> out(static_cast<size_t>(n->numel));
+  float* po = out.data();
+  ParallelFor(n->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) po[i] = n->storage->buf[n->PhysIndex(i)];
   });
+  return MakeOp(kContiguous, a.shape(), std::move(out), {a});
 }
 
-Tensor Sub(const Tensor& a, const Tensor& b) {
-  CheckSameShape("Sub", a, b);
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] - b.data()[i];
-  return MakeOp("Sub", a.shape(), std::move(out), {a, b}, [](Node* self) {
-    return [self]() {
-      Node* lhs = self->inputs[0].get();
-      Node* rhs = self->inputs[1].get();
-      for (size_t i = 0; i < self->data.size(); ++i) {
-        if (lhs->requires_grad) lhs->grad[i] += self->grad[i];
-        if (rhs->requires_grad) rhs->grad[i] -= self->grad[i];
-      }
-    };
-  });
-}
-
-Tensor Mul(const Tensor& a, const Tensor& b) {
-  CheckSameShape("Mul", a, b);
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
-  return MakeOp("Mul", a.shape(), std::move(out), {a, b}, [](Node* self) {
-    return [self]() {
-      Node* lhs = self->inputs[0].get();
-      Node* rhs = self->inputs[1].get();
-      for (size_t i = 0; i < self->data.size(); ++i) {
-        if (lhs->requires_grad) lhs->grad[i] += self->grad[i] * rhs->data[i];
-        if (rhs->requires_grad) rhs->grad[i] += self->grad[i] * lhs->data[i];
-      }
-    };
-  });
-}
-
-Tensor AddBias(const Tensor& x, const Tensor& bias) {
-  DTDBD_CHECK_EQ(bias.ndim(), 1);
-  const int64_t n = bias.dim(0);
-  DTDBD_CHECK(x.ndim() >= 1 && x.shape().back() == n)
-      << "AddBias: last dim of " << ShapeToString(x.shape()) << " vs bias "
-      << n;
-  std::vector<float> out(x.data().size());
-  const int64_t rows = x.numel() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t j = 0; j < n; ++j) {
-      out[r * n + j] = x.data()[r * n + j] + bias.data()[j];
-    }
-  }
-  return MakeOp("AddBias", x.shape(), std::move(out), {x, bias},
-                [n, rows](Node* self) {
-                  return [self, n, rows]() {
-                    Node* xin = self->inputs[0].get();
-                    Node* bin = self->inputs[1].get();
-                    for (int64_t r = 0; r < rows; ++r) {
-                      for (int64_t j = 0; j < n; ++j) {
-                        const float g = self->grad[r * n + j];
-                        if (xin->requires_grad) xin->grad[r * n + j] += g;
-                        if (bin->requires_grad) bin->grad[j] += g;
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor Neg(const Tensor& a) {
-  return UnaryOp(
-      "Neg", a, [](float x) { return -x; },
-      [](float, float) { return -1.0f; });
-}
-
-Tensor ScalarMul(const Tensor& a, float s) {
-  return UnaryOp(
-      "ScalarMul", a, [s](float x) { return s * x; },
-      [s](float, float) { return s; });
-}
-
-Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
-}
-
-Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      "Tanh", a, [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
-}
-
-Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float, float y) { return y * (1.0f - y); });
-}
-
-Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      "Exp", a, [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
-}
-
-Tensor Log(const Tensor& a) {
-  for (float v : a.data()) {
-    DTDBD_CHECK_GT(v, 0.0f) << "Log: non-positive input";
-  }
-  return UnaryOp(
-      "Log", a, [](float x) { return std::log(x); },
-      [](float x, float) { return 1.0f / x; });
-}
-
-Tensor Square(const Tensor& a) {
-  return UnaryOp(
-      "Square", a, [](float x) { return x * x; },
-      [](float x, float) { return 2.0f * x; });
-}
-
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  DTDBD_CHECK_EQ(a.ndim(), 2);
-  DTDBD_CHECK_EQ(b.ndim(), 2);
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  DTDBD_CHECK_EQ(k, b.dim(0)) << "MatMul: inner dims "
-                              << ShapeToString(a.shape()) << " x "
-                              << ShapeToString(b.shape());
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  // ikj order: streaming access to b and out rows.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-  return MakeOp("MatMul", {m, n}, std::move(out), {a, b},
-                [m, k, n](Node* self) {
-                  return [self, m, k, n]() {
-                    Node* an = self->inputs[0].get();
-                    Node* bn = self->inputs[1].get();
-                    const float* g = self->grad.data();
-                    if (an->requires_grad) {
-                      // gA[i,kk] += sum_j g[i,j] * B[kk,j]
-                      const float* pb = bn->data.data();
-                      for (int64_t i = 0; i < m; ++i) {
-                        for (int64_t kk = 0; kk < k; ++kk) {
-                          const float* brow = pb + kk * n;
-                          const float* grow = g + i * n;
-                          float acc = 0.0f;
-                          for (int64_t j = 0; j < n; ++j) {
-                            acc += grow[j] * brow[j];
-                          }
-                          an->grad[i * k + kk] += acc;
-                        }
-                      }
-                    }
-                    if (bn->requires_grad) {
-                      // gB[kk,j] += sum_i A[i,kk] * g[i,j]
-                      const float* pa = an->data.data();
-                      for (int64_t i = 0; i < m; ++i) {
-                        const float* grow = g + i * n;
-                        for (int64_t kk = 0; kk < k; ++kk) {
-                          const float av = pa[i * k + kk];
-                          if (av == 0.0f) continue;
-                          float* brow = bn->grad.data() + kk * n;
-                          for (int64_t j = 0; j < n; ++j) {
-                            brow[j] += av * grow[j];
-                          }
-                        }
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor Transpose2d(const Tensor& a) {
-  DTDBD_CHECK_EQ(a.ndim(), 2);
-  const int64_t m = a.dim(0), n = a.dim(1);
-  std::vector<float> out(static_cast<size_t>(m * n));
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a.data()[i * n + j];
-  }
-  return MakeOp("Transpose2d", {n, m}, std::move(out), {a},
-                [m, n](Node* self) {
-                  return [self, m, n]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t i = 0; i < m; ++i) {
-                      for (int64_t j = 0; j < n; ++j) {
-                        in->grad[i * n + j] += self->grad[j * m + i];
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor Sum(const Tensor& a) {
-  float total = 0.0f;
-  for (float v : a.data()) total += v;
-  return MakeOp("Sum", {1}, {total}, {a}, [](Node* self) {
-    return [self]() {
-      Node* in = self->inputs[0].get();
-      if (!in->requires_grad) return;
-      const float g = self->grad[0];
-      for (auto& gv : in->grad) gv += g;
-    };
-  });
-}
-
-Tensor Mean(const Tensor& a) {
-  DTDBD_CHECK_GT(a.numel(), 0);
-  float total = 0.0f;
-  for (float v : a.data()) total += v;
-  const float inv_n = 1.0f / static_cast<float>(a.numel());
-  return MakeOp("Mean", {1}, {total * inv_n}, {a}, [inv_n](Node* self) {
-    return [self, inv_n]() {
-      Node* in = self->inputs[0].get();
-      if (!in->requires_grad) return;
-      const float g = self->grad[0] * inv_n;
-      for (auto& gv : in->grad) gv += g;
-    };
-  });
-}
-
-Tensor MeanOverTime(const Tensor& x) {
-  DTDBD_CHECK_EQ(x.ndim(), 3);
-  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
-  DTDBD_CHECK_GT(t, 0);
-  std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
-  for (int64_t bi = 0; bi < b; ++bi) {
-    for (int64_t ti = 0; ti < t; ++ti) {
-      for (int64_t j = 0; j < n; ++j) {
-        out[bi * n + j] += x.data()[(bi * t + ti) * n + j];
-      }
-    }
-  }
-  const float inv_t = 1.0f / static_cast<float>(t);
-  for (auto& v : out) v *= inv_t;
-  return MakeOp("MeanOverTime", {b, n}, std::move(out), {x},
-                [b, t, n, inv_t](Node* self) {
-                  return [self, b, t, n, inv_t]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t bi = 0; bi < b; ++bi) {
-                      for (int64_t ti = 0; ti < t; ++ti) {
-                        for (int64_t j = 0; j < n; ++j) {
-                          in->grad[(bi * t + ti) * n + j] +=
-                              self->grad[bi * n + j] * inv_t;
-                        }
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor MaxOverTime(const Tensor& x) {
-  DTDBD_CHECK_EQ(x.ndim(), 3);
-  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
-  DTDBD_CHECK_GT(t, 0);
-  std::vector<float> out(static_cast<size_t>(b * n));
-  auto argmax = std::make_shared<std::vector<int32_t>>(
-      static_cast<size_t>(b * n));
-  for (int64_t bi = 0; bi < b; ++bi) {
-    for (int64_t j = 0; j < n; ++j) {
-      float best = x.data()[(bi * t + 0) * n + j];
-      int32_t best_t = 0;
-      for (int64_t ti = 1; ti < t; ++ti) {
-        const float v = x.data()[(bi * t + ti) * n + j];
-        if (v > best) {
-          best = v;
-          best_t = static_cast<int32_t>(ti);
-        }
-      }
-      out[bi * n + j] = best;
-      (*argmax)[bi * n + j] = best_t;
-    }
-  }
-  return MakeOp("MaxOverTime", {b, n}, std::move(out), {x},
-                [b, t, n, argmax](Node* self) {
-                  return [self, b, t, n, argmax]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t bi = 0; bi < b; ++bi) {
-                      for (int64_t j = 0; j < n; ++j) {
-                        const int32_t ti = (*argmax)[bi * n + j];
-                        in->grad[(bi * t + ti) * n + j] +=
-                            self->grad[bi * n + j];
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor Reshape(const Tensor& a, const Shape& new_shape) {
-  DTDBD_CHECK_EQ(NumElements(new_shape), a.numel())
-      << "Reshape to " << ShapeToString(new_shape);
-  std::vector<float> out = a.data();
-  return MakeOp("Reshape", new_shape, std::move(out), {a}, [](Node* self) {
-    return [self]() {
-      Node* in = self->inputs[0].get();
-      if (!in->requires_grad) return;
-      for (size_t i = 0; i < self->data.size(); ++i) {
-        in->grad[i] += self->grad[i];
-      }
-    };
-  });
-}
-
-Tensor ConcatLastDim(const std::vector<Tensor>& parts) {
-  DTDBD_CHECK(!parts.empty());
-  const int64_t rows = parts[0].dim(0);
-  int64_t total = 0;
-  for (const auto& p : parts) {
-    DTDBD_CHECK_EQ(p.ndim(), 2);
-    DTDBD_CHECK_EQ(p.dim(0), rows);
-    total += p.dim(1);
-  }
-  std::vector<float> out(static_cast<size_t>(rows * total));
-  std::vector<int64_t> offsets;
-  int64_t off = 0;
-  for (const auto& p : parts) {
-    offsets.push_back(off);
-    const int64_t w = p.dim(1);
-    for (int64_t r = 0; r < rows; ++r) {
-      std::copy_n(p.data().data() + r * w, w,
-                  out.data() + r * total + off);
-    }
-    off += w;
-  }
-  return MakeOp("ConcatLastDim", {rows, total}, std::move(out), parts,
-                [rows, total, offsets](Node* self) {
-                  return [self, rows, total, offsets]() {
-                    for (size_t k = 0; k < self->inputs.size(); ++k) {
-                      Node* in = self->inputs[k].get();
-                      if (!in->requires_grad) continue;
-                      const int64_t w = in->shape[1];
-                      for (int64_t r = 0; r < rows; ++r) {
-                        for (int64_t j = 0; j < w; ++j) {
-                          in->grad[r * w + j] +=
-                              self->grad[r * total + offsets[k] + j];
-                        }
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor SliceLastDim(const Tensor& x, int64_t start, int64_t len) {
-  DTDBD_CHECK_EQ(x.ndim(), 2);
-  const int64_t rows = x.dim(0), cols = x.dim(1);
-  DTDBD_CHECK_GE(start, 0);
-  DTDBD_CHECK_LE(start + len, cols);
-  std::vector<float> out(static_cast<size_t>(rows * len));
-  for (int64_t r = 0; r < rows; ++r) {
-    std::copy_n(x.data().data() + r * cols + start, len,
-                out.data() + r * len);
-  }
-  return MakeOp("SliceLastDim", {rows, len}, std::move(out), {x},
-                [rows, cols, start, len](Node* self) {
-                  return [self, rows, cols, start, len]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t r = 0; r < rows; ++r) {
-                      for (int64_t j = 0; j < len; ++j) {
-                        in->grad[r * cols + start + j] +=
-                            self->grad[r * len + j];
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor SliceTime(const Tensor& x, int64_t t) {
-  DTDBD_CHECK_EQ(x.ndim(), 3);
-  const int64_t b = x.dim(0), tt = x.dim(1), n = x.dim(2);
-  DTDBD_CHECK_GE(t, 0);
-  DTDBD_CHECK_LT(t, tt);
-  std::vector<float> out(static_cast<size_t>(b * n));
-  for (int64_t bi = 0; bi < b; ++bi) {
-    std::copy_n(x.data().data() + (bi * tt + t) * n, n, out.data() + bi * n);
-  }
-  return MakeOp("SliceTime", {b, n}, std::move(out), {x},
-                [b, tt, n, t](Node* self) {
-                  return [self, b, tt, n, t]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t bi = 0; bi < b; ++bi) {
-                      for (int64_t j = 0; j < n; ++j) {
-                        in->grad[(bi * tt + t) * n + j] +=
-                            self->grad[bi * n + j];
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor StackTime(const std::vector<Tensor>& steps) {
-  DTDBD_CHECK(!steps.empty());
-  const int64_t b = steps[0].dim(0), h = steps[0].dim(1);
-  const int64_t t = static_cast<int64_t>(steps.size());
-  for (const auto& s : steps) {
-    DTDBD_CHECK_EQ(s.ndim(), 2);
-    DTDBD_CHECK_EQ(s.dim(0), b);
-    DTDBD_CHECK_EQ(s.dim(1), h);
-  }
-  std::vector<float> out(static_cast<size_t>(b * t * h));
-  for (int64_t ti = 0; ti < t; ++ti) {
-    for (int64_t bi = 0; bi < b; ++bi) {
-      std::copy_n(steps[ti].data().data() + bi * h, h,
-                  out.data() + (bi * t + ti) * h);
-    }
-  }
-  return MakeOp("StackTime", {b, t, h}, std::move(out), steps,
-                [b, t, h](Node* self) {
-                  return [self, b, t, h]() {
-                    for (int64_t ti = 0; ti < t; ++ti) {
-                      Node* in = self->inputs[ti].get();
-                      if (!in->requires_grad) continue;
-                      for (int64_t bi = 0; bi < b; ++bi) {
-                        for (int64_t j = 0; j < h; ++j) {
-                          in->grad[bi * h + j] +=
-                              self->grad[(bi * t + ti) * h + j];
-                        }
-                      }
-                    }
-                  };
-                });
-}
+Tensor Tensor::Contiguous() const { return dtdbd::tensor::Contiguous(*this); }
 
 namespace {
 
-// Computes row-wise softmax of `in` (rows x cols) into `out`.
+// ----- Elementwise binary -----
+
+void AddBackward(Node* self) {
+  const float* g = self->grad.data();
+  for (int k = 0; k < 2; ++k) {
+    Node* in = self->inputs[k].get();
+    if (!in->requires_grad) continue;
+    float* gi = in->grad.data();
+    ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) gi[i] += g[i];
+    });
+  }
+}
+
+void SubBackward(Node* self) {
+  const float* g = self->grad.data();
+  Node* lhs = self->inputs[0].get();
+  Node* rhs = self->inputs[1].get();
+  if (lhs->requires_grad) {
+    float* gi = lhs->grad.data();
+    ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) gi[i] += g[i];
+    });
+  }
+  if (rhs->requires_grad) {
+    float* gi = rhs->grad.data();
+    ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) gi[i] -= g[i];
+    });
+  }
+}
+
+void MulBackward(Node* self) {
+  const float* g = self->grad.data();
+  Node* lhs = self->inputs[0].get();
+  Node* rhs = self->inputs[1].get();
+  if (lhs->requires_grad) {
+    const Reader rb = ReadOf(rhs);
+    float* gi = lhs->grad.data();
+    ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) gi[i] += g[i] * rb.at(i);
+    });
+  }
+  if (rhs->requires_grad) {
+    const Reader ra = ReadOf(lhs);
+    float* gi = rhs->grad.data();
+    ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) gi[i] += g[i] * ra.at(i);
+    });
+  }
+}
+
+const Op* const kAdd = OpRegistry::Get().Register({"Add", 2, &AddBackward});
+const Op* const kSub = OpRegistry::Get().Register({"Sub", 2, &SubBackward});
+const Op* const kMul = OpRegistry::Get().Register({"Mul", 2, &MulBackward});
+
+template <typename F>
+Tensor BinaryEw(const Op* op, const Tensor& a_in, const Tensor& b_in, F f) {
+  CheckSameShape(op->name.c_str(), a_in, b_in);
+  Tensor a = EnsureReadable(a_in);
+  Tensor b = EnsureReadable(b_in);
+  ScopedOpTimer timer(op);
+  const Reader ra = ReadOf(a.node().get());
+  const Reader rb = ReadOf(b.node().get());
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  float* po = out.data();
+  ParallelFor(a.numel(), kGrain, [&](int64_t s, int64_t e) {
+    if (ra.flat && rb.flat) {
+      for (int64_t i = s; i < e; ++i) po[i] = f(ra.ptr[i], rb.ptr[i]);
+    } else {
+      for (int64_t i = s; i < e; ++i) po[i] = f(ra.at(i), rb.at(i));
+    }
+  });
+  return MakeOp(op, a.shape(), std::move(out), {a, b});
+}
+
+// ----- AddBias -----
+
+void AddBiasBackward(Node* self) {
+  Node* xin = self->inputs[0].get();
+  Node* bin = self->inputs[1].get();
+  const int64_t n = bin->shape[0];
+  const int64_t rows = n > 0 ? self->numel / n : 0;
+  const float* g = self->grad.data();
+  if (xin->requires_grad) {
+    float* gx = xin->grad.data();
+    ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) gx[i] += g[i];
+    });
+  }
+  if (bin->requires_grad) {
+    float* gb = bin->grad.data();
+    // Sharded over bias columns; each column sums rows in ascending order,
+    // matching the serial kernel bit for bit.
+    ParallelFor(n, GrainForRows(rows), [&](int64_t s, int64_t e) {
+      for (int64_t j = s; j < e; ++j) {
+        for (int64_t r = 0; r < rows; ++r) gb[j] += g[r * n + j];
+      }
+    });
+  }
+}
+
+const Op* const kAddBias =
+    OpRegistry::Get().Register({"AddBias", 2, &AddBiasBackward});
+
+// ----- Unary elementwise family -----
+
+template <typename F>
+void UnaryBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const Reader rx = ReadOf(in);
+  const float* y = self->cdata();
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] += g[i] * F::Dydx(rx.at(i), y[i]);
+  });
+}
+
+template <typename F>
+Tensor UnaryEw(const Op* op, const Tensor& a_in) {
+  Tensor a = EnsureReadable(a_in);
+  ScopedOpTimer timer(op);
+  const Reader rx = ReadOf(a.node().get());
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  float* po = out.data();
+  ParallelFor(a.numel(), kGrain, [&](int64_t s, int64_t e) {
+    if (rx.flat) {
+      for (int64_t i = s; i < e; ++i) po[i] = F::Fwd(rx.ptr[i]);
+    } else {
+      for (int64_t i = s; i < e; ++i) po[i] = F::Fwd(rx.at(i));
+    }
+  });
+  return MakeOp(op, a.shape(), std::move(out), {a});
+}
+
+struct NegFn {
+  static float Fwd(float x) { return -x; }
+  static float Dydx(float, float) { return -1.0f; }
+};
+struct ReluFn {
+  static float Fwd(float x) { return x > 0.0f ? x : 0.0f; }
+  static float Dydx(float x, float) { return x > 0.0f ? 1.0f : 0.0f; }
+};
+struct TanhFn {
+  static float Fwd(float x) { return std::tanh(x); }
+  static float Dydx(float, float y) { return 1.0f - y * y; }
+};
+struct SigmoidFn {
+  static float Fwd(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+  static float Dydx(float, float y) { return y * (1.0f - y); }
+};
+struct ExpFn {
+  static float Fwd(float x) { return std::exp(x); }
+  static float Dydx(float, float y) { return y; }
+};
+struct LogFn {
+  static float Fwd(float x) { return std::log(x); }
+  static float Dydx(float x, float) { return 1.0f / x; }
+};
+struct SquareFn {
+  static float Fwd(float x) { return x * x; }
+  static float Dydx(float x, float) { return 2.0f * x; }
+};
+
+const Op* const kNeg =
+    OpRegistry::Get().Register({"Neg", 1, &UnaryBackward<NegFn>});
+const Op* const kRelu =
+    OpRegistry::Get().Register({"Relu", 1, &UnaryBackward<ReluFn>});
+const Op* const kTanh =
+    OpRegistry::Get().Register({"Tanh", 1, &UnaryBackward<TanhFn>});
+const Op* const kSigmoid =
+    OpRegistry::Get().Register({"Sigmoid", 1, &UnaryBackward<SigmoidFn>});
+const Op* const kExp =
+    OpRegistry::Get().Register({"Exp", 1, &UnaryBackward<ExpFn>});
+const Op* const kLog =
+    OpRegistry::Get().Register({"Log", 1, &UnaryBackward<LogFn>});
+const Op* const kSquare =
+    OpRegistry::Get().Register({"Square", 1, &UnaryBackward<SquareFn>});
+
+// ScalarMul carries its factor in the saved state.
+struct ScalarMulState {
+  float s;
+};
+
+void ScalarMulBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const float s = static_cast<const ScalarMulState*>(self->saved.get())->s;
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s0, int64_t e) {
+    for (int64_t i = s0; i < e; ++i) gi[i] += g[i] * s;
+  });
+}
+
+const Op* const kScalarMul =
+    OpRegistry::Get().Register({"ScalarMul", 1, &ScalarMulBackward});
+
+// ----- MatMul -----
+
+void MatMulBackward(Node* self) {
+  Node* an = self->inputs[0].get();
+  Node* bn = self->inputs[1].get();
+  const int64_t m = an->shape[0], k = an->shape[1], n = bn->shape[1];
+  const float* g = self->grad.data();
+  if (an->requires_grad) {
+    // gA[i,kk] += sum_j g[i,j] * B[kk,j]; sharded over rows of A.
+    const Reader rb = ReadOf(bn);
+    float* ga = an->grad.data();
+    ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) {
+        const float* grow = g + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* brow = rb.row(kk);
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+          ga[i * k + kk] += acc;
+        }
+      }
+    });
+  }
+  if (bn->requires_grad) {
+    // gB[kk,j] += sum_i A[i,kk] * g[i,j]; sharded over rows of B. Each
+    // (kk,j) accumulates over i ascending, matching the serial kernel.
+    const Reader ra = ReadOf(an);
+    float* gb = bn->grad.data();
+    ParallelFor(k, GrainForRows(m * n), [&](int64_t s, int64_t e) {
+      for (int64_t kk = s; kk < e; ++kk) {
+        float* gbrow = gb + kk * n;
+        for (int64_t i = 0; i < m; ++i) {
+          const float av = ra.row(i)[kk];
+          if (av == 0.0f) continue;
+          const float* grow = g + i * n;
+          for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+        }
+      }
+    });
+  }
+}
+
+const Op* const kMatMul =
+    OpRegistry::Get().Register({"MatMul", 2, &MatMulBackward});
+
+// ----- Views: Transpose2d / Reshape / SliceLastDim / SliceTime -----
+
+void Transpose2dBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t m = in->shape[0], n = in->shape[1];
+  const float* g = self->grad.data();  // logical [n, m]
+  float* gi = in->grad.data();
+  ParallelFor(n, GrainForRows(m), [&](int64_t s, int64_t e) {
+    for (int64_t j = s; j < e; ++j) {
+      for (int64_t i = 0; i < m; ++i) gi[i * n + j] += g[j * m + i];
+    }
+  });
+}
+
+const Op* const kTranspose2d = OpRegistry::Get().Register(
+    {"Transpose2d", 1, &Transpose2dBackward, /*is_view=*/true});
+
+void ReshapeBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] += g[i];
+  });
+}
+
+const Op* const kReshape =
+    OpRegistry::Get().Register({"Reshape", 1, &ReshapeBackward,
+                                /*is_view=*/true});
+
+struct SliceLastDimState {
+  int64_t start;
+};
+
+void SliceLastDimBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t rows = self->shape[0], len = self->shape[1];
+  const int64_t cols = in->shape[1];
+  const int64_t start =
+      static_cast<const SliceLastDimState*>(self->saved.get())->start;
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(rows, GrainForRows(len), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      for (int64_t j = 0; j < len; ++j) {
+        gi[r * cols + start + j] += g[r * len + j];
+      }
+    }
+  });
+}
+
+const Op* const kSliceLastDim = OpRegistry::Get().Register(
+    {"SliceLastDim", 1, &SliceLastDimBackward, /*is_view=*/true});
+
+struct SliceTimeState {
+  int64_t t;
+};
+
+void SliceTimeBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t b = in->shape[0], tt = in->shape[1], n = in->shape[2];
+  const int64_t t = static_cast<const SliceTimeState*>(self->saved.get())->t;
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(b, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      for (int64_t j = 0; j < n; ++j) {
+        gi[(bi * tt + t) * n + j] += g[bi * n + j];
+      }
+    }
+  });
+}
+
+const Op* const kSliceTime = OpRegistry::Get().Register(
+    {"SliceTime", 1, &SliceTimeBackward, /*is_view=*/true});
+
+// ----- Reductions -----
+
+void SumBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const float g = self->grad[0];
+  float* gi = in->grad.data();
+  ParallelFor(in->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] += g;
+  });
+}
+
+void MeanBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const float inv_n = 1.0f / static_cast<float>(in->numel);
+  const float g = self->grad[0] * inv_n;
+  float* gi = in->grad.data();
+  ParallelFor(in->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] += g;
+  });
+}
+
+const Op* const kSum = OpRegistry::Get().Register({"Sum", 1, &SumBackward});
+const Op* const kMean = OpRegistry::Get().Register({"Mean", 1, &MeanBackward});
+
+void MeanOverTimeBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t b = in->shape[0], t = in->shape[1], n = in->shape[2];
+  const float inv_t = 1.0f / static_cast<float>(t);
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      for (int64_t ti = 0; ti < t; ++ti) {
+        for (int64_t j = 0; j < n; ++j) {
+          gi[(bi * t + ti) * n + j] += g[bi * n + j] * inv_t;
+        }
+      }
+    }
+  });
+}
+
+const Op* const kMeanOverTime =
+    OpRegistry::Get().Register({"MeanOverTime", 1, &MeanOverTimeBackward});
+
+struct MaxOverTimeState {
+  std::vector<int32_t> argmax;
+};
+
+void MaxOverTimeBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t b = in->shape[0], t = in->shape[1], n = in->shape[2];
+  const auto* st = static_cast<const MaxOverTimeState*>(self->saved.get());
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(b, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      for (int64_t j = 0; j < n; ++j) {
+        const int32_t ti = st->argmax[bi * n + j];
+        gi[(bi * t + ti) * n + j] += g[bi * n + j];
+      }
+    }
+  });
+}
+
+const Op* const kMaxOverTime =
+    OpRegistry::Get().Register({"MaxOverTime", 1, &MaxOverTimeBackward});
+
+// ----- Concat / Stack -----
+
+void ConcatLastDimBackward(Node* self) {
+  const int64_t rows = self->shape[0], total = self->shape[1];
+  const float* g = self->grad.data();
+  // Inputs handled serially (an input may appear more than once); rows
+  // sharded inside.
+  int64_t off = 0;
+  for (size_t k = 0; k < self->inputs.size(); ++k) {
+    Node* in = self->inputs[k].get();
+    const int64_t w = in->shape[1];
+    if (in->requires_grad) {
+      float* gi = in->grad.data();
+      const int64_t o = off;
+      ParallelFor(rows, GrainForRows(w), [&](int64_t s, int64_t e) {
+        for (int64_t r = s; r < e; ++r) {
+          for (int64_t j = 0; j < w; ++j) {
+            gi[r * w + j] += g[r * total + o + j];
+          }
+        }
+      });
+    }
+    off += w;
+  }
+}
+
+const Op* const kConcatLastDim = OpRegistry::Get().Register(
+    {"ConcatLastDim", kVariadicArity, &ConcatLastDimBackward});
+
+void StackTimeBackward(Node* self) {
+  const int64_t b = self->shape[0], t = self->shape[1], h = self->shape[2];
+  const float* g = self->grad.data();
+  for (int64_t ti = 0; ti < t; ++ti) {
+    Node* in = self->inputs[static_cast<size_t>(ti)].get();
+    if (!in->requires_grad) continue;
+    float* gi = in->grad.data();
+    ParallelFor(b, GrainForRows(h), [&](int64_t s, int64_t e) {
+      for (int64_t bi = s; bi < e; ++bi) {
+        for (int64_t j = 0; j < h; ++j) {
+          gi[bi * h + j] += g[(bi * t + ti) * h + j];
+        }
+      }
+    });
+  }
+}
+
+const Op* const kStackTime = OpRegistry::Get().Register(
+    {"StackTime", kVariadicArity, &StackTimeBackward});
+
+// ----- Softmax family -----
+
+// Row-wise softmax of `in` (rows x cols) into `out`.
 void RowSoftmax(const float* in, float* out, int64_t rows, int64_t cols) {
   for (int64_t r = 0; r < rows; ++r) {
     const float* x = in + r * cols;
@@ -521,100 +584,679 @@ void RowSoftmax(const float* in, float* out, int64_t rows, int64_t cols) {
   }
 }
 
+void SoftmaxBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t cols = self->shape.back();
+  const int64_t rows = cols > 0 ? self->numel / cols : 0;
+  ParallelFor(rows, GrainForRows(cols), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const float* y = self->cdata() + r * cols;
+      const float* g = self->grad.data() + r * cols;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) dot += g[j] * y[j];
+      float* gi = in->grad.data() + r * cols;
+      for (int64_t j = 0; j < cols; ++j) gi[j] += y[j] * (g[j] - dot);
+    }
+  });
+}
+
+const Op* const kSoftmax =
+    OpRegistry::Get().Register({"Softmax", 1, &SoftmaxBackward});
+
+void LogSoftmaxBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t cols = self->shape.back();
+  const int64_t rows = cols > 0 ? self->numel / cols : 0;
+  ParallelFor(rows, GrainForRows(cols), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const float* y = self->cdata() + r * cols;
+      const float* g = self->grad.data() + r * cols;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) gsum += g[j];
+      float* gi = in->grad.data() + r * cols;
+      for (int64_t j = 0; j < cols; ++j) {
+        gi[j] += g[j] - std::exp(y[j]) * gsum;
+      }
+    }
+  });
+}
+
+const Op* const kLogSoftmax =
+    OpRegistry::Get().Register({"LogSoftmax", 1, &LogSoftmaxBackward});
+
+// ----- EmbeddingGather -----
+
+struct EmbeddingGatherState {
+  std::vector<int> ids;
+};
+
+void EmbeddingGatherBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t e = in->shape[1];
+  const auto* st = static_cast<const EmbeddingGatherState*>(self->saved.get());
+  const int64_t count = static_cast<int64_t>(st->ids.size());
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  // Sharded over embedding columns: repeated ids land in the same column
+  // range of the table gradient inside one shard, accumulated over i in
+  // ascending order — matching the serial kernel bit for bit.
+  ParallelFor(e, GrainForRows(count), [&](int64_t s, int64_t e2) {
+    for (int64_t j = s; j < e2; ++j) {
+      for (int64_t i = 0; i < count; ++i) {
+        const int64_t row = st->ids[static_cast<size_t>(i)];
+        gi[row * e + j] += g[i * e + j];
+      }
+    }
+  });
+}
+
+const Op* const kEmbeddingGather =
+    OpRegistry::Get().Register({"EmbeddingGather", 1,
+                                &EmbeddingGatherBackward});
+
+// ----- Conv1dSeq -----
+
+void Conv1dSeqBackward(Node* self) {
+  Node* xn = self->inputs[0].get();
+  Node* wn = self->inputs[1].get();
+  Node* bn = self->inputs[2].get();
+  const int64_t b = self->shape[0], to = self->shape[1], c = self->shape[2];
+  const int64_t t = xn->shape[1], e = xn->shape[2];
+  const int64_t win = wn->shape[1];
+  const float* g = self->grad.data();
+  // Phase 1: weight/bias gradients, sharded over output channels — each
+  // channel's gw row and gb entry belong to exactly one shard, accumulated
+  // over (bi, o) in ascending order like the serial kernel.
+  if (wn->requires_grad || bn->requires_grad) {
+    const float* px = xn->cdata();
+    ParallelFor(c, GrainForRows(b * to * win), [&](int64_t s, int64_t e2) {
+      for (int64_t ci = s; ci < e2; ++ci) {
+        for (int64_t bi = 0; bi < b; ++bi) {
+          for (int64_t o = 0; o < to; ++o) {
+            const float gv = g[(bi * to + o) * c + ci];
+            if (gv == 0.0f) continue;
+            if (bn->requires_grad) bn->grad[ci] += gv;
+            if (wn->requires_grad) {
+              const float* window = px + (bi * t + o) * e;
+              float* gw = wn->grad.data() + ci * win;
+              for (int64_t j = 0; j < win; ++j) gw[j] += gv * window[j];
+            }
+          }
+        }
+      }
+    });
+  }
+  // Phase 2: input gradient, sharded over the batch — overlapping windows
+  // only overlap within one sequence, so shards write disjoint gx rows.
+  if (xn->requires_grad) {
+    const float* pw = wn->cdata();
+    ParallelFor(b, GrainForRows(to * c * win), [&](int64_t s, int64_t e2) {
+      for (int64_t bi = s; bi < e2; ++bi) {
+        for (int64_t o = 0; o < to; ++o) {
+          const float* grow = g + (bi * to + o) * c;
+          float* gx = xn->grad.data() + (bi * t + o) * e;
+          for (int64_t ci = 0; ci < c; ++ci) {
+            const float gv = grow[ci];
+            if (gv == 0.0f) continue;
+            const float* wrow = pw + ci * win;
+            for (int64_t j = 0; j < win; ++j) gx[j] += gv * wrow[j];
+          }
+        }
+      }
+    });
+  }
+}
+
+const Op* const kConv1dSeq =
+    OpRegistry::Get().Register({"Conv1dSeq", 3, &Conv1dSeqBackward});
+
+// ----- GradReverse -----
+
+struct GradReverseState {
+  float lambda;
+};
+
+void GradReverseBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const float lambda =
+      static_cast<const GradReverseState*>(self->saved.get())->lambda;
+  const float* g = self->grad.data();
+  float* gi = in->grad.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] -= lambda * g[i];
+  });
+}
+
+const Op* const kGradReverse = OpRegistry::Get().Register(
+    {"GradReverse", 1, &GradReverseBackward, /*is_view=*/true});
+
+// ----- Dropout -----
+
+struct DropoutState {
+  std::vector<float> mask;
+};
+
+void DropoutBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const auto* st = static_cast<const DropoutState*>(self->saved.get());
+  const float* g = self->grad.data();
+  const float* mask = st->mask.data();
+  float* gi = in->grad.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) gi[i] += g[i] * mask[i];
+  });
+}
+
+const Op* const kDropout =
+    OpRegistry::Get().Register({"Dropout", 1, &DropoutBackward});
+
+// ----- LayerNorm -----
+
+struct LayerNormState {
+  std::vector<float> xhat;     // normalized values pre gamma/beta
+  std::vector<float> inv_std;  // per row
+};
+
+void LayerNormBackward(Node* self) {
+  Node* xn = self->inputs[0].get();
+  Node* gn = self->inputs[1].get();
+  Node* bn = self->inputs[2].get();
+  const int64_t n = gn->shape[0];
+  const int64_t rows = n > 0 ? self->numel / n : 0;
+  const auto* st = static_cast<const LayerNormState*>(self->saved.get());
+  const float* g = self->grad.data();
+  const float* xhat = st->xhat.data();
+  // gamma/beta: sharded over columns, rows accumulated in ascending order.
+  if (gn->requires_grad || bn->requires_grad) {
+    ParallelFor(n, GrainForRows(rows), [&](int64_t s, int64_t e) {
+      for (int64_t j = s; j < e; ++j) {
+        for (int64_t r = 0; r < rows; ++r) {
+          if (gn->requires_grad) gn->grad[j] += g[r * n + j] * xhat[r * n + j];
+          if (bn->requires_grad) bn->grad[j] += g[r * n + j];
+        }
+      }
+    });
+  }
+  if (!xn->requires_grad) return;
+  const float* pgamma = gn->cdata();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  float* gxbase = xn->grad.data();
+  ParallelFor(rows, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const float* gr = g + r * n;
+      const float* h = xhat + r * n;
+      // dL/dxhat_j = g_j * gamma_j; standard layernorm backward.
+      float sum_dh = 0.0f, sum_dh_h = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float dh = gr[j] * pgamma[j];
+        sum_dh += dh;
+        sum_dh_h += dh * h[j];
+      }
+      const float is = st->inv_std[static_cast<size_t>(r)];
+      float* gx = gxbase + r * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float dh = gr[j] * pgamma[j];
+        gx[j] += is * (dh - inv_n * sum_dh - h[j] * inv_n * sum_dh_h);
+      }
+    }
+  });
+}
+
+const Op* const kLayerNorm =
+    OpRegistry::Get().Register({"LayerNorm", 3, &LayerNormBackward});
+
+// ----- WeightedSumOverTime -----
+
+void WeightedSumOverTimeBackward(Node* self) {
+  Node* xn = self->inputs[0].get();
+  Node* wn = self->inputs[1].get();
+  const int64_t b = xn->shape[0], t = xn->shape[1], n = xn->shape[2];
+  const float* g = self->grad.data();
+  const float* pw = wn->cdata();
+  const float* px = xn->cdata();
+  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      const float* grow = g + bi * n;
+      for (int64_t ti = 0; ti < t; ++ti) {
+        const float wv = pw[bi * t + ti];
+        const float* xr = px + (bi * t + ti) * n;
+        if (xn->requires_grad) {
+          float* gx = xn->grad.data() + (bi * t + ti) * n;
+          for (int64_t j = 0; j < n; ++j) gx[j] += wv * grow[j];
+        }
+        if (wn->requires_grad) {
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) acc += xr[j] * grow[j];
+          wn->grad[bi * t + ti] += acc;
+        }
+      }
+    }
+  });
+}
+
+const Op* const kWeightedSumOverTime = OpRegistry::Get().Register(
+    {"WeightedSumOverTime", 2, &WeightedSumOverTimeBackward});
+
+// ----- RowL2Normalize -----
+
+struct RowL2NormalizeState {
+  std::vector<float> inv_norms;
+};
+
+void RowL2NormalizeBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t b = self->shape[0], n = self->shape[1];
+  const auto* st = static_cast<const RowL2NormalizeState*>(self->saved.get());
+  ParallelFor(b, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      const float* y = self->cdata() + i * n;
+      const float* g = self->grad.data() + i * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += g[j] * y[j];
+      const float inv = st->inv_norms[static_cast<size_t>(i)];
+      float* gx = in->grad.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) gx[j] += inv * (g[j] - dot * y[j]);
+    }
+  });
+}
+
+const Op* const kRowL2Normalize =
+    OpRegistry::Get().Register({"RowL2Normalize", 1, &RowL2NormalizeBackward});
+
+// ----- PairwiseSquaredDistances -----
+
+void PairwiseSquaredDistancesBackward(Node* self) {
+  Node* in = self->inputs[0].get();
+  if (!in->requires_grad) return;
+  const int64_t b = in->shape[0], n = in->shape[1];
+  const float* px = in->cdata();
+  const float* g = self->grad.data();
+  float* gibase = in->grad.data();
+  // Row-sharded: row i collects the gradient from both symmetric entries
+  // (i,j) and (j,i) itself, so shards never write another shard's rows.
+  ParallelFor(b, GrainForRows(b * n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      float* gi = gibase + i * n;
+      const float* xi = px + i * n;
+      for (int64_t j = 0; j < b; ++j) {
+        if (j == i) continue;
+        const float gsum = g[i * b + j] + g[j * b + i];
+        if (gsum == 0.0f) continue;
+        const float* xj = px + j * n;
+        for (int64_t kk = 0; kk < n; ++kk) {
+          gi[kk] += 2.0f * (xi[kk] - xj[kk]) * gsum;
+        }
+      }
+    }
+  });
+}
+
+const Op* const kPairwiseSquaredDistances = OpRegistry::Get().Register(
+    {"PairwiseSquaredDistances", 1, &PairwiseSquaredDistancesBackward});
+
 }  // namespace
 
-Tensor Softmax(const Tensor& x) {
-  DTDBD_CHECK_GE(x.ndim(), 1);
-  const int64_t cols = x.shape().back();
-  const int64_t rows = x.numel() / cols;
-  std::vector<float> out(x.data().size());
-  RowSoftmax(x.data().data(), out.data(), rows, cols);
-  return MakeOp("Softmax", x.shape(), std::move(out), {x},
-                [rows, cols](Node* self) {
-                  return [self, rows, cols]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t r = 0; r < rows; ++r) {
-                      const float* y = self->data.data() + r * cols;
-                      const float* g = self->grad.data() + r * cols;
-                      float dot = 0.0f;
-                      for (int64_t j = 0; j < cols; ++j) dot += g[j] * y[j];
-                      float* gi = in->grad.data() + r * cols;
-                      for (int64_t j = 0; j < cols; ++j) {
-                        gi[j] += y[j] * (g[j] - dot);
-                      }
-                    }
-                  };
-                });
+// ===== Public forward functions =====
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryEw(kAdd, a, b, [](float x, float y) { return x + y; });
 }
 
-Tensor LogSoftmax(const Tensor& x) {
-  DTDBD_CHECK_GE(x.ndim(), 1);
-  const int64_t cols = x.shape().back();
-  const int64_t rows = x.numel() / cols;
-  std::vector<float> out(x.data().size());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xi = x.data().data() + r * cols;
-    float* y = out.data() + r * cols;
-    float mx = xi[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (int64_t j = 0; j < cols; ++j) y[j] = xi[j] - lse;
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryEw(kSub, a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryEw(kMul, a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor AddBias(const Tensor& x_in, const Tensor& bias_in) {
+  DTDBD_CHECK_EQ(bias_in.ndim(), 1);
+  const int64_t n = bias_in.dim(0);
+  DTDBD_CHECK(x_in.ndim() >= 1 && x_in.shape().back() == n)
+      << "AddBias: last dim of " << ShapeToString(x_in.shape()) << " vs bias "
+      << n;
+  Tensor x = EnsureReadable(x_in);
+  // The row decomposition below needs rows of length n; a non-contiguous
+  // reader only guarantees that for 2-D inputs.
+  if (!x.contiguous() && x.ndim() != 2) x = Contiguous(x);
+  Tensor bias = Contiguous(bias_in);
+  ScopedOpTimer timer(kAddBias);
+  const Reader rx = ReadOf(x.node().get());
+  const float* pb = bias.data().data();
+  const int64_t rows = n > 0 ? x.numel() / n : 0;
+  const bool flat = x.contiguous();
+  const float* px = flat ? x.node()->cdata() : nullptr;
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  float* po = out.data();
+  ParallelFor(rows, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const float* xrow = flat ? px + r * n : rx.row(r);
+      float* orow = po + r * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] = xrow[j] + pb[j];
+    }
+  });
+  return MakeOp(kAddBias, x.shape(), std::move(out), {x, bias});
+}
+
+Tensor Neg(const Tensor& a) { return UnaryEw<NegFn>(kNeg, a); }
+
+Tensor ScalarMul(const Tensor& a_in, float s) {
+  Tensor a = EnsureReadable(a_in);
+  ScopedOpTimer timer(kScalarMul);
+  const Reader rx = ReadOf(a.node().get());
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  float* po = out.data();
+  ParallelFor(a.numel(), kGrain, [&](int64_t s0, int64_t e) {
+    for (int64_t i = s0; i < e; ++i) po[i] = s * rx.at(i);
+  });
+  return MakeOp(kScalarMul, a.shape(), std::move(out), {a},
+                std::make_shared<ScalarMulState>(ScalarMulState{s}));
+}
+
+Tensor Relu(const Tensor& a) { return UnaryEw<ReluFn>(kRelu, a); }
+Tensor Tanh(const Tensor& a) { return UnaryEw<TanhFn>(kTanh, a); }
+Tensor Sigmoid(const Tensor& a) { return UnaryEw<SigmoidFn>(kSigmoid, a); }
+Tensor Exp(const Tensor& a) { return UnaryEw<ExpFn>(kExp, a); }
+
+Tensor Log(const Tensor& a) {
+  for (float v : a.data()) {
+    DTDBD_CHECK_GT(v, 0.0f) << "Log: non-positive input";
   }
-  return MakeOp("LogSoftmax", x.shape(), std::move(out), {x},
-                [rows, cols](Node* self) {
-                  return [self, rows, cols]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t r = 0; r < rows; ++r) {
-                      const float* y = self->data.data() + r * cols;
-                      const float* g = self->grad.data() + r * cols;
-                      float gsum = 0.0f;
-                      for (int64_t j = 0; j < cols; ++j) gsum += g[j];
-                      float* gi = in->grad.data() + r * cols;
-                      for (int64_t j = 0; j < cols; ++j) {
-                        gi[j] += g[j] - std::exp(y[j]) * gsum;
-                      }
-                    }
-                  };
-                });
+  return UnaryEw<LogFn>(kLog, a);
 }
 
-Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids,
-                       int64_t batch, int64_t time) {
-  DTDBD_CHECK_EQ(table.ndim(), 2);
-  DTDBD_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * time);
-  const int64_t v = table.dim(0), e = table.dim(1);
-  std::vector<float> out(static_cast<size_t>(batch * time * e));
-  for (int64_t i = 0; i < batch * time; ++i) {
-    DTDBD_CHECK_GE(ids[i], 0);
-    DTDBD_CHECK_LT(ids[i], v) << "token id out of vocabulary";
-    std::copy_n(table.data().data() + static_cast<int64_t>(ids[i]) * e, e,
-                out.data() + i * e);
+Tensor Square(const Tensor& a) { return UnaryEw<SquareFn>(kSquare, a); }
+
+Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
+  DTDBD_CHECK_EQ(a_in.ndim(), 2);
+  DTDBD_CHECK_EQ(b_in.ndim(), 2);
+  Tensor a = EnsureReadable(a_in);
+  Tensor b = EnsureReadable(b_in);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DTDBD_CHECK_EQ(k, b.dim(0)) << "MatMul: inner dims "
+                              << ShapeToString(a.shape()) << " x "
+                              << ShapeToString(b.shape());
+  ScopedOpTimer timer(kMatMul);
+  const Reader ra = ReadOf(a.node().get());
+  const Reader rb = ReadOf(b.node().get());
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  float* po = out.data();
+  // ikj order per output row: streaming access to b and out rows. Each
+  // output row is produced by exactly one shard.
+  ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      const float* arow = ra.row(i);
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = rb.row(kk);
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+  return MakeOp(kMatMul, {m, n}, std::move(out), {a, b});
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  DTDBD_CHECK_EQ(a.ndim(), 2);
+  ScopedOpTimer timer(kTranspose2d);
+  const auto& n = a.node();
+  return MakeView(kTranspose2d, {a.dim(1), a.dim(0)},
+                  {n->strides[1], n->strides[0]}, n->offset, a);
+}
+
+Tensor Sum(const Tensor& a) {
+  ScopedOpTimer timer(kSum);
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  return MakeOp(kSum, {1}, {total}, {a});
+}
+
+Tensor Mean(const Tensor& a) {
+  DTDBD_CHECK_GT(a.numel(), 0);
+  ScopedOpTimer timer(kMean);
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  const float inv_n = 1.0f / static_cast<float>(a.numel());
+  return MakeOp(kMean, {1}, {total * inv_n}, {a});
+}
+
+Tensor MeanOverTime(const Tensor& x_in) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 3);
+  Tensor x = Contiguous(x_in);
+  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_GT(t, 0);
+  ScopedOpTimer timer(kMeanOverTime);
+  const float* px = x.data().data();
+  std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
+  float* po = out.data();
+  const float inv_t = 1.0f / static_cast<float>(t);
+  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      float* orow = po + bi * n;
+      for (int64_t ti = 0; ti < t; ++ti) {
+        const float* xr = px + (bi * t + ti) * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += xr[j];
+      }
+      for (int64_t j = 0; j < n; ++j) orow[j] *= inv_t;
+    }
+  });
+  return MakeOp(kMeanOverTime, {b, n}, std::move(out), {x});
+}
+
+Tensor MaxOverTime(const Tensor& x_in) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 3);
+  Tensor x = Contiguous(x_in);
+  const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_GT(t, 0);
+  ScopedOpTimer timer(kMaxOverTime);
+  const float* px = x.data().data();
+  std::vector<float> out(static_cast<size_t>(b * n));
+  auto state = std::make_shared<MaxOverTimeState>();
+  state->argmax.resize(static_cast<size_t>(b * n));
+  float* po = out.data();
+  int32_t* pam = state->argmax.data();
+  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      for (int64_t j = 0; j < n; ++j) {
+        float best = px[(bi * t + 0) * n + j];
+        int32_t best_t = 0;
+        for (int64_t ti = 1; ti < t; ++ti) {
+          const float v = px[(bi * t + ti) * n + j];
+          if (v > best) {
+            best = v;
+            best_t = static_cast<int32_t>(ti);
+          }
+        }
+        po[bi * n + j] = best;
+        pam[bi * n + j] = best_t;
+      }
+    }
+  });
+  return MakeOp(kMaxOverTime, {b, n}, std::move(out), {x}, state);
+}
+
+Tensor Reshape(const Tensor& a_in, const Shape& new_shape) {
+  DTDBD_CHECK_EQ(NumElements(new_shape), a_in.numel())
+      << "Reshape to " << ShapeToString(new_shape);
+  // A reshape view needs a dense source; contiguous inputs stay zero-copy.
+  Tensor a = Contiguous(a_in);
+  ScopedOpTimer timer(kReshape);
+  return MakeView(kReshape, new_shape, CanonicalStrides(new_shape),
+                  a.node()->offset, a);
+}
+
+Tensor ConcatLastDim(const std::vector<Tensor>& parts_in) {
+  DTDBD_CHECK(!parts_in.empty());
+  std::vector<Tensor> parts;
+  parts.reserve(parts_in.size());
+  for (const auto& p : parts_in) {
+    DTDBD_CHECK_EQ(p.ndim(), 2);
+    parts.push_back(EnsureReadable(p));
   }
-  auto ids_copy = std::make_shared<std::vector<int>>(ids);
-  return MakeOp("EmbeddingGather", {batch, time, e}, std::move(out), {table},
-                [e, ids_copy](Node* self) {
-                  return [self, e, ids_copy]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (size_t i = 0; i < ids_copy->size(); ++i) {
-                      const int64_t row = (*ids_copy)[i];
-                      for (int64_t j = 0; j < e; ++j) {
-                        in->grad[row * e + j] += self->grad[i * e + j];
-                      }
-                    }
-                  };
-                });
+  const int64_t rows = parts[0].dim(0);
+  int64_t total = 0;
+  std::vector<int64_t> offsets;
+  std::vector<Reader> readers;
+  for (const auto& p : parts) {
+    DTDBD_CHECK_EQ(p.dim(0), rows);
+    offsets.push_back(total);
+    total += p.dim(1);
+    readers.push_back(ReadOf(p.node().get()));
+  }
+  ScopedOpTimer timer(kConcatLastDim);
+  std::vector<float> out(static_cast<size_t>(rows * total));
+  float* po = out.data();
+  ParallelFor(rows, GrainForRows(total), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      float* orow = po + r * total;
+      for (size_t k = 0; k < parts.size(); ++k) {
+        std::copy_n(readers[k].row(r), parts[k].dim(1), orow + offsets[k]);
+      }
+    }
+  });
+  return MakeOp(kConcatLastDim, {rows, total}, std::move(out), parts);
 }
 
-Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
-                 int64_t kernel_width) {
+Tensor SliceLastDim(const Tensor& x, int64_t start, int64_t len) {
+  DTDBD_CHECK_EQ(x.ndim(), 2);
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  DTDBD_CHECK_GE(start, 0);
+  DTDBD_CHECK_LE(start + len, cols);
+  ScopedOpTimer timer(kSliceLastDim);
+  const auto& n = x.node();
+  return MakeView(kSliceLastDim, {rows, len}, {n->strides[0], n->strides[1]},
+                  n->offset + start * n->strides[1], x,
+                  std::make_shared<SliceLastDimState>(
+                      SliceLastDimState{start}));
+}
+
+Tensor SliceTime(const Tensor& x, int64_t t) {
   DTDBD_CHECK_EQ(x.ndim(), 3);
-  DTDBD_CHECK_EQ(weight.ndim(), 2);
-  DTDBD_CHECK_EQ(bias.ndim(), 1);
+  const int64_t b = x.dim(0), tt = x.dim(1), n = x.dim(2);
+  DTDBD_CHECK_GE(t, 0);
+  DTDBD_CHECK_LT(t, tt);
+  (void)b;
+  ScopedOpTimer timer(kSliceTime);
+  const auto& nd = x.node();
+  return MakeView(kSliceTime, {b, n}, {nd->strides[0], nd->strides[2]},
+                  nd->offset + t * nd->strides[1], x,
+                  std::make_shared<SliceTimeState>(SliceTimeState{t}));
+}
+
+Tensor StackTime(const std::vector<Tensor>& steps_in) {
+  DTDBD_CHECK(!steps_in.empty());
+  std::vector<Tensor> steps;
+  steps.reserve(steps_in.size());
+  for (const auto& s : steps_in) {
+    DTDBD_CHECK_EQ(s.ndim(), 2);
+    steps.push_back(EnsureReadable(s));
+  }
+  const int64_t b = steps[0].dim(0), h = steps[0].dim(1);
+  const int64_t t = static_cast<int64_t>(steps.size());
+  std::vector<Reader> readers;
+  for (const auto& s : steps) {
+    DTDBD_CHECK_EQ(s.dim(0), b);
+    DTDBD_CHECK_EQ(s.dim(1), h);
+    readers.push_back(ReadOf(s.node().get()));
+  }
+  ScopedOpTimer timer(kStackTime);
+  std::vector<float> out(static_cast<size_t>(b * t * h));
+  float* po = out.data();
+  ParallelFor(t, GrainForRows(b * h), [&](int64_t s, int64_t e) {
+    for (int64_t ti = s; ti < e; ++ti) {
+      for (int64_t bi = 0; bi < b; ++bi) {
+        std::copy_n(readers[static_cast<size_t>(ti)].row(bi), h,
+                    po + (bi * t + ti) * h);
+      }
+    }
+  });
+  return MakeOp(kStackTime, {b, t, h}, std::move(out), steps);
+}
+
+Tensor Softmax(const Tensor& x_in) {
+  DTDBD_CHECK_GE(x_in.ndim(), 1);
+  Tensor x = Contiguous(x_in);
+  const int64_t cols = x.shape().back();
+  const int64_t rows = cols > 0 ? x.numel() / cols : 0;
+  ScopedOpTimer timer(kSoftmax);
+  const float* px = x.data().data();
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  float* po = out.data();
+  ParallelFor(rows, GrainForRows(cols), [&](int64_t s, int64_t e) {
+    RowSoftmax(px + s * cols, po + s * cols, e - s, cols);
+  });
+  return MakeOp(kSoftmax, x.shape(), std::move(out), {x});
+}
+
+Tensor LogSoftmax(const Tensor& x_in) {
+  DTDBD_CHECK_GE(x_in.ndim(), 1);
+  Tensor x = Contiguous(x_in);
+  const int64_t cols = x.shape().back();
+  const int64_t rows = cols > 0 ? x.numel() / cols : 0;
+  ScopedOpTimer timer(kLogSoftmax);
+  const float* px = x.data().data();
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  float* po = out.data();
+  ParallelFor(rows, GrainForRows(cols), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const float* xi = px + r * cols;
+      float* y = po + r * cols;
+      float mx = xi[0];
+      for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
+      const float lse = mx + std::log(sum);
+      for (int64_t j = 0; j < cols; ++j) y[j] = xi[j] - lse;
+    }
+  });
+  return MakeOp(kLogSoftmax, x.shape(), std::move(out), {x});
+}
+
+Tensor EmbeddingGather(const Tensor& table_in, const std::vector<int>& ids,
+                       int64_t batch, int64_t time) {
+  DTDBD_CHECK_EQ(table_in.ndim(), 2);
+  DTDBD_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * time);
+  Tensor table = Contiguous(table_in);
+  const int64_t v = table.dim(0), e = table.dim(1);
+  // Ids validated serially before any parallel dispatch.
+  for (int64_t i = 0; i < batch * time; ++i) {
+    DTDBD_CHECK_GE(ids[static_cast<size_t>(i)], 0);
+    DTDBD_CHECK_LT(ids[static_cast<size_t>(i)], v)
+        << "token id out of vocabulary";
+  }
+  ScopedOpTimer timer(kEmbeddingGather);
+  const float* pt = table.data().data();
+  std::vector<float> out(static_cast<size_t>(batch * time * e));
+  float* po = out.data();
+  ParallelFor(batch * time, GrainForRows(e), [&](int64_t s, int64_t e2) {
+    for (int64_t i = s; i < e2; ++i) {
+      const int64_t row = ids[static_cast<size_t>(i)];
+      std::copy_n(pt + row * e, e, po + i * e);
+    }
+  });
+  auto state = std::make_shared<EmbeddingGatherState>();
+  state->ids = ids;
+  return MakeOp(kEmbeddingGather, {batch, time, e}, std::move(out), {table},
+                state);
+}
+
+Tensor Conv1dSeq(const Tensor& x_in, const Tensor& weight_in,
+                 const Tensor& bias_in, int64_t kernel_width) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 3);
+  DTDBD_CHECK_EQ(weight_in.ndim(), 2);
+  DTDBD_CHECK_EQ(bias_in.ndim(), 1);
+  Tensor x = Contiguous(x_in);
+  Tensor weight = Contiguous(weight_in);
+  Tensor bias = Contiguous(bias_in);
   const int64_t b = x.dim(0), t = x.dim(1), e = x.dim(2);
   const int64_t c = weight.dim(0);
   DTDBD_CHECK_EQ(weight.dim(1), kernel_width * e)
@@ -623,16 +1265,19 @@ Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
   DTDBD_CHECK_GE(t, kernel_width)
       << "Conv1dSeq: sequence shorter than kernel";
   const int64_t to = t - kernel_width + 1;
+  ScopedOpTimer timer(kConv1dSeq);
   std::vector<float> out(static_cast<size_t>(b * to * c));
   const float* px = x.data().data();
   const float* pw = weight.data().data();
   const float* pbias = bias.data().data();
   const int64_t win = kernel_width * e;
-  for (int64_t bi = 0; bi < b; ++bi) {
-    for (int64_t o = 0; o < to; ++o) {
+  float* po = out.data();
+  ParallelFor(b * to, GrainForRows(c * win), [&](int64_t s, int64_t e2) {
+    for (int64_t r = s; r < e2; ++r) {
+      const int64_t bi = r / to, o = r % to;
       // The window x[bi, o:o+k, :] is contiguous of length k*E.
       const float* window = px + (bi * t + o) * e;
-      float* orow = out.data() + (bi * to + o) * c;
+      float* orow = po + r * c;
       for (int64_t ci = 0; ci < c; ++ci) {
         const float* wrow = pw + ci * win;
         float acc = pbias[ci];
@@ -640,269 +1285,175 @@ Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
         orow[ci] = acc;
       }
     }
-  }
-  return MakeOp(
-      "Conv1dSeq", {b, to, c}, std::move(out), {x, weight, bias},
-      [b, t, e, c, to, win](Node* self) {
-        return [self, b, t, e, c, to, win]() {
-          Node* xn = self->inputs[0].get();
-          Node* wn = self->inputs[1].get();
-          Node* bn = self->inputs[2].get();
-          (void)t;
-          for (int64_t bi = 0; bi < b; ++bi) {
-            for (int64_t o = 0; o < to; ++o) {
-              const float* g = self->grad.data() + (bi * to + o) * c;
-              const int64_t window_off = (bi * t + o) * e;
-              for (int64_t ci = 0; ci < c; ++ci) {
-                const float gv = g[ci];
-                if (gv == 0.0f) continue;
-                if (bn->requires_grad) bn->grad[ci] += gv;
-                const float* wrow = wn->data.data() + ci * win;
-                if (xn->requires_grad) {
-                  float* gx = xn->grad.data() + window_off;
-                  for (int64_t j = 0; j < win; ++j) gx[j] += gv * wrow[j];
-                }
-                if (wn->requires_grad) {
-                  const float* window = xn->data.data() + window_off;
-                  float* gw = wn->grad.data() + ci * win;
-                  for (int64_t j = 0; j < win; ++j) gw[j] += gv * window[j];
-                }
-              }
-            }
-          }
-        };
-      });
+  });
+  return MakeOp(kConv1dSeq, {b, to, c}, std::move(out), {x, weight, bias});
 }
 
 Tensor GradReverse(const Tensor& x, float lambda) {
-  std::vector<float> out = x.data();
-  return MakeOp("GradReverse", x.shape(), std::move(out), {x},
-                [lambda](Node* self) {
-                  return [self, lambda]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (size_t i = 0; i < self->data.size(); ++i) {
-                      in->grad[i] -= lambda * self->grad[i];
-                    }
-                  };
-                });
+  DTDBD_CHECK(x.defined());
+  ScopedOpTimer timer(kGradReverse);
+  // Identity view: zero-copy forward, backward multiplies by -lambda.
+  const auto& n = x.node();
+  return MakeView(kGradReverse, n->shape, n->strides, n->offset, x,
+                  std::make_shared<GradReverseState>(GradReverseState{lambda}));
 }
 
-Tensor Dropout(const Tensor& x, double p, Rng* rng, bool training) {
+Tensor Dropout(const Tensor& x_in, double p, Rng* rng, bool training) {
   DTDBD_CHECK_GE(p, 0.0);
   DTDBD_CHECK_LT(p, 1.0);
-  if (!training || p == 0.0) return ScalarMul(x, 1.0f);
+  if (!training || p == 0.0) return ScalarMul(x_in, 1.0f);
   DTDBD_CHECK(rng != nullptr);
+  Tensor x = EnsureReadable(x_in);
+  ScopedOpTimer timer(kDropout);
   const float scale = static_cast<float>(1.0 / (1.0 - p));
-  auto mask = std::make_shared<std::vector<float>>(x.data().size());
-  std::vector<float> out(x.data().size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    const float m = rng->Bernoulli(p) ? 0.0f : scale;
-    (*mask)[i] = m;
-    out[i] = x.data()[i] * m;
+  const int64_t numel = x.numel();
+  auto state = std::make_shared<DropoutState>();
+  state->mask.resize(static_cast<size_t>(numel));
+  // The RNG stream is consumed sequentially on the calling thread, in
+  // logical element order, BEFORE any parallel dispatch: masks (and thus
+  // training math and checkpoint/resume reproducibility) are independent of
+  // the thread count.
+  for (int64_t i = 0; i < numel; ++i) {
+    state->mask[static_cast<size_t>(i)] = rng->Bernoulli(p) ? 0.0f : scale;
   }
-  return MakeOp("Dropout", x.shape(), std::move(out), {x},
-                [mask](Node* self) {
-                  return [self, mask]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (size_t i = 0; i < self->data.size(); ++i) {
-                      in->grad[i] += self->grad[i] * (*mask)[i];
-                    }
-                  };
-                });
+  const Reader rx = ReadOf(x.node().get());
+  const float* mask = state->mask.data();
+  std::vector<float> out(static_cast<size_t>(numel));
+  float* po = out.data();
+  ParallelFor(numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) po[i] = rx.at(i) * mask[i];
+  });
+  return MakeOp(kDropout, x.shape(), std::move(out), {x}, state);
 }
 
-Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
-                   float eps) {
-  DTDBD_CHECK_GE(x.ndim(), 1);
-  const int64_t n = x.shape().back();
-  DTDBD_CHECK_EQ(gamma.ndim(), 1);
-  DTDBD_CHECK_EQ(gamma.dim(0), n);
-  DTDBD_CHECK_EQ(beta.ndim(), 1);
-  DTDBD_CHECK_EQ(beta.dim(0), n);
-  const int64_t rows = x.numel() / n;
-  std::vector<float> out(x.data().size());
-  // Normalized values (pre gamma/beta) retained for backward.
-  auto xhat = std::make_shared<std::vector<float>>(x.data().size());
-  auto inv_std = std::make_shared<std::vector<float>>(rows);
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xi = x.data().data() + r * n;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < n; ++j) mean += xi[j];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      const float d = xi[j] - mean;
-      var += d * d;
+Tensor LayerNormOp(const Tensor& x_in, const Tensor& gamma_in,
+                   const Tensor& beta_in, float eps) {
+  DTDBD_CHECK_GE(x_in.ndim(), 1);
+  const int64_t n = x_in.shape().back();
+  DTDBD_CHECK_EQ(gamma_in.ndim(), 1);
+  DTDBD_CHECK_EQ(gamma_in.dim(0), n);
+  DTDBD_CHECK_EQ(beta_in.ndim(), 1);
+  DTDBD_CHECK_EQ(beta_in.dim(0), n);
+  Tensor x = Contiguous(x_in);
+  Tensor gamma = Contiguous(gamma_in);
+  Tensor beta = Contiguous(beta_in);
+  const int64_t rows = n > 0 ? x.numel() / n : 0;
+  ScopedOpTimer timer(kLayerNorm);
+  const float* px = x.data().data();
+  const float* pg = gamma.data().data();
+  const float* pbeta = beta.data().data();
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  auto state = std::make_shared<LayerNormState>();
+  state->xhat.resize(static_cast<size_t>(x.numel()));
+  state->inv_std.resize(static_cast<size_t>(rows));
+  float* po = out.data();
+  float* pxhat = state->xhat.data();
+  float* pis = state->inv_std.data();
+  ParallelFor(rows, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const float* xi = px + r * n;
+      float mean = 0.0f;
+      for (int64_t j = 0; j < n; ++j) mean += xi[j];
+      mean /= static_cast<float>(n);
+      float var = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        const float d = xi[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float is = 1.0f / std::sqrt(var + eps);
+      pis[r] = is;
+      for (int64_t j = 0; j < n; ++j) {
+        const float h = (xi[j] - mean) * is;
+        pxhat[r * n + j] = h;
+        po[r * n + j] = pg[j] * h + pbeta[j];
+      }
     }
-    var /= static_cast<float>(n);
-    const float is = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[r] = is;
-    for (int64_t j = 0; j < n; ++j) {
-      const float h = (xi[j] - mean) * is;
-      (*xhat)[r * n + j] = h;
-      out[r * n + j] = gamma.data()[j] * h + beta.data()[j];
-    }
-  }
-  return MakeOp(
-      "LayerNorm", x.shape(), std::move(out), {x, gamma, beta},
-      [rows, n, xhat, inv_std](Node* self) {
-        return [self, rows, n, xhat, inv_std]() {
-          Node* xn = self->inputs[0].get();
-          Node* gn = self->inputs[1].get();
-          Node* bn = self->inputs[2].get();
-          for (int64_t r = 0; r < rows; ++r) {
-            const float* g = self->grad.data() + r * n;
-            const float* h = xhat->data() + r * n;
-            // Gradients wrt gamma/beta.
-            for (int64_t j = 0; j < n; ++j) {
-              if (gn->requires_grad) gn->grad[j] += g[j] * h[j];
-              if (bn->requires_grad) bn->grad[j] += g[j];
-            }
-            if (!xn->requires_grad) continue;
-            // dL/dxhat_j = g_j * gamma_j; standard layernorm backward.
-            float sum_dh = 0.0f, sum_dh_h = 0.0f;
-            for (int64_t j = 0; j < n; ++j) {
-              const float dh = g[j] * gn->data[j];
-              sum_dh += dh;
-              sum_dh_h += dh * h[j];
-            }
-            const float is = (*inv_std)[r];
-            const float inv_n = 1.0f / static_cast<float>(n);
-            float* gx = xn->grad.data() + r * n;
-            for (int64_t j = 0; j < n; ++j) {
-              const float dh = g[j] * gn->data[j];
-              gx[j] += is * (dh - inv_n * sum_dh - h[j] * inv_n * sum_dh_h);
-            }
-          }
-        };
-      });
+  });
+  return MakeOp(kLayerNorm, x.shape(), std::move(out), {x, gamma, beta},
+                state);
 }
 
-Tensor WeightedSumOverTime(const Tensor& x, const Tensor& w) {
-  DTDBD_CHECK_EQ(x.ndim(), 3);
-  DTDBD_CHECK_EQ(w.ndim(), 2);
+Tensor WeightedSumOverTime(const Tensor& x_in, const Tensor& w_in) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 3);
+  DTDBD_CHECK_EQ(w_in.ndim(), 2);
+  Tensor x = Contiguous(x_in);
+  Tensor w = Contiguous(w_in);
   const int64_t b = x.dim(0), t = x.dim(1), n = x.dim(2);
   DTDBD_CHECK_EQ(w.dim(0), b);
   DTDBD_CHECK_EQ(w.dim(1), t);
-  std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
-  for (int64_t bi = 0; bi < b; ++bi) {
-    for (int64_t ti = 0; ti < t; ++ti) {
-      const float wv = w.data()[bi * t + ti];
-      const float* xr = x.data().data() + (bi * t + ti) * n;
-      float* orow = out.data() + bi * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += wv * xr[j];
-    }
-  }
-  return MakeOp("WeightedSumOverTime", {b, n}, std::move(out), {x, w},
-                [b, t, n](Node* self) {
-                  return [self, b, t, n]() {
-                    Node* xn = self->inputs[0].get();
-                    Node* wn = self->inputs[1].get();
-                    for (int64_t bi = 0; bi < b; ++bi) {
-                      const float* g = self->grad.data() + bi * n;
-                      for (int64_t ti = 0; ti < t; ++ti) {
-                        const float wv = wn->data[bi * t + ti];
-                        const float* xr =
-                            xn->data.data() + (bi * t + ti) * n;
-                        if (xn->requires_grad) {
-                          float* gx =
-                              xn->grad.data() + (bi * t + ti) * n;
-                          for (int64_t j = 0; j < n; ++j) {
-                            gx[j] += wv * g[j];
-                          }
-                        }
-                        if (wn->requires_grad) {
-                          float acc = 0.0f;
-                          for (int64_t j = 0; j < n; ++j) {
-                            acc += xr[j] * g[j];
-                          }
-                          wn->grad[bi * t + ti] += acc;
-                        }
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor RowL2Normalize(const Tensor& x, float eps) {
-  DTDBD_CHECK_EQ(x.ndim(), 2);
-  const int64_t b = x.dim(0), n = x.dim(1);
-  std::vector<float> out(x.data().size());
-  auto inv_norms = std::make_shared<std::vector<float>>(b);
-  for (int64_t i = 0; i < b; ++i) {
-    const float* xi = x.data().data() + i * n;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < n; ++j) acc += xi[j] * xi[j];
-    const float inv = 1.0f / std::max(std::sqrt(acc), eps);
-    (*inv_norms)[i] = inv;
-    for (int64_t j = 0; j < n; ++j) out[i * n + j] = xi[j] * inv;
-  }
-  return MakeOp("RowL2Normalize", x.shape(), std::move(out), {x},
-                [b, n, inv_norms](Node* self) {
-                  return [self, b, n, inv_norms]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    for (int64_t i = 0; i < b; ++i) {
-                      const float* y = self->data.data() + i * n;
-                      const float* g = self->grad.data() + i * n;
-                      float dot = 0.0f;
-                      for (int64_t j = 0; j < n; ++j) dot += g[j] * y[j];
-                      const float inv = (*inv_norms)[i];
-                      float* gx = in->grad.data() + i * n;
-                      for (int64_t j = 0; j < n; ++j) {
-                        gx[j] += inv * (g[j] - dot * y[j]);
-                      }
-                    }
-                  };
-                });
-}
-
-Tensor PairwiseSquaredDistances(const Tensor& x) {
-  DTDBD_CHECK_EQ(x.ndim(), 2);
-  const int64_t b = x.dim(0), n = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(b * b), 0.0f);
+  ScopedOpTimer timer(kWeightedSumOverTime);
   const float* px = x.data().data();
-  for (int64_t i = 0; i < b; ++i) {
-    for (int64_t j = i + 1; j < b; ++j) {
-      float acc = 0.0f;
-      const float* xi = px + i * n;
-      const float* xj = px + j * n;
-      for (int64_t kk = 0; kk < n; ++kk) {
-        const float d = xi[kk] - xj[kk];
-        acc += d * d;
+  const float* pw = w.data().data();
+  std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
+  float* po = out.data();
+  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
+    for (int64_t bi = s; bi < e; ++bi) {
+      float* orow = po + bi * n;
+      for (int64_t ti = 0; ti < t; ++ti) {
+        const float wv = pw[bi * t + ti];
+        const float* xr = px + (bi * t + ti) * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += wv * xr[j];
       }
-      out[i * b + j] = acc;
-      out[j * b + i] = acc;
     }
-  }
-  return MakeOp("PairwiseSquaredDistances", {b, b}, std::move(out), {x},
-                [b, n](Node* self) {
-                  return [self, b, n]() {
-                    Node* in = self->inputs[0].get();
-                    if (!in->requires_grad) return;
-                    const float* px = in->data.data();
-                    for (int64_t i = 0; i < b; ++i) {
-                      for (int64_t j = 0; j < b; ++j) {
-                        if (i == j) continue;
-                        // d M[i,j] / d x[i,:] = 2 (x_i - x_j); gradient from
-                        // both symmetric entries flows through.
-                        const float g = self->grad[i * b + j];
-                        if (g == 0.0f) continue;
-                        const float* xi = px + i * n;
-                        const float* xj = px + j * n;
-                        float* gi = in->grad.data() + i * n;
-                        float* gj = in->grad.data() + j * n;
-                        for (int64_t kk = 0; kk < n; ++kk) {
-                          const float d = 2.0f * (xi[kk] - xj[kk]) * g;
-                          gi[kk] += d;
-                          gj[kk] -= d;
-                        }
-                      }
-                    }
-                  };
-                });
+  });
+  return MakeOp(kWeightedSumOverTime, {b, n}, std::move(out), {x, w});
+}
+
+Tensor RowL2Normalize(const Tensor& x_in, float eps) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 2);
+  Tensor x = Contiguous(x_in);
+  const int64_t b = x.dim(0), n = x.dim(1);
+  ScopedOpTimer timer(kRowL2Normalize);
+  const float* px = x.data().data();
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  auto state = std::make_shared<RowL2NormalizeState>();
+  state->inv_norms.resize(static_cast<size_t>(b));
+  float* po = out.data();
+  float* pinv = state->inv_norms.data();
+  ParallelFor(b, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      const float* xi = px + i * n;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += xi[j] * xi[j];
+      const float inv = 1.0f / std::max(std::sqrt(acc), eps);
+      pinv[i] = inv;
+      for (int64_t j = 0; j < n; ++j) po[i * n + j] = xi[j] * inv;
+    }
+  });
+  return MakeOp(kRowL2Normalize, x.shape(), std::move(out), {x}, state);
+}
+
+Tensor PairwiseSquaredDistances(const Tensor& x_in) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 2);
+  Tensor x = Contiguous(x_in);
+  const int64_t b = x.dim(0), n = x.dim(1);
+  ScopedOpTimer timer(kPairwiseSquaredDistances);
+  const float* px = x.data().data();
+  std::vector<float> out(static_cast<size_t>(b * b), 0.0f);
+  float* po = out.data();
+  // Row-sharded; (i,j) and (j,i) compute the same value bit for bit, since
+  // (a-b)^2 and (b-a)^2 round identically.
+  ParallelFor(b, GrainForRows(b * n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      const float* xi = px + i * n;
+      float* orow = po + i * b;
+      for (int64_t j = 0; j < b; ++j) {
+        if (j == i) {
+          orow[j] = 0.0f;
+          continue;
+        }
+        const float* xj = px + j * n;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < n; ++kk) {
+          const float d = xi[kk] - xj[kk];
+          acc += d * d;
+        }
+        orow[j] = acc;
+      }
+    }
+  });
+  return MakeOp(kPairwiseSquaredDistances, {b, b}, std::move(out), {x});
 }
 
 }  // namespace dtdbd::tensor

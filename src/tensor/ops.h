@@ -36,7 +36,8 @@ Tensor Square(const Tensor& a);
 // ----- Linear algebra -----
 // [m,k] x [k,n] -> [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
-// [m,n] -> [n,m].
+// [m,n] -> [n,m]. Zero-copy view (strides swapped); consumers that need a
+// dense layout materialize it through Contiguous().
 Tensor Transpose2d(const Tensor& a);
 
 // ----- Reductions -----
@@ -48,12 +49,17 @@ Tensor MeanOverTime(const Tensor& x);
 Tensor MaxOverTime(const Tensor& x);
 
 // ----- Shape manipulation -----
+// The tensor itself when already dense row-major; otherwise a materialized
+// dense copy, recorded as a graph op so gradient flows back to the view.
+Tensor Contiguous(const Tensor& x);
+// Zero-copy view when the input is contiguous (materializes it first
+// otherwise); shares storage with the input.
 Tensor Reshape(const Tensor& a, const Shape& new_shape);
 // Concatenates 2-D tensors [B, Ni] along the last dim.
 Tensor ConcatLastDim(const std::vector<Tensor>& parts);
-// x[B, N] -> x[:, start:start+len].
+// x[B, N] -> x[:, start:start+len]. Zero-copy view.
 Tensor SliceLastDim(const Tensor& x, int64_t start, int64_t len);
-// x[B,T,E] -> x[:, t, :] as [B,E].
+// x[B,T,E] -> x[:, t, :] as [B,E]. Zero-copy view.
 Tensor SliceTime(const Tensor& x, int64_t t);
 // Stacks T tensors of shape [B,H] into [B,T,H].
 Tensor StackTime(const std::vector<Tensor>& steps);
@@ -73,7 +79,8 @@ Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
                  int64_t kernel_width);
 
 // ----- Gradient reversal (domain adversarial training) -----
-// Identity forward; backward multiplies incoming gradient by -lambda.
+// Identity forward (zero-copy view); backward multiplies the incoming
+// gradient by -lambda.
 Tensor GradReverse(const Tensor& x, float lambda);
 
 // ----- Dropout (inverted scaling). Identity when !training. -----

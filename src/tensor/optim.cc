@@ -29,10 +29,11 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
 
 void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
-    auto& data = params_[i].data();
+    float* data = params_[i].data().data();
     auto& grad = params_[i].grad();
     auto& vel = velocity_[i];
-    for (size_t j = 0; j < data.size(); ++j) {
+    const size_t n = static_cast<size_t>(params_[i].numel());
+    for (size_t j = 0; j < n; ++j) {
       float g = grad[j] + weight_decay_ * data[j];
       if (momentum_ != 0.0f) {
         vel[j] = momentum_ * vel[j] + g;
@@ -66,11 +67,12 @@ void Adam::Step() {
   const float bc2 =
       1.0f - std::pow(beta2_, static_cast<float>(step_count_));
   for (size_t i = 0; i < params_.size(); ++i) {
-    auto& data = params_[i].data();
+    float* data = params_[i].data().data();
     auto& grad = params_[i].grad();
     auto& m = m_[i];
     auto& v = v_[i];
-    for (size_t j = 0; j < data.size(); ++j) {
+    const size_t n = static_cast<size_t>(params_[i].numel());
+    for (size_t j = 0; j < n; ++j) {
       const float g = grad[j] + weight_decay_ * data[j];
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;

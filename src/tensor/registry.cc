@@ -1,0 +1,214 @@
+#include "tensor/registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dtdbd::tensor {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool g_profiling = false;
+// Keyed by op pointer; only touched from the dispatching (main) thread —
+// kernels fan work out through ParallelFor but dispatch itself is serial.
+std::unordered_map<const Op*, OpStats>& StatsMap() {
+  static auto* stats = new std::unordered_map<const Op*, OpStats>();
+  return *stats;
+}
+
+}  // namespace
+
+OpRegistry& OpRegistry::Get() {
+  static auto* registry = new OpRegistry();  // leaked: outlives static dtors
+  return *registry;
+}
+
+const Op* OpRegistry::Register(Op op) {
+  DTDBD_CHECK(!op.name.empty());
+  DTDBD_CHECK(by_name_.find(op.name) == by_name_.end())
+      << "duplicate op registration: " << op.name;
+  ops_.push_back(std::make_unique<Op>(std::move(op)));
+  const Op* ptr = ops_.back().get();
+  by_name_[ptr->name] = ptr;
+  return ptr;
+}
+
+const Op* OpRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<const Op*> OpRegistry::All() const {
+  std::vector<const Op*> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) out.push_back(op.get());
+  return out;
+}
+
+Tensor MakeOp(const Op* op, Shape shape, std::vector<float> data,
+              std::vector<Tensor> inputs, std::shared_ptr<void> saved) {
+  DTDBD_CHECK(op != nullptr);
+  DTDBD_CHECK(op->arity == kVariadicArity ||
+              static_cast<size_t>(op->arity) == inputs.size())
+      << op->name << ": expected " << op->arity << " inputs, got "
+      << inputs.size();
+  auto node = std::make_shared<internal::Node>();
+  node->shape = std::move(shape);
+  node->numel = NumElements(node->shape);
+  DTDBD_CHECK_EQ(node->numel, static_cast<int64_t>(data.size()))
+      << op->name << ": kernel output size mismatch";
+  node->strides = CanonicalStrides(node->shape);
+  node->contiguous = true;
+  node->storage = std::make_shared<internal::Storage>();
+  node->storage->buf = std::move(data);
+  node->op = op;
+  bool any_grad = false;
+  for (const auto& in : inputs) {
+    DTDBD_CHECK(in.defined()) << op->name << ": undefined input";
+    any_grad = any_grad || in.requires_grad();
+  }
+  if (GradEnabled() && any_grad) {
+    node->requires_grad = true;
+    for (const auto& in : inputs) node->inputs.push_back(in.node());
+    node->saved = std::move(saved);
+  }
+  return Tensor::FromNode(std::move(node));
+}
+
+Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
+                const Tensor& base, std::shared_ptr<void> saved) {
+  DTDBD_CHECK(op != nullptr);
+  DTDBD_CHECK(op->is_view) << op->name << " is not registered as a view";
+  DTDBD_CHECK(base.defined()) << op->name << ": undefined input";
+  auto node = std::make_shared<internal::Node>();
+  node->shape = std::move(shape);
+  node->strides = std::move(strides);
+  node->offset = offset;
+  node->numel = NumElements(node->shape);
+  node->contiguous = IsContiguousLayout(node->shape, node->strides);
+  node->storage = base.node()->storage;
+  node->op = op;
+  if (GradEnabled() && base.requires_grad()) {
+    node->requires_grad = true;
+    node->inputs.push_back(base.node());
+    node->saved = std::move(saved);
+  }
+  return Tensor::FromNode(std::move(node));
+}
+
+void SetOpProfiling(bool enabled) { g_profiling = enabled; }
+bool OpProfilingEnabled() { return g_profiling; }
+
+std::map<std::string, OpStats> GetOpStats() {
+  std::map<std::string, OpStats> out;
+  for (const auto& [op, stats] : StatsMap()) out[op->name] = stats;
+  return out;
+}
+
+void ResetOpStats() { StatsMap().clear(); }
+
+std::string FormatOpStats() {
+  struct Row {
+    std::string name;
+    OpStats stats;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, stats] : GetOpStats()) rows.push_back({name, stats});
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.stats.forward_ns + a.stats.backward_ns >
+           b.stats.forward_ns + b.stats.backward_ns;
+  });
+  std::ostringstream out;
+  out << "op                        fwd_calls     fwd_ms bwd_calls     bwd_ms\n";
+  char line[160];
+  for (const Row& row : rows) {
+    std::snprintf(line, sizeof(line), "%-24s %10llu %10.3f %9llu %10.3f\n",
+                  row.name.c_str(),
+                  static_cast<unsigned long long>(row.stats.forward_calls),
+                  row.stats.forward_ns / 1e6,
+                  static_cast<unsigned long long>(row.stats.backward_calls),
+                  row.stats.backward_ns / 1e6);
+    out << line;
+  }
+  return out.str();
+}
+
+void RecordForward(const Op* op, uint64_t ns) {
+  OpStats& stats = StatsMap()[op];
+  ++stats.forward_calls;
+  stats.forward_ns += ns;
+}
+
+void RecordBackward(const Op* op, uint64_t ns) {
+  OpStats& stats = StatsMap()[op];
+  ++stats.backward_calls;
+  stats.backward_ns += ns;
+}
+
+ScopedOpTimer::ScopedOpTimer(const Op* op)
+    : op_(g_profiling ? op : nullptr), start_ns_(op_ ? NowNs() : 0) {}
+
+ScopedOpTimer::~ScopedOpTimer() {
+  if (op_ != nullptr) RecordForward(op_, NowNs() - start_ns_);
+}
+
+std::string DumpGraph(const Tensor& root) {
+  DTDBD_CHECK(root.defined());
+  using internal::Node;
+  using internal::Storage;
+  // Topological order over the recorded graph (same walk as Backward, but
+  // ignoring requires_grad so frozen branches are shown too).
+  std::vector<const Node*> order;
+  std::unordered_set<const Node*> visited;
+  std::vector<std::pair<const Node*, size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, next_input] = stack.back();
+    if (next_input < node->inputs.size()) {
+      const Node* input = node->inputs[next_input++].get();
+      if (visited.insert(input).second) stack.emplace_back(input, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  std::unordered_map<const Node*, int> node_id;
+  for (const Node* node : order) {
+    node_id[node] = static_cast<int>(node_id.size());
+  }
+  std::unordered_map<const Storage*, int> storage_id;
+  std::ostringstream out;
+  for (const Node* node : order) {
+    auto sit = storage_id.emplace(node->storage.get(),
+                                  static_cast<int>(storage_id.size()));
+    out << "%" << node_id[node] << " = " << node->op_name() << "(";
+    for (size_t i = 0; i < node->inputs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "%" << node_id[node->inputs[i].get()];
+    }
+    out << ") " << ShapeToString(node->shape);
+    if (node->contiguous) {
+      out << " dense";
+    } else {
+      out << " view{strides=" << ShapeToString(node->strides)
+          << ", offset=" << node->offset << "}";
+    }
+    out << " storage=S" << sit.first->second;
+    if (node->requires_grad) out << " grad";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dtdbd::tensor

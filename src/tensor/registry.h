@@ -1,0 +1,120 @@
+// Typed op registry for the tensor engine.
+//
+// Every differentiable operation is a named `Op` entry: name, arity, and a
+// backward kernel that reads the saved forward context off the node. The
+// public functions in ops.h/loss.h are thin typed front-ends that run the
+// forward kernel and record an op node through MakeOp / MakeView. Benefits
+// over the previous anonymous-closure design:
+//   * the graph is introspectable (DumpGraph prints op names, shapes,
+//     storage aliasing),
+//   * per-op wall-clock counters come for free (SetOpProfiling),
+//   * later PRs can hook tracing / fusion / alternate backends at a single
+//     dispatch point instead of per-callsite closures.
+#ifndef DTDBD_TENSOR_REGISTRY_H_
+#define DTDBD_TENSOR_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+namespace internal {
+struct Node;
+}  // namespace internal
+
+// A registered operation. Backward kernels accumulate into the dense
+// logical gradient buffers of self->inputs; the saved forward context (per
+// op state such as dropout masks or argmax indices) lives in self->saved.
+struct Op {
+  std::string name;
+  // Number of tensor inputs; kVariadic for ops like ConcatLastDim.
+  int arity = 0;
+  // Null for ops that never propagate gradient (e.g. leaves).
+  void (*backward)(internal::Node* self) = nullptr;
+  // True when the op's output aliases its input's storage (zero-copy view).
+  bool is_view = false;
+};
+
+inline constexpr int kVariadicArity = -1;
+
+class OpRegistry {
+ public:
+  static OpRegistry& Get();
+
+  // Registers an op under a unique name; dies on duplicates. The returned
+  // pointer is stable for the process lifetime.
+  const Op* Register(Op op);
+
+  // Null when no op with that name exists.
+  const Op* Find(const std::string& name) const;
+
+  // All registered ops in registration order.
+  std::vector<const Op*> All() const;
+
+ private:
+  std::vector<std::unique_ptr<Op>> ops_;
+  std::map<std::string, const Op*> by_name_;
+};
+
+// ----- Node construction (used by ops.cc / loss.cc) -----
+
+// Creates a dense op output node. `inputs` are recorded (and `saved`
+// retained for backward) only when gradient mode is on and at least one
+// input is differentiable.
+Tensor MakeOp(const Op* op, Shape shape, std::vector<float> data,
+              std::vector<Tensor> inputs,
+              std::shared_ptr<void> saved = nullptr);
+
+// Creates a zero-copy view node over base's storage.
+Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
+                const Tensor& base, std::shared_ptr<void> saved = nullptr);
+
+// ----- Per-op wall-clock profiling -----
+
+struct OpStats {
+  uint64_t forward_calls = 0;
+  uint64_t forward_ns = 0;
+  uint64_t backward_calls = 0;
+  uint64_t backward_ns = 0;
+};
+
+// Profiling is off by default (no clock reads on the hot path). Counters
+// are only touched from the dispatching thread.
+void SetOpProfiling(bool enabled);
+bool OpProfilingEnabled();
+std::map<std::string, OpStats> GetOpStats();
+void ResetOpStats();
+// One line per op, sorted by total wall-clock, e.g. for bench logs.
+std::string FormatOpStats();
+
+// Internal accounting hooks (called by ScopedOpTimer and Backward()).
+void RecordForward(const Op* op, uint64_t ns);
+void RecordBackward(const Op* op, uint64_t ns);
+
+// RAII forward timer; a no-op unless profiling is enabled.
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(const Op* op);
+  ~ScopedOpTimer();
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  const Op* op_;
+  uint64_t start_ns_;
+};
+
+// ----- Graph introspection -----
+
+// Human-readable dump of the autograd graph below `root` in topological
+// order: node id, op name, shape, layout, and which nodes share storage.
+std::string DumpGraph(const Tensor& root);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_REGISTRY_H_

@@ -163,19 +163,21 @@ Status SaveTensors(const std::map<std::string, Tensor>& tensors,
   }
   for (const auto& [name, t] : tensors) {
     if (!t.defined()) return Status::InvalidArgument("undefined tensor: " + name);
+    // Views are materialized to logical row-major order here, so the
+    // on-disk format stays layout-free and old files remain readable.
+    const std::vector<float> data = t.ToVector();
     const uint64_t name_len = name.size();
     const uint64_t ndim = t.shape().size();
     uint32_t crc = Crc32(&name_len, sizeof(name_len));
     crc = Crc32(name.data(), name.size(), crc);
     crc = Crc32(&ndim, sizeof(ndim), crc);
     crc = Crc32(t.shape().data(), ndim * sizeof(int64_t), crc);
-    crc = Crc32(t.data().data(), t.data().size() * sizeof(float), crc);
+    crc = Crc32(data.data(), data.size() * sizeof(float), crc);
     if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
         !WriteBytes(f.get(), name.data(), name.size()) ||
         !WriteBytes(f.get(), &ndim, sizeof(ndim)) ||
         !WriteBytes(f.get(), t.shape().data(), ndim * sizeof(int64_t)) ||
-        !WriteBytes(f.get(), t.data().data(),
-                    t.data().size() * sizeof(float)) ||
+        !WriteBytes(f.get(), data.data(), data.size() * sizeof(float)) ||
         !WriteBytes(f.get(), &crc, sizeof(crc))) {
       return Status::IoError("write failed: " + path);
     }
@@ -237,7 +239,7 @@ Status RestoreInto(const std::map<std::string, Tensor>& loaded,
           ShapeToString(it->second.shape()) + " vs model " +
           ShapeToString(dst.shape()));
     }
-    dst.data() = it->second.data();
+    dst.CopyDataFrom(it->second);
   }
   return Status::Ok();
 }

@@ -1,13 +1,26 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <ostream>
 #include <sstream>
 #include <unordered_set>
+
+#include "tensor/registry.h"
 
 namespace dtdbd::tensor {
 
 namespace {
+
 thread_local bool g_grad_enabled = true;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 int64_t NumElements(const Shape& shape) {
@@ -30,17 +43,81 @@ std::string ShapeToString(const Shape& shape) {
   return out.str();
 }
 
+Shape CanonicalStrides(const Shape& shape) {
+  Shape strides(shape.size());
+  int64_t acc = 1;
+  for (int i = static_cast<int>(shape.size()) - 1; i >= 0; --i) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+bool IsContiguousLayout(const Shape& shape, const Shape& strides) {
+  DTDBD_CHECK_EQ(shape.size(), strides.size());
+  int64_t expect = 1;
+  for (int i = static_cast<int>(shape.size()) - 1; i >= 0; --i) {
+    if (shape[i] == 0) return true;  // no elements: trivially dense
+    if (shape[i] == 1) continue;     // stride irrelevant for extent-1 dims
+    if (strides[i] != expect) return false;
+    expect *= shape[i];
+  }
+  return true;
+}
+
+namespace internal {
+
+const char* Node::op_name() const { return op ? op->name.c_str() : "leaf"; }
+
+}  // namespace internal
+
+std::vector<float> ConstDataRef::ToVector() const {
+  std::vector<float> out(static_cast<size_t>(node_->numel));
+  if (node_->contiguous) {
+    std::copy_n(node_->cdata(), out.size(), out.data());
+  } else {
+    for (int64_t i = 0; i < node_->numel; ++i) {
+      out[static_cast<size_t>(i)] = node_->storage->buf[node_->PhysIndex(i)];
+    }
+  }
+  return out;
+}
+
+bool operator==(const ConstDataRef& a, const ConstDataRef& b) {
+  return a.ToVector() == b.ToVector();
+}
+bool operator==(const ConstDataRef& a, const std::vector<float>& b) {
+  return a.ToVector() == b;
+}
+bool operator==(const std::vector<float>& a, const ConstDataRef& b) {
+  return b == a;
+}
+
+namespace {
+std::ostream& PrintElements(std::ostream& os, const std::vector<float>& v) {
+  os << "{";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  return os << "}";
+}
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, const ConstDataRef& ref) {
+  return PrintElements(os, ref.ToVector());
+}
+std::ostream& operator<<(std::ostream& os, const DataRef& ref) {
+  return PrintElements(os, ref.ToVector());
+}
+
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
   return Full(shape, 0.0f, requires_grad);
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  auto node = std::make_shared<internal::Node>();
-  node->shape = shape;
-  node->data.assign(NumElements(shape), value);
-  node->requires_grad = requires_grad;
-  node->op_name = "leaf";
-  return FromNode(std::move(node));
+  std::vector<float> data(static_cast<size_t>(NumElements(shape)), value);
+  return FromData(shape, std::move(data), requires_grad);
 }
 
 Tensor Tensor::FromData(const Shape& shape, std::vector<float> data,
@@ -49,9 +126,12 @@ Tensor Tensor::FromData(const Shape& shape, std::vector<float> data,
       << "shape " << ShapeToString(shape) << " does not match data size";
   auto node = std::make_shared<internal::Node>();
   node->shape = shape;
-  node->data = std::move(data);
+  node->strides = CanonicalStrides(shape);
+  node->numel = static_cast<int64_t>(data.size());
+  node->contiguous = true;
+  node->storage = std::make_shared<internal::Storage>();
+  node->storage->buf = std::move(data);
   node->requires_grad = requires_grad;
-  node->op_name = "leaf";
   return FromNode(std::move(node));
 }
 
@@ -62,6 +142,11 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 const Shape& Tensor::shape() const {
   DTDBD_CHECK(defined());
   return node_->shape;
+}
+
+const Shape& Tensor::strides() const {
+  DTDBD_CHECK(defined());
+  return node_->strides;
 }
 
 int64_t Tensor::dim(int i) const {
@@ -78,17 +163,45 @@ int Tensor::ndim() const {
 
 int64_t Tensor::numel() const {
   DTDBD_CHECK(defined());
-  return static_cast<int64_t>(node_->data.size());
+  return node_->numel;
 }
 
-std::vector<float>& Tensor::data() {
+bool Tensor::contiguous() const {
   DTDBD_CHECK(defined());
-  return node_->data;
+  return node_->contiguous;
 }
 
-const std::vector<float>& Tensor::data() const {
+DataRef Tensor::data() {
   DTDBD_CHECK(defined());
-  return node_->data;
+  return DataRef(node_.get());
+}
+
+ConstDataRef Tensor::data() const {
+  DTDBD_CHECK(defined());
+  return ConstDataRef(node_.get());
+}
+
+std::vector<float> Tensor::ToVector() const {
+  DTDBD_CHECK(defined());
+  return ConstDataRef(node_.get()).ToVector();
+}
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  DTDBD_CHECK(defined());
+  DTDBD_CHECK(src.defined());
+  DTDBD_CHECK(shape() == src.shape())
+      << "CopyDataFrom: " << ShapeToString(src.shape()) << " into "
+      << ShapeToString(shape());
+  internal::Node* dst = node_.get();
+  const internal::Node* from = src.node_.get();
+  if (dst->contiguous && from->contiguous) {
+    std::copy_n(from->cdata(), static_cast<size_t>(dst->numel), dst->mdata());
+    return;
+  }
+  for (int64_t i = 0; i < dst->numel; ++i) {
+    dst->storage->buf[dst->PhysIndex(i)] =
+        from->storage->buf[from->PhysIndex(i)];
+  }
 }
 
 std::vector<float>& Tensor::grad() {
@@ -118,14 +231,14 @@ void Tensor::set_requires_grad(bool value) {
 float Tensor::item() const {
   DTDBD_CHECK(defined());
   DTDBD_CHECK_EQ(numel(), 1) << "item() requires a 1-element tensor";
-  return node_->data[0];
+  return node_->storage->buf[node_->PhysIndex(0)];
 }
 
 float Tensor::at(int64_t flat_index) const {
   DTDBD_CHECK(defined());
   DTDBD_CHECK_GE(flat_index, 0);
   DTDBD_CHECK_LT(flat_index, numel());
-  return node_->data[flat_index];
+  return node_->storage->buf[node_->PhysIndex(flat_index)];
 }
 
 void Tensor::ZeroGrad() {
@@ -160,30 +273,46 @@ void Tensor::Backward() {
 
   node_->EnsureGrad();
   node_->grad[0] += 1.0f;
+  const bool profile = OpProfilingEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::Node* node = *it;
-    if (node->backward) {
-      for (auto& input : node->inputs) {
-        if (input->requires_grad) input->EnsureGrad();
-      }
-      node->backward();
+    if (node->op == nullptr || node->op->backward == nullptr) continue;
+    for (auto& input : node->inputs) {
+      if (input->requires_grad) input->EnsureGrad();
+    }
+    if (profile) {
+      const uint64_t start = NowNs();
+      node->op->backward(node);
+      RecordBackward(node->op, NowNs() - start);
+    } else {
+      node->op->backward(node);
     }
   }
 }
 
 Tensor Tensor::Detach() const {
   DTDBD_CHECK(defined());
+  // Zero-copy: the detached leaf aliases this tensor's storage (writes
+  // through either are visible in both); only the graph link is dropped.
   auto node = std::make_shared<internal::Node>();
   node->shape = node_->shape;
-  node->data = node_->data;  // copy: keeps semantics simple and safe
+  node->strides = node_->strides;
+  node->offset = node_->offset;
+  node->numel = node_->numel;
+  node->contiguous = node_->contiguous;
+  node->storage = node_->storage;
   node->requires_grad = false;
-  node->op_name = "detach";
   return FromNode(std::move(node));
 }
 
 Tensor Tensor::Clone() const {
   DTDBD_CHECK(defined());
-  return FromData(node_->shape, node_->data, node_->requires_grad);
+  return FromData(node_->shape, ToVector(), node_->requires_grad);
+}
+
+const void* Tensor::storage_id() const {
+  DTDBD_CHECK(defined());
+  return node_->storage.get();
 }
 
 Tensor Tensor::FromNode(std::shared_ptr<internal::Node> node) {

@@ -1,19 +1,28 @@
 // A small CPU tensor with reverse-mode automatic differentiation.
 //
-// Tensor is a cheap shared handle to a Node holding float storage, an
-// optional gradient buffer, and the backward closure linking it to its
-// inputs. Calling Backward() on a scalar tensor propagates gradients through
-// the recorded graph in reverse topological order.
+// Tensor is a cheap shared handle to a graph Node. A Node no longer owns a
+// private buffer: it references a refcounted Storage (contiguous float
+// buffer) through {offset, shape, strides}, so Reshape / Detach / SliceTime
+// / SliceLastDim / Transpose2d are zero-copy views where layout allows.
+// Ops that need dense input materialize through Contiguous(). Gradients are
+// always dense per-node buffers in logical row-major order, which keeps
+// backward kernels layout-free.
 //
-// This is the substrate that replaces PyTorch for the DTDBD reproduction: it
-// supports exactly what the paper's training loops need (dense layers,
-// conv-over-sequence, recurrent cells, softmax/KL losses, gradient reversal)
-// on CPU with deterministic seeded initialization.
+// Every op is a named entry in the typed op registry (tensor/registry.h);
+// Backward() dispatches through Op::backward instead of per-callsite
+// closures, making the graph introspectable and profilable.
+//
+// This is the substrate that replaces PyTorch for the DTDBD reproduction:
+// it supports exactly what the paper's training loops need (dense layers,
+// conv-over-sequence, recurrent cells, softmax/KL losses, gradient
+// reversal) on CPU with deterministic seeded initialization, and runs its
+// hot kernels on the deterministic parallel backend in common/thread_pool.
 #ifndef DTDBD_TENSOR_TENSOR_H_
 #define DTDBD_TENSOR_TENSOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <iosfwd>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,31 +33,198 @@ namespace dtdbd::tensor {
 
 using Shape = std::vector<int64_t>;
 
+struct Op;  // tensor/registry.h
+
 // Number of elements implied by a shape.
 int64_t NumElements(const Shape& shape);
 
 // Human-readable shape, e.g. "[2, 3]".
 std::string ShapeToString(const Shape& shape);
 
+// Row-major strides for a dense tensor of this shape.
+Shape CanonicalStrides(const Shape& shape);
+
+// True when {shape, strides} describe a dense row-major layout (dimensions
+// of extent 1 may carry any stride).
+bool IsContiguousLayout(const Shape& shape, const Shape& strides);
+
 namespace internal {
+
+// Refcounted contiguous float buffer, shared between a base tensor and all
+// views carved out of it.
+struct Storage {
+  std::vector<float> buf;
+};
 
 // Graph node. Owned via shared_ptr by Tensor handles and by downstream
 // nodes (each op output keeps its inputs alive until backward).
 struct Node {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;   // allocated lazily, same size as data
+  Shape strides;           // element strides, same rank as shape
+  int64_t offset = 0;      // element offset into storage->buf
+  int64_t numel = 0;
+  bool contiguous = true;  // strides are row-major for shape
+  std::shared_ptr<Storage> storage;
+
+  // Dense gradient in logical row-major order (allocated lazily). Views
+  // keep their own dense grad; view backward kernels scatter it into the
+  // base through the stride mapping.
+  std::vector<float> grad;
   bool requires_grad = false;
+
   std::vector<std::shared_ptr<Node>> inputs;
-  std::function<void()> backward;  // accumulates into inputs' grads
-  std::string op_name;             // for error messages
+  const Op* op = nullptr;        // registry entry; null for leaves
+  std::shared_ptr<void> saved;   // op-specific context for backward
+
+  const char* op_name() const;   // op->name, or "leaf"
 
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (static_cast<int64_t>(grad.size()) != numel) {
+      grad.assign(static_cast<size_t>(numel), 0.0f);
+    }
+  }
+
+  // Flat data pointer; only valid for contiguous layouts.
+  const float* cdata() const {
+    DTDBD_CHECK(contiguous) << op_name() << ": non-contiguous data access";
+    return storage->buf.data() + offset;
+  }
+  float* mdata() {
+    DTDBD_CHECK(contiguous) << op_name() << ": non-contiguous data access";
+    return storage->buf.data() + offset;
+  }
+
+  // Physical storage index of logical element i.
+  int64_t PhysIndex(int64_t i) const {
+    if (contiguous) return offset + i;
+    int64_t phys = offset;
+    for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
+      phys += (i % shape[d]) * strides[d];
+      i /= shape[d];
+    }
+    return phys;
   }
 };
 
 }  // namespace internal
+
+// Read-only accessor for a tensor's elements in logical row-major order.
+// Cheap to copy; writes through the underlying (possibly shared) storage
+// are visible to every tensor aliasing it.
+class ConstDataRef {
+ public:
+  explicit ConstDataRef(const internal::Node* node) : node_(node) {}
+
+  int64_t size() const { return node_->numel; }
+  bool contiguous() const { return node_->contiguous; }
+
+  // Flat pointer; requires a contiguous layout (use Tensor::Contiguous()
+  // or ToVector() for views that are not).
+  const float* data() const { return node_->cdata(); }
+
+  float operator[](int64_t i) const {
+    return node_->storage->buf[node_->PhysIndex(i)];
+  }
+
+  std::vector<float> ToVector() const;
+  operator std::vector<float>() const { return ToVector(); }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = float;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const float*;
+    using reference = float;
+
+    const_iterator(const internal::Node* node, int64_t i)
+        : node_(node), i_(i) {}
+    float operator*() const {
+      return node_->storage->buf[node_->PhysIndex(i_)];
+    }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const internal::Node* node_;
+    int64_t i_;
+  };
+
+  const_iterator begin() const { return {node_, 0}; }
+  const_iterator end() const { return {node_, node_->numel}; }
+
+  const internal::Node* node() const { return node_; }
+
+ private:
+  const internal::Node* node_;
+};
+
+// Mutable variant of ConstDataRef.
+class DataRef {
+ public:
+  explicit DataRef(internal::Node* node) : node_(node) {}
+
+  int64_t size() const { return node_->numel; }
+  bool contiguous() const { return node_->contiguous; }
+
+  float* data() { return node_->mdata(); }
+  const float* data() const { return node_->cdata(); }
+
+  // Overwrites the elements (logical order) from a vector of equal size.
+  DataRef& operator=(const std::vector<float>& values) {
+    DTDBD_CHECK_EQ(static_cast<int64_t>(values.size()), node_->numel);
+    for (int64_t i = 0; i < node_->numel; ++i) {
+      node_->storage->buf[node_->PhysIndex(i)] =
+          values[static_cast<size_t>(i)];
+    }
+    return *this;
+  }
+
+  float& operator[](int64_t i) {
+    return node_->storage->buf[node_->PhysIndex(i)];
+  }
+  float operator[](int64_t i) const {
+    return node_->storage->buf[node_->PhysIndex(i)];
+  }
+
+  std::vector<float> ToVector() const { return ConstDataRef(node_); }
+  operator std::vector<float>() const { return ToVector(); }
+
+  ConstDataRef::const_iterator begin() const {
+    return ConstDataRef(node_).begin();
+  }
+  ConstDataRef::const_iterator end() const {
+    return ConstDataRef(node_).end();
+  }
+
+ private:
+  internal::Node* node_;
+};
+
+bool operator==(const ConstDataRef& a, const ConstDataRef& b);
+bool operator==(const ConstDataRef& a, const std::vector<float>& b);
+bool operator==(const std::vector<float>& a, const ConstDataRef& b);
+inline bool operator==(const DataRef& a, const std::vector<float>& b) {
+  return a.ToVector() == b;
+}
+inline bool operator==(const std::vector<float>& a, const DataRef& b) {
+  return b == a;
+}
+inline bool operator==(const DataRef& a, const DataRef& b) {
+  return a.ToVector() == b.ToVector();
+}
+inline bool operator==(const ConstDataRef& a, const DataRef& b) {
+  return a.ToVector() == b.ToVector();
+}
+inline bool operator==(const DataRef& a, const ConstDataRef& b) {
+  return a.ToVector() == b.ToVector();
+}
+std::ostream& operator<<(std::ostream& os, const ConstDataRef& ref);
+std::ostream& operator<<(std::ostream& os, const DataRef& ref);
 
 // Value-semantic handle to a graph node. Copies alias the same storage.
 class Tensor {
@@ -67,12 +243,25 @@ class Tensor {
   bool defined() const { return node_ != nullptr; }
 
   const Shape& shape() const;
+  const Shape& strides() const;
   int64_t dim(int i) const;
   int ndim() const;
   int64_t numel() const;
 
-  std::vector<float>& data();
-  const std::vector<float>& data() const;
+  // True when the elements are laid out dense row-major in storage.
+  bool contiguous() const;
+
+  // Logical element accessors. Writing through data() on a view writes the
+  // shared storage, i.e. is visible in the base tensor.
+  DataRef data();
+  ConstDataRef data() const;
+
+  // Copy of the elements in logical row-major order (works for any view).
+  std::vector<float> ToVector() const;
+
+  // Overwrites this tensor's elements from src (same shape required);
+  // handles arbitrary layouts on both sides.
+  void CopyDataFrom(const Tensor& src);
 
   // Gradient buffer; only meaningful after Backward(). Allocates if needed.
   std::vector<float>& grad();
@@ -91,12 +280,20 @@ class Tensor {
   // Runs backpropagation from this scalar tensor (numel()==1).
   void Backward();
 
-  // Returns a new leaf tensor sharing this tensor's storage but detached
-  // from the autograd graph (used for frozen teacher outputs).
+  // Returns a leaf tensor aliasing this tensor's storage (zero copies) but
+  // detached from the autograd graph (used for frozen teacher outputs).
   Tensor Detach() const;
 
-  // Deep copy of data into a fresh leaf tensor.
+  // Deep copy of data into a fresh (contiguous) leaf tensor.
   Tensor Clone() const;
+
+  // This tensor if already dense row-major; otherwise a materialized dense
+  // copy, recorded as a graph op so gradient still flows to the view.
+  Tensor Contiguous() const;
+
+  // Identity of the underlying storage buffer; equal for tensors that alias
+  // (used by the zero-copy view tests).
+  const void* storage_id() const;
 
   // Internal: used by ops to build graph nodes.
   const std::shared_ptr<internal::Node>& node() const { return node_; }

@@ -89,7 +89,10 @@ std::string PackTensor(const Tensor& t) {
   const uint64_t ndim = t.shape().size();
   AppendScalar(&payload, ndim);
   AppendRaw(&payload, t.shape().data(), ndim * sizeof(int64_t));
-  AppendRaw(&payload, t.data().data(), t.data().size() * sizeof(float));
+  // Materializes views into logical row-major order; the on-disk format is
+  // layout-free, so files from the pre-view engine stay readable.
+  const std::vector<float> data = t.ToVector();
+  AppendRaw(&payload, data.data(), data.size() * sizeof(float));
   return payload;
 }
 

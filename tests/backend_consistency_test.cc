@@ -1,0 +1,233 @@
+// Backend-consistency suite: every registered op must produce bitwise
+// identical forward results AND gradients regardless of the configured
+// thread count. This is the contract that makes the parallel backend safe
+// to enable by default — training runs, checkpoints, and paper tables do
+// not depend on the machine's core count.
+//
+// A coverage assertion walks OpRegistry::All() and fails when a newly
+// registered op has no consistency case here.
+#include <cstring>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/registry.h"
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+namespace {
+
+Tensor Rand(const Shape& shape, uint64_t seed, bool requires_grad = true) {
+  Rng rng(seed);
+  return NormalInit(shape, 1.0f, &rng, requires_grad);
+}
+
+// One consistency case: builds leaves + a scalar loss from fixed seeds.
+struct Built {
+  std::vector<Tensor> leaves;
+  Tensor loss;
+};
+
+struct Case {
+  const char* name;
+  std::function<Built()> build;
+};
+
+struct CaseResult {
+  std::vector<float> loss;
+  std::vector<std::vector<float>> grads;
+  std::string dump;
+};
+
+CaseResult RunCase(const Case& c) {
+  Built built = c.build();
+  CaseResult r;
+  r.dump = DumpGraph(built.loss);
+  built.loss.Backward();
+  r.loss = built.loss.ToVector();
+  for (Tensor& leaf : built.leaves) r.grads.push_back(leaf.grad());
+  return r;
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+void ExpectBitwiseEqual(const CaseResult& a, const CaseResult& b,
+                        const char* case_name) {
+  EXPECT_TRUE(BitwiseEqual(a.loss, b.loss)) << case_name << ": loss differs";
+  ASSERT_EQ(a.grads.size(), b.grads.size()) << case_name;
+  for (size_t i = 0; i < a.grads.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(a.grads[i], b.grads[i]))
+        << case_name << ": grad of leaf " << i << " differs";
+  }
+}
+
+// Shapes are chosen large enough that the sharded paths actually engage
+// (elementwise grain is 4096; row kernels shard when rows*work > 4096).
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+
+  cases.push_back({"elementwise_chain", [] {
+    Tensor a = Rand({70, 70}, 1);
+    Tensor b = Rand({70, 70}, 2);
+    Tensor ones = Tensor::Full({70, 70}, 1.0f);
+    Tensor x = Add(Mul(a, b), Sub(a, b));
+    x = Sigmoid(Tanh(Relu(x)));
+    x = Exp(ScalarMul(Neg(x), 0.5f));
+    x = Log(Add(Square(x), ones));
+    return Built{{a, b}, Sum(x)};
+  }});
+
+  cases.push_back({"matmul_affine_softmax", [] {
+    Tensor x = Rand({48, 32}, 3);
+    Tensor w = Rand({32, 40}, 4);
+    Tensor bias = Rand({40}, 5);
+    Tensor h = AddBias(MatMul(x, w), bias);
+    Tensor loss = Add(Sum(Softmax(h)), Mean(LogSoftmax(h)));
+    return Built{{x, w, bias}, loss};
+  }});
+
+  cases.push_back({"views_and_transpose", [] {
+    Tensor x = Rand({24, 40}, 6);
+    Tensor m = MatMul(Transpose2d(x), x);  // forces a Contiguous node
+    Tensor r = Relu(Reshape(x, {40, 24}));
+    Tensor g = GradReverse(SliceLastDim(x, 8, 16), 0.7f);
+    Tensor loss = Add(Sum(m), Add(Sum(r), Sum(g)));
+    return Built{{x}, loss};
+  }});
+
+  cases.push_back({"sequence_pooling", [] {
+    Tensor x = Rand({4, 6, 32}, 7);
+    Tensor w = Softmax(Rand({4, 6}, 8));
+    std::vector<Tensor> steps;
+    for (int64_t t = 0; t < 6; ++t) steps.push_back(SliceTime(x, t));
+    Tensor restacked = StackTime(steps);
+    Tensor cat = ConcatLastDim({MeanOverTime(restacked), MaxOverTime(x)});
+    Tensor pooled = RowL2Normalize(WeightedSumOverTime(x, w));
+    Tensor loss = Add(Sum(cat), Sum(pooled));
+    return Built{{x}, loss};
+  }});
+
+  cases.push_back({"encoder_conv_layernorm_dropout", [] {
+    Tensor table = Rand({60, 48}, 9);
+    Rng id_rng(10);
+    std::vector<int> ids(5 * 20);
+    for (auto& id : ids) id = static_cast<int>(id_rng.UniformInt(60));
+    Tensor e = EmbeddingGather(table, ids, 5, 20);
+    Tensor w = Rand({24, 3 * 48}, 11);
+    Tensor cb = Rand({24}, 12);
+    Tensor c = Conv1dSeq(e, w, cb, 3);
+    Tensor gamma = Rand({24}, 13);
+    Tensor beta = Rand({24}, 14);
+    Tensor ln = LayerNormOp(c, gamma, beta);
+    // Fresh RNG per build: the mask is drawn on the dispatching thread in
+    // logical order, so it must be identical for every thread count.
+    Rng drop_rng(15);
+    Tensor d = Dropout(ln, 0.3, &drop_rng, /*training=*/true);
+    return Built{{table, w, cb, gamma, beta}, Sum(d)};
+  }});
+
+  cases.push_back({"pairwise_distances", [] {
+    Tensor x = Rand({40, 64}, 16);
+    return Built{{x}, Sum(PairwiseSquaredDistances(x))};
+  }});
+
+  cases.push_back({"losses", [] {
+    Tensor logits = Rand({30, 4}, 17);
+    std::vector<int> labels(30);
+    for (int i = 0; i < 30; ++i) labels[i] = i % 4;
+    Tensor teacher = Rand({30, 4}, 18, /*requires_grad=*/false);
+    Tensor a = Rand({50, 20}, 19);
+    Tensor b = Rand({50, 20}, 20, /*requires_grad=*/false);
+    Tensor loss = Add(Add(CrossEntropyLoss(logits, labels),
+                          DistillKlLoss(teacher, logits, 2.0f)),
+                      Add(NegativeEntropyLoss(logits), MseLoss(a, b)));
+    return Built{{logits, a}, loss};
+  }});
+
+  return cases;
+}
+
+class BackendConsistencyTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(1); }
+};
+
+TEST_F(BackendConsistencyTest, BitwiseIdenticalAcrossThreadCounts) {
+  for (const Case& c : AllCases()) {
+    SetNumThreads(1);
+    const CaseResult serial = RunCase(c);
+    for (int threads : {2, 3, 8}) {
+      SetNumThreads(threads);
+      const CaseResult parallel = RunCase(c);
+      SCOPED_TRACE(std::string(c.name) + " threads=" +
+                   std::to_string(threads));
+      ExpectBitwiseEqual(serial, parallel, c.name);
+    }
+  }
+}
+
+TEST_F(BackendConsistencyTest, RepeatedParallelRunsAreIdentical) {
+  SetNumThreads(8);
+  for (const Case& c : AllCases()) {
+    const CaseResult first = RunCase(c);
+    const CaseResult second = RunCase(c);
+    ExpectBitwiseEqual(first, second, c.name);
+  }
+}
+
+// Dropout's mask is drawn from its Rng on the dispatching thread in logical
+// element order BEFORE the parallel apply. This pins down two guarantees:
+// (a) the mask — and hence the op's output — is independent of the thread
+// count, and (b) the number of Rng draws per call is fixed, so checkpoint
+// resume (which serializes Rng streams, PR 1) stays bitwise reproducible
+// when the thread count changes between save and restore.
+TEST_F(BackendConsistencyTest, DropoutMaskIndependentOfThreadCount) {
+  const auto run = [](int threads) {
+    SetNumThreads(threads);
+    Rng rng(77);
+    Tensor x = Tensor::Full({80, 70}, 1.0f);  // > elementwise grain
+    // Two consecutive calls against one stream: both masks must line up.
+    Tensor first = Dropout(x, 0.4, &rng, /*training=*/true);
+    Tensor second = Dropout(x, 0.4, &rng, /*training=*/true);
+    std::pair<std::vector<float>, std::vector<float>> out{first.ToVector(),
+                                                          second.ToVector()};
+    return out;
+  };
+  const auto serial = run(1);
+  for (int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    EXPECT_TRUE(BitwiseEqual(serial.first, parallel.first))
+        << "threads=" << threads;
+    EXPECT_TRUE(BitwiseEqual(serial.second, parallel.second))
+        << "threads=" << threads;
+  }
+}
+
+// Every op in the registry must appear in at least one consistency case.
+// DumpGraph prints "%id = OpName(...)" per node, so the graphs themselves
+// are the source of truth for what a case exercises.
+TEST_F(BackendConsistencyTest, CasesCoverEveryRegisteredOp) {
+  SetNumThreads(1);
+  std::string dumps;
+  for (const Case& c : AllCases()) dumps += RunCase(c).dump;
+  for (const Op* op : OpRegistry::Get().All()) {
+    EXPECT_NE(dumps.find("= " + op->name + "("), std::string::npos)
+        << "op '" << op->name
+        << "' has no backend-consistency coverage; add a case in "
+           "AllCases()";
+  }
+}
+
+}  // namespace
+}  // namespace dtdbd::tensor
