@@ -20,11 +20,15 @@
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "dtdbd/distill.h"
+#include "models/model.h"
 #include "nn/rnn.h"
 #include "tensor/init.h"
 #include "tensor/loss.h"
 #include "tensor/ops.h"
 #include "tensor/registry.h"
+#include "text/features.h"
 #include "text/frozen_encoder.h"
 
 namespace {
@@ -125,7 +129,152 @@ std::vector<SweepOp> MakeSweepOps() {
          }});
   }
 
+  {
+    Tensor x = RandomTensor({128, 64}, 20, true);
+    Tensor w = RandomTensor({64, 64}, 21, true);
+    Tensor b = RandomTensor({64}, 22, true);
+    std::vector<Tensor> leaves = {x, w, b};
+    ops.push_back({"LinearRelu", "relu(x[128,64] @ w[64,64] + b)",
+                   [x, w, b] { return tensor::LinearRelu(x, w, b); },
+                   [x, w, b, leaves]() mutable {
+                     ZeroGrads(leaves);
+                     return RunFwdBwd(leaves, tensor::LinearRelu(x, w, b));
+                   }});
+  }
+
+  {
+    Tensor x = RandomTensor({32, 24, 64}, 23, true);
+    Tensor v = RandomTensor({64, 1}, 24, true);
+    const auto attn = [x, v] {
+      Tensor weights = tensor::Softmax(tensor::MatVecOverTime(x, v));
+      return tensor::WeightedSumOverTime(x, weights);
+    };
+    std::vector<Tensor> leaves = {x, v};
+    ops.push_back({"AttentionPool", "x[32,24,64] scored by v[64]",
+                   attn,
+                   [attn, leaves]() mutable {
+                     ZeroGrads(leaves);
+                     return RunFwdBwd(leaves, attn());
+                   }});
+  }
+
   return ops;
+}
+
+// ----- Training-step graph statistics --------------------------------------
+
+// Synthetic batch with the shapes the paper experiments use in the quick
+// profile: 16 samples x 24 tokens.
+data::Batch MakeSyntheticBatch(int vocab_size) {
+  data::Batch batch;
+  batch.batch_size = 16;
+  batch.seq_len = 24;
+  Rng rng(42);
+  batch.tokens.resize(batch.batch_size * batch.seq_len);
+  for (auto& t : batch.tokens) {
+    t = static_cast<int>(rng.UniformInt(vocab_size));
+  }
+  for (int64_t i = 0; i < batch.batch_size; ++i) {
+    batch.labels.push_back(static_cast<int>(i % 2));
+    batch.domains.push_back(static_cast<int>(i % 3));
+  }
+  batch.style = RandomTensor({batch.batch_size, text::kStyleFeatureDim}, 43);
+  batch.emotion =
+      RandomTensor({batch.batch_size, text::kEmotionFeatureDim}, 44);
+  return batch;
+}
+
+struct StepStats {
+  uint64_t nodes = 0;
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+};
+
+// Runs one forward+backward training step under op profiling and returns
+// the graph-node / allocation / byte counters accumulated by MakeOp.
+StepStats MeasureStep(const std::function<void()>& step, bool fused) {
+  const bool saved = tensor::FusionEnabled();
+  tensor::SetFusionEnabled(fused);
+  tensor::SetOpProfiling(true);
+  tensor::ResetOpStats();
+  step();
+  const tensor::OpStats total = tensor::TotalOpStats();
+  tensor::SetOpProfiling(false);
+  tensor::SetFusionEnabled(saved);
+  return {total.nodes, total.allocs, total.bytes};
+}
+
+struct StepReport {
+  std::string name;
+  StepStats fused;
+  StepStats unfused;
+  double node_reduction_pct = 0.0;
+};
+
+std::vector<StepReport> RunTrainingStepStats(
+    const text::FrozenEncoder& encoder) {
+  models::ModelConfig config;
+  config.vocab_size = 1000;
+  config.num_domains = 3;
+  config.encoder = &encoder;
+
+  const data::Batch batch = MakeSyntheticBatch(config.vocab_size);
+
+  const auto mdfend_step = [&] {
+    auto model = models::CreateModel("MDFEND", config);
+    models::ModelOutput out = model->Forward(batch, /*training=*/true);
+    Tensor loss = tensor::CrossEntropyLoss(out.logits, batch.labels);
+    loss.Backward();
+  };
+
+  // The DTDBD step: frozen teacher forward, student forward, then
+  // CE + domain-knowledge KL + adversarial-debias KL (Eq. 6/12 and 5).
+  const auto dtdbd_step = [&] {
+    auto teacher = models::CreateModel("MDFEND", config);
+    auto student = models::CreateModel("TextCNN-S", config);
+    models::ModelOutput t_out;
+    {
+      tensor::NoGradGuard no_grad;
+      t_out = teacher->Forward(batch, /*training=*/false);
+    }
+    models::ModelOutput s_out = student->Forward(batch, /*training=*/true);
+    Tensor loss = tensor::Add(
+        tensor::CrossEntropyLoss(s_out.logits, batch.labels),
+        tensor::Add(
+            DomainKnowledgeDistillLoss(t_out.logits, s_out.logits, 2.0f),
+            AdversarialDebiasDistillLoss(t_out.features, s_out.features,
+                                         2.0f)));
+    loss.Backward();
+  };
+
+  std::vector<StepReport> reports;
+  const std::vector<std::pair<std::string, std::function<void()>>> steps = {
+      {"mdfend_train_step", mdfend_step},
+      {"dtdbd_distill_step", dtdbd_step},
+  };
+  for (const auto& [name, step] : steps) {
+    StepReport r;
+    r.name = name;
+    r.fused = MeasureStep(step, /*fused=*/true);
+    r.unfused = MeasureStep(step, /*fused=*/false);
+    r.node_reduction_pct =
+        r.unfused.nodes == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(r.fused.nodes) /
+                                 static_cast<double>(r.unfused.nodes));
+    std::printf(
+        "%-20s fused:   %6llu nodes %6llu allocs %8.1f KiB\n"
+        "%-20s unfused: %6llu nodes %6llu allocs %8.1f KiB  "
+        "(node reduction %.1f%%)\n",
+        name.c_str(), static_cast<unsigned long long>(r.fused.nodes),
+        static_cast<unsigned long long>(r.fused.allocs),
+        r.fused.bytes / 1024.0, "",
+        static_cast<unsigned long long>(r.unfused.nodes),
+        static_cast<unsigned long long>(r.unfused.allocs),
+        r.unfused.bytes / 1024.0, r.node_reduction_pct);
+    reports.push_back(std::move(r));
+  }
+  return reports;
 }
 
 // Wall-clock ms per iteration; repeats until >= 60 ms of work was measured.
@@ -223,6 +372,11 @@ int RunSweep(const FlagParser& flags) {
   }
   SetNumThreads(1);
 
+  // Per-step graph statistics: fused vs DTDBD_NO_FUSION node/alloc/byte
+  // counts for one MDFEND training step and one DTDBD distillation step.
+  const text::FrozenEncoder encoder(1000, 32, 14);
+  const std::vector<StepReport> steps = RunTrainingStepStats(encoder);
+
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for write\n", json_path.c_str());
@@ -248,6 +402,26 @@ int RunSweep(const FlagParser& flags) {
                  r.op.c_str(), r.workload.c_str(), r.threads, r.fwd_ms,
                  r.fwd_bwd_ms, r.bitwise_equal ? "true" : "false",
                  i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"training_steps\": [\n");
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const StepReport& s = steps[i];
+    std::fprintf(
+        f,
+        "    {\"step\": \"%s\", "
+        "\"fused\": {\"graph_nodes\": %llu, \"allocs\": %llu, \"bytes\": "
+        "%llu}, "
+        "\"unfused\": {\"graph_nodes\": %llu, \"allocs\": %llu, \"bytes\": "
+        "%llu}, "
+        "\"node_reduction_pct\": %.1f}%s\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.fused.nodes),
+        static_cast<unsigned long long>(s.fused.allocs),
+        static_cast<unsigned long long>(s.fused.bytes),
+        static_cast<unsigned long long>(s.unfused.nodes),
+        static_cast<unsigned long long>(s.unfused.allocs),
+        static_cast<unsigned long long>(s.unfused.bytes),
+        s.node_reduction_pct, i + 1 == steps.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/logging.h"
 
 namespace dtdbd {
 
@@ -120,15 +125,39 @@ void EnsurePool() {
   }
 }
 
+// Strict thread-count parse: the whole string must be a positive decimal
+// integer that fits in int. Returns false for "", "abc", "4x", "0", "-3",
+// and out-of-range values — callers warn and fall back to 1 thread rather
+// than silently using hardware concurrency (the old std::atoi behavior).
+bool ParseThreadCount(const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtol would skip leading whitespace; treat that as malformed too.
+  if (std::isspace(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (n <= 0 || n > std::numeric_limits<int>::max()) return false;
+  *out = static_cast<int>(n);
+  return true;
+}
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 }  // namespace
 
 int DefaultNumThreads() {
   if (const char* env = std::getenv("DTDBD_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return n;
+    int n = 0;
+    if (ParseThreadCount(env, &n)) return n;
+    DTDBD_LOG(Warning) << "DTDBD_NUM_THREADS='" << env
+                       << "' is not a positive integer; using 1 thread";
+    return 1;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  return HardwareThreads();
 }
 
 int GetNumThreads() {
@@ -147,8 +176,19 @@ void SetNumThreads(int n) {
 }
 
 int InitThreadsFromFlags(const FlagParser& flags) {
-  const int n = flags.GetInt("threads", DefaultNumThreads());
-  SetNumThreads(n);
+  if (flags.Has("threads")) {
+    const std::string value = flags.GetString("threads", "");
+    int n = 0;
+    if (ParseThreadCount(value.c_str(), &n)) {
+      SetNumThreads(n);
+    } else {
+      DTDBD_LOG(Warning) << "--threads '" << value
+                         << "' is not a positive integer; using 1 thread";
+      SetNumThreads(1);
+    }
+  } else {
+    SetNumThreads(DefaultNumThreads());
+  }
   return GetNumThreads();
 }
 

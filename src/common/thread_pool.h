@@ -30,13 +30,16 @@ int GetNumThreads();
 // from the main thread, outside any ParallelFor region.
 void SetNumThreads(int n);
 
-// Default thread count: DTDBD_NUM_THREADS if set and positive, else
-// hardware concurrency (at least 1).
+// Default thread count: DTDBD_NUM_THREADS if set and a strictly positive
+// integer, else hardware concurrency (at least 1). A set-but-invalid value
+// (non-numeric, zero, or negative) logs a warning and yields 1 thread
+// rather than silently falling back to hardware concurrency.
 int DefaultNumThreads();
 
 // Reads --threads=N (falling back to DTDBD_NUM_THREADS, then hardware) and
-// applies it via SetNumThreads. Every bench/example main calls this so perf
-// runs are reproducible from the command line.
+// applies it via SetNumThreads. A present-but-invalid --threads value logs
+// a warning and pins the pool to 1 thread. Every bench/example main calls
+// this so perf runs are reproducible from the command line.
 int InitThreadsFromFlags(const FlagParser& flags);
 
 namespace internal {

@@ -41,7 +41,10 @@ Tensor AdversarialDebiasDistillLoss(const Tensor& teacher_features,
 
 Tensor DomainKnowledgeDistillLoss(const Tensor& teacher_logits,
                                   const Tensor& student_logits, float tau) {
-  return tensor::DistillKlLoss(teacher_logits.Detach(), student_logits, tau);
+  // DistillKlLoss already treats the teacher side as a constant (no
+  // gradient flows to it in either the fused or unfused path), so no
+  // explicit Detach is needed here.
+  return tensor::DistillKlLoss(teacher_logits, student_logits, tau);
 }
 
 }  // namespace dtdbd

@@ -176,7 +176,14 @@ metrics::EvalReport EvaluateModel(models::FakeNewsModel* model,
                                   const data::NewsDataset& dataset,
                                   int64_t batch_size) {
   if (dataset.size() == 0 || batch_size <= 0) return metrics::EvalReport{};
-  const std::vector<int> preds = Predict(model, dataset, batch_size);
+  // One forward pass yields both the scores (for AUC) and the thresholded
+  // predictions (for the confusion metrics).
+  const std::vector<float> probs =
+      PredictFakeProbability(model, dataset, batch_size);
+  std::vector<int> preds(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    preds[i] = probs[i] >= 0.5f ? data::kFake : data::kReal;
+  }
   std::vector<int> labels, domains;
   labels.reserve(dataset.size());
   domains.reserve(dataset.size());
@@ -184,7 +191,8 @@ metrics::EvalReport EvaluateModel(models::FakeNewsModel* model,
     labels.push_back(s.label);
     domains.push_back(s.domain);
   }
-  return metrics::Evaluate(preds, labels, domains, dataset.num_domains());
+  return metrics::Evaluate(preds, labels, domains, dataset.num_domains(),
+                           probs);
 }
 
 std::vector<float> PredictFakeProbability(models::FakeNewsModel* model,

@@ -1,9 +1,12 @@
 #include "metrics/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace dtdbd::metrics {
 
@@ -23,11 +26,17 @@ double Confusion::Accuracy() const {
   return SafeDiv(static_cast<double>(tp + tn), static_cast<double>(total()));
 }
 
+double Confusion::Precision() const {
+  return SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fp));
+}
+
+double Confusion::Recall() const {
+  return SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fn));
+}
+
 double Confusion::F1Positive() const {
-  const double precision =
-      SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fp));
-  const double recall =
-      SafeDiv(static_cast<double>(tp), static_cast<double>(tp + fn));
+  const double precision = Precision();
+  const double recall = Recall();
   return SafeDiv(2.0 * precision * recall, precision + recall);
 }
 
@@ -63,6 +72,52 @@ Confusion CountConfusion(const std::vector<int>& predictions,
   return c;
 }
 
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  DTDBD_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) {
+    DTDBD_LOG(Warning) << "Auc: empty label set; returning 0";
+    return 0.0;
+  }
+  int64_t pos = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) {
+      DTDBD_LOG(Warning) << "Auc: non-finite score at index " << i
+                         << "; returning 0";
+      return 0.0;
+    }
+    if (labels[i] == 1) ++pos;
+  }
+  const int64_t neg = static_cast<int64_t>(scores.size()) - pos;
+  if (pos == 0 || neg == 0) {
+    DTDBD_LOG(Warning) << "Auc: single-class label set (" << pos
+                       << " positive, " << neg << " negative); returning 0";
+    return 0.0;
+  }
+  // Sort indices by score; ties get the average of the rank range they span
+  // (Mann-Whitney with mid-ranks), so equal scores contribute 0.5 each.
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[a] < scores[b];
+  });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // 1-based ranks i+1 .. j averaged over the tie block.
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos -
+                   0.5 * static_cast<double>(pos) * static_cast<double>(pos + 1);
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
 EvalReport Evaluate(const std::vector<int>& predictions,
                     const std::vector<int>& labels,
                     const std::vector<int>& domains, int num_domains) {
@@ -93,21 +148,57 @@ EvalReport Evaluate(const std::vector<int>& predictions,
   report.f1 = report.overall.MacroF1();
   const double fnr = report.overall.Fnr();
   const double fpr = report.overall.Fpr();
-  for (const Confusion& c : report.per_domain) {
+  for (int d = 0; d < num_domains; ++d) {
+    const Confusion& c = report.per_domain[d];
     report.domain_f1.push_back(c.MacroF1());
-    // Domains with no samples contribute zero (rather than |rate - 0|):
-    // otherwise empty evaluation slices would inflate the bias measure.
-    if (c.total() == 0) continue;
+    const int64_t pos = c.tp + c.fn;
+    const int64_t neg = c.fp + c.tn;
+    if (c.total() == 0) {
+      DTDBD_LOG(Warning) << "Evaluate: domain " << d
+                         << " has no samples; its metrics are reported as 0";
+      // Empty slices contribute zero to the bias sums (rather than
+      // |rate - 0|): they would otherwise inflate the bias measure.
+      continue;
+    }
+    if (pos == 0 || neg == 0) {
+      DTDBD_LOG(Warning) << "Evaluate: domain " << d
+                         << " labels are single-class (" << pos
+                         << " fake, " << neg
+                         << " real); class-conditional metrics for the "
+                            "missing class are reported as 0";
+    }
     report.fned += std::abs(fnr - c.Fnr());
     report.fped += std::abs(fpr - c.Fpr());
+  }
+  report.domain_auc.assign(num_domains, 0.0);
+  return report;
+}
+
+EvalReport Evaluate(const std::vector<int>& predictions,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& domains, int num_domains,
+                    const std::vector<float>& scores) {
+  DTDBD_CHECK_EQ(predictions.size(), scores.size());
+  EvalReport report = Evaluate(predictions, labels, domains, num_domains);
+  report.auc = Auc(scores, labels);
+  for (int d = 0; d < num_domains; ++d) {
+    std::vector<float> s;
+    std::vector<int> y;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      if (domains[i] != d) continue;
+      s.push_back(scores[i]);
+      y.push_back(labels[i]);
+    }
+    report.domain_auc[d] = Auc(s, y);
   }
   return report;
 }
 
 std::string EvalReport::Summary() const {
   std::ostringstream out;
-  out << "F1=" << f1 << " FNED=" << fned << " FPED=" << fped
-      << " Total=" << Total();
+  out << "F1=" << f1;
+  if (auc > 0.0) out << " AUC=" << auc;
+  out << " FNED=" << fned << " FPED=" << fped << " Total=" << Total();
   return out.str();
 }
 

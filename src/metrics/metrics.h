@@ -26,6 +26,10 @@ struct Confusion {
   // False positive rate P(pred=fake | real); 0 when no negatives.
   double Fpr() const;
   double Accuracy() const;
+  // Precision / recall of the positive (fake) class; 0 when undefined
+  // (no predicted positives / no actual positives).
+  double Precision() const;
+  double Recall() const;
   // F1 of the positive class.
   double F1Positive() const;
   // F1 of the negative class.
@@ -37,6 +41,13 @@ struct Confusion {
 Confusion CountConfusion(const std::vector<int>& predictions,
                          const std::vector<int>& labels);
 
+// Area under the ROC curve via the rank-sum (Mann-Whitney U) statistic with
+// average ranks for tied scores. `scores` are P(fake); labels in {0,1}.
+// Degenerate inputs — empty set, a single class only, or non-finite scores
+// — return 0.0 and log a warning instead of producing NaN, so Table 6/7
+// style per-domain output never propagates NaN into the report.
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels);
+
 // Full evaluation report over a labeled multi-domain prediction set.
 struct EvalReport {
   Confusion overall;
@@ -44,6 +55,8 @@ struct EvalReport {
 
   double f1 = 0.0;                 // overall macro F1
   std::vector<double> domain_f1;   // per-domain macro F1
+  double auc = 0.0;                // overall AUC; 0 when scores absent
+  std::vector<double> domain_auc;  // per-domain AUC (0 when degenerate)
   double fned = 0.0;
   double fped = 0.0;
 
@@ -51,10 +64,20 @@ struct EvalReport {
   std::string Summary() const;
 };
 
-// predictions/labels in {0,1}; domains in [0, num_domains).
+// predictions/labels in {0,1}; domains in [0, num_domains). Domains whose
+// label slice is empty or single-class get 0.0 for the affected metrics
+// (AUC, and implicitly one of the class F1s) with a logged warning — never
+// NaN.
 EvalReport Evaluate(const std::vector<int>& predictions,
                     const std::vector<int>& labels,
                     const std::vector<int>& domains, int num_domains);
+
+// As above, additionally computing overall and per-domain AUC from
+// `scores` = P(fake) per sample.
+EvalReport Evaluate(const std::vector<int>& predictions,
+                    const std::vector<int>& labels,
+                    const std::vector<int>& domains, int num_domains,
+                    const std::vector<float>& scores);
 
 }  // namespace dtdbd::metrics
 

@@ -24,7 +24,7 @@ ModelOutput BertMlpModel::Forward(const data::Batch& batch, bool training) {
                                            batch.seq_len);
   Tensor pooled = tensor::MeanOverTime(encoded);
   ModelOutput out;
-  out.features = tensor::Relu(projector_->Forward(pooled));
+  out.features = projector_->ForwardRelu(pooled);
   Tensor h = tensor::Dropout(out.features, config_.dropout, &rng_, training);
   out.logits = classifier_->Forward(h, training, &rng_);
   return out;

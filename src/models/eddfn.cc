@@ -45,13 +45,15 @@ ModelOutput EddfnModel::Forward(const data::Batch& batch, bool training) {
   Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
                                            batch.seq_len);
   Tensor base = conv_->Forward(encoded);
-  Tensor shared = tensor::Relu(shared_head_->Forward(base, training, &rng_));
+  Tensor shared =
+      shared_head_->Forward(base, training, &rng_, /*output_relu=*/true);
 
   // Per-domain heads evaluated for all domains, then each sample selects
   // its own via a one-hot weighting (keeps everything batched).
   std::vector<Tensor> head_outs;
   for (const auto& head : domain_heads_) {
-    head_outs.push_back(tensor::Relu(head->Forward(base, training, &rng_)));
+    head_outs.push_back(
+        head->Forward(base, training, &rng_, /*output_relu=*/true));
   }
   std::vector<float> onehot(batch.batch_size * config_.num_domains, 0.0f);
   for (int64_t i = 0; i < batch.batch_size; ++i) {

@@ -114,12 +114,12 @@ Tensor M3fendModel::DomainDistribution(const Tensor& semantic,
 ModelOutput M3fendModel::Forward(const data::Batch& batch, bool training) {
   Tensor encoded = config_.encoder->Encode(batch.tokens, batch.batch_size,
                                            batch.seq_len);
-  Tensor semantic = tensor::Relu(
-      semantic_proj_->Forward(semantic_view_->Forward(encoded)));
-  Tensor emotion =
-      tensor::Relu(emotion_view_->Forward(batch.emotion, training, &rng_));
-  Tensor style =
-      tensor::Relu(style_view_->Forward(batch.style, training, &rng_));
+  Tensor semantic =
+      semantic_proj_->ForwardRelu(semantic_view_->Forward(encoded));
+  Tensor emotion = emotion_view_->Forward(batch.emotion, training, &rng_,
+                                          /*output_relu=*/true);
+  Tensor style = style_view_->Forward(batch.style, training, &rng_,
+                                      /*output_relu=*/true);
 
   // Fuzzy domain labels from the memory bank (constant wrt autograd).
   Tensor domain_dist =

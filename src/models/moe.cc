@@ -31,7 +31,7 @@ ModelOutput MmoeModel::Forward(const data::Batch& batch, bool training) {
   std::vector<Tensor> expert_outs;
   for (const auto& expert : experts_) {
     expert_outs.push_back(
-        tensor::Relu(expert->Forward(pooled, training, &rng_)));
+        expert->Forward(pooled, training, &rng_, /*output_relu=*/true));
   }
   Tensor gate_weights = tensor::Softmax(gate_->Forward(pooled));
   ModelOutput out;

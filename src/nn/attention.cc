@@ -16,9 +16,9 @@ AttentionPool::AttentionPool(int64_t feature_dim, Rng* rng)
 Tensor AttentionPool::Forward(const Tensor& x) const {
   DTDBD_CHECK_EQ(x.ndim(), 3);
   DTDBD_CHECK_EQ(x.dim(2), feature_dim_);
-  const int64_t b = x.dim(0), t = x.dim(1);
-  Tensor flat = tensor::Reshape(x, {b * t, feature_dim_});
-  Tensor scores = tensor::Reshape(tensor::MatMul(flat, score_), {b, t});
+  // MatVecOverTime replaces the Reshape -> MatMul -> Reshape score chain
+  // with a single graph node (and falls back to it when fusion is off).
+  Tensor scores = tensor::MatVecOverTime(x, score_);
   Tensor weights = tensor::Softmax(scores);
   return tensor::WeightedSumOverTime(x, weights);
 }

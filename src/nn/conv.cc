@@ -30,9 +30,10 @@ Tensor Conv1dBank::Forward(const Tensor& x) const {
   DTDBD_CHECK_EQ(x.dim(2), embed_dim_);
   std::vector<Tensor> pooled;
   for (size_t i = 0; i < kernel_widths_.size(); ++i) {
-    Tensor conv = tensor::Conv1dSeq(x, weights_[i], biases_[i],
-                                    kernel_widths_[i]);
-    pooled.push_back(tensor::MaxOverTime(tensor::Relu(conv)));
+    // Fused conv+ReLU: one node and one buffer per kernel width.
+    Tensor conv = tensor::Conv1dSeqRelu(x, weights_[i], biases_[i],
+                                        kernel_widths_[i]);
+    pooled.push_back(tensor::MaxOverTime(conv));
   }
   return tensor::ConcatLastDim(pooled);
 }

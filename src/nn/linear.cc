@@ -21,6 +21,12 @@ Tensor Linear::Forward(const Tensor& x) const {
   return tensor::AddBias(tensor::MatMul(x, weight_), bias_);
 }
 
+Tensor Linear::ForwardRelu(const Tensor& x) const {
+  DTDBD_CHECK_EQ(x.ndim(), 2);
+  DTDBD_CHECK_EQ(x.dim(1), in_features_);
+  return tensor::LinearRelu(x, weight_, bias_);
+}
+
 Mlp::Mlp(const std::vector<int64_t>& dims, double dropout, Rng* rng)
     : dropout_(dropout) {
   DTDBD_CHECK_GE(dims.size(), 2u);
@@ -30,13 +36,18 @@ Mlp::Mlp(const std::vector<int64_t>& dims, double dropout, Rng* rng)
   }
 }
 
-Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
+Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng,
+                    bool output_relu) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) {
-      h = tensor::Relu(h);
-      if (dropout_ > 0.0) h = tensor::Dropout(h, dropout_, rng, training);
+    const bool hidden = i + 1 < layers_.size();
+    if (hidden || output_relu) {
+      h = layers_[i]->ForwardRelu(h);
+    } else {
+      h = layers_[i]->Forward(h);
+    }
+    if (hidden && dropout_ > 0.0) {
+      h = tensor::Dropout(h, dropout_, rng, training);
     }
   }
   return h;

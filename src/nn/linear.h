@@ -19,6 +19,10 @@ class Linear : public Module {
   // x [B, in] -> [B, out].
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
+  // relu(x W + b) as one fused LinearRelu graph node (bitwise identical to
+  // Relu(Forward(x)); falls back to that composition when fusion is off).
+  tensor::Tensor ForwardRelu(const tensor::Tensor& x) const;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
@@ -30,16 +34,18 @@ class Linear : public Module {
 };
 
 // MLP with ReLU activations between layers and optional dropout. The last
-// layer has no activation (it produces logits / features).
+// layer has no activation by default (it produces logits / features);
+// pass output_relu to apply ReLU after the last layer too.
 class Mlp : public Module {
  public:
   // dims: {in, h1, ..., out}; at least {in, out}.
   Mlp(const std::vector<int64_t>& dims, double dropout, Rng* rng);
 
   // `training` enables dropout; `rng` is the dropout stream (may be null
-  // when !training or dropout == 0).
-  tensor::Tensor Forward(const tensor::Tensor& x, bool training,
-                         Rng* rng) const;
+  // when !training or dropout == 0). Hidden layers run through the fused
+  // LinearRelu path.
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training, Rng* rng,
+                         bool output_relu = false) const;
 
  private:
   double dropout_;

@@ -1,5 +1,13 @@
-// Fused loss functions. All return scalar tensors (mean over the batch)
-// and are differentiable with respect to their logits arguments.
+// Loss functions. All return scalar tensors (mean over the batch) and are
+// differentiable with respect to their logits arguments.
+//
+// CrossEntropyLoss and DistillKlLoss record a single fused graph node
+// (SoftmaxCrossEntropy / SoftmaxKl) that computes the softmax once and
+// applies the closed-form backward. When fusion is disabled
+// (DTDBD_NO_FUSION / SetFusionEnabled(false)) they fall back to the
+// reference composition of primitive ops (LogSoftmax + NllLoss, resp.
+// ScalarMul + LogSoftmax + KlFromLogProbs); both paths produce bitwise
+// identical losses and gradients.
 #ifndef DTDBD_TENSOR_LOSS_H_
 #define DTDBD_TENSOR_LOSS_H_
 

@@ -365,6 +365,120 @@ void MatMulBackward(Node* self) {
 const Op* const kMatMul =
     OpRegistry::Get().Register({"MatMul", 2, &MatMulBackward});
 
+// ----- LinearRelu (fused MatMul + AddBias + Relu) -----
+//
+// Bitwise-equality contract with the unfused chain: the forward runs the
+// exact MatMul accumulation (ikj order, zero-skip) into the output buffer,
+// then adds the bias and clamps in place; the backward first gates the
+// incoming grad through the saved ReLU mask into a scratch buffer — exactly
+// the value the unfused chain leaves in the AddBias node's grad — and then
+// replays the AddBias and MatMul backward kernels against that scratch.
+
+struct LinearReluState {
+  std::vector<float> mask;  // 1.0 where the pre-activation was > 0
+};
+
+void LinearReluBackward(Node* self) {
+  Node* xn = self->inputs[0].get();
+  Node* wn = self->inputs[1].get();
+  Node* bn = self->inputs[2].get();
+  const int64_t m = xn->shape[0], k = xn->shape[1], n = wn->shape[1];
+  const auto* st = static_cast<const LinearReluState*>(self->saved.get());
+  const float* g = self->grad.data();
+  const float* mask = st->mask.data();
+  // The unfused Relu backward accumulates g * {0,1} into a zeroed buffer;
+  // the + 0.0f reproduces that add (canonicalizing -0 products to +0).
+  std::vector<float> g2(static_cast<size_t>(m * n));
+  float* pg2 = g2.data();
+  ParallelFor(m * n, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) pg2[i] = g[i] * mask[i] + 0.0f;
+  });
+  if (bn->requires_grad) {
+    // AddBias backward: bias columns sharded, rows ascending.
+    float* gb = bn->grad.data();
+    ParallelFor(n, GrainForRows(m), [&](int64_t s, int64_t e) {
+      for (int64_t j = s; j < e; ++j) {
+        for (int64_t r = 0; r < m; ++r) gb[j] += pg2[r * n + j];
+      }
+    });
+  }
+  if (xn->requires_grad) {
+    const Reader rb = ReadOf(wn);
+    float* gx = xn->grad.data();
+    ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) {
+        const float* grow = pg2 + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* wrow = rb.row(kk);
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) acc += grow[j] * wrow[j];
+          gx[i * k + kk] += acc;
+        }
+      }
+    });
+  }
+  if (wn->requires_grad) {
+    const Reader ra = ReadOf(xn);
+    float* gw = wn->grad.data();
+    ParallelFor(k, GrainForRows(m * n), [&](int64_t s, int64_t e) {
+      for (int64_t kk = s; kk < e; ++kk) {
+        float* gwrow = gw + kk * n;
+        for (int64_t i = 0; i < m; ++i) {
+          const float av = ra.row(i)[kk];
+          if (av == 0.0f) continue;
+          const float* grow = pg2 + i * n;
+          for (int64_t j = 0; j < n; ++j) gwrow[j] += av * grow[j];
+        }
+      }
+    });
+  }
+}
+
+const Op* const kLinearRelu =
+    OpRegistry::Get().Register({"LinearRelu", 3, &LinearReluBackward});
+
+// ----- MatVecOverTime (fused Reshape + MatMul + Reshape) -----
+//
+// The attention score path multiplies x[B,T,N] by a single score vector;
+// running it as MatMul records two reshape views plus a [B*T,1] matmul node.
+// Fused: one node, one [B,T] buffer, sharded over the B*T rows with the
+// same accumulation order (and zero-skip) as the n=1 MatMul column.
+
+void MatVecOverTimeBackward(Node* self) {
+  Node* xn = self->inputs[0].get();
+  Node* vn = self->inputs[1].get();
+  const int64_t bt = self->numel;
+  const int64_t n = xn->shape[2];
+  const float* g = self->grad.data();
+  if (xn->requires_grad) {
+    const Reader rv = ReadOf(vn);
+    float* gx = xn->grad.data();
+    ParallelFor(bt, GrainForRows(n), [&](int64_t s, int64_t e) {
+      for (int64_t i = s; i < e; ++i) {
+        const float gv = g[i];
+        float* gxrow = gx + i * n;
+        for (int64_t kk = 0; kk < n; ++kk) gxrow[kk] += gv * rv.at(kk);
+      }
+    });
+  }
+  if (vn->requires_grad) {
+    const float* px = xn->cdata();
+    float* gv = vn->grad.data();
+    ParallelFor(n, GrainForRows(bt), [&](int64_t s, int64_t e) {
+      for (int64_t kk = s; kk < e; ++kk) {
+        for (int64_t i = 0; i < bt; ++i) {
+          const float av = px[i * n + kk];
+          if (av == 0.0f) continue;
+          gv[kk] += av * g[i];
+        }
+      }
+    });
+  }
+}
+
+const Op* const kMatVecOverTime =
+    OpRegistry::Get().Register({"MatVecOverTime", 2, &MatVecOverTimeBackward});
+
 // ----- Views: Transpose2d / Reshape / SliceLastDim / SliceTime -----
 
 void Transpose2dBackward(Node* self) {
@@ -659,14 +773,15 @@ const Op* const kEmbeddingGather =
 
 // ----- Conv1dSeq -----
 
-void Conv1dSeqBackward(Node* self) {
+// Shared by Conv1dSeq and the fused Conv1dSeqRelu (which passes the
+// ReLU-gated grad); `g` addresses self->numel elements in logical order.
+void Conv1dSeqBackwardWithGrad(Node* self, const float* g) {
   Node* xn = self->inputs[0].get();
   Node* wn = self->inputs[1].get();
   Node* bn = self->inputs[2].get();
   const int64_t b = self->shape[0], to = self->shape[1], c = self->shape[2];
   const int64_t t = xn->shape[1], e = xn->shape[2];
   const int64_t win = wn->shape[1];
-  const float* g = self->grad.data();
   // Phase 1: weight/bias gradients, sharded over output channels — each
   // channel's gw row and gb entry belong to exactly one shard, accumulated
   // over (bi, o) in ascending order like the serial kernel.
@@ -710,8 +825,35 @@ void Conv1dSeqBackward(Node* self) {
   }
 }
 
+void Conv1dSeqBackward(Node* self) {
+  Conv1dSeqBackwardWithGrad(self, self->grad.data());
+}
+
 const Op* const kConv1dSeq =
     OpRegistry::Get().Register({"Conv1dSeq", 3, &Conv1dSeqBackward});
+
+// ----- Conv1dSeqRelu (fused Conv1dSeq + Relu) -----
+
+struct Conv1dSeqReluState {
+  std::vector<float> mask;  // 1.0 where the pre-activation was > 0
+};
+
+void Conv1dSeqReluBackward(Node* self) {
+  const auto* st = static_cast<const Conv1dSeqReluState*>(self->saved.get());
+  const float* g = self->grad.data();
+  const float* mask = st->mask.data();
+  // Gate through the ReLU exactly as the unfused Relu backward would leave
+  // it in the conv node's grad, then replay the conv backward phases.
+  std::vector<float> g2(static_cast<size_t>(self->numel));
+  float* pg2 = g2.data();
+  ParallelFor(self->numel, kGrain, [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) pg2[i] = g[i] * mask[i] + 0.0f;
+  });
+  Conv1dSeqBackwardWithGrad(self, pg2);
+}
+
+const Op* const kConv1dSeqRelu =
+    OpRegistry::Get().Register({"Conv1dSeqRelu", 3, &Conv1dSeqReluBackward});
 
 // ----- GradReverse -----
 
@@ -817,26 +959,34 @@ void WeightedSumOverTimeBackward(Node* self) {
   Node* wn = self->inputs[1].get();
   const int64_t b = xn->shape[0], t = xn->shape[1], n = xn->shape[2];
   const float* g = self->grad.data();
-  const float* pw = wn->cdata();
-  const float* px = xn->cdata();
-  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
-    for (int64_t bi = s; bi < e; ++bi) {
-      const float* grow = g + bi * n;
-      for (int64_t ti = 0; ti < t; ++ti) {
-        const float wv = pw[bi * t + ti];
-        const float* xr = px + (bi * t + ti) * n;
-        if (xn->requires_grad) {
-          float* gx = xn->grad.data() + (bi * t + ti) * n;
-          for (int64_t j = 0; j < n; ++j) gx[j] += wv * grow[j];
-        }
-        if (wn->requires_grad) {
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) acc += xr[j] * grow[j];
-          wn->grad[bi * t + ti] += acc;
-        }
+  // Two batched-GEMM passes over the B*T rows instead of one per-batch-row
+  // loop: each gx row / gw entry receives exactly one contribution, so the
+  // finer sharding changes no accumulation order.
+  if (xn->requires_grad) {
+    const float* pw = wn->cdata();
+    float* gx = xn->grad.data();
+    ParallelFor(b * t, GrainForRows(n), [&](int64_t s, int64_t e) {
+      for (int64_t r = s; r < e; ++r) {
+        const float wv = pw[r];
+        const float* grow = g + (r / t) * n;
+        float* gxr = gx + r * n;
+        for (int64_t j = 0; j < n; ++j) gxr[j] += wv * grow[j];
       }
-    }
-  });
+    });
+  }
+  if (wn->requires_grad) {
+    const float* px = xn->cdata();
+    float* gw = wn->grad.data();
+    ParallelFor(b * t, GrainForRows(n), [&](int64_t s, int64_t e) {
+      for (int64_t r = s; r < e; ++r) {
+        const float* grow = g + (r / t) * n;
+        const float* xr = px + r * n;
+        float acc = 0.0f;
+        for (int64_t j = 0; j < n; ++j) acc += xr[j] * grow[j];
+        gw[r] += acc;
+      }
+    });
+  }
 }
 
 const Op* const kWeightedSumOverTime = OpRegistry::Get().Register(
@@ -1289,6 +1439,137 @@ Tensor Conv1dSeq(const Tensor& x_in, const Tensor& weight_in,
   return MakeOp(kConv1dSeq, {b, to, c}, std::move(out), {x, weight, bias});
 }
 
+Tensor LinearRelu(const Tensor& x_in, const Tensor& w_in,
+                  const Tensor& bias_in) {
+  if (!FusionEnabled()) {
+    return Relu(AddBias(MatMul(x_in, w_in), bias_in));
+  }
+  DTDBD_CHECK_EQ(x_in.ndim(), 2);
+  DTDBD_CHECK_EQ(w_in.ndim(), 2);
+  DTDBD_CHECK_EQ(bias_in.ndim(), 1);
+  Tensor x = EnsureReadable(x_in);
+  Tensor w = EnsureReadable(w_in);
+  Tensor bias = Contiguous(bias_in);
+  const int64_t m = x.dim(0), k = x.dim(1), n = w.dim(1);
+  DTDBD_CHECK_EQ(k, w.dim(0)) << "LinearRelu: inner dims "
+                              << ShapeToString(x.shape()) << " x "
+                              << ShapeToString(w.shape());
+  DTDBD_CHECK_EQ(bias.dim(0), n);
+  ScopedOpTimer timer(kLinearRelu);
+  const Reader ra = ReadOf(x.node().get());
+  const Reader rb = ReadOf(w.node().get());
+  const float* pb = bias.data().data();
+  auto state = std::make_shared<LinearReluState>();
+  state->mask.resize(static_cast<size_t>(m * n));
+  float* pmask = state->mask.data();
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  float* po = out.data();
+  // MatMul's exact ikj accumulation, then bias-add + clamp in place.
+  ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      const float* arow = ra.row(i);
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = rb.row(kk);
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+      float* mrow = pmask + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float pre = orow[j] + pb[j];
+        const bool on = pre > 0.0f;
+        mrow[j] = on ? 1.0f : 0.0f;
+        orow[j] = on ? pre : 0.0f;
+      }
+    }
+  });
+  return MakeOp(kLinearRelu, {m, n}, std::move(out), {x, w, bias}, state);
+}
+
+Tensor Conv1dSeqRelu(const Tensor& x_in, const Tensor& weight_in,
+                     const Tensor& bias_in, int64_t kernel_width) {
+  if (!FusionEnabled()) {
+    return Relu(Conv1dSeq(x_in, weight_in, bias_in, kernel_width));
+  }
+  DTDBD_CHECK_EQ(x_in.ndim(), 3);
+  DTDBD_CHECK_EQ(weight_in.ndim(), 2);
+  DTDBD_CHECK_EQ(bias_in.ndim(), 1);
+  Tensor x = Contiguous(x_in);
+  Tensor weight = Contiguous(weight_in);
+  Tensor bias = Contiguous(bias_in);
+  const int64_t b = x.dim(0), t = x.dim(1), e = x.dim(2);
+  const int64_t c = weight.dim(0);
+  DTDBD_CHECK_EQ(weight.dim(1), kernel_width * e)
+      << "Conv1dSeqRelu: weight must be [C, k*E]";
+  DTDBD_CHECK_EQ(bias.dim(0), c);
+  DTDBD_CHECK_GE(t, kernel_width)
+      << "Conv1dSeqRelu: sequence shorter than kernel";
+  const int64_t to = t - kernel_width + 1;
+  ScopedOpTimer timer(kConv1dSeqRelu);
+  std::vector<float> out(static_cast<size_t>(b * to * c));
+  auto state = std::make_shared<Conv1dSeqReluState>();
+  state->mask.resize(static_cast<size_t>(b * to * c));
+  const float* px = x.data().data();
+  const float* pw = weight.data().data();
+  const float* pbias = bias.data().data();
+  const int64_t win = kernel_width * e;
+  float* po = out.data();
+  float* pmask = state->mask.data();
+  ParallelFor(b * to, GrainForRows(c * win), [&](int64_t s, int64_t e2) {
+    for (int64_t r = s; r < e2; ++r) {
+      const int64_t bi = r / to, o = r % to;
+      const float* window = px + (bi * t + o) * e;
+      float* orow = po + r * c;
+      float* mrow = pmask + r * c;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        const float* wrow = pw + ci * win;
+        float acc = pbias[ci];
+        for (int64_t j = 0; j < win; ++j) acc += window[j] * wrow[j];
+        const bool on = acc > 0.0f;
+        mrow[ci] = on ? 1.0f : 0.0f;
+        orow[ci] = on ? acc : 0.0f;
+      }
+    }
+  });
+  return MakeOp(kConv1dSeqRelu, {b, to, c}, std::move(out), {x, weight, bias},
+                state);
+}
+
+Tensor MatVecOverTime(const Tensor& x_in, const Tensor& v_in) {
+  DTDBD_CHECK_EQ(x_in.ndim(), 3);
+  const int64_t b = x_in.dim(0), t = x_in.dim(1), n = x_in.dim(2);
+  DTDBD_CHECK(v_in.ndim() == 1 || (v_in.ndim() == 2 && v_in.dim(1) == 1))
+      << "MatVecOverTime: v must be [N] or [N,1], got "
+      << ShapeToString(v_in.shape());
+  DTDBD_CHECK_EQ(v_in.dim(0), n);
+  if (!FusionEnabled()) {
+    Tensor flat = Reshape(x_in, {b * t, n});
+    Tensor v2 = v_in.ndim() == 2 ? v_in : Reshape(v_in, {n, 1});
+    return Reshape(MatMul(flat, v2), {b, t});
+  }
+  Tensor x = Contiguous(x_in);
+  Tensor v = EnsureReadable(v_in);
+  ScopedOpTimer timer(kMatVecOverTime);
+  const float* px = x.data().data();
+  const Reader rv = ReadOf(v.node().get());
+  std::vector<float> out(static_cast<size_t>(b * t));
+  float* po = out.data();
+  ParallelFor(b * t, GrainForRows(n), [&](int64_t s, int64_t e) {
+    for (int64_t i = s; i < e; ++i) {
+      const float* xrow = px + i * n;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < n; ++kk) {
+        const float av = xrow[kk];
+        if (av == 0.0f) continue;
+        acc += av * rv.at(kk);
+      }
+      po[i] = acc;
+    }
+  });
+  return MakeOp(kMatVecOverTime, {b, t}, std::move(out), {x, v});
+}
+
 Tensor GradReverse(const Tensor& x, float lambda) {
   DTDBD_CHECK(x.defined());
   ScopedOpTimer timer(kGradReverse);
@@ -1387,13 +1668,22 @@ Tensor WeightedSumOverTime(const Tensor& x_in, const Tensor& w_in) {
   const float* pw = w.data().data();
   std::vector<float> out(static_cast<size_t>(b * n), 0.0f);
   float* po = out.data();
-  ParallelFor(b, GrainForRows(t * n), [&](int64_t s, int64_t e) {
-    for (int64_t bi = s; bi < e; ++bi) {
+  // Batched 1×t · t×n GEMM, sharded over (batch row, feature-column tile)
+  // pairs so small batches with wide features still spread across the pool.
+  // Every output element accumulates over ti in ascending order no matter
+  // which shard owns its tile — bitwise identical across thread counts.
+  constexpr int64_t kTile = 256;
+  const int64_t tiles = (n + kTile - 1) / kTile;
+  ParallelFor(b * tiles, GrainForRows(t * kTile), [&](int64_t s, int64_t e) {
+    for (int64_t r = s; r < e; ++r) {
+      const int64_t bi = r / tiles;
+      const int64_t j0 = (r % tiles) * kTile;
+      const int64_t j1 = std::min(n, j0 + kTile);
       float* orow = po + bi * n;
       for (int64_t ti = 0; ti < t; ++ti) {
         const float wv = pw[bi * t + ti];
         const float* xr = px + (bi * t + ti) * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += wv * xr[j];
+        for (int64_t j = j0; j < j1; ++j) orow[j] += wv * xr[j];
       }
     }
   });

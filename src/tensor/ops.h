@@ -78,6 +78,22 @@ Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids,
 Tensor Conv1dSeq(const Tensor& x, const Tensor& weight, const Tensor& bias,
                  int64_t kernel_width);
 
+// ----- Fused chains -----
+// Each fused entry point records ONE graph node (one output buffer, saved
+// ReLU mask) and is bitwise identical — forward and backward — to the
+// unfused composition it replaces, which it also self-falls-back to when
+// fusion is disabled (DTDBD_NO_FUSION / SetFusionEnabled(false)).
+//
+// relu(x[m,k] @ w[k,n] + bias[n]); replaces Relu(AddBias(MatMul(x, w), b)).
+Tensor LinearRelu(const Tensor& x, const Tensor& w, const Tensor& bias);
+// relu(Conv1dSeq(x, weight, bias, k)) — the TextCNN expert hot path.
+Tensor Conv1dSeqRelu(const Tensor& x, const Tensor& weight,
+                     const Tensor& bias, int64_t kernel_width);
+// Batched matrix-vector product over time: x[B,T,N] · v (v is [N] or
+// [N,1]) -> [B,T]. Replaces the Reshape -> MatMul -> Reshape chain in
+// attention score computation.
+Tensor MatVecOverTime(const Tensor& x, const Tensor& v);
+
 // ----- Gradient reversal (domain adversarial training) -----
 // Identity forward (zero-copy view); backward multiplies the incoming
 // gradient by -lambda.

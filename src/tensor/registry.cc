@@ -1,8 +1,11 @@
 #include "tensor/registry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -17,15 +20,50 @@ uint64_t NowNs() {
           .count());
 }
 
-bool g_profiling = false;
-// Keyed by op pointer; only touched from the dispatching (main) thread —
-// kernels fan work out through ParallelFor but dispatch itself is serial.
-std::unordered_map<const Op*, OpStats>& StatsMap() {
-  static auto* stats = new std::unordered_map<const Op*, OpStats>();
-  return *stats;
+std::atomic<bool> g_profiling{false};
+
+// One atomic counter block per registered op, indexed by Op::id. Relaxed
+// ordering is enough: counters are independent monotonic sums, and readers
+// (GetOpStats) only run between steps, not concurrently with a kernel that
+// matters for the numbers they report.
+struct AtomicOpStats {
+  std::atomic<uint64_t> forward_calls{0};
+  std::atomic<uint64_t> forward_ns{0};
+  std::atomic<uint64_t> backward_calls{0};
+  std::atomic<uint64_t> backward_ns{0};
+  std::atomic<uint64_t> nodes{0};
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> bytes{0};
+};
+
+// Leaked like the registry itself: ops record stats from static-init
+// through static-destruction time.
+std::vector<std::unique_ptr<AtomicOpStats>>& StatsSlabs() {
+  static auto* slabs = new std::vector<std::unique_ptr<AtomicOpStats>>();
+  return *slabs;
+}
+
+AtomicOpStats& SlabOf(const Op* op) { return *StatsSlabs()[op->id]; }
+
+bool FusionDefault() {
+  const char* env = std::getenv("DTDBD_NO_FUSION");
+  return env == nullptr || std::string(env) == "0";
+}
+
+std::atomic<bool>& FusionFlag() {
+  static std::atomic<bool> flag{FusionDefault()};
+  return flag;
 }
 
 }  // namespace
+
+bool FusionEnabled() {
+  return FusionFlag().load(std::memory_order_relaxed);
+}
+
+void SetFusionEnabled(bool enabled) {
+  FusionFlag().store(enabled, std::memory_order_relaxed);
+}
 
 OpRegistry& OpRegistry::Get() {
   static auto* registry = new OpRegistry();  // leaked: outlives static dtors
@@ -36,9 +74,11 @@ const Op* OpRegistry::Register(Op op) {
   DTDBD_CHECK(!op.name.empty());
   DTDBD_CHECK(by_name_.find(op.name) == by_name_.end())
       << "duplicate op registration: " << op.name;
+  op.id = static_cast<int>(ops_.size());
   ops_.push_back(std::make_unique<Op>(std::move(op)));
   const Op* ptr = ops_.back().get();
   by_name_[ptr->name] = ptr;
+  StatsSlabs().push_back(std::make_unique<AtomicOpStats>());
   return ptr;
 }
 
@@ -71,6 +111,13 @@ Tensor MakeOp(const Op* op, Shape shape, std::vector<float> data,
   node->storage = std::make_shared<internal::Storage>();
   node->storage->buf = std::move(data);
   node->op = op;
+  if (g_profiling.load(std::memory_order_relaxed)) {
+    AtomicOpStats& slab = SlabOf(op);
+    slab.nodes.fetch_add(1, std::memory_order_relaxed);
+    slab.allocs.fetch_add(1, std::memory_order_relaxed);
+    slab.bytes.fetch_add(node->storage->buf.size() * sizeof(float),
+                         std::memory_order_relaxed);
+  }
   bool any_grad = false;
   for (const auto& in : inputs) {
     DTDBD_CHECK(in.defined()) << op->name << ": undefined input";
@@ -97,6 +144,10 @@ Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
   node->contiguous = IsContiguousLayout(node->shape, node->strides);
   node->storage = base.node()->storage;
   node->op = op;
+  if (g_profiling.load(std::memory_order_relaxed)) {
+    // Views add a graph node but neither allocate nor copy.
+    SlabOf(op).nodes.fetch_add(1, std::memory_order_relaxed);
+  }
   if (GradEnabled() && base.requires_grad()) {
     node->requires_grad = true;
     node->inputs.push_back(base.node());
@@ -105,16 +156,57 @@ Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
   return Tensor::FromNode(std::move(node));
 }
 
-void SetOpProfiling(bool enabled) { g_profiling = enabled; }
-bool OpProfilingEnabled() { return g_profiling; }
+void SetOpProfiling(bool enabled) {
+  g_profiling.store(enabled, std::memory_order_relaxed);
+}
+bool OpProfilingEnabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
 
 std::map<std::string, OpStats> GetOpStats() {
   std::map<std::string, OpStats> out;
-  for (const auto& [op, stats] : StatsMap()) out[op->name] = stats;
+  for (const Op* op : OpRegistry::Get().All()) {
+    const AtomicOpStats& slab = SlabOf(op);
+    OpStats stats;
+    stats.forward_calls = slab.forward_calls.load(std::memory_order_relaxed);
+    stats.forward_ns = slab.forward_ns.load(std::memory_order_relaxed);
+    stats.backward_calls = slab.backward_calls.load(std::memory_order_relaxed);
+    stats.backward_ns = slab.backward_ns.load(std::memory_order_relaxed);
+    stats.nodes = slab.nodes.load(std::memory_order_relaxed);
+    stats.allocs = slab.allocs.load(std::memory_order_relaxed);
+    stats.bytes = slab.bytes.load(std::memory_order_relaxed);
+    const bool touched = stats.forward_calls || stats.backward_calls ||
+                         stats.nodes || stats.allocs || stats.bytes;
+    if (touched) out[op->name] = stats;
+  }
   return out;
 }
 
-void ResetOpStats() { StatsMap().clear(); }
+void ResetOpStats() {
+  for (const auto& slab : StatsSlabs()) {
+    slab->forward_calls.store(0, std::memory_order_relaxed);
+    slab->forward_ns.store(0, std::memory_order_relaxed);
+    slab->backward_calls.store(0, std::memory_order_relaxed);
+    slab->backward_ns.store(0, std::memory_order_relaxed);
+    slab->nodes.store(0, std::memory_order_relaxed);
+    slab->allocs.store(0, std::memory_order_relaxed);
+    slab->bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+OpStats TotalOpStats() {
+  OpStats total;
+  for (const auto& [name, stats] : GetOpStats()) {
+    total.forward_calls += stats.forward_calls;
+    total.forward_ns += stats.forward_ns;
+    total.backward_calls += stats.backward_calls;
+    total.backward_ns += stats.backward_ns;
+    total.nodes += stats.nodes;
+    total.allocs += stats.allocs;
+    total.bytes += stats.bytes;
+  }
+  return total;
+}
 
 std::string FormatOpStats() {
   struct Row {
@@ -128,34 +220,40 @@ std::string FormatOpStats() {
            b.stats.forward_ns + b.stats.backward_ns;
   });
   std::ostringstream out;
-  out << "op                        fwd_calls     fwd_ms bwd_calls     bwd_ms\n";
-  char line[160];
+  out << "op                        fwd_calls     fwd_ms bwd_calls     bwd_ms"
+         "     nodes    allocs        KiB\n";
+  char line[200];
   for (const Row& row : rows) {
-    std::snprintf(line, sizeof(line), "%-24s %10llu %10.3f %9llu %10.3f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-24s %10llu %10.3f %9llu %10.3f %9llu %9llu %10.1f\n",
                   row.name.c_str(),
                   static_cast<unsigned long long>(row.stats.forward_calls),
                   row.stats.forward_ns / 1e6,
                   static_cast<unsigned long long>(row.stats.backward_calls),
-                  row.stats.backward_ns / 1e6);
+                  row.stats.backward_ns / 1e6,
+                  static_cast<unsigned long long>(row.stats.nodes),
+                  static_cast<unsigned long long>(row.stats.allocs),
+                  row.stats.bytes / 1024.0);
     out << line;
   }
   return out.str();
 }
 
 void RecordForward(const Op* op, uint64_t ns) {
-  OpStats& stats = StatsMap()[op];
-  ++stats.forward_calls;
-  stats.forward_ns += ns;
+  AtomicOpStats& slab = SlabOf(op);
+  slab.forward_calls.fetch_add(1, std::memory_order_relaxed);
+  slab.forward_ns.fetch_add(ns, std::memory_order_relaxed);
 }
 
 void RecordBackward(const Op* op, uint64_t ns) {
-  OpStats& stats = StatsMap()[op];
-  ++stats.backward_calls;
-  stats.backward_ns += ns;
+  AtomicOpStats& slab = SlabOf(op);
+  slab.backward_calls.fetch_add(1, std::memory_order_relaxed);
+  slab.backward_ns.fetch_add(ns, std::memory_order_relaxed);
 }
 
 ScopedOpTimer::ScopedOpTimer(const Op* op)
-    : op_(g_profiling ? op : nullptr), start_ns_(op_ ? NowNs() : 0) {}
+    : op_(OpProfilingEnabled() ? op : nullptr),
+      start_ns_(op_ ? NowNs() : 0) {}
 
 ScopedOpTimer::~ScopedOpTimer() {
   if (op_ != nullptr) RecordForward(op_, NowNs() - start_ns_);

@@ -38,6 +38,10 @@ struct Op {
   void (*backward)(internal::Node* self) = nullptr;
   // True when the op's output aliases its input's storage (zero-copy view).
   bool is_view = false;
+  // Dense index into the registry's per-op stats slabs; assigned by
+  // Register(). Registration sites brace-init the fields above and leave
+  // this one alone.
+  int id = -1;
 };
 
 inline constexpr int kVariadicArity = -1;
@@ -74,21 +78,41 @@ Tensor MakeOp(const Op* op, Shape shape, std::vector<float> data,
 Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
                 const Tensor& base, std::shared_ptr<void> saved = nullptr);
 
-// ----- Per-op wall-clock profiling -----
+// ----- Op fusion toggle -----
+
+// Fused kernels (LinearRelu, Conv1dSeqRelu, MatVecOverTime, and the
+// softmax-fused losses SoftmaxCrossEntropy / SoftmaxKl) are enabled by
+// default. Every fused public entry point self-falls-back to its unfused
+// reference composition of primitive ops when fusion is off, so callers
+// never branch. The initial value comes from the environment: setting
+// DTDBD_NO_FUSION to anything other than "0" disables fusion process-wide.
+bool FusionEnabled();
+void SetFusionEnabled(bool enabled);
+
+// ----- Per-op profiling counters -----
 
 struct OpStats {
   uint64_t forward_calls = 0;
   uint64_t forward_ns = 0;
   uint64_t backward_calls = 0;
   uint64_t backward_ns = 0;
+  // Graph-shape counters (hardware-independent perf signal): op nodes
+  // recorded, dense output buffers allocated, and bytes in those buffers.
+  uint64_t nodes = 0;
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
 };
 
-// Profiling is off by default (no clock reads on the hot path). Counters
-// are only touched from the dispatching thread.
+// Profiling is off by default, and when disabled the hot path performs no
+// clock reads and no counter writes. When enabled, counters accumulate into
+// per-op relaxed atomics owned by the registry, so kernels that record
+// nodes or timings from thread-pool workers stay race-free.
 void SetOpProfiling(bool enabled);
 bool OpProfilingEnabled();
 std::map<std::string, OpStats> GetOpStats();
 void ResetOpStats();
+// Sum of GetOpStats() across all ops (bench convenience).
+OpStats TotalOpStats();
 // One line per op, sorted by total wall-clock, e.g. for bench logs.
 std::string FormatOpStats();
 

@@ -30,6 +30,19 @@ Tensor Rand(const Shape& shape, uint64_t seed, bool requires_grad = true) {
   return NormalInit(shape, 1.0f, &rng, requires_grad);
 }
 
+// Forces the fusion flag for the duration of a case build so the suite is
+// deterministic regardless of the DTDBD_NO_FUSION environment.
+class ScopedFusion {
+ public:
+  explicit ScopedFusion(bool enabled) : saved_(FusionEnabled()) {
+    SetFusionEnabled(enabled);
+  }
+  ~ScopedFusion() { SetFusionEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
 // One consistency case: builds leaves + a scalar loss from fixed seeds.
 struct Built {
   std::vector<Tensor> leaves;
@@ -143,6 +156,9 @@ std::vector<Case> AllCases() {
   }});
 
   cases.push_back({"losses", [] {
+    // Fusion forced ON: covers the fused SoftmaxCrossEntropy / SoftmaxKl
+    // single-node paths.
+    ScopedFusion fusion(true);
     Tensor logits = Rand({30, 4}, 17);
     std::vector<int> labels(30);
     for (int i = 0; i < 30; ++i) labels[i] = i % 4;
@@ -153,6 +169,42 @@ std::vector<Case> AllCases() {
                           DistillKlLoss(teacher, logits, 2.0f)),
                       Add(NegativeEntropyLoss(logits), MseLoss(a, b)));
     return Built{{logits, a}, loss};
+  }});
+
+  cases.push_back({"fused_chains", [] {
+    // Fusion forced ON: the fused kernels themselves must satisfy the
+    // thread-count determinism contract.
+    ScopedFusion fusion(true);
+    Tensor x = Rand({48, 32}, 21);
+    Tensor w = Rand({32, 40}, 22);
+    Tensor bias = Rand({40}, 23);
+    Tensor lin = LinearRelu(x, w, bias);
+
+    Tensor seq = Rand({5, 20, 48}, 24);
+    Tensor cw = Rand({24, 3 * 48}, 25);
+    Tensor cb = Rand({24}, 26);
+    Tensor conv = Conv1dSeqRelu(seq, cw, cb, 3);
+
+    // Attention chain: fused score + softmax + batched-GEMM pooling.
+    Tensor v = Rand({48, 1}, 27);
+    Tensor scores = MatVecOverTime(seq, v);
+    Tensor pooled = WeightedSumOverTime(seq, Softmax(scores));
+
+    Tensor loss = Add(Sum(lin), Add(Sum(conv), Sum(pooled)));
+    return Built{{x, w, bias, seq, cw, cb, v}, loss};
+  }});
+
+  cases.push_back({"unfused_reference", [] {
+    // Fusion forced OFF: covers the reference composition ops (NllLoss,
+    // KlFromLogProbs) that the fused losses fall back to.
+    ScopedFusion fusion(false);
+    Tensor logits = Rand({30, 4}, 28);
+    std::vector<int> labels(30);
+    for (int i = 0; i < 30; ++i) labels[i] = (i + 1) % 4;
+    Tensor teacher = Rand({30, 4}, 29, /*requires_grad=*/false);
+    Tensor loss = Add(CrossEntropyLoss(logits, labels),
+                      DistillKlLoss(teacher, logits, 1.5f));
+    return Built{{logits}, loss};
   }});
 
   return cases;

@@ -1,0 +1,284 @@
+// Fused-op parity suite: each fused op (LinearRelu, Conv1dSeqRelu,
+// MatVecOverTime, SoftmaxCrossEntropy, SoftmaxKl) must produce BITWISE
+// identical losses AND gradients to the unfused composition it replaces —
+// at every thread count. This is the contract that lets fusion default to
+// on: enabling DTDBD_NO_FUSION (or SetFusionEnabled(false)) can never
+// change a training run, only its speed and graph size.
+//
+// Comparison graphs keep at most two gradient contributions per compared
+// leaf element: with float accumulation, (0+a)+b == (0+b)+a bitwise, but
+// three-way sums are order-sensitive and would make the bitwise assertion
+// depend on traversal order rather than kernel math.
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/init.h"
+#include "tensor/loss.h"
+#include "tensor/ops.h"
+#include "tensor/registry.h"
+#include "tensor/tensor.h"
+#include "gradcheck.h"
+
+namespace dtdbd::tensor {
+namespace {
+
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool enabled) : saved_(FusionEnabled()) {
+    SetFusionEnabled(enabled);
+  }
+  ~FusionGuard() { SetFusionEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+Tensor Rand(const Shape& shape, uint64_t seed, bool requires_grad = true) {
+  Rng rng(seed);
+  return NormalInit(shape, 1.0f, &rng, requires_grad);
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+struct Run {
+  std::vector<float> loss;
+  std::vector<std::vector<float>> grads;
+  std::string dump;
+};
+
+// Builds a scalar loss from fresh leaves, runs backward, and returns the
+// loss plus every leaf gradient.
+struct Graph {
+  std::vector<Tensor> leaves;
+  Tensor loss;
+};
+
+Run Execute(const std::function<Graph()>& build) {
+  Graph g = build();
+  Run r;
+  r.dump = DumpGraph(g.loss);
+  g.loss.Backward();
+  r.loss = g.loss.ToVector();
+  for (Tensor& leaf : g.leaves) r.grads.push_back(leaf.grad());
+  return r;
+}
+
+void ExpectRunsBitwiseEqual(const Run& a, const Run& b, const char* what) {
+  EXPECT_TRUE(BitwiseEqual(a.loss, b.loss)) << what << ": loss differs";
+  ASSERT_EQ(a.grads.size(), b.grads.size()) << what;
+  for (size_t i = 0; i < a.grads.size(); ++i) {
+    EXPECT_TRUE(BitwiseEqual(a.grads[i], b.grads[i]))
+        << what << ": grad of leaf " << i << " differs";
+  }
+}
+
+// Runs `build` fused and unfused and asserts bitwise parity; then sweeps
+// the fused path over thread counts against the unfused single-threaded
+// reference. `fused_op` must appear in the fused dump and not the unfused
+// one, proving the flag actually switched paths.
+void CheckFusedParity(const std::function<Graph()>& build,
+                      const char* fused_op) {
+  SetNumThreads(1);
+  Run unfused;
+  {
+    FusionGuard fusion(false);
+    unfused = Execute(build);
+  }
+  EXPECT_EQ(unfused.dump.find(std::string("= ") + fused_op + "("),
+            std::string::npos)
+      << fused_op << " recorded with fusion disabled";
+  for (int threads : {1, 2, 4, 8}) {
+    SetNumThreads(threads);
+    FusionGuard fusion(true);
+    const Run fused = Execute(build);
+    EXPECT_NE(fused.dump.find(std::string("= ") + fused_op + "("),
+              std::string::npos)
+        << fused_op << " not recorded with fusion enabled";
+    SCOPED_TRACE(std::string(fused_op) + " threads=" +
+                 std::to_string(threads));
+    ExpectRunsBitwiseEqual(unfused, fused, fused_op);
+  }
+  SetNumThreads(1);
+}
+
+class FusedOpsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(1); }
+};
+
+TEST_F(FusedOpsTest, LinearReluMatchesUnfusedBitwise) {
+  CheckFusedParity(
+      [] {
+        Tensor x = Rand({48, 32}, 1);
+        Tensor w = Rand({32, 40}, 2);
+        Tensor b = Rand({40}, 3);
+        return Graph{{x, w, b}, Sum(LinearRelu(x, w, b))};
+      },
+      "LinearRelu");
+}
+
+TEST_F(FusedOpsTest, Conv1dSeqReluMatchesUnfusedBitwise) {
+  CheckFusedParity(
+      [] {
+        Tensor x = Rand({5, 20, 48}, 4);
+        Tensor w = Rand({24, 3 * 48}, 5);
+        Tensor b = Rand({24}, 6);
+        return Graph{{x, w, b}, Sum(Conv1dSeqRelu(x, w, b, 3))};
+      },
+      "Conv1dSeqRelu");
+}
+
+TEST_F(FusedOpsTest, MatVecOverTimeMatchesUnfusedBitwise) {
+  CheckFusedParity(
+      [] {
+        Tensor x = Rand({6, 18, 40}, 7);
+        Tensor v = Rand({40, 1}, 8);
+        return Graph{{x, v}, Sum(MatVecOverTime(x, v))};
+      },
+      "MatVecOverTime");
+}
+
+// Full attention chain: fused score, softmax, batched-GEMM pooling. The
+// sequence leaf gets exactly two gradient contributions (score branch and
+// pooling branch), which is still bitwise order-safe.
+TEST_F(FusedOpsTest, AttentionChainMatchesUnfusedBitwise) {
+  CheckFusedParity(
+      [] {
+        Tensor x = Rand({6, 18, 40}, 9);
+        Tensor v = Rand({40, 1}, 10);
+        Tensor weights = Softmax(MatVecOverTime(x, v));
+        return Graph{{x, v}, Sum(WeightedSumOverTime(x, weights))};
+      },
+      "MatVecOverTime");
+}
+
+TEST_F(FusedOpsTest, SoftmaxCrossEntropyMatchesUnfusedBitwise) {
+  CheckFusedParity(
+      [] {
+        Tensor logits = Rand({30, 4}, 11);
+        std::vector<int> labels(30);
+        for (int i = 0; i < 30; ++i) labels[i] = i % 4;
+        return Graph{{logits}, CrossEntropyLoss(logits, labels)};
+      },
+      "SoftmaxCrossEntropy");
+}
+
+TEST_F(FusedOpsTest, SoftmaxKlMatchesUnfusedBitwise) {
+  for (float tau : {1.0f, 2.0f}) {
+    SCOPED_TRACE("tau=" + std::to_string(tau));
+    CheckFusedParity(
+        [tau] {
+          Tensor teacher = Rand({30, 4}, 12, /*requires_grad=*/false);
+          Tensor student = Rand({30, 4}, 13);
+          return Graph{{student}, DistillKlLoss(teacher, student, tau)};
+        },
+        "SoftmaxKl");
+  }
+}
+
+// The teacher is a constant in both paths: even when it requires grad, no
+// gradient may flow into it.
+TEST_F(FusedOpsTest, SoftmaxKlTeacherGetsNoGradient) {
+  for (bool fused : {false, true}) {
+    FusionGuard fusion(fused);
+    Tensor teacher = Rand({8, 4}, 14, /*requires_grad=*/true);
+    Tensor student = Rand({8, 4}, 15);
+    Tensor loss = DistillKlLoss(teacher, student, 2.0f);
+    loss.Backward();
+    for (float g : teacher.grad()) {
+      EXPECT_EQ(g, 0.0f) << (fused ? "fused" : "unfused");
+    }
+    bool any_nonzero = false;
+    for (float g : student.grad()) any_nonzero = any_nonzero || g != 0.0f;
+    EXPECT_TRUE(any_nonzero) << (fused ? "fused" : "unfused");
+  }
+}
+
+// ----- Numeric gradient checks of the fused kernels themselves -----
+
+TEST_F(FusedOpsTest, LinearReluGradcheck) {
+  FusionGuard fusion(true);
+  Tensor x = Rand({5, 6}, 20);
+  Tensor w = Rand({6, 7}, 21);
+  // Bias offset keeps pre-activations away from the ReLU kink, where
+  // central differences are invalid.
+  Tensor b = Tensor::Full({7}, 0.35f, /*requires_grad=*/true);
+  const auto forward = [&] { return Sum(LinearRelu(x, w, b)); };
+  ::dtdbd::testing::ExpectGradMatchesNumeric(x, forward);
+  ::dtdbd::testing::ExpectGradMatchesNumeric(w, forward);
+  ::dtdbd::testing::ExpectGradMatchesNumeric(b, forward);
+}
+
+TEST_F(FusedOpsTest, Conv1dSeqReluGradcheck) {
+  FusionGuard fusion(true);
+  Tensor x = Rand({2, 7, 5}, 22);
+  Tensor w = Rand({4, 2 * 5}, 23);
+  Tensor b = Tensor::Full({4}, 0.4f, /*requires_grad=*/true);
+  const auto forward = [&] { return Sum(Conv1dSeqRelu(x, w, b, 2)); };
+  ::dtdbd::testing::ExpectGradMatchesNumeric(x, forward);
+  ::dtdbd::testing::ExpectGradMatchesNumeric(w, forward);
+  ::dtdbd::testing::ExpectGradMatchesNumeric(b, forward);
+}
+
+TEST_F(FusedOpsTest, MatVecOverTimeGradcheck) {
+  FusionGuard fusion(true);
+  Tensor x = Rand({3, 5, 6}, 24);
+  Tensor v = Rand({6, 1}, 25);
+  const auto forward = [&] { return Sum(Square(MatVecOverTime(x, v))); };
+  ::dtdbd::testing::ExpectGradMatchesNumeric(x, forward);
+  ::dtdbd::testing::ExpectGradMatchesNumeric(v, forward);
+}
+
+TEST_F(FusedOpsTest, SoftmaxCrossEntropyGradcheck) {
+  FusionGuard fusion(true);
+  Tensor logits = Rand({6, 4}, 26);
+  std::vector<int> labels = {0, 1, 2, 3, 1, 2};
+  const auto forward = [&] { return CrossEntropyLoss(logits, labels); };
+  ::dtdbd::testing::ExpectGradMatchesNumeric(logits, forward);
+}
+
+TEST_F(FusedOpsTest, SoftmaxKlGradcheck) {
+  FusionGuard fusion(true);
+  Tensor teacher = Rand({6, 4}, 27, /*requires_grad=*/false);
+  Tensor student = Rand({6, 4}, 28);
+  const auto forward = [&] { return DistillKlLoss(teacher, student, 2.0f); };
+  ::dtdbd::testing::ExpectGradMatchesNumeric(student, forward);
+}
+
+// Fusion reduces the node count of a linear+loss step without changing the
+// loss; the graph counters (MakeOp/MakeView instrumentation) see it.
+TEST_F(FusedOpsTest, FusionShrinksRecordedGraph) {
+  const auto count_nodes = [](bool fused) {
+    FusionGuard fusion(fused);
+    SetOpProfiling(true);
+    ResetOpStats();
+    Tensor x = Rand({16, 24}, 30);
+    Tensor w = Rand({24, 12}, 31);
+    Tensor b = Rand({12}, 32);
+    Tensor h = LinearRelu(x, w, b);
+    Tensor logits = AddBias(MatMul(h, Rand({12, 2}, 33)), Rand({2}, 34));
+    std::vector<int> labels(16, 1);
+    Tensor loss = CrossEntropyLoss(logits, labels);
+    loss.Backward();
+    const OpStats total = TotalOpStats();
+    SetOpProfiling(false);
+    return total;
+  };
+  const OpStats fused = count_nodes(true);
+  const OpStats unfused = count_nodes(false);
+  EXPECT_LT(fused.nodes, unfused.nodes);
+  EXPECT_LE(fused.allocs, unfused.allocs);
+  EXPECT_GT(fused.nodes, 0u);
+}
+
+}  // namespace
+}  // namespace dtdbd::tensor

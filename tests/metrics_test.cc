@@ -1,5 +1,8 @@
 #include "metrics/metrics.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -146,6 +149,102 @@ TEST(EvaluateTest, MoreBiasedMeansLargerTotal) {
 TEST(EvaluateDeathTest, SizeMismatch) {
   EXPECT_DEATH(Evaluate({1}, {1, 0}, {0, 0}, 1), "");
   EXPECT_DEATH(Evaluate({1}, {1}, {5}, 2), "");
+}
+
+TEST(AucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(Auc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.2f, 0.8f, 0.9f}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, TiedScoresCountHalf) {
+  // All scores equal: every positive/negative pair is a tie -> AUC 0.5.
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, HandComputedMixedRanking) {
+  // Sorted: 0.1(neg) 0.3(pos) 0.6(neg) 0.8(pos).
+  // Pairs: (0.3 vs 0.1)=1, (0.3 vs 0.6)=0, (0.8 vs both)=2 -> 3/4.
+  EXPECT_DOUBLE_EQ(Auc({0.3f, 0.8f, 0.1f, 0.6f}, {1, 1, 0, 0}), 0.75);
+}
+
+// ----- degenerate inputs must yield 0, never NaN -----
+
+TEST(AucTest, DegenerateInputsReturnZeroNotNan) {
+  EXPECT_DOUBLE_EQ(Auc({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Auc({0.4f, 0.6f}, {1, 1}), 0.0);  // all positive
+  EXPECT_DOUBLE_EQ(Auc({0.4f, 0.6f}, {0, 0}), 0.0);  // all negative
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(Auc({0.4f, nan}, {1, 0}), 0.0);
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_DOUBLE_EQ(Auc({0.4f, inf}, {1, 0}), 0.0);
+}
+
+TEST(EvaluateTest, SingleClassDomainProducesFiniteMetrics) {
+  // Domain 0 is all-fake, domain 1 all-real, domain 2 mixed. Every reported
+  // number must be finite (Table 6/7 output must never show NaN).
+  std::vector<int> preds = {1, 0, 0, 0, 1, 0};
+  std::vector<int> labels = {1, 1, 0, 0, 1, 0};
+  std::vector<int> domains = {0, 0, 1, 1, 2, 2};
+  std::vector<float> scores = {0.9f, 0.4f, 0.3f, 0.2f, 0.8f, 0.1f};
+  EvalReport report = Evaluate(preds, labels, domains, 3, scores);
+  EXPECT_TRUE(std::isfinite(report.f1));
+  EXPECT_TRUE(std::isfinite(report.auc));
+  EXPECT_TRUE(std::isfinite(report.fned));
+  EXPECT_TRUE(std::isfinite(report.fped));
+  ASSERT_EQ(report.domain_f1.size(), 3u);
+  ASSERT_EQ(report.domain_auc.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_TRUE(std::isfinite(report.domain_f1[d])) << "domain " << d;
+    EXPECT_TRUE(std::isfinite(report.domain_auc[d])) << "domain " << d;
+  }
+  // Single-class domains get AUC 0 by convention; the mixed one is real.
+  EXPECT_DOUBLE_EQ(report.domain_auc[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.domain_auc[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.domain_auc[2], 1.0);
+}
+
+TEST(EvaluateTest, EmptyDomainProducesFiniteMetrics) {
+  std::vector<int> preds = {1, 0, 1, 0};
+  std::vector<int> labels = {1, 0, 1, 0};
+  std::vector<int> domains = {0, 0, 0, 0};
+  std::vector<float> scores = {0.8f, 0.2f, 0.7f, 0.3f};
+  // Domains 1 and 2 have no samples at all.
+  EvalReport report = Evaluate(preds, labels, domains, 3, scores);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_TRUE(std::isfinite(report.domain_f1[d])) << "domain " << d;
+    EXPECT_TRUE(std::isfinite(report.domain_auc[d])) << "domain " << d;
+  }
+  EXPECT_DOUBLE_EQ(report.domain_auc[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.domain_auc[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.domain_auc[2], 0.0);
+  EXPECT_TRUE(std::isfinite(report.Total()));
+  // Summary string itself must not contain "nan".
+  EXPECT_EQ(report.Summary().find("nan"), std::string::npos);
+}
+
+TEST(EvaluateTest, AucMatchesStandaloneComputation) {
+  std::vector<int> preds = {1, 0, 1, 0, 1, 0};
+  std::vector<int> labels = {1, 0, 0, 1, 1, 0};
+  std::vector<int> domains = {0, 0, 0, 1, 1, 1};
+  std::vector<float> scores = {0.7f, 0.2f, 0.6f, 0.4f, 0.9f, 0.3f};
+  EvalReport report = Evaluate(preds, labels, domains, 2, scores);
+  EXPECT_DOUBLE_EQ(report.auc, Auc(scores, labels));
+}
+
+TEST(ConfusionTest, PrecisionRecallAccessors) {
+  Confusion c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 4;
+  c.tn = 6;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.Recall(), 8.0 / 12.0);
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/flags.h"
 
 namespace dtdbd {
 namespace {
@@ -105,6 +109,82 @@ TEST_F(ThreadPoolTest, SetNumThreadsRoundTrip) {
   SetNumThreads(0);  // 0 => default
   EXPECT_EQ(GetNumThreads(), DefaultNumThreads());
   EXPECT_GE(GetNumThreads(), 1);
+}
+
+// Saves and restores DTDBD_NUM_THREADS around a test body so the parsing
+// tests do not leak environment state into the rest of the binary.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("DTDBD_NUM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("DTDBD_NUM_THREADS", value, /*overwrite=*/1);
+    } else {
+      ::unsetenv("DTDBD_NUM_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("DTDBD_NUM_THREADS", old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("DTDBD_NUM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST_F(ThreadPoolTest, DefaultNumThreadsParsesValidEnv) {
+  ScopedThreadsEnv env("3");
+  EXPECT_EQ(DefaultNumThreads(), 3);
+}
+
+TEST_F(ThreadPoolTest, DefaultNumThreadsInvalidEnvFallsBackToOne) {
+  // A set-but-broken DTDBD_NUM_THREADS must not silently become hardware
+  // concurrency: the old atoi path turned "abc" into full-width parallelism.
+  for (const char* bad : {"abc", "0", "-3", "4x", "", " 2"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(DefaultNumThreads(), 1) << "DTDBD_NUM_THREADS='" << bad << "'";
+  }
+}
+
+TEST_F(ThreadPoolTest, DefaultNumThreadsUnsetUsesHardware) {
+  ScopedThreadsEnv env(nullptr);
+  EXPECT_GE(DefaultNumThreads(), 1);
+}
+
+int InitThreadsFromArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("test"));
+  for (auto& a : args) argv.push_back(a.data());
+  FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  return InitThreadsFromFlags(flags);
+}
+
+TEST_F(ThreadPoolTest, InitThreadsFromFlagsValid) {
+  EXPECT_EQ(InitThreadsFromArgs({"--threads=2"}), 2);
+  EXPECT_EQ(GetNumThreads(), 2);
+  EXPECT_EQ(InitThreadsFromArgs({"--threads", "3"}), 3);
+}
+
+TEST_F(ThreadPoolTest, InitThreadsFromFlagsInvalidFallsBackToOne) {
+  for (const std::string& bad :
+       {std::string("--threads=abc"), std::string("--threads=0"),
+        std::string("--threads=-4"), std::string("--threads=2.5"),
+        std::string("--threads")}) {
+    SetNumThreads(4);
+    EXPECT_EQ(InitThreadsFromArgs({bad}), 1) << bad;
+    EXPECT_EQ(GetNumThreads(), 1) << bad;
+  }
+}
+
+TEST_F(ThreadPoolTest, InitThreadsFromFlagsAbsentUsesDefault) {
+  ScopedThreadsEnv env("2");
+  EXPECT_EQ(InitThreadsFromArgs({}), 2);
 }
 
 TEST_F(ThreadPoolTest, ManyConsecutiveDispatches) {
