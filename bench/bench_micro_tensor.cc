@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/io.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
@@ -377,38 +378,38 @@ int RunSweep(const FlagParser& flags) {
   const text::FrozenEncoder encoder(1000, 32, 14);
   const std::vector<StepReport> steps = RunTrainingStepStats(encoder);
 
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for write\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"tensor_substrate_thread_sweep\",\n");
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(f,
-               "  \"note\": \"static-partition deterministic backend; results "
-               "are bitwise identical across thread counts. Wall-clock "
-               "speedup requires hardware_concurrency > 1; on a 1-CPU host "
-               "the extra thread counts measure scheduling overhead only.\",\n");
-  std::fprintf(f, "  \"all_bitwise_equal\": %s,\n",
-               all_equal ? "true" : "false");
-  std::fprintf(f, "  \"results\": [\n");
+  // Build the whole document in memory and write it temp-file + rename so a
+  // crashed or concurrent bench run never leaves a truncated artifact.
+  std::string json;
+  json += "{\n";
+  json += "  \"bench\": \"tensor_substrate_thread_sweep\",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json +=
+      "  \"note\": \"static-partition deterministic backend; results "
+      "are bitwise identical across thread counts. Wall-clock "
+      "speedup requires hardware_concurrency > 1; on a 1-CPU host "
+      "the extra thread counts measure scheduling overhead only.\",\n";
+  json += std::string("  \"all_bitwise_equal\": ") +
+          (all_equal ? "true" : "false") + ",\n";
+  json += "  \"results\": [\n";
+  char line[512];
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"op\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
-                 "\"fwd_ms_per_iter\": %.6f, \"fwd_bwd_ms_per_iter\": %.6f, "
-                 "\"bitwise_equal_to_1_thread\": %s}%s\n",
-                 r.op.c_str(), r.workload.c_str(), r.threads, r.fwd_ms,
-                 r.fwd_bwd_ms, r.bitwise_equal ? "true" : "false",
-                 i + 1 == rows.size() ? "" : ",");
+    std::snprintf(line, sizeof(line),
+                  "    {\"op\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
+                  "\"fwd_ms_per_iter\": %.6f, \"fwd_bwd_ms_per_iter\": %.6f, "
+                  "\"bitwise_equal_to_1_thread\": %s}%s\n",
+                  r.op.c_str(), r.workload.c_str(), r.threads, r.fwd_ms,
+                  r.fwd_bwd_ms, r.bitwise_equal ? "true" : "false",
+                  i + 1 == rows.size() ? "" : ",");
+    json += line;
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"training_steps\": [\n");
+  json += "  ],\n";
+  json += "  \"training_steps\": [\n";
   for (size_t i = 0; i < steps.size(); ++i) {
     const StepReport& s = steps[i];
-    std::fprintf(
-        f,
+    std::snprintf(
+        line, sizeof(line),
         "    {\"step\": \"%s\", "
         "\"fused\": {\"graph_nodes\": %llu, \"allocs\": %llu, \"bytes\": "
         "%llu}, "
@@ -422,9 +423,14 @@ int RunSweep(const FlagParser& flags) {
         static_cast<unsigned long long>(s.unfused.allocs),
         static_cast<unsigned long long>(s.unfused.bytes),
         s.node_reduction_pct, i + 1 == steps.size() ? "" : ",");
+    json += line;
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  json += "  ]\n}\n";
+  const Status written = AtomicWriteFile(json_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", json_path.c_str());
   return all_equal ? 0 : 1;
 }

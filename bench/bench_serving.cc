@@ -1,0 +1,176 @@
+// Serving-path benchmark. Not a paper artifact — operational numbers for
+// the hardened inference subsystem (src/serve/).
+//
+// Drives batch-of-one requests through a Server (single serving worker,
+// bounded queue) and reports end-to-end p50/p99 latency plus the overload
+// counters, exercising one mid-run hot-reload and a slice of malformed
+// requests so the typed-rejection path shows up in the numbers. Writes
+// BENCH_serving.json atomically (temp file + rename).
+//
+// Flags: --requests=N (default 2000), --queue-depth, --threads=N,
+//        --json=BENCH_serving.json, --model=MDFEND.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/io.h"
+#include "common/thread_pool.h"
+#include "data/generator.h"
+#include "models/model.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "tensor/optim.h"
+#include "text/frozen_encoder.h"
+#include "train/checkpoint.h"
+
+namespace {
+
+using namespace dtdbd;
+
+serve::InferenceRequest RequestFor(const data::NewsSample& sample) {
+  serve::InferenceRequest request;
+  request.tokens = sample.tokens;
+  request.domain = sample.domain;
+  request.style = sample.style;
+  request.emotion = sample.emotion;
+  return request;
+}
+
+// A servable checkpoint holding fresh weights, standing in for the output
+// of a training run.
+Status WriteReloadCheckpoint(const std::string& model_name,
+                             const models::ModelConfig& config,
+                             const data::NewsDataset& dataset,
+                             const std::string& path) {
+  models::ModelConfig reload_config = config;
+  reload_config.seed = config.seed + 1;
+  auto model = models::CreateModel(model_name, reload_config);
+  std::vector<tensor::Tensor> trainable;
+  for (auto& p : model->Parameters()) {
+    if (p.requires_grad()) trainable.push_back(p);
+  }
+  tensor::Adam adam(trainable, 1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  data::DataLoader loader(&dataset, 8, /*shuffle=*/false, 0);
+  std::vector<Rng*> rngs;
+  model->CollectRngs(&rngs);
+  const train::CheckpointState state = train::CaptureState(
+      "supervised", 0, model->NamedParameters(), adam, rngs, loader);
+  return train::SaveCheckpoint(state, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int threads = InitThreadsFromFlags(flags);
+  const int requests = flags.GetInt("requests", 2000);
+  const int64_t queue_depth = flags.GetInt("queue-depth", 256);
+  const std::string model_name = flags.GetString("model", "MDFEND");
+  const std::string json_path = flags.GetString("json", "BENCH_serving.json");
+
+  data::NewsDataset dataset = data::GenerateCorpus(data::MicroConfig(29));
+  text::FrozenEncoder encoder(dataset.vocab->size(), 32, 14);
+  models::ModelConfig config;
+  config.vocab_size = dataset.vocab->size();
+  config.num_domains = dataset.num_domains();
+  config.encoder = &encoder;
+  config.seed = 7;
+
+  serve::RequestLimits limits;
+  limits.vocab_size = config.vocab_size;
+  limits.num_domains = config.num_domains;
+  limits.seq_len = dataset.seq_len;
+
+  const std::string checkpoint_path = json_path + ".reload.ckpt";
+  const Status ckpt =
+      WriteReloadCheckpoint(model_name, config, dataset, checkpoint_path);
+  if (!ckpt.ok()) {
+    std::fprintf(stderr, "%s\n", ckpt.ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.max_queue_depth = queue_depth;
+  options.model_factory = [&] {
+    models::ModelConfig c = config;
+    c.seed = config.seed + 1;
+    return models::CreateModel(model_name, c);
+  };
+  serve::Server server(
+      std::make_unique<serve::InferenceSession>(
+          models::CreateModel(model_name, config), limits,
+          /*model_version=*/1),
+      std::move(options));
+
+  // Warm-up so first-touch allocation noise stays out of the percentiles.
+  for (int i = 0; i < 32; ++i) {
+    (void)server.Predict(RequestFor(dataset.samples[i % dataset.samples.size()]));
+  }
+
+  int64_t ok = 0, invalid = 0;
+  for (int i = 0; i < requests; ++i) {
+    // Hot-reload mid-run: latency numbers include the swap hiccup.
+    if (i == requests / 2) {
+      const Status reloaded =
+          server.ReloadFromCheckpoint(checkpoint_path).get();
+      if (!reloaded.ok()) {
+        std::fprintf(stderr, "reload failed: %s\n",
+                     reloaded.ToString().c_str());
+        return 1;
+      }
+    }
+    serve::InferenceRequest request = RequestFor(
+        dataset.samples[static_cast<size_t>(i) % dataset.samples.size()]);
+    if (i % 50 == 49) request.tokens[0] = -1;  // typed-rejection slice
+    const auto result = server.Predict(request);
+    if (result.ok()) {
+      ++ok;
+    } else if (result.status().code() == StatusCode::kInvalidArgument) {
+      ++invalid;
+    } else {
+      std::fprintf(stderr, "unexpected status: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const serve::HealthReport health = server.Health();
+  server.Stop();
+  std::remove(checkpoint_path.c_str());
+
+  char line[1024];
+  std::string json = "{\n";
+  json += "  \"bench\": \"serving_batch_of_one\",\n";
+  json += "  \"model\": \"" + model_name + "\",\n";
+  std::snprintf(line, sizeof(line),
+                "  \"threads\": %d,\n  \"requests\": %d,\n"
+                "  \"served_ok\": %lld,\n  \"invalid_requests\": %lld,\n"
+                "  \"shed_deadline\": %lld,\n  \"rejected_queue_full\": %lld,\n"
+                "  \"reload_successes\": %lld,\n  \"degraded\": %s,\n"
+                "  \"model_version\": %lld,\n"
+                "  \"p50_latency_ms\": %.6f,\n  \"p99_latency_ms\": %.6f,\n"
+                "  \"latency_samples\": %lld\n}\n",
+                threads, requests, static_cast<long long>(health.served_ok),
+                static_cast<long long>(health.invalid_requests),
+                static_cast<long long>(health.shed_deadline),
+                static_cast<long long>(health.rejected_queue_full),
+                static_cast<long long>(health.reload_successes),
+                health.degraded ? "true" : "false",
+                static_cast<long long>(health.model_version),
+                health.p50_latency_ms, health.p99_latency_ms,
+                static_cast<long long>(health.latency_samples));
+  json += line;
+  const Status written = AtomicWriteFile(json_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "served %lld ok, %lld rejected-invalid; p50 %.4f ms  p99 %.4f ms\n",
+      static_cast<long long>(ok), static_cast<long long>(invalid),
+      health.p50_latency_ms, health.p99_latency_ms);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "common/io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace dtdbd {
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + tmp_path);
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) ==
+                contents.size();
+  // Flush user-space buffers and force the bytes to disk before the rename;
+  // otherwise a crash could publish an empty/partial file.
+  ok = ok && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("write failed: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("rename failed: " + tmp_path + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dtdbd

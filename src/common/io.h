@@ -1,0 +1,20 @@
+// Crash-safe file IO helpers shared by the checkpoint writer and the bench
+// artifact emitters.
+#ifndef DTDBD_COMMON_IO_H_
+#define DTDBD_COMMON_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dtdbd {
+
+// Atomically replaces `path` with `contents`: the bytes are written to
+// `<path>.tmp`, flushed and fsync'd, then renamed over `path`. A reader
+// never observes a partially written file even if the process dies mid-save;
+// on any failure the temp file is removed and `path` is left untouched.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace dtdbd
+
+#endif  // DTDBD_COMMON_IO_H_

@@ -1,11 +1,21 @@
 #include "common/logging.h"
 
 #include <cstring>
+#include <mutex>
 
 namespace dtdbd {
 
 namespace {
 LogLevel g_level = LogLevel::kInfo;
+
+// Serializes the final write so concurrent loggers (thread-pool kernels,
+// the serving worker, the watchdog) never interleave mid-line. The message
+// is fully formatted in the per-call ostringstream before the lock is
+// taken, so the critical section is a single buffered write.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -41,7 +51,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << "\n";
+  if (!enabled_) return;
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::cerr << line;
 }
 
 }  // namespace internal_log

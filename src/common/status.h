@@ -19,6 +19,13 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  // Serving-path codes (src/serve/): admission control rejected the request
+  // because a bounded resource (the server queue) is full.
+  kResourceExhausted,
+  // The request's deadline passed before the server could execute it.
+  kDeadlineExceeded,
+  // The component is shutting down or otherwise not accepting work.
+  kUnavailable,
 };
 
 // Value-semantic error carrier.
@@ -43,6 +50,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

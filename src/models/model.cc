@@ -12,8 +12,12 @@
 
 namespace dtdbd::models {
 
-std::unique_ptr<FakeNewsModel> CreateModel(const std::string& name,
-                                           const ModelConfig& config) {
+namespace {
+
+// Nullptr on an unrecognized name; the public entry points turn that into
+// a CHECK (CreateModel) or a typed error (CreateModelOr).
+std::unique_ptr<FakeNewsModel> TryCreateModel(const std::string& name,
+                                              const ModelConfig& config) {
   if (name == "BiGRU") {
     return std::make_unique<BiGruModel>(name, config,
                                         /*use_frozen_encoder=*/false);
@@ -69,8 +73,25 @@ std::unique_ptr<FakeNewsModel> CreateModel(const std::string& name,
   if (name == "M3FEND") {
     return std::make_unique<M3fendModel>(config);
   }
-  DTDBD_CHECK(false) << "unknown model name: " << name;
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<FakeNewsModel> CreateModel(const std::string& name,
+                                           const ModelConfig& config) {
+  std::unique_ptr<FakeNewsModel> model = TryCreateModel(name, config);
+  DTDBD_CHECK(model != nullptr) << "unknown model name: " << name;
+  return model;
+}
+
+StatusOr<std::unique_ptr<FakeNewsModel>> CreateModelOr(
+    const std::string& name, const ModelConfig& config) {
+  std::unique_ptr<FakeNewsModel> model = TryCreateModel(name, config);
+  if (model == nullptr) {
+    return Status::InvalidArgument("unknown model name: " + name);
+  }
+  return model;
 }
 
 std::vector<std::string> AllModelNames() {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "nn/module.h"
 #include "tensor/tensor.h"
@@ -69,6 +70,12 @@ class FakeNewsModel : public nn::Module {
 // DTDBD_CHECK-fails on an unknown name.
 std::unique_ptr<FakeNewsModel> CreateModel(const std::string& name,
                                            const ModelConfig& config);
+
+// Recoverable variant for callers fed by configuration rather than code
+// (the serving layer resolves model names from deployment config): an
+// unknown name yields kInvalidArgument instead of a crash.
+StatusOr<std::unique_ptr<FakeNewsModel>> CreateModelOr(
+    const std::string& name, const ModelConfig& config);
 
 // All names CreateModel accepts, in the paper's table order.
 std::vector<std::string> AllModelNames();

@@ -1,0 +1,310 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "tensor/serialize.h"
+#include "train/checkpoint.h"
+
+namespace dtdbd::serve {
+
+int64_t SystemClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const SystemClock* SystemClock::Get() {
+  static const SystemClock clock;
+  return &clock;
+}
+
+Server::Server(std::unique_ptr<InferenceSession> session,
+               ServerOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : SystemClock::Get()),
+      session_(std::move(session)) {
+  DTDBD_CHECK(session_ != nullptr);
+  DTDBD_CHECK_GT(options_.max_queue_depth, 0);
+  DTDBD_CHECK_GT(options_.latency_window, 0);
+  model_version_.store(session_->model_version(), std::memory_order_release);
+  latencies_.assign(static_cast<size_t>(options_.latency_window), 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+  if (options_.watchdog_period_nanos > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
+
+Server::~Server() { Stop(); }
+
+std::future<StatusOr<Prediction>> Server::Submit(InferenceRequest request,
+                                                 int64_t deadline_nanos) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now = clock_->NowNanos();
+  if (deadline_nanos == 0 && options_.default_deadline_nanos > 0) {
+    deadline_nanos = now + options_.default_deadline_nanos;
+  }
+
+  Job job;
+  job.kind = Job::Kind::kInfer;
+  job.request = std::move(request);
+  job.deadline_nanos = deadline_nanos;
+  job.enqueue_nanos = now;
+  std::future<StatusOr<Prediction>> future = job.reply.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) {
+    lock.unlock();
+    job.reply.set_value(Status::Unavailable("server is stopped"));
+    return future;
+  }
+  if (inference_depth_ >= options_.max_queue_depth) {
+    lock.unlock();
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    job.reply.set_value(Status::ResourceExhausted(
+        "serving queue full (" + std::to_string(options_.max_queue_depth) +
+        " requests waiting)"));
+    return future;
+  }
+  ++inference_depth_;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+StatusOr<Prediction> Server::Predict(const InferenceRequest& request) {
+  return Submit(request).get();
+}
+
+std::future<Status> Server::ReloadFromCheckpoint(std::string checkpoint_path) {
+  Job job;
+  job.kind = Job::Kind::kReload;
+  job.checkpoint_path = std::move(checkpoint_path);
+  std::future<Status> future = job.reload_reply.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) {
+    lock.unlock();
+    job.reload_reply.set_value(Status::Unavailable("server is stopped"));
+    return future;
+  }
+  // Control jobs bypass the depth limit: an overloaded server must still
+  // accept the reload that might fix it.
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (stopped_) {
+        // Fail everything still queued; admission is already closed.
+        while (!queue_.empty()) {
+          Job dropped = std::move(queue_.front());
+          queue_.pop_front();
+          if (dropped.kind == Job::Kind::kInfer) {
+            dropped.reply.set_value(
+                Status::Unavailable("server stopped before serving request"));
+          } else if (dropped.kind == Job::Kind::kReload) {
+            dropped.reload_reply.set_value(
+                Status::Unavailable("server stopped before reload"));
+          }
+        }
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (job.kind == Job::Kind::kInfer) --inference_depth_;
+    }
+    if (job.kind == Job::Kind::kInfer) {
+      ServeOne(&job);
+    } else {
+      job.reload_reply.set_value(RunReload(job.checkpoint_path));
+    }
+  }
+}
+
+void Server::ServeOne(Job* job) {
+  const int64_t now = clock_->NowNanos();
+  if (job->deadline_nanos > 0 && now > job->deadline_nanos) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    job->reply.set_value(Status::DeadlineExceeded(
+        "request shed: deadline expired before serving"));
+    return;
+  }
+  StatusOr<Prediction> result = session_->Predict(job->request);
+  if (result.ok()) {
+    served_ok_.fetch_add(1, std::memory_order_relaxed);
+    RecordLatency(clock_->NowNanos() - job->enqueue_nanos);
+  } else if (result.status().code() == StatusCode::kInvalidArgument) {
+    invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  job->reply.set_value(std::move(result));
+}
+
+Status Server::TryLoadInto(const std::string& path) {
+  if (options_.fault_injector != nullptr) {
+    const int64_t slow = options_.fault_injector->slow_load_nanos();
+    if (slow > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(slow));
+    }
+    DTDBD_RETURN_IF_ERROR(options_.fault_injector->MaybeFailLoad());
+  }
+  if (!options_.model_factory) {
+    return Status::FailedPrecondition(
+        "hot-reload requires ServerOptions::model_factory");
+  }
+  DTDBD_ASSIGN_OR_RETURN(train::CheckpointState state,
+                         train::LoadCheckpoint(path));
+  // Both "supervised" and "dtdbd" checkpoints are servable; only the model
+  // parameter map matters here. Restore into a FRESH model so a mismatched
+  // checkpoint can never leave the live session half-overwritten.
+  std::unique_ptr<models::FakeNewsModel> model = options_.model_factory();
+  if (model == nullptr) {
+    return Status::FailedPrecondition("model_factory returned null");
+  }
+  std::map<std::string, tensor::Tensor> named = model->NamedParameters();
+  DTDBD_RETURN_IF_ERROR(tensor::RestoreInto(state.model, &named));
+  const int64_t next_version =
+      model_version_.load(std::memory_order_acquire) + 1;
+  session_ = std::make_unique<InferenceSession>(
+      std::move(model), session_->limits(), next_version);
+  model_version_.store(next_version, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status Server::RunReload(const std::string& path) {
+  int64_t backoff = options_.reload_backoff_initial_nanos;
+  Status last = Status::Ok();
+  const int attempts = std::max(1, options_.reload_max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    reload_attempts_.fetch_add(1, std::memory_order_relaxed);
+    last = TryLoadInto(path);
+    if (last.ok()) {
+      reload_successes_.fetch_add(1, std::memory_order_relaxed);
+      degraded_.store(false, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      last_reload_error_.clear();
+      return last;
+    }
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    DTDBD_LOG(Warning) << "hot-reload attempt " << attempt << "/" << attempts
+                       << " failed: " << last.ToString();
+    if (attempt < attempts && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff = static_cast<int64_t>(
+          static_cast<double>(backoff) * options_.reload_backoff_multiplier);
+    }
+  }
+  // Exhausted: keep serving the last-good model, but say so loudly.
+  degraded_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_reload_error_ = last.ToString();
+  }
+  DTDBD_LOG(Error) << "hot-reload of " << path
+                   << " failed after " << attempts
+                   << " attempts; serving degraded on model version "
+                   << model_version_.load(std::memory_order_acquire);
+  return last;
+}
+
+void Server::RecordLatency(int64_t nanos) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latencies_[static_cast<size_t>(latency_next_)] = nanos;
+  latency_next_ = (latency_next_ + 1) % options_.latency_window;
+  if (latency_count_ < options_.latency_window) ++latency_count_;
+}
+
+HealthReport Server::Health() const {
+  HealthReport report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.queue_depth = inference_depth_;
+  }
+  report.max_queue_depth = options_.max_queue_depth;
+  report.submitted = submitted_.load(std::memory_order_relaxed);
+  report.admitted = admitted_.load(std::memory_order_relaxed);
+  report.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  report.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  report.served_ok = served_ok_.load(std::memory_order_relaxed);
+  report.invalid_requests = invalid_requests_.load(std::memory_order_relaxed);
+  report.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  report.reload_attempts = reload_attempts_.load(std::memory_order_relaxed);
+  report.reload_successes = reload_successes_.load(std::memory_order_relaxed);
+  report.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  report.degraded = degraded_.load(std::memory_order_acquire);
+  report.model_version = model_version_.load(std::memory_order_acquire);
+  report.watchdog_ticks = watchdog_ticks_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    report.last_reload_error = last_reload_error_;
+    report.latency_samples = latency_count_;
+    if (latency_count_ > 0) {
+      std::vector<int64_t> window(
+          latencies_.begin(), latencies_.begin() + latency_count_);
+      std::sort(window.begin(), window.end());
+      const auto pick = [&window](double q) {
+        const auto idx = static_cast<size_t>(
+            q * static_cast<double>(window.size() - 1) + 0.5);
+        return static_cast<double>(window[idx]) / 1e6;
+      };
+      report.p50_latency_ms = pick(0.50);
+      report.p99_latency_ms = pick(0.99);
+    }
+  }
+  return report;
+}
+
+HealthReport Server::LastWatchdogReport() const {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  return last_watchdog_report_;
+}
+
+void Server::WatchdogLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      watchdog_cv_.wait_for(
+          lock, std::chrono::nanoseconds(options_.watchdog_period_nanos),
+          [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    watchdog_ticks_.fetch_add(1, std::memory_order_relaxed);
+    HealthReport report = Health();
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    last_watchdog_report_ = std::move(report);
+  }
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+}  // namespace dtdbd::serve

@@ -1,0 +1,238 @@
+// Overload-aware serving front end: bounded queue, deadlines, admission
+// control, a watchdog, and checkpoint hot-reload with graceful degradation.
+//
+// Threading model. All tensor work — inference forwards AND reload-time
+// model construction/restore — runs on ONE worker thread that the Server
+// owns. This is forced by the deterministic thread pool: Pool::Run admits a
+// single caller at a time, so two threads running forwards concurrently
+// would race on the shared dispatch state. Funneling every forward through
+// one thread also makes serving reproducible: requests are answered in
+// admission order, and each answer is bitwise identical to the offline
+// evaluator regardless of DTDBD_NUM_THREADS. Client threads only touch the
+// queue + promise; the watchdog thread only reads atomics.
+//
+// Overload semantics (see DESIGN.md §9):
+//   - Admission control: Submit() fails fast with kResourceExhausted when
+//     `max_queue_depth` inference requests are already waiting. Control
+//     jobs (reload, stop) bypass the depth limit so an overloaded server
+//     can still be fixed or shut down.
+//   - Deadlines: each request carries an absolute deadline (clock nanos;
+//     0 = none). The worker sheds expired requests at dequeue time with
+//     kDeadlineExceeded — it never starts a forward it cannot finish in
+//     time usefully.
+//   - Shutdown: Stop() fails everything still queued with kUnavailable.
+//
+// Hot-reload state machine: loading -> serving | degraded. A reload runs on
+// the worker thread (so in-flight forwards never observe a half-swapped
+// model): load the CRC-checked checkpoint, build a fresh model from the
+// factory, restore parameters, swap the session under a bumped version. Any
+// step failing is retried with exponential backoff up to
+// `reload_max_attempts`; on exhaustion the server keeps the last-good model
+// and marks itself degraded in the HealthReport (cleared by the next
+// successful reload). FaultInjector hooks (load failure, slow load) drive
+// the failure paths in tests.
+#ifndef DTDBD_SERVE_SERVER_H_
+#define DTDBD_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "models/model.h"
+#include "serve/session.h"
+#include "train/fault_injector.h"
+
+namespace dtdbd::serve {
+
+// Injectable time source. Production uses SystemClock (steady, monotonic);
+// tests use ManualClock to make deadline behaviour deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+};
+
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() const override;
+  static const SystemClock* Get();
+};
+
+class ManualClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Set(int64_t nanos) { now_.store(nanos, std::memory_order_relaxed); }
+  void Advance(int64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_{0};
+};
+
+struct ServerOptions {
+  // Admission control: max requests waiting (excludes the one being served
+  // and control jobs).
+  int64_t max_queue_depth = 64;
+  // Applied at Submit() when the caller passes deadline 0. 0 = no deadline.
+  int64_t default_deadline_nanos = 0;
+  // Watchdog snapshot period; <= 0 disables the watchdog thread.
+  int64_t watchdog_period_nanos = 50'000'000;  // 50 ms
+  // Hot-reload retry policy.
+  int reload_max_attempts = 3;
+  int64_t reload_backoff_initial_nanos = 1'000'000;  // 1 ms
+  double reload_backoff_multiplier = 2.0;
+  // Sliding window of recent request latencies backing p50/p99.
+  int64_t latency_window = 1024;
+  // nullptr = SystemClock::Get(). Must outlive the server.
+  const Clock* clock = nullptr;
+  // Optional failure-injection hooks (load failure, slow load) for tests.
+  train::FaultInjector* fault_injector = nullptr;
+  // Builds a fresh model for hot-reload; must produce the same architecture
+  // the serving checkpoints were written from. Reload fails with
+  // kFailedPrecondition if unset.
+  std::function<std::unique_ptr<models::FakeNewsModel>()> model_factory;
+};
+
+// One watchdog/Health() snapshot. Counters are cumulative since start.
+struct HealthReport {
+  int64_t queue_depth = 0;
+  int64_t max_queue_depth = 0;
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected_queue_full = 0;  // kResourceExhausted at admission
+  int64_t shed_deadline = 0;        // kDeadlineExceeded at dequeue
+  int64_t served_ok = 0;
+  int64_t invalid_requests = 0;  // kInvalidArgument from validation
+  int64_t internal_errors = 0;   // any other non-ok Predict status
+  int64_t reload_attempts = 0;
+  int64_t reload_successes = 0;
+  int64_t reload_failures = 0;  // individual failed attempts
+  bool degraded = false;        // last reload exhausted all attempts
+  std::string last_reload_error;
+  int64_t model_version = 0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  int64_t latency_samples = 0;
+  int64_t watchdog_ticks = 0;
+};
+
+class Server {
+ public:
+  // Takes ownership of the initial session and starts the worker (and,
+  // unless disabled, the watchdog).
+  Server(std::unique_ptr<InferenceSession> session, ServerOptions options);
+  ~Server();  // Stop()s
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Enqueues a request. `deadline_nanos` is absolute per the server clock;
+  // 0 means "apply default_deadline_nanos, else none". The future resolves
+  // with the prediction or a typed error: kInvalidArgument (validation),
+  // kResourceExhausted (queue full — resolved immediately),
+  // kDeadlineExceeded (shed), kUnavailable (server stopped), kInternal
+  // (non-finite output).
+  std::future<StatusOr<Prediction>> Submit(InferenceRequest request,
+                                           int64_t deadline_nanos = 0);
+
+  // Synchronous convenience wrapper around Submit(). Do not call from the
+  // worker's own callbacks (it would self-deadlock).
+  StatusOr<Prediction> Predict(const InferenceRequest& request);
+
+  // Schedules a hot-reload from a v2 checkpoint; resolves with the final
+  // outcome after retries. Queued behind in-flight requests, ahead of
+  // nothing — strict FIFO with inference.
+  std::future<Status> ReloadFromCheckpoint(std::string checkpoint_path);
+
+  // Current snapshot, computed on the calling thread.
+  HealthReport Health() const;
+  // Most recent snapshot taken by the watchdog thread.
+  HealthReport LastWatchdogReport() const;
+
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  int64_t model_version() const {
+    return model_version_.load(std::memory_order_acquire);
+  }
+
+  // Rejects new work, fails everything still queued with kUnavailable, and
+  // joins both threads. Idempotent.
+  void Stop();
+
+ private:
+  struct Job {
+    enum class Kind { kInfer, kReload };
+    Kind kind = Kind::kInfer;
+    // kInfer:
+    InferenceRequest request;
+    int64_t deadline_nanos = 0;  // absolute; 0 = none
+    int64_t enqueue_nanos = 0;
+    std::promise<StatusOr<Prediction>> reply;
+    // kReload:
+    std::string checkpoint_path;
+    std::promise<Status> reload_reply;
+  };
+
+  void WorkerLoop();
+  void WatchdogLoop();
+  void ServeOne(Job* job);
+  // Runs on the worker thread; one attempt of the reload state machine.
+  Status TryLoadInto(const std::string& path);
+  Status RunReload(const std::string& path);
+  void RecordLatency(int64_t nanos);
+
+  const ServerOptions options_;
+  const Clock* const clock_;
+
+  // session_ is touched only by the worker thread after construction.
+  std::unique_ptr<InferenceSession> session_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  int64_t inference_depth_ = 0;  // kInfer jobs currently queued
+  bool stopped_ = false;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> rejected_queue_full_{0};
+  std::atomic<int64_t> shed_deadline_{0};
+  std::atomic<int64_t> served_ok_{0};
+  std::atomic<int64_t> invalid_requests_{0};
+  std::atomic<int64_t> internal_errors_{0};
+  std::atomic<int64_t> reload_attempts_{0};
+  std::atomic<int64_t> reload_successes_{0};
+  std::atomic<int64_t> reload_failures_{0};
+  std::atomic<int64_t> watchdog_ticks_{0};
+  std::atomic<bool> degraded_{false};
+  std::atomic<int64_t> model_version_{0};
+
+  mutable std::mutex stats_mu_;  // guards latencies_ + last_reload_error_
+  std::vector<int64_t> latencies_;  // ring buffer of size latency_window
+  int64_t latency_next_ = 0;
+  int64_t latency_count_ = 0;
+  std::string last_reload_error_;
+
+  mutable std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  HealthReport last_watchdog_report_;
+
+  std::thread worker_;
+  std::thread watchdog_;
+};
+
+}  // namespace dtdbd::serve
+
+#endif  // DTDBD_SERVE_SERVER_H_

@@ -1,0 +1,63 @@
+#include "serve/session.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "text/features.h"
+
+namespace dtdbd::serve {
+
+namespace {
+
+// Zero-fills an absent feature vector and lifts it into the [1, dim] tensor
+// shape the models expect. Validation already guaranteed size() is 0 or dim.
+tensor::Tensor FeatureRow(const std::vector<float>& values, int dim) {
+  std::vector<float> row = values;
+  row.resize(static_cast<size_t>(dim), 0.0f);
+  return tensor::Tensor::FromData({1, dim}, std::move(row));
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(
+    std::unique_ptr<models::FakeNewsModel> model, RequestLimits limits,
+    int64_t model_version)
+    : model_(std::move(model)),
+      limits_(limits),
+      model_version_(model_version) {
+  DTDBD_CHECK(model_ != nullptr);
+}
+
+StatusOr<Prediction> InferenceSession::Predict(
+    const InferenceRequest& request) {
+  DTDBD_RETURN_IF_ERROR(ValidateRequest(request, limits_));
+  tensor::NoGradGuard no_grad;
+
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.seq_len = limits_.seq_len;
+  batch.tokens = request.tokens;
+  batch.tokens.resize(static_cast<size_t>(limits_.seq_len), 0);  // PAD id 0
+  batch.labels = {data::kReal};  // unused by eval forwards; shape filler
+  batch.domains = {request.domain};
+  batch.style = FeatureRow(request.style, text::kStyleFeatureDim);
+  batch.emotion = FeatureRow(request.emotion, text::kEmotionFeatureDim);
+
+  models::ModelOutput out = model_->Forward(batch, /*training=*/false);
+  tensor::Tensor p = tensor::Softmax(out.logits);
+  const float p_fake = p.at(data::kFake);
+  if (!std::isfinite(p_fake)) {
+    return Status::Internal("model produced a non-finite probability");
+  }
+  Prediction pred;
+  pred.p_fake = p_fake;
+  pred.label = p_fake >= 0.5f ? data::kFake : data::kReal;
+  pred.model_version = model_version_;
+  return pred;
+}
+
+}  // namespace dtdbd::serve

@@ -1,0 +1,59 @@
+// A no-graph inference path over any FakeNewsModel.
+//
+// InferenceSession is the serving counterpart of the training forward pass:
+// it validates a request against the deployed model's limits, runs a
+// batch-of-one eval-mode forward under NoGradGuard (no autograd nodes are
+// recorded — the `graph_recorded` op counter stays at zero, a tested
+// invariant), and reduces the logits to a fake-probability exactly the way
+// PredictFakeProbability does. Eval-mode forwards are per-row deterministic,
+// so a session's batch-of-one answer is bitwise identical to the batched
+// offline evaluator — the parity contract the soak test enforces.
+//
+// A session is NOT thread-safe: the Server funnels all calls (and model
+// swaps) through its single worker thread, because tensor kernels share the
+// process-wide deterministic thread pool whose Run() admits one caller at a
+// time.
+#ifndef DTDBD_SERVE_SESSION_H_
+#define DTDBD_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "models/model.h"
+#include "serve/validation.h"
+
+namespace dtdbd::serve {
+
+struct Prediction {
+  float p_fake = 0.0f;       // P(label == fake), from Softmax over the logits
+  int label = 0;             // data::kFake iff p_fake >= 0.5
+  int64_t model_version = 0; // which hot-reload generation answered
+};
+
+class InferenceSession {
+ public:
+  // Takes ownership of the model. `limits` must describe the config the
+  // model was built with; `model_version` stamps every Prediction so
+  // responses produced across a hot-reload are attributable.
+  InferenceSession(std::unique_ptr<models::FakeNewsModel> model,
+                   RequestLimits limits, int64_t model_version);
+
+  // Validate -> pad to seq_len -> eval forward -> softmax. Returns
+  // kInvalidArgument for malformed requests (never reaches a kernel),
+  // kInternal if the model emits a non-finite probability.
+  StatusOr<Prediction> Predict(const InferenceRequest& request);
+
+  models::FakeNewsModel* model() { return model_.get(); }
+  const RequestLimits& limits() const { return limits_; }
+  int64_t model_version() const { return model_version_; }
+
+ private:
+  std::unique_ptr<models::FakeNewsModel> model_;
+  RequestLimits limits_;
+  int64_t model_version_;
+};
+
+}  // namespace dtdbd::serve
+
+#endif  // DTDBD_SERVE_SESSION_H_

@@ -1,0 +1,63 @@
+#include "serve/validation.h"
+
+#include <cmath>
+#include <string>
+
+#include "tensor/ops.h"
+#include "text/features.h"
+
+namespace dtdbd::serve {
+
+namespace {
+
+// Empty is allowed (the session zero-fills); otherwise the dimension must
+// match exactly and every value must be finite.
+Status ValidateFeatureVector(const std::vector<float>& values,
+                             int expected_dim, const char* field) {
+  if (values.empty()) return Status::Ok();
+  if (static_cast<int>(values.size()) != expected_dim) {
+    return Status::InvalidArgument(
+        std::string(field) + " has " + std::to_string(values.size()) +
+        " values, expected " + std::to_string(expected_dim));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return Status::InvalidArgument(
+          std::string(field) + " value at position " + std::to_string(i) +
+          " is not finite");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateRequest(const InferenceRequest& request,
+                       const RequestLimits& limits) {
+  if (limits.vocab_size <= 0 || limits.num_domains <= 0 ||
+      limits.seq_len <= 0) {
+    return Status::FailedPrecondition("request limits are not configured");
+  }
+  if (request.tokens.empty()) {
+    return Status::InvalidArgument("empty token sequence");
+  }
+  if (static_cast<int64_t>(request.tokens.size()) > limits.seq_len) {
+    return Status::InvalidArgument(
+        "token sequence length " + std::to_string(request.tokens.size()) +
+        " exceeds model sequence length " + std::to_string(limits.seq_len));
+  }
+  DTDBD_RETURN_IF_ERROR(
+      tensor::ValidateTokenIds(request.tokens, limits.vocab_size));
+  if (request.domain < 0 || request.domain >= limits.num_domains) {
+    return Status::InvalidArgument(
+        "domain id " + std::to_string(request.domain) +
+        " out of range [0, " + std::to_string(limits.num_domains) + ")");
+  }
+  DTDBD_RETURN_IF_ERROR(ValidateFeatureVector(
+      request.style, text::kStyleFeatureDim, "style feature"));
+  DTDBD_RETURN_IF_ERROR(ValidateFeatureVector(
+      request.emotion, text::kEmotionFeatureDim, "emotion feature"));
+  return Status::Ok();
+}
+
+}  // namespace dtdbd::serve

@@ -1,0 +1,49 @@
+// Request validation for the inference serving path.
+//
+// Serving is the trust boundary of the system: a request arrives from the
+// network, not from our own data pipeline, so every field is hostile until
+// proven otherwise. ValidateRequest rejects anything that could crash a
+// kernel (out-of-range token ids through EmbeddingGather / FrozenEncoder),
+// poison a prediction (non-finite feature values), or break a model's shape
+// contract (wrong feature dims, empty or over-length sequences) — with a
+// typed kInvalidArgument Status instead of a DTDBD_CHECK abort. Per-domain
+// gating models (MDFEND-style) make the domain-id check load-bearing: an
+// unknown domain id would index the domain embedding out of range.
+#ifndef DTDBD_SERVE_VALIDATION_H_
+#define DTDBD_SERVE_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dtdbd::serve {
+
+// One inference request: the same per-sample fields data::NewsSample
+// carries, but unvalidated. Tokens shorter than the model's sequence
+// length are PAD-padded by the session; style/emotion may be empty
+// (zero-filled) or exactly the expected dimension.
+struct InferenceRequest {
+  std::vector<int> tokens;
+  int domain = 0;
+  std::vector<float> style;
+  std::vector<float> emotion;
+};
+
+// The envelope of requests a deployed model can execute safely. Derived
+// from the model's construction config and the corpus it was trained on.
+struct RequestLimits {
+  int vocab_size = 0;
+  int num_domains = 0;
+  int64_t seq_len = 0;  // fixed model input length; requests are padded to it
+};
+
+// Typed taxonomy (see DESIGN.md §9): every rejection is kInvalidArgument
+// with a message naming the offending field; an OK request is safe to hand
+// to any FakeNewsModel built under the same limits.
+Status ValidateRequest(const InferenceRequest& request,
+                       const RequestLimits& limits);
+
+}  // namespace dtdbd::serve
+
+#endif  // DTDBD_SERVE_VALIDATION_H_

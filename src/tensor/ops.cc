@@ -1371,17 +1371,33 @@ Tensor LogSoftmax(const Tensor& x_in) {
   return MakeOp(kLogSoftmax, x.shape(), std::move(out), {x});
 }
 
+Status ValidateTokenIds(const std::vector<int>& ids, int64_t vocab_size) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
+    if (id < 0 || static_cast<int64_t>(id) >= vocab_size) {
+      return Status::InvalidArgument(
+          "token id " + std::to_string(id) + " at position " +
+          std::to_string(i) + " out of vocabulary range [0, " +
+          std::to_string(vocab_size) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
 Tensor EmbeddingGather(const Tensor& table_in, const std::vector<int>& ids,
                        int64_t batch, int64_t time) {
   DTDBD_CHECK_EQ(table_in.ndim(), 2);
   DTDBD_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * time);
   Tensor table = Contiguous(table_in);
   const int64_t v = table.dim(0), e = table.dim(1);
-  // Ids validated serially before any parallel dispatch.
-  for (int64_t i = 0; i < batch * time; ++i) {
-    DTDBD_CHECK_GE(ids[static_cast<size_t>(i)], 0);
-    DTDBD_CHECK_LT(ids[static_cast<size_t>(i)], v)
-        << "token id out of vocabulary";
+  // Ids validated serially before any parallel dispatch, in every build
+  // mode: an out-of-range id must never reach the gather loop, where it
+  // would be silent UB. Recoverable callers (the serving path) run
+  // ValidateTokenIds themselves first and surface a typed Status; reaching
+  // this check is tensor-API misuse and dies with a readable message.
+  {
+    const Status ids_ok = ValidateTokenIds(ids, v);
+    DTDBD_CHECK(ids_ok.ok()) << "EmbeddingGather: " << ids_ok.message();
   }
   ScopedOpTimer timer(kEmbeddingGather);
   const float* pt = table.data().data();
@@ -1582,7 +1598,9 @@ Tensor GradReverse(const Tensor& x, float lambda) {
 Tensor Dropout(const Tensor& x_in, double p, Rng* rng, bool training) {
   DTDBD_CHECK_GE(p, 0.0);
   DTDBD_CHECK_LT(p, 1.0);
-  if (!training || p == 0.0) return ScalarMul(x_in, 1.0f);
+  // Eval mode is a true identity: no mask, no RNG draw, no output buffer,
+  // and no graph node — the serving fast path relies on this being free.
+  if (!training || p == 0.0) return x_in;
   DTDBD_CHECK(rng != nullptr);
   Tensor x = EnsureReadable(x_in);
   ScopedOpTimer timer(kDropout);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace dtdbd::tensor {
@@ -69,6 +70,13 @@ Tensor Softmax(const Tensor& x);
 Tensor LogSoftmax(const Tensor& x);
 
 // ----- Embedding lookup -----
+// Non-crashing bounds check over a flat id list: kInvalidArgument naming
+// the first out-of-range id and its position, OK otherwise. The serving
+// validation layer runs this before ids ever reach a gather kernel;
+// EmbeddingGather itself re-checks and treats a failure as tensor-API
+// misuse (DTDBD_CHECK), so hostile ids can never index the table.
+Status ValidateTokenIds(const std::vector<int>& ids, int64_t vocab_size);
+
 // table[V,E]; ids laid out row-major as [batch, time]; returns [batch,time,E].
 Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids,
                        int64_t batch, int64_t time);

@@ -34,6 +34,7 @@ struct AtomicOpStats {
   std::atomic<uint64_t> nodes{0};
   std::atomic<uint64_t> allocs{0};
   std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> graph_recorded{0};
 };
 
 // Leaked like the registry itself: ops record stats from static-init
@@ -127,6 +128,9 @@ Tensor MakeOp(const Op* op, Shape shape, std::vector<float> data,
     node->requires_grad = true;
     for (const auto& in : inputs) node->inputs.push_back(in.node());
     node->saved = std::move(saved);
+    if (g_profiling.load(std::memory_order_relaxed)) {
+      SlabOf(op).graph_recorded.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return Tensor::FromNode(std::move(node));
 }
@@ -152,6 +156,9 @@ Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
     node->requires_grad = true;
     node->inputs.push_back(base.node());
     node->saved = std::move(saved);
+    if (g_profiling.load(std::memory_order_relaxed)) {
+      SlabOf(op).graph_recorded.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return Tensor::FromNode(std::move(node));
 }
@@ -175,8 +182,10 @@ std::map<std::string, OpStats> GetOpStats() {
     stats.nodes = slab.nodes.load(std::memory_order_relaxed);
     stats.allocs = slab.allocs.load(std::memory_order_relaxed);
     stats.bytes = slab.bytes.load(std::memory_order_relaxed);
+    stats.graph_recorded = slab.graph_recorded.load(std::memory_order_relaxed);
     const bool touched = stats.forward_calls || stats.backward_calls ||
-                         stats.nodes || stats.allocs || stats.bytes;
+                         stats.nodes || stats.allocs || stats.bytes ||
+                         stats.graph_recorded;
     if (touched) out[op->name] = stats;
   }
   return out;
@@ -191,6 +200,7 @@ void ResetOpStats() {
     slab->nodes.store(0, std::memory_order_relaxed);
     slab->allocs.store(0, std::memory_order_relaxed);
     slab->bytes.store(0, std::memory_order_relaxed);
+    slab->graph_recorded.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -204,6 +214,7 @@ OpStats TotalOpStats() {
     total.nodes += stats.nodes;
     total.allocs += stats.allocs;
     total.bytes += stats.bytes;
+    total.graph_recorded += stats.graph_recorded;
   }
   return total;
 }

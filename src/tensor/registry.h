@@ -101,6 +101,10 @@ struct OpStats {
   uint64_t nodes = 0;
   uint64_t allocs = 0;
   uint64_t bytes = 0;
+  // Nodes that actually entered the autograd graph (inputs + saved state
+  // retained for backward). Zero under NoGradGuard / for frozen inputs —
+  // the serving fast-path invariant InferenceSession tests assert.
+  uint64_t graph_recorded = 0;
 };
 
 // Profiling is off by default, and when disabled the hot path performs no

@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/io.h"
+
 namespace dtdbd::tensor {
 
 namespace {
@@ -28,10 +30,6 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-bool WriteBytes(std::FILE* f, const void* data, size_t n) {
-  return std::fwrite(data, 1, n, f) == n;
-}
 
 // Stream reader that refuses to read past the known file size, so hostile
 // length fields can never trigger oversized reads or allocations.
@@ -153,14 +151,14 @@ uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
 
 Status SaveTensors(const std::map<std::string, Tensor>& tensors,
                    const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
+  std::string bytes;
+  auto append = [&bytes](const void* data, size_t n) {
+    bytes.append(static_cast<const char*>(data), n);
+  };
   const uint64_t count = tensors.size();
-  if (!WriteBytes(f.get(), kMagic, 4) ||
-      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
-      !WriteBytes(f.get(), &count, sizeof(count))) {
-    return Status::IoError("write failed: " + path);
-  }
+  append(kMagic, 4);
+  append(&kVersion, sizeof(kVersion));
+  append(&count, sizeof(count));
   for (const auto& [name, t] : tensors) {
     if (!t.defined()) return Status::InvalidArgument("undefined tensor: " + name);
     // Views are materialized to logical row-major order here, so the
@@ -173,16 +171,16 @@ Status SaveTensors(const std::map<std::string, Tensor>& tensors,
     crc = Crc32(&ndim, sizeof(ndim), crc);
     crc = Crc32(t.shape().data(), ndim * sizeof(int64_t), crc);
     crc = Crc32(data.data(), data.size() * sizeof(float), crc);
-    if (!WriteBytes(f.get(), &name_len, sizeof(name_len)) ||
-        !WriteBytes(f.get(), name.data(), name.size()) ||
-        !WriteBytes(f.get(), &ndim, sizeof(ndim)) ||
-        !WriteBytes(f.get(), t.shape().data(), ndim * sizeof(int64_t)) ||
-        !WriteBytes(f.get(), data.data(), data.size() * sizeof(float)) ||
-        !WriteBytes(f.get(), &crc, sizeof(crc))) {
-      return Status::IoError("write failed: " + path);
-    }
+    append(&name_len, sizeof(name_len));
+    append(name.data(), name.size());
+    append(&ndim, sizeof(ndim));
+    append(t.shape().data(), ndim * sizeof(int64_t));
+    append(data.data(), data.size() * sizeof(float));
+    append(&crc, sizeof(crc));
   }
-  return Status::Ok();
+  // Atomic publish (temp file + fsync + rename): a hot-reloading server that
+  // races a concurrent save never loads a half-written file.
+  return AtomicWriteFile(path, bytes);
 }
 
 StatusOr<std::map<std::string, Tensor>> LoadTensors(const std::string& path) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/init.h"
+#include "tensor/ops.h"
 
 namespace dtdbd::text {
 
@@ -22,6 +23,14 @@ Tensor FrozenEncoder::Encode(const std::vector<int>& ids, int64_t batch,
                              int64_t time) const {
   DTDBD_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * time);
   const int64_t v = table_.dim(0);
+  // All ids bounds-checked up front (the neighborhood loop below reads ids
+  // at offsets other than the current position, so a per-element check at
+  // use would not cover every read). Recoverable callers validate first via
+  // tensor::ValidateTokenIds; reaching this check is API misuse.
+  {
+    const Status ids_ok = tensor::ValidateTokenIds(ids, v);
+    DTDBD_CHECK(ids_ok.ok()) << "FrozenEncoder::Encode: " << ids_ok.message();
+  }
   std::vector<float> out(static_cast<size_t>(batch * time * dim_));
   const float* tab = table_.data().data();
   const float* w = mix_w_.data().data();
@@ -31,8 +40,6 @@ Tensor FrozenEncoder::Encode(const std::vector<int>& ids, int64_t batch,
   for (int64_t bi = 0; bi < batch; ++bi) {
     for (int64_t ti = 0; ti < time; ++ti) {
       const int id = ids[bi * time + ti];
-      DTDBD_CHECK_GE(id, 0);
-      DTDBD_CHECK_LT(id, v);
       const float* e = tab + static_cast<int64_t>(id) * dim_;
       // Context: average of neighbors (PAD-free best effort at edges).
       for (int64_t j = 0; j < dim_; ++j) cat[j] = e[j];

@@ -1,13 +1,12 @@
 #include "train/checkpoint.h"
 
-#include <unistd.h>
-
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <utility>
 
+#include "common/io.h"
 #include "tensor/serialize.h"
 
 namespace dtdbd::train {
@@ -146,42 +145,27 @@ Status UnpackFloats(const std::string& payload, const std::string& key,
 using EntryMap = std::map<std::string, std::string>;
 
 Status WriteEntries(const EntryMap& entries, const std::string& path) {
-  const std::string tmp_path = path + ".tmp";
-  {
-    FilePtr f(std::fopen(tmp_path.c_str(), "wb"));
-    if (!f) return Status::IoError("cannot open for write: " + tmp_path);
-    auto write = [&f](const void* data, size_t n) {
-      return std::fwrite(data, 1, n, f.get()) == n;
-    };
-    const uint64_t count = entries.size();
-    bool ok = write(kMagic, 4) && write(&kVersion, sizeof(kVersion)) &&
-              write(&count, sizeof(count));
-    for (const auto& [key, payload] : entries) {
-      if (!ok) break;
-      const uint64_t key_len = key.size();
-      const uint64_t payload_len = payload.size();
-      uint32_t crc = Crc32(&key_len, sizeof(key_len));
-      crc = Crc32(key.data(), key.size(), crc);
-      crc = Crc32(&payload_len, sizeof(payload_len), crc);
-      crc = Crc32(payload.data(), payload.size(), crc);
-      ok = write(&key_len, sizeof(key_len)) && write(key.data(), key.size()) &&
-           write(&payload_len, sizeof(payload_len)) &&
-           write(payload.data(), payload.size()) && write(&crc, sizeof(crc));
-    }
-    // Flush user-space buffers and force the bytes to disk before the
-    // rename; otherwise a crash could publish an empty/partial file.
-    ok = ok && std::fflush(f.get()) == 0 && fsync(fileno(f.get())) == 0;
-    if (!ok) {
-      f.reset();
-      std::remove(tmp_path.c_str());
-      return Status::IoError("write failed: " + tmp_path);
-    }
+  // Serialize the whole file into memory, then publish it with the shared
+  // temp-file + fsync + rename helper so a reader never observes a partial
+  // checkpoint even if the process dies mid-save.
+  std::string bytes;
+  AppendRaw(&bytes, kMagic, 4);
+  AppendScalar(&bytes, kVersion);
+  AppendScalar<uint64_t>(&bytes, entries.size());
+  for (const auto& [key, payload] : entries) {
+    const uint64_t key_len = key.size();
+    const uint64_t payload_len = payload.size();
+    uint32_t crc = Crc32(&key_len, sizeof(key_len));
+    crc = Crc32(key.data(), key.size(), crc);
+    crc = Crc32(&payload_len, sizeof(payload_len), crc);
+    crc = Crc32(payload.data(), payload.size(), crc);
+    AppendScalar(&bytes, key_len);
+    AppendRaw(&bytes, key.data(), key.size());
+    AppendScalar(&bytes, payload_len);
+    AppendRaw(&bytes, payload.data(), payload.size());
+    AppendScalar(&bytes, crc);
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IoError("rename failed: " + tmp_path + " -> " + path);
-  }
-  return Status::Ok();
+  return AtomicWriteFile(path, bytes);
 }
 
 StatusOr<EntryMap> ReadEntries(const std::string& path) {

@@ -35,6 +35,70 @@ bool FaultInjector::ShouldAbort(int64_t step) {
   return true;
 }
 
+void FaultInjector::ScheduleLoadFailures(int n) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  scheduled_load_failures_ += n;
+}
+
+void FaultInjector::set_load_failure_probability(double p) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  load_failure_probability_ = p;
+}
+
+Status FaultInjector::MaybeFailLoad() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  bool fire = false;
+  if (scheduled_load_failures_ > 0) {
+    --scheduled_load_failures_;
+    fire = true;
+  }
+  if (!fire && load_failure_probability_ > 0.0 &&
+      serve_rng_.Bernoulli(load_failure_probability_)) {
+    fire = true;
+  }
+  if (!fire) return Status::Ok();
+  ++injected_load_failures_;
+  return Status::IoError("injected checkpoint load failure");
+}
+
+int64_t FaultInjector::injected_load_failures() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return injected_load_failures_;
+}
+
+void FaultInjector::set_slow_load_nanos(int64_t ns) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  slow_load_nanos_ = ns;
+}
+
+int64_t FaultInjector::slow_load_nanos() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return slow_load_nanos_;
+}
+
+void FaultInjector::set_request_fault_probability(double p) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  request_fault_probability_ = p;
+}
+
+FaultInjector::RequestFault FaultInjector::NextRequestFault() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (request_fault_probability_ <= 0.0 ||
+      !serve_rng_.Bernoulli(request_fault_probability_)) {
+    return RequestFault::kNone;
+  }
+  // Uniform over the 7 concrete fault kinds (kNone excluded).
+  switch (serve_rng_.UniformInt(7)) {
+    case 0: return RequestFault::kEmptyTokens;
+    case 1: return RequestFault::kOverLength;
+    case 2: return RequestFault::kTokenTooLarge;
+    case 3: return RequestFault::kNegativeToken;
+    case 4: return RequestFault::kBadDomain;
+    case 5: return RequestFault::kNonFiniteStyle;
+    default: return RequestFault::kNonFiniteEmotion;
+  }
+}
+
 Status FaultInjector::TruncateFile(const std::string& path,
                                    double keep_fraction) {
   if (keep_fraction < 0.0 || keep_fraction > 1.0) {

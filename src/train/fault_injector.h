@@ -5,10 +5,18 @@
 // probability per step) and simulate a mid-epoch crash by aborting the run
 // at a scheduled step. The static file-corruption helpers (truncation, bit
 // flip) exercise the checkpoint loader's integrity checks.
+//
+// The serving hooks (load failure, slow load, malformed-request sampling)
+// drive the src/serve/ soak tests: checkpoint hot-reload retry/backoff,
+// watchdog behavior under a stalled reload, and the request-validation
+// taxonomy. They are guarded by a mutex because the serving worker thread
+// consults the injector concurrently with the request-generating thread;
+// the training hooks stay lock-free and single-threaded as before.
 #ifndef DTDBD_TRAIN_FAULT_INJECTOR_H_
 #define DTDBD_TRAIN_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -21,7 +29,7 @@ namespace dtdbd::train {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(uint64_t seed) : rng_(seed), serve_rng_(seed ^ 0x5E12) {}
 
   // One-shot faults keyed by the loop's global step counter. A scheduled
   // step fires exactly once, so a rolled-back epoch replays clean.
@@ -46,12 +54,56 @@ class FaultInjector {
   static Status TruncateFile(const std::string& path, double keep_fraction);
   static Status FlipBit(const std::string& path, int64_t byte_offset, int bit);
 
+  // --- Serving faults (src/serve/, thread-safe) ---
+
+  // The next `n` checkpoint-load attempts fail with an injected kIoError
+  // before the loader even opens the file; exercises the server's
+  // retry/backoff and last-good-model degradation paths.
+  void ScheduleLoadFailures(int n);
+  // Additionally fails each load attempt independently with probability p.
+  void set_load_failure_probability(double p);
+  // Consulted by the server once per load attempt. Non-ok = simulated
+  // failure the caller must treat exactly like a real loader error.
+  Status MaybeFailLoad();
+  int64_t injected_load_failures() const;
+
+  // Every load attempt additionally stalls for this long (simulates a slow
+  // or hung checkpoint volume); the server sleeps before loading so queued
+  // requests age against their deadlines meanwhile.
+  void set_slow_load_nanos(int64_t ns);
+  int64_t slow_load_nanos() const;
+
+  // Malformed-request sampling for serving soak tests. The injector stays
+  // ignorant of serve/ types: it only picks WHICH corruption to apply with
+  // the configured probability; the test owns the actual request mutation.
+  enum class RequestFault {
+    kNone,
+    kEmptyTokens,
+    kOverLength,
+    kTokenTooLarge,
+    kNegativeToken,
+    kBadDomain,
+    kNonFiniteStyle,
+    kNonFiniteEmotion,
+  };
+  void set_request_fault_probability(double p);
+  RequestFault NextRequestFault();
+
  private:
   Rng rng_;
   std::set<int64_t> nan_steps_;
   std::set<int64_t> abort_steps_;
   double nan_probability_ = 0.0;
   int64_t injected_nan_steps_ = 0;
+
+  mutable std::mutex serve_mu_;
+  Rng serve_rng_;  // separate stream so serving faults never perturb
+                   // the training-fault schedule of an existing seed
+  int scheduled_load_failures_ = 0;
+  double load_failure_probability_ = 0.0;
+  int64_t injected_load_failures_ = 0;
+  int64_t slow_load_nanos_ = 0;
+  double request_fault_probability_ = 0.0;
 };
 
 }  // namespace dtdbd::train

@@ -1,12 +1,20 @@
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/io.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table.h"
@@ -228,6 +236,62 @@ TEST(CheckTest, PassingCheckDoesNothing) {
   DTDBD_CHECK(true);
   DTDBD_CHECK_EQ(3, 3);
   DTDBD_CHECK_LT(1, 2) << "not printed";
+}
+
+TEST(LoggingTest, ConcurrentWritersNeverInterleaveWithinALine) {
+  // Capture stderr, hammer the logger from two threads, and verify every
+  // emitted line is intact: a torn write would splice one thread's marker
+  // into the middle of the other's line.
+  std::ostringstream captured;
+  std::streambuf* const saved = std::cerr.rdbuf(captured.rdbuf());
+  constexpr int kLinesPerThread = 500;
+  const auto writer = [](const char* marker) {
+    for (int i = 0; i < kLinesPerThread; ++i) {
+      DTDBD_LOG(Info) << "stress " << marker << " line " << i << " end";
+    }
+  };
+  std::thread a(writer, "AAAA");
+  std::thread b(writer, "BBBB");
+  a.join();
+  b.join();
+  std::cerr.rdbuf(saved);
+
+  std::istringstream lines(captured.str());
+  std::string line;
+  int stress_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("stress") == std::string::npos) continue;
+    ++stress_lines;
+    const bool from_a = line.find("AAAA") != std::string::npos;
+    const bool from_b = line.find("BBBB") != std::string::npos;
+    EXPECT_TRUE(from_a != from_b) << "torn line: " << line;
+    // Complete prefix and suffix: one "[I " header, terminal " end".
+    EXPECT_EQ(line.rfind("[I ", 0), 0u) << "torn line: " << line;
+    EXPECT_EQ(line.substr(line.size() - 4), " end") << "torn line: " << line;
+  }
+  EXPECT_EQ(stress_lines, 2 * kLinesPerThread);
+}
+
+TEST(AtomicWriteFileTest, WritesAndReplacesAtomically) {
+  const std::string path = ::testing::TempDir() + "atomic_write_test.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "first contents").ok());
+  std::ifstream in1(path, std::ios::binary);
+  std::string got1((std::istreambuf_iterator<char>(in1)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(got1, "first contents");
+  // Overwrite goes through the same tmp+rename path; no partial state and
+  // no leftover temp file.
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  std::ifstream in2(path, std::ios::binary);
+  std::string got2((std::istreambuf_iterator<char>(in2)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(got2, "second");
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(AtomicWriteFileTest, FailsOnUnwritableDirectory) {
+  EXPECT_FALSE(AtomicWriteFile("/nonexistent_dir_xyz/file.txt", "x").ok());
 }
 
 }  // namespace

@@ -1,0 +1,473 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "dtdbd/trainer.h"
+#include "models/model.h"
+#include "serve/session.h"
+#include "serve/validation.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "tensor/registry.h"
+#include "tensor/tensor.h"
+#include "text/features.h"
+#include "text/frozen_encoder.h"
+#include "train/checkpoint.h"
+#include "train/fault_injector.h"
+
+namespace dtdbd::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() {
+    dataset_ = data::GenerateCorpus(data::MicroConfig(17));
+    encoder_ = std::make_unique<text::FrozenEncoder>(dataset_.vocab->size(),
+                                                     16, 5);
+    config_.vocab_size = dataset_.vocab->size();
+    config_.num_domains = dataset_.num_domains();
+    config_.encoder = encoder_.get();
+    config_.embed_dim = 12;
+    config_.hidden_dim = 16;
+    config_.conv_channels = 8;
+    config_.rnn_hidden = 8;
+    config_.num_experts = 3;
+    config_.seed = 3;
+    limits_.vocab_size = config_.vocab_size;
+    limits_.num_domains = config_.num_domains;
+    limits_.seq_len = dataset_.seq_len;
+  }
+
+  models::ModelConfig ConfigWithSeed(uint64_t seed) const {
+    models::ModelConfig c = config_;
+    c.seed = seed;
+    return c;
+  }
+
+  InferenceRequest RequestFor(const data::NewsSample& sample) const {
+    InferenceRequest request;
+    request.tokens = sample.tokens;
+    request.domain = sample.domain;
+    request.style = sample.style;
+    request.emotion = sample.emotion;
+    return request;
+  }
+
+  InferenceRequest ValidRequest() const {
+    return RequestFor(dataset_.samples[0]);
+  }
+
+  std::unique_ptr<InferenceSession> MakeSession(const std::string& name,
+                                                uint64_t seed,
+                                                int64_t version = 1) const {
+    return std::make_unique<InferenceSession>(
+        models::CreateModel(name, ConfigWithSeed(seed)), limits_, version);
+  }
+
+  // Writes a servable v2 checkpoint whose parameters come from a fresh
+  // seed-`seed` model (a stand-in for "newly trained weights").
+  std::string WriteCheckpoint(const std::string& name, uint64_t seed,
+                              const std::string& filename) const {
+    auto model = models::CreateModel(name, ConfigWithSeed(seed));
+    std::vector<tensor::Tensor> trainable;
+    for (auto& p : model->Parameters()) {
+      if (p.requires_grad()) trainable.push_back(p);
+    }
+    tensor::Adam adam(trainable, 1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f);
+    data::DataLoader loader(&dataset_, 8, /*shuffle=*/false, 0);
+    std::vector<Rng*> rngs;
+    model->CollectRngs(&rngs);
+    const train::CheckpointState state = train::CaptureState(
+        "supervised", 0, model->NamedParameters(), adam, rngs, loader);
+    const std::string path = ::testing::TempDir() + filename;
+    const Status saved = train::SaveCheckpoint(state, path);
+    EXPECT_TRUE(saved.ok()) << saved.ToString();
+    return path;
+  }
+
+  ServerOptions BaseOptions(uint64_t factory_seed = 3) {
+    ServerOptions options;
+    options.watchdog_period_nanos = 0;  // most tests poll Health() directly
+    options.reload_backoff_initial_nanos = 100'000;  // keep retries fast
+    options.model_factory = [this, factory_seed] {
+      return models::CreateModel("MDFEND", ConfigWithSeed(factory_seed));
+    };
+    return options;
+  }
+
+  data::NewsDataset dataset_;
+  std::unique_ptr<text::FrozenEncoder> encoder_;
+  models::ModelConfig config_;
+  RequestLimits limits_;
+};
+
+// ----- Validation taxonomy -----
+
+TEST_F(ServeTest, ValidRequestPasses) {
+  EXPECT_TRUE(ValidateRequest(ValidRequest(), limits_).ok());
+  // Short sequences and absent features are legal (padded / zero-filled).
+  InferenceRequest r = ValidRequest();
+  r.tokens.resize(3);
+  r.style.clear();
+  r.emotion.clear();
+  EXPECT_TRUE(ValidateRequest(r, limits_).ok());
+}
+
+TEST_F(ServeTest, ValidationRejectsEachMalformation) {
+  struct Case {
+    const char* label;
+    std::function<void(InferenceRequest*)> corrupt;
+  };
+  const std::vector<Case> cases = {
+      {"empty tokens", [](InferenceRequest* r) { r->tokens.clear(); }},
+      {"over length",
+       [this](InferenceRequest* r) {
+         r->tokens.assign(static_cast<size_t>(limits_.seq_len) + 1, 1);
+       }},
+      {"token too large",
+       [this](InferenceRequest* r) { r->tokens[0] = limits_.vocab_size; }},
+      {"negative token", [](InferenceRequest* r) { r->tokens[0] = -1; }},
+      {"domain too large",
+       [this](InferenceRequest* r) { r->domain = limits_.num_domains; }},
+      {"negative domain", [](InferenceRequest* r) { r->domain = -1; }},
+      {"style wrong dim", [](InferenceRequest* r) { r->style.push_back(0); }},
+      {"style NaN",
+       [](InferenceRequest* r) {
+         r->style[2] = std::numeric_limits<float>::quiet_NaN();
+       }},
+      {"emotion inf",
+       [](InferenceRequest* r) {
+         r->emotion[0] = std::numeric_limits<float>::infinity();
+       }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    InferenceRequest r = ValidRequest();
+    c.corrupt(&r);
+    const Status status = ValidateRequest(r, limits_);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(status.message().empty());
+  }
+}
+
+TEST_F(ServeTest, UnconfiguredLimitsAreFailedPrecondition) {
+  EXPECT_EQ(ValidateRequest(ValidRequest(), RequestLimits{}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, SessionReturnsTypedErrorNotCrashOnHostileTokens) {
+  auto session = MakeSession("MDFEND", 3);
+  InferenceRequest r = ValidRequest();
+  r.tokens[0] = limits_.vocab_size + 12345;  // would be UB at the gather
+  const auto result = session->Predict(r);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, CreateModelOrRejectsUnknownName) {
+  EXPECT_TRUE(models::CreateModelOr("MDFEND", config_).ok());
+  const auto bad = models::CreateModelOr("NoSuchModel", config_);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----- Bitwise parity with the offline evaluator -----
+
+TEST_F(ServeTest, SessionMatchesOfflineEvaluatorBitwise) {
+  // PredictFakeProbability runs batched (64) forwards over the same model
+  // instance the session owns; per-row eval kernels must agree exactly.
+  for (const char* name : {"MDFEND", "TextCNN", "BERT", "M3FEND"}) {
+    SCOPED_TRACE(name);
+    auto session = MakeSession(name, 3);
+    data::NewsDataset subset = dataset_;
+    subset.samples.resize(96);
+    const std::vector<float> reference =
+        PredictFakeProbability(session->model(), subset, 64);
+    ASSERT_EQ(reference.size(), subset.samples.size());
+    for (size_t i = 0; i < subset.samples.size(); ++i) {
+      const auto result = session->Predict(RequestFor(subset.samples[i]));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().p_fake, reference[i]) << "sample " << i;
+    }
+  }
+}
+
+// ----- No-graph fast path -----
+
+TEST_F(ServeTest, ServingRecordsZeroGraphNodes) {
+  auto session = MakeSession("MDFEND", 3);
+  tensor::SetOpProfiling(true);
+  tensor::ResetOpStats();
+  ASSERT_TRUE(session->Predict(ValidRequest()).ok());
+  const tensor::OpStats serving = tensor::TotalOpStats();
+  EXPECT_GT(serving.nodes, 0u);           // ops did run...
+  EXPECT_EQ(serving.graph_recorded, 0u);  // ...but none joined the graph
+
+  // The same model in a training forward does record graph nodes.
+  tensor::ResetOpStats();
+  const data::Batch batch = data::MakeBatch(dataset_, {0, 1, 2, 3});
+  session->model()->Forward(batch, /*training=*/true);
+  EXPECT_GT(tensor::TotalOpStats().graph_recorded, 0u);
+  tensor::SetOpProfiling(false);
+}
+
+TEST_F(ServeTest, NoGradGuardIsReentrant) {
+  EXPECT_TRUE(tensor::GradEnabled());
+  {
+    tensor::NoGradGuard outer;
+    EXPECT_FALSE(tensor::GradEnabled());
+    {
+      tensor::NoGradGuard inner;
+      EXPECT_FALSE(tensor::GradEnabled());
+    }
+    // Inner guard must restore "disabled", not blindly re-enable.
+    EXPECT_FALSE(tensor::GradEnabled());
+  }
+  EXPECT_TRUE(tensor::GradEnabled());
+}
+
+TEST_F(ServeTest, DropoutEvalIsTrueIdentity) {
+  Rng rng(5);
+  tensor::Tensor x =
+      tensor::Tensor::FromData({2, 3}, {1.f, -2.f, 3.f, 0.f, 4.f, -5.f});
+  const tensor::Tensor y = tensor::Dropout(x, 0.5, &rng, /*training=*/false);
+  // Identity: the exact same storage comes back, not a scaled/masked copy.
+  EXPECT_EQ(y.data().data(), x.data().data());
+  // And the RNG stream was not consumed (bitwise-resume contract).
+  Rng fresh(5);
+  EXPECT_EQ(rng.Next(), fresh.Next());
+  // p == 0 in training mode is equally free.
+  const tensor::Tensor z = tensor::Dropout(x, 0.0, &rng, /*training=*/true);
+  EXPECT_EQ(z.data().data(), x.data().data());
+}
+
+// ----- Server: queueing, deadlines, admission -----
+
+TEST_F(ServeTest, ServerServesLikeSession) {
+  auto reference = MakeSession("MDFEND", 3);
+  Server server(MakeSession("MDFEND", 3), BaseOptions());
+  for (int i = 0; i < 8; ++i) {
+    const InferenceRequest request = RequestFor(dataset_.samples[i]);
+    const auto served = server.Predict(request);
+    const auto expected = reference->Predict(request);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served.value().p_fake, expected.value().p_fake);
+    EXPECT_EQ(served.value().model_version, 1);
+  }
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.submitted, 8);
+  EXPECT_EQ(health.served_ok, 8);
+  EXPECT_EQ(health.invalid_requests, 0);
+  EXPECT_GT(health.latency_samples, 0);
+  EXPECT_GE(health.p99_latency_ms, health.p50_latency_ms);
+}
+
+TEST_F(ServeTest, ServerCountsInvalidRequests) {
+  Server server(MakeSession("MDFEND", 3), BaseOptions());
+  InferenceRequest bad = ValidRequest();
+  bad.tokens[0] = -7;
+  const auto result = server.Predict(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Health().invalid_requests, 1);
+  EXPECT_EQ(server.Health().served_ok, 0);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineIsShedWithTypedStatus) {
+  ManualClock clock;
+  clock.Set(1'000'000);
+  ServerOptions options = BaseOptions();
+  options.clock = &clock;
+  Server server(MakeSession("MDFEND", 3), options);
+  // Already past its deadline when the worker dequeues it.
+  auto shed = server.Submit(ValidRequest(), /*deadline_nanos=*/500'000);
+  const auto result = shed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // A deadline still in the future is served normally.
+  EXPECT_TRUE(server.Submit(ValidRequest(), 2'000'000).get().ok());
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.shed_deadline, 1);
+  EXPECT_EQ(health.served_ok, 1);
+}
+
+TEST_F(ServeTest, AdmissionControlRejectsWhenQueueFull) {
+  train::FaultInjector injector(7);
+  injector.set_slow_load_nanos(200'000'000);  // pin the worker for 200 ms
+  ServerOptions options = BaseOptions();
+  options.max_queue_depth = 2;
+  options.reload_max_attempts = 1;
+  options.fault_injector = &injector;
+  Server server(MakeSession("MDFEND", 3), options);
+
+  // The reload (a control job, immune to the depth limit) occupies the
+  // worker; inference requests pile up behind it.
+  auto reload = server.ReloadFromCheckpoint("/nonexistent/checkpoint.bin");
+  auto first = server.Submit(ValidRequest());
+  auto second = server.Submit(ValidRequest());
+  auto rejected = server.Submit(ValidRequest());
+  const auto rejection = rejected.get();  // resolved immediately
+  ASSERT_FALSE(rejection.ok());
+  EXPECT_EQ(rejection.status().code(), StatusCode::kResourceExhausted);
+
+  // Queued work survives the overload and the failed reload.
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  EXPECT_FALSE(reload.get().ok());
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.rejected_queue_full, 1);
+  EXPECT_EQ(health.served_ok, 2);
+  EXPECT_TRUE(health.degraded);
+}
+
+TEST_F(ServeTest, StopFailsPendingWithUnavailable) {
+  train::FaultInjector injector(7);
+  injector.set_slow_load_nanos(100'000'000);
+  ServerOptions options = BaseOptions();
+  options.reload_max_attempts = 1;
+  options.fault_injector = &injector;
+  Server server(MakeSession("MDFEND", 3), options);
+  auto reload = server.ReloadFromCheckpoint("/nonexistent/checkpoint.bin");
+  auto pending = server.Submit(ValidRequest());
+  server.Stop();
+  const auto result = pending.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // Post-stop submissions are rejected up front.
+  const auto after = server.Submit(ValidRequest()).get();
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(reload.get().ok());
+}
+
+// ----- Hot-reload state machine -----
+
+TEST_F(ServeTest, HotReloadSwapsModelAndBumpsVersion) {
+  const std::string path =
+      WriteCheckpoint("MDFEND", /*seed=*/99, "reload_good.ckpt");
+  Server server(MakeSession("MDFEND", 3), BaseOptions());
+  const InferenceRequest request = ValidRequest();
+  const float before = server.Predict(request).value().p_fake;
+
+  const Status reloaded = server.ReloadFromCheckpoint(path).get();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.ToString();
+  EXPECT_EQ(server.model_version(), 2);
+  EXPECT_FALSE(server.degraded());
+
+  const Prediction after = server.Predict(request).value();
+  EXPECT_EQ(after.model_version, 2);
+  EXPECT_NE(after.p_fake, before);
+  // The swapped-in weights serve exactly like a fresh seed-99 model.
+  const auto reference = MakeSession("MDFEND", 99, 2)->Predict(request);
+  EXPECT_EQ(after.p_fake, reference.value().p_fake);
+}
+
+TEST_F(ServeTest, ReloadRetriesThroughTransientFailure) {
+  const std::string path =
+      WriteCheckpoint("MDFEND", /*seed=*/99, "reload_retry.ckpt");
+  train::FaultInjector injector(7);
+  injector.ScheduleLoadFailures(1);  // first attempt fails, second succeeds
+  ServerOptions options = BaseOptions();
+  options.reload_max_attempts = 3;
+  options.fault_injector = &injector;
+  Server server(MakeSession("MDFEND", 3), options);
+  ASSERT_TRUE(server.ReloadFromCheckpoint(path).get().ok());
+  EXPECT_EQ(injector.injected_load_failures(), 1);
+  EXPECT_FALSE(server.degraded());
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.reload_attempts, 2);
+  EXPECT_EQ(health.reload_failures, 1);
+  EXPECT_EQ(health.reload_successes, 1);
+  EXPECT_EQ(server.model_version(), 2);
+}
+
+TEST_F(ServeTest, ExhaustedReloadDegradesButKeepsServing) {
+  const std::string path =
+      WriteCheckpoint("MDFEND", /*seed=*/99, "reload_degraded.ckpt");
+  train::FaultInjector injector(7);
+  injector.ScheduleLoadFailures(3);  // every attempt fails
+  ServerOptions options = BaseOptions();
+  options.reload_max_attempts = 3;
+  options.fault_injector = &injector;
+  Server server(MakeSession("MDFEND", 3), options);
+
+  const InferenceRequest request = ValidRequest();
+  const float before = server.Predict(request).value().p_fake;
+  const Status failed = server.ReloadFromCheckpoint(path).get();
+  ASSERT_FALSE(failed.ok());
+
+  // Degraded, on the last-good model, and still answering correctly.
+  EXPECT_TRUE(server.degraded());
+  EXPECT_EQ(server.model_version(), 1);
+  HealthReport health = server.Health();
+  EXPECT_TRUE(health.degraded);
+  EXPECT_NE(health.last_reload_error.find("injected"), std::string::npos);
+  EXPECT_EQ(health.reload_failures, 3);
+  const auto still = server.Predict(request);
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still.value().p_fake, before);
+  EXPECT_EQ(still.value().model_version, 1);
+
+  // A later successful reload clears the degraded state.
+  ASSERT_TRUE(server.ReloadFromCheckpoint(path).get().ok());
+  EXPECT_FALSE(server.degraded());
+  EXPECT_EQ(server.model_version(), 2);
+  EXPECT_TRUE(server.Health().last_reload_error.empty());
+}
+
+TEST_F(ServeTest, ReloadRejectsMismatchedCheckpoint) {
+  // A checkpoint from a different architecture must not half-overwrite the
+  // live model: the restore happens into a throwaway instance.
+  const std::string path =
+      WriteCheckpoint("TextCNN", /*seed=*/5, "reload_mismatch.ckpt");
+  Server server(MakeSession("MDFEND", 3), BaseOptions());
+  const InferenceRequest request = ValidRequest();
+  const float before = server.Predict(request).value().p_fake;
+  EXPECT_FALSE(server.ReloadFromCheckpoint(path).get().ok());
+  EXPECT_TRUE(server.degraded());
+  EXPECT_EQ(server.model_version(), 1);
+  EXPECT_EQ(server.Predict(request).value().p_fake, before);
+}
+
+TEST_F(ServeTest, ReloadWithoutFactoryIsFailedPrecondition) {
+  ServerOptions options = BaseOptions();
+  options.model_factory = nullptr;
+  options.reload_max_attempts = 1;
+  Server server(MakeSession("MDFEND", 3), options);
+  const Status status = server.ReloadFromCheckpoint("/anything").get();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ----- Watchdog -----
+
+TEST_F(ServeTest, WatchdogSnapshotsHealth) {
+  ServerOptions options = BaseOptions();
+  options.watchdog_period_nanos = 1'000'000;  // 1 ms
+  Server server(MakeSession("MDFEND", 3), options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.Predict(ValidRequest()).ok());
+  }
+  HealthReport report;
+  for (int spin = 0; spin < 2000; ++spin) {
+    report = server.LastWatchdogReport();
+    if (report.watchdog_ticks >= 2 && report.served_ok >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(report.watchdog_ticks, 2);
+  EXPECT_EQ(report.served_ok, 4);
+  EXPECT_EQ(report.max_queue_depth, server.Health().max_queue_depth);
+  EXPECT_LE(report.queue_depth, report.max_queue_depth);
+}
+
+}  // namespace
+}  // namespace dtdbd::serve
