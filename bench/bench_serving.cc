@@ -1,17 +1,28 @@
 // Serving-path benchmark. Not a paper artifact — operational numbers for
 // the hardened inference subsystem (src/serve/).
 //
-// Drives batch-of-one requests through a Server (single serving worker,
-// bounded queue) and reports end-to-end p50/p99 latency plus the overload
-// counters, exercising one mid-run hot-reload and a slice of malformed
-// requests so the typed-rejection path shows up in the numbers. Writes
-// BENCH_serving.json atomically (temp file + rename).
+// Closed-loop throughput sweep over serving workers × max_batch
+// ({1,2,4} × {1,4,16}): a fixed pool of client threads each keeps exactly
+// one synchronous request in flight, so queue pressure — and therefore
+// batch fill — emerges from contention rather than from an open-loop
+// arrival schedule. Per config we report requests/sec plus client-side
+// p50/p99/p99.9 end-to-end latency and the server's observed batch-size
+// mix. The headline number is the 4-worker/batch-16 throughput relative
+// to the 1-worker/batch-1 baseline. Writes BENCH_serving.json atomically
+// (temp file + rename).
 //
-// Flags: --requests=N (default 2000), --queue-depth, --threads=N,
-//        --json=BENCH_serving.json, --model=MDFEND.
+// Flags: --requests=N per config (default 2000), --clients=N (default 64),
+//        --queue-depth, --threads=N, --json=BENCH_serving.json,
+//        --model=MDFEND. Passing --serve-workers and/or --max-batch
+//        (strict-parsed; invalid -> warning + 1) replaces the sweep with
+//        that single configuration.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -21,9 +32,7 @@
 #include "models/model.h"
 #include "serve/server.h"
 #include "serve/session.h"
-#include "tensor/optim.h"
 #include "text/frozen_encoder.h"
-#include "train/checkpoint.h"
 
 namespace {
 
@@ -38,26 +47,24 @@ serve::InferenceRequest RequestFor(const data::NewsSample& sample) {
   return request;
 }
 
-// A servable checkpoint holding fresh weights, standing in for the output
-// of a training run.
-Status WriteReloadCheckpoint(const std::string& model_name,
-                             const models::ModelConfig& config,
-                             const data::NewsDataset& dataset,
-                             const std::string& path) {
-  models::ModelConfig reload_config = config;
-  reload_config.seed = config.seed + 1;
-  auto model = models::CreateModel(model_name, reload_config);
-  std::vector<tensor::Tensor> trainable;
-  for (auto& p : model->Parameters()) {
-    if (p.requires_grad()) trainable.push_back(p);
-  }
-  tensor::Adam adam(trainable, 1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f);
-  data::DataLoader loader(&dataset, 8, /*shuffle=*/false, 0);
-  std::vector<Rng*> rngs;
-  model->CollectRngs(&rngs);
-  const train::CheckpointState state = train::CaptureState(
-      "supervised", 0, model->NamedParameters(), adam, rngs, loader);
-  return train::SaveCheckpoint(state, path);
+struct ConfigResult {
+  int workers = 0;
+  int max_batch = 0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double avg_batch_size = 0.0;
+  long long batches_run = 0;
+  double queue_wait_ms_total = 0.0;
+  double compute_ms_total = 0.0;
+};
+
+double PercentileMs(std::vector<int64_t>* sorted_nanos, double q) {
+  if (sorted_nanos->empty()) return 0.0;
+  const auto idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_nanos->size() - 1) + 0.5);
+  return static_cast<double>((*sorted_nanos)[idx]) / 1e6;
 }
 
 }  // namespace
@@ -66,7 +73,9 @@ int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const int threads = InitThreadsFromFlags(flags);
   const int requests = flags.GetInt("requests", 2000);
-  const int64_t queue_depth = flags.GetInt("queue-depth", 256);
+  const int clients = flags.GetInt("clients", 64);
+  const int64_t queue_depth =
+      flags.GetInt("queue-depth", std::max(256, clients + 1));
   const std::string model_name = flags.GetString("model", "MDFEND");
   const std::string json_path = flags.GetString("json", "BENCH_serving.json");
 
@@ -83,94 +92,148 @@ int main(int argc, char** argv) {
   limits.num_domains = config.num_domains;
   limits.seq_len = dataset.seq_len;
 
-  const std::string checkpoint_path = json_path + ".reload.ckpt";
-  const Status ckpt =
-      WriteReloadCheckpoint(model_name, config, dataset, checkpoint_path);
-  if (!ckpt.ok()) {
-    std::fprintf(stderr, "%s\n", ckpt.ToString().c_str());
-    return 1;
+  // Default: full sweep. An explicit --serve-workers / --max-batch pins a
+  // single configuration (the flags share the strict --threads parse rule).
+  std::vector<int> worker_grid = {1, 2, 4};
+  std::vector<int> batch_grid = {1, 4, 16};
+  if (flags.Has("serve-workers") || flags.Has("max-batch")) {
+    worker_grid = {serve::ResolveServeWorkers(flags)};
+    batch_grid = {serve::ResolveMaxBatch(flags)};
   }
+  std::vector<ConfigResult> results;
 
-  serve::ServerOptions options;
-  options.max_queue_depth = queue_depth;
-  options.model_factory = [&] {
-    models::ModelConfig c = config;
-    c.seed = config.seed + 1;
-    return models::CreateModel(model_name, c);
-  };
-  serve::Server server(
-      std::make_unique<serve::InferenceSession>(
-          models::CreateModel(model_name, config), limits,
-          /*model_version=*/1),
-      std::move(options));
+  for (const int workers : worker_grid) {
+    for (const int max_batch : batch_grid) {
+      serve::ServerOptions options;
+      options.num_workers = workers;
+      options.max_batch = max_batch;
+      options.max_queue_depth = queue_depth;
+      serve::Server server(
+          std::make_unique<serve::InferenceSession>(
+              models::CreateModel(model_name, config), limits,
+              /*model_version=*/1),
+          std::move(options));
 
-  // Warm-up so first-touch allocation noise stays out of the percentiles.
-  for (int i = 0; i < 32; ++i) {
-    (void)server.Predict(RequestFor(dataset.samples[i % dataset.samples.size()]));
-  }
+      // Warm-up so first-touch allocation noise stays out of the numbers.
+      for (int i = 0; i < 32; ++i) {
+        (void)server.Predict(
+            RequestFor(dataset.samples[i % dataset.samples.size()]));
+      }
 
-  int64_t ok = 0, invalid = 0;
-  for (int i = 0; i < requests; ++i) {
-    // Hot-reload mid-run: latency numbers include the swap hiccup.
-    if (i == requests / 2) {
-      const Status reloaded =
-          server.ReloadFromCheckpoint(checkpoint_path).get();
-      if (!reloaded.ok()) {
-        std::fprintf(stderr, "reload failed: %s\n",
-                     reloaded.ToString().c_str());
+      std::atomic<int> next{0};
+      std::atomic<long long> errors{0};
+      std::vector<std::vector<int64_t>> client_latencies(
+          static_cast<size_t>(clients));
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> client_threads;
+      client_threads.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+          std::vector<int64_t>& latencies =
+              client_latencies[static_cast<size_t>(c)];
+          for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= requests) return;
+            const serve::InferenceRequest request = RequestFor(
+                dataset.samples[static_cast<size_t>(i) %
+                                dataset.samples.size()]);
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto result = server.Predict(request);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (!result.ok()) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            latencies.push_back(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count());
+          }
+        });
+      }
+      for (auto& t : client_threads) t.join();
+      const auto end = std::chrono::steady_clock::now();
+      const double wall_sec =
+          std::chrono::duration<double>(end - start).count();
+
+      const serve::HealthReport health = server.Health();
+      server.Stop();
+      if (errors.load() > 0) {
+        std::fprintf(stderr,
+                     "config workers=%d max_batch=%d: %lld request errors\n",
+                     workers, max_batch, errors.load());
         return 1;
       }
-    }
-    serve::InferenceRequest request = RequestFor(
-        dataset.samples[static_cast<size_t>(i) % dataset.samples.size()]);
-    if (i % 50 == 49) request.tokens[0] = -1;  // typed-rejection slice
-    const auto result = server.Predict(request);
-    if (result.ok()) {
-      ++ok;
-    } else if (result.status().code() == StatusCode::kInvalidArgument) {
-      ++invalid;
-    } else {
-      std::fprintf(stderr, "unexpected status: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
+
+      std::vector<int64_t> merged;
+      for (const auto& v : client_latencies) {
+        merged.insert(merged.end(), v.begin(), v.end());
+      }
+      std::sort(merged.begin(), merged.end());
+
+      ConfigResult r;
+      r.workers = workers;
+      r.max_batch = max_batch;
+      r.rps = wall_sec > 0 ? static_cast<double>(requests) / wall_sec : 0.0;
+      r.p50_ms = PercentileMs(&merged, 0.50);
+      r.p99_ms = PercentileMs(&merged, 0.99);
+      r.p999_ms = PercentileMs(&merged, 0.999);
+      r.avg_batch_size = health.avg_batch_size;
+      r.batches_run = static_cast<long long>(health.batches_run);
+      r.queue_wait_ms_total = health.queue_wait_ms_total;
+      r.compute_ms_total = health.compute_ms_total;
+      results.push_back(r);
+
+      std::printf(
+          "workers=%d max_batch=%2d  %8.1f req/s  p50 %7.3f ms  "
+          "p99 %7.3f ms  p99.9 %7.3f ms  avg batch %.2f\n",
+          workers, max_batch, r.rps, r.p50_ms, r.p99_ms, r.p999_ms,
+          r.avg_batch_size);
     }
   }
 
-  const serve::HealthReport health = server.Health();
-  server.Stop();
-  std::remove(checkpoint_path.c_str());
+  double baseline_rps = 0.0, headline_rps = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.workers == 1 && r.max_batch == 1) baseline_rps = r.rps;
+    if (r.workers == 4 && r.max_batch == 16) headline_rps = r.rps;
+  }
+  const double speedup =
+      baseline_rps > 0 ? headline_rps / baseline_rps : 0.0;
 
   char line[1024];
   std::string json = "{\n";
-  json += "  \"bench\": \"serving_batch_of_one\",\n";
+  json += "  \"bench\": \"serving_microbatch_sweep\",\n";
   json += "  \"model\": \"" + model_name + "\",\n";
   std::snprintf(line, sizeof(line),
-                "  \"threads\": %d,\n  \"requests\": %d,\n"
-                "  \"served_ok\": %lld,\n  \"invalid_requests\": %lld,\n"
-                "  \"shed_deadline\": %lld,\n  \"rejected_queue_full\": %lld,\n"
-                "  \"reload_successes\": %lld,\n  \"degraded\": %s,\n"
-                "  \"model_version\": %lld,\n"
-                "  \"p50_latency_ms\": %.6f,\n  \"p99_latency_ms\": %.6f,\n"
-                "  \"latency_samples\": %lld\n}\n",
-                threads, requests, static_cast<long long>(health.served_ok),
-                static_cast<long long>(health.invalid_requests),
-                static_cast<long long>(health.shed_deadline),
-                static_cast<long long>(health.rejected_queue_full),
-                static_cast<long long>(health.reload_successes),
-                health.degraded ? "true" : "false",
-                static_cast<long long>(health.model_version),
-                health.p50_latency_ms, health.p99_latency_ms,
-                static_cast<long long>(health.latency_samples));
+                "  \"threads\": %d,\n  \"clients\": %d,\n"
+                "  \"requests_per_config\": %d,\n  \"configs\": [\n",
+                threads, clients, requests);
   json += line;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"workers\": %d, \"max_batch\": %d, \"rps\": %.2f, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+        "\"avg_batch_size\": %.3f, \"batches_run\": %lld, "
+        "\"queue_wait_ms_total\": %.2f, \"compute_ms_total\": %.2f}%s\n",
+        r.workers, r.max_batch, r.rps, r.p50_ms, r.p99_ms, r.p999_ms,
+        r.avg_batch_size, r.batches_run, r.queue_wait_ms_total,
+        r.compute_ms_total, i + 1 < results.size() ? "," : "");
+    json += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  ],\n  \"rps_workers1_batch1\": %.2f,\n"
+                "  \"rps_workers4_batch16\": %.2f,\n"
+                "  \"speedup_4x16_vs_1x1\": %.3f\n}\n",
+                baseline_rps, headline_rps, speedup);
+  json += line;
+
   const Status written = AtomicWriteFile(json_path, json);
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;
   }
-  std::printf(
-      "served %lld ok, %lld rejected-invalid; p50 %.4f ms  p99 %.4f ms\n",
-      static_cast<long long>(ok), static_cast<long long>(invalid),
-      health.p50_latency_ms, health.p99_latency_ms);
+  std::printf("speedup 4x16 vs 1x1: %.2fx\n", speedup);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

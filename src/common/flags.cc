@@ -1,6 +1,9 @@
 #include "common/flags.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 namespace dtdbd {
 
@@ -55,6 +58,20 @@ std::string FlagParser::GetString(const std::string& name,
 
 bool FlagParser::Has(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+bool ParsePositiveInt(const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtol would skip leading whitespace and accept a sign; require the
+  // string to start with a digit so only plain decimals pass.
+  if (!std::isdigit(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (n <= 0 || n > std::numeric_limits<int>::max()) return false;
+  *out = static_cast<int>(n);
+  return true;
 }
 
 }  // namespace dtdbd

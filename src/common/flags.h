@@ -30,6 +30,14 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+// Strict positive-integer parse shared by --threads, --serve-workers,
+// --max-batch, and their environment-variable mirrors: the whole string
+// must be a positive decimal integer that fits in int. Returns false for
+// "", "abc", "4x", " 4", "0", "-3", and out-of-range values — callers warn
+// and fall back to a safe default of 1 rather than silently accepting a
+// prefix (the old std::atoi behavior).
+bool ParsePositiveInt(const char* text, int* out);
+
 }  // namespace dtdbd
 
 #endif  // DTDBD_COMMON_FLAGS_H_

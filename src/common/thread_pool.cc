@@ -2,14 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
-#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
-#include <limits>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,9 +23,17 @@ namespace {
 // calls degrade to inline execution instead of deadlocking on the pool.
 thread_local bool t_in_parallel_region = false;
 
-class Pool {
+// Ambient dispatch context installed by ScopedKernelPool; nullptr routes to
+// the process-wide pool.
+thread_local const KernelPool* t_ambient_pool = nullptr;
+
+}  // namespace
+
+namespace internal {
+
+class PoolImpl {
  public:
-  explicit Pool(int nthreads) : nthreads_(nthreads) {
+  explicit PoolImpl(int nthreads) : nthreads_(nthreads) {
     DTDBD_CHECK_GE(nthreads, 1);
     workers_.reserve(nthreads - 1);
     for (int i = 0; i < nthreads - 1; ++i) {
@@ -37,7 +41,7 @@ class Pool {
     }
   }
 
-  ~Pool() {
+  ~PoolImpl() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       shutdown_ = true;
@@ -50,34 +54,50 @@ class Pool {
 
   // Runs fn(shard) for every shard in [0, nshards); the calling thread
   // participates. Returns after all shards completed.
+  //
+  // All mutable dispatch state lives in a per-dispatch heap block that
+  // workers pick up by shared_ptr under the pool mutex. A worker that wakes
+  // late therefore drains *its own* (already exhausted) dispatch and can
+  // never claim a shard — or read the callback — of a dispatch published
+  // after it went to sleep. The old design kept one shard counter on the
+  // pool itself, where a straggler's final claim-check raced with the next
+  // dispatch's setup.
   void Run(int nshards, const std::function<void(int)>& fn) {
+    auto dispatch = std::make_shared<Dispatch>();
+    dispatch->fn = &fn;
+    dispatch->nshards = nshards;
+    dispatch->pending.store(nshards, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      fn_ = &fn;
-      nshards_ = nshards;
-      next_shard_.store(0, std::memory_order_relaxed);
-      pending_.store(nshards, std::memory_order_relaxed);
+      current_ = dispatch;
       ++generation_;
     }
     cv_.notify_all();
-    DrainShards();
-    std::unique_lock<std::mutex> lock(done_mu_);
-    done_cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) == 0;
+    DrainShards(dispatch.get());
+    std::unique_lock<std::mutex> lock(dispatch->done_mu);
+    dispatch->done_cv.wait(lock, [&dispatch] {
+      return dispatch->pending.load(std::memory_order_acquire) == 0;
     });
-    std::lock_guard<std::mutex> reset(mu_);
-    fn_ = nullptr;
   }
 
  private:
-  void DrainShards() {
+  struct Dispatch {
+    const std::function<void(int)>* fn = nullptr;
+    int nshards = 0;
+    std::atomic<int> next_shard{0};
+    std::atomic<int> pending{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  static void DrainShards(Dispatch* dispatch) {
     int shard;
-    while ((shard = next_shard_.fetch_add(1, std::memory_order_relaxed)) <
-           nshards_) {
-      (*fn_)(shard);
-      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu_);
-        done_cv_.notify_all();
+    while ((shard = dispatch->next_shard.fetch_add(
+                1, std::memory_order_relaxed)) < dispatch->nshards) {
+      (*dispatch->fn)(shard);
+      if (dispatch->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(dispatch->done_mu);
+        dispatch->done_cv.notify_all();
       }
     }
   }
@@ -85,6 +105,7 @@ class Pool {
   void WorkerLoop() {
     uint64_t seen_generation = 0;
     for (;;) {
+      std::shared_ptr<Dispatch> dispatch;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this, seen_generation] {
@@ -92,8 +113,9 @@ class Pool {
         });
         if (shutdown_) return;
         seen_generation = generation_;
+        dispatch = current_;
       }
-      DrainShards();
+      DrainShards(dispatch.get());
     }
   }
 
@@ -104,42 +126,23 @@ class Pool {
   std::condition_variable cv_;
   uint64_t generation_ = 0;
   bool shutdown_ = false;
-  const std::function<void(int)>* fn_ = nullptr;
-  int nshards_ = 0;
-  std::atomic<int> next_shard_{0};
-
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::atomic<int> pending_{0};
+  std::shared_ptr<Dispatch> current_;
 };
 
-std::unique_ptr<Pool> g_pool;       // null until first use or SetNumThreads
-int g_num_threads = 0;              // 0 = not yet initialized
+}  // namespace internal
+
+namespace {
+
+std::unique_ptr<internal::PoolImpl> g_pool;  // null until first use
+int g_num_threads = 0;                       // 0 = not yet initialized
 
 void EnsurePool() {
   if (g_num_threads == 0) {
     g_num_threads = DefaultNumThreads();
   }
   if (!g_pool && g_num_threads > 1) {
-    g_pool = std::make_unique<Pool>(g_num_threads);
+    g_pool = std::make_unique<internal::PoolImpl>(g_num_threads);
   }
-}
-
-// Strict thread-count parse: the whole string must be a positive decimal
-// integer that fits in int. Returns false for "", "abc", "4x", "0", "-3",
-// and out-of-range values — callers warn and fall back to 1 thread rather
-// than silently using hardware concurrency (the old std::atoi behavior).
-bool ParseThreadCount(const char* text, int* out) {
-  if (text == nullptr || *text == '\0') return false;
-  // strtol would skip leading whitespace; treat that as malformed too.
-  if (std::isspace(static_cast<unsigned char>(*text))) return false;
-  errno = 0;
-  char* end = nullptr;
-  const long n = std::strtol(text, &end, 10);
-  if (errno == ERANGE || end == text || *end != '\0') return false;
-  if (n <= 0 || n > std::numeric_limits<int>::max()) return false;
-  *out = static_cast<int>(n);
-  return true;
 }
 
 int HardwareThreads() {
@@ -152,7 +155,7 @@ int HardwareThreads() {
 int DefaultNumThreads() {
   if (const char* env = std::getenv("DTDBD_NUM_THREADS")) {
     int n = 0;
-    if (ParseThreadCount(env, &n)) return n;
+    if (ParsePositiveInt(env, &n)) return n;
     DTDBD_LOG(Warning) << "DTDBD_NUM_THREADS='" << env
                        << "' is not a positive integer; using 1 thread";
     return 1;
@@ -172,14 +175,14 @@ void SetNumThreads(int n) {
   if (want == g_num_threads && (g_pool || want == 1)) return;
   g_pool.reset();
   g_num_threads = want;
-  if (want > 1) g_pool = std::make_unique<Pool>(want);
+  if (want > 1) g_pool = std::make_unique<internal::PoolImpl>(want);
 }
 
 int InitThreadsFromFlags(const FlagParser& flags) {
   if (flags.Has("threads")) {
     const std::string value = flags.GetString("threads", "");
     int n = 0;
-    if (ParseThreadCount(value.c_str(), &n)) {
+    if (ParsePositiveInt(value.c_str(), &n)) {
       SetNumThreads(n);
     } else {
       DTDBD_LOG(Warning) << "--threads '" << value
@@ -192,14 +195,41 @@ int InitThreadsFromFlags(const FlagParser& flags) {
   return GetNumThreads();
 }
 
+KernelPool::KernelPool(int nthreads)
+    : nthreads_(nthreads <= 0 ? GetNumThreads() : nthreads) {
+  if (nthreads_ > 1) {
+    impl_ = std::make_unique<internal::PoolImpl>(nthreads_);
+  }
+}
+
+KernelPool::~KernelPool() = default;
+
+ScopedKernelPool::ScopedKernelPool(const KernelPool* pool)
+    : previous_(t_ambient_pool) {
+  t_ambient_pool = pool;
+}
+
+ScopedKernelPool::~ScopedKernelPool() { t_ambient_pool = previous_; }
+
+const KernelPool* CurrentKernelPool() { return t_ambient_pool; }
+
 namespace internal {
 
 void ParallelForImpl(int64_t n, int64_t grain, void* ctx,
                      void (*fn)(void* ctx, int64_t begin, int64_t end)) {
   if (n <= 0) return;
   if (grain < 1) grain = 1;
-  EnsurePool();
-  const int threads = g_num_threads;
+  const KernelPool* ambient = t_ambient_pool;
+  int threads;
+  PoolImpl* pool;
+  if (ambient != nullptr) {
+    threads = ambient->nthreads();
+    pool = ambient->impl();
+  } else {
+    EnsurePool();
+    threads = g_num_threads;
+    pool = g_pool.get();
+  }
   if (threads == 1 || t_in_parallel_region || n <= grain) {
     fn(ctx, 0, n);
     return;
@@ -211,7 +241,7 @@ void ParallelForImpl(int64_t n, int64_t grain, void* ctx,
     fn(ctx, 0, n);
     return;
   }
-  g_pool->Run(shards, [&](int s) {
+  pool->Run(shards, [&](int s) {
     t_in_parallel_region = true;
     const int64_t begin = n * s / shards;
     const int64_t end = n * (s + 1) / shards;

@@ -1,5 +1,5 @@
-// Process-wide worker pool and deterministic parallel-for used by the
-// tensor kernels.
+// Worker pools and the deterministic parallel-for used by the tensor
+// kernels.
 //
 // Determinism contract: ParallelFor splits [0, n) into contiguous shards
 // with fixed arithmetic boundaries and hands each shard to one worker.
@@ -9,6 +9,15 @@
 // shard boundaries fall. Under those two rules the result is bitwise
 // identical for every thread count, including 1 — which is what the
 // backend-consistency test asserts for every registered tensor op.
+//
+// Dispatch contexts: by default every ParallelFor dispatches into one
+// process-wide pool sized by SetNumThreads, which admits a single
+// dispatcher at a time. A thread that needs to run kernels concurrently
+// with other dispatchers (a serving worker) owns a private KernelPool and
+// installs it with ScopedKernelPool; ParallelFor on that thread then
+// dispatches into the private pool instead. Shard boundaries are a pure
+// function of (n, grain, nthreads) — never of which pool executes them —
+// so routing through a private pool cannot change any result.
 #ifndef DTDBD_COMMON_THREAD_POOL_H_
 #define DTDBD_COMMON_THREAD_POOL_H_
 
@@ -19,6 +28,10 @@
 namespace dtdbd {
 
 class FlagParser;
+
+namespace internal {
+class PoolImpl;
+}  // namespace internal
 
 // Number of worker threads the kernels currently use (>= 1). Lazily
 // initialized from DTDBD_NUM_THREADS or std::thread::hardware_concurrency.
@@ -41,6 +54,50 @@ int DefaultNumThreads();
 // a warning and pins the pool to 1 thread. Every bench/example main calls
 // this so perf runs are reproducible from the command line.
 int InitThreadsFromFlags(const FlagParser& flags);
+
+// A private kernel-dispatch pool owned by one dispatcher thread. Created
+// with `nthreads` workers (<= 0 means the current GetNumThreads()); with
+// nthreads == 1 every dispatch runs inline on the owning thread. Distinct
+// KernelPools are fully independent: N threads each holding their own pool
+// can run kernels concurrently without sharing any dispatch state. The
+// pool itself still admits one dispatcher at a time — it is the per-thread
+// ambient handle (ScopedKernelPool) that makes multi-dispatch safe.
+class KernelPool {
+ public:
+  explicit KernelPool(int nthreads = 0);
+  ~KernelPool();
+  KernelPool(const KernelPool&) = delete;
+  KernelPool& operator=(const KernelPool&) = delete;
+
+  int nthreads() const { return nthreads_; }
+  // Null when nthreads == 1 (inline execution needs no workers).
+  internal::PoolImpl* impl() const { return impl_.get(); }
+
+ private:
+  int nthreads_;
+  std::unique_ptr<internal::PoolImpl> impl_;
+};
+
+// Installs `pool` as the calling thread's ambient dispatch context for the
+// scope's lifetime; ParallelFor on this thread routes into it instead of
+// the process-wide pool. Nestable (restores the previous context), and a
+// nullptr pool restores default routing. The pool must outlive the scope
+// and must not be shared by two simultaneously-live scopes on different
+// threads.
+class ScopedKernelPool {
+ public:
+  explicit ScopedKernelPool(const KernelPool* pool);
+  ~ScopedKernelPool();
+  ScopedKernelPool(const ScopedKernelPool&) = delete;
+  ScopedKernelPool& operator=(const ScopedKernelPool&) = delete;
+
+ private:
+  const KernelPool* previous_;
+};
+
+// The calling thread's ambient pool, or nullptr when dispatching to the
+// process-wide pool (exposed for tests).
+const KernelPool* CurrentKernelPool();
 
 namespace internal {
 // Type-erased core; `fn(ctx, begin, end)` is invoked once per shard.

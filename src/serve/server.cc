@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <utility>
 
+#include "common/flags.h"
 #include "common/logging.h"
 #include "tensor/serialize.h"
 #include "train/checkpoint.h"
@@ -23,6 +25,40 @@ const SystemClock* SystemClock::Get() {
   return &clock;
 }
 
+int ServeWorkersFromEnv() {
+  const char* env = std::getenv("DTDBD_SERVE_WORKERS");
+  if (env == nullptr) return 1;
+  int n = 0;
+  if (ParsePositiveInt(env, &n)) return n;
+  DTDBD_LOG(Warning) << "DTDBD_SERVE_WORKERS='" << env
+                     << "' is not a positive integer; using 1 worker";
+  return 1;
+}
+
+namespace {
+
+// Shared strict-parse for the serving flags: invalid -> warning + 1.
+int ResolvePositiveFlag(const FlagParser& flags, const char* name,
+                        int fallback) {
+  if (!flags.Has(name)) return fallback;
+  const std::string value = flags.GetString(name, "");
+  int n = 0;
+  if (ParsePositiveInt(value.c_str(), &n)) return n;
+  DTDBD_LOG(Warning) << "--" << name << " '" << value
+                     << "' is not a positive integer; using 1";
+  return 1;
+}
+
+}  // namespace
+
+int ResolveServeWorkers(const FlagParser& flags) {
+  return ResolvePositiveFlag(flags, "serve-workers", ServeWorkersFromEnv());
+}
+
+int ResolveMaxBatch(const FlagParser& flags) {
+  return ResolvePositiveFlag(flags, "max-batch", 1);
+}
+
 Server::Server(std::unique_ptr<InferenceSession> session,
                ServerOptions options)
     : options_(std::move(options)),
@@ -32,9 +68,22 @@ Server::Server(std::unique_ptr<InferenceSession> session,
   DTDBD_CHECK(session_ != nullptr);
   DTDBD_CHECK_GT(options_.max_queue_depth, 0);
   DTDBD_CHECK_GT(options_.latency_window, 0);
+  num_workers_ =
+      options_.num_workers > 0 ? options_.num_workers : ServeWorkersFromEnv();
+  max_batch_ = std::max(1, options_.max_batch);
   model_version_.store(session_->model_version(), std::memory_order_release);
   latencies_.assign(static_cast<size_t>(options_.latency_window), 0);
-  worker_ = std::thread([this] { WorkerLoop(); });
+  batch_size_hist_.assign(static_cast<size_t>(max_batch_) + 1, 0);
+  pools_.reserve(static_cast<size_t>(num_workers_));
+  workers_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    // Each worker dispatches kernels into its own pool, sized like the
+    // process-wide one, so concurrent forwards share no dispatch state and
+    // shard boundaries (hence results) are unchanged.
+    pools_.push_back(std::make_unique<KernelPool>(GetNumThreads()));
+    workers_.emplace_back(
+        [this, pool = pools_.back().get()] { WorkerLoop(pool); });
+  }
   if (options_.watchdog_period_nanos > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
@@ -99,61 +148,136 @@ std::future<Status> Server::ReloadFromCheckpoint(std::string checkpoint_path) {
   // accept the reload that might fix it.
   queue_.push_back(std::move(job));
   lock.unlock();
-  cv_.notify_one();
+  cv_.notify_all();
   return future;
 }
 
-void Server::WorkerLoop() {
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
-      if (stopped_) {
-        // Fail everything still queued; admission is already closed.
-        while (!queue_.empty()) {
-          Job dropped = std::move(queue_.front());
-          queue_.pop_front();
-          if (dropped.kind == Job::Kind::kInfer) {
-            dropped.reply.set_value(
-                Status::Unavailable("server stopped before serving request"));
-          } else if (dropped.kind == Job::Kind::kReload) {
-            dropped.reload_reply.set_value(
-                Status::Unavailable("server stopped before reload"));
-          }
-        }
-        return;
-      }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      if (job.kind == Job::Kind::kInfer) --inference_depth_;
-    }
-    if (job.kind == Job::Kind::kInfer) {
-      ServeOne(&job);
-    } else {
-      job.reload_reply.set_value(RunReload(job.checkpoint_path));
+void Server::DrainQueueLocked() {
+  while (!queue_.empty()) {
+    Job dropped = std::move(queue_.front());
+    queue_.pop_front();
+    if (dropped.kind == Job::Kind::kInfer) {
+      --inference_depth_;
+      dropped.reply.set_value(
+          Status::Unavailable("server stopped before serving request"));
+    } else if (dropped.kind == Job::Kind::kReload) {
+      dropped.reload_reply.set_value(
+          Status::Unavailable("server stopped before reload"));
     }
   }
 }
 
-void Server::ServeOne(Job* job) {
-  const int64_t now = clock_->NowNanos();
-  if (job->deadline_nanos > 0 && now > job->deadline_nanos) {
-    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
-    job->reply.set_value(Status::DeadlineExceeded(
-        "request shed: deadline expired before serving"));
-    return;
+void Server::WorkerLoop(KernelPool* pool) {
+  // Every kernel this thread dispatches — inference forwards AND
+  // reload-time model construction/restore — runs on this worker's private
+  // pool, never the process-wide one.
+  ScopedKernelPool scoped(pool);
+  std::vector<Job> batch;
+  for (;;) {
+    batch.clear();
+    Job reload_job;
+    bool have_reload = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // The reload barrier (reload_active_) parks every other worker here,
+      // so a swap never overlaps a dequeue, let alone a forward.
+      cv_.wait(lock, [this] {
+        return stopped_ || (!queue_.empty() && !reload_active_);
+      });
+      if (stopped_) {
+        // Fail everything still queued — coalesced or not; admission is
+        // already closed, so whichever worker gets here first drains.
+        DrainQueueLocked();
+        return;
+      }
+      if (queue_.front().kind == Job::Kind::kReload) {
+        reload_job = std::move(queue_.front());
+        queue_.pop_front();
+        have_reload = true;
+        reload_active_ = true;
+        // Quiesce: in-flight batches must finish before the swap.
+        cv_.wait(lock, [this] { return inflight_batches_ == 0; });
+      } else {
+        // Greedy coalescing: take only what is already waiting (fill
+        // window zero — nobody is ever held for batchmates), stop at a
+        // control job so reloads stay strictly ordered with the queue.
+        while (!queue_.empty() &&
+               queue_.front().kind == Job::Kind::kInfer &&
+               static_cast<int>(batch.size()) < max_batch_) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          --inference_depth_;
+        }
+        ++inflight_batches_;
+      }
+    }
+    if (have_reload) {
+      reload_job.reload_reply.set_value(RunReload(reload_job.checkpoint_path));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        reload_active_ = false;
+      }
+      cv_.notify_all();
+      continue;
+    }
+    ServeBatch(&batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_batches_;
+    }
+    cv_.notify_all();
   }
-  StatusOr<Prediction> result = session_->Predict(job->request);
-  if (result.ok()) {
-    served_ok_.fetch_add(1, std::memory_order_relaxed);
-    RecordLatency(clock_->NowNanos() - job->enqueue_nanos);
-  } else if (result.status().code() == StatusCode::kInvalidArgument) {
-    invalid_requests_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::ServeBatch(std::vector<Job>* jobs) {
+  const int64_t dequeue_nanos = clock_->NowNanos();
+  // Per-element shed at dequeue: batching never delays the deadline check,
+  // and one expired element never poisons its batchmates.
+  std::vector<Job*> live;
+  live.reserve(jobs->size());
+  for (Job& job : *jobs) {
+    if (job.deadline_nanos > 0 && dequeue_nanos > job.deadline_nanos) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      job.reply.set_value(Status::DeadlineExceeded(
+          "request shed: deadline expired before serving"));
+    } else {
+      live.push_back(&job);
+    }
   }
-  job->reply.set_value(std::move(result));
+  if (live.empty()) return;
+
+  std::vector<const InferenceRequest*> requests;
+  requests.reserve(live.size());
+  int64_t queue_wait = 0;
+  for (const Job* job : live) {
+    requests.push_back(&job->request);
+    queue_wait += dequeue_nanos - job->enqueue_nanos;
+  }
+  std::vector<StatusOr<Prediction>> results =
+      session_->PredictBatch(requests);
+  const int64_t done_nanos = clock_->NowNanos();
+  queue_wait_nanos_.fetch_add(queue_wait, std::memory_order_relaxed);
+  compute_nanos_.fetch_add(done_nanos - dequeue_nanos,
+                           std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_run_;
+    batched_elements_ += static_cast<int64_t>(live.size());
+    ++batch_size_hist_[live.size()];
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    Job* job = live[i];
+    StatusOr<Prediction>& result = results[i];
+    if (result.ok()) {
+      served_ok_.fetch_add(1, std::memory_order_relaxed);
+      RecordLatency(done_nanos - job->enqueue_nanos);
+    } else if (result.status().code() == StatusCode::kInvalidArgument) {
+      invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->reply.set_value(std::move(result));
+  }
 }
 
 Status Server::TryLoadInto(const std::string& path) {
@@ -237,6 +361,8 @@ HealthReport Server::Health() const {
     report.queue_depth = inference_depth_;
   }
   report.max_queue_depth = options_.max_queue_depth;
+  report.num_workers = num_workers_;
+  report.max_batch = max_batch_;
   report.submitted = submitted_.load(std::memory_order_relaxed);
   report.admitted = admitted_.load(std::memory_order_relaxed);
   report.rejected_queue_full =
@@ -251,9 +377,21 @@ HealthReport Server::Health() const {
   report.degraded = degraded_.load(std::memory_order_acquire);
   report.model_version = model_version_.load(std::memory_order_acquire);
   report.watchdog_ticks = watchdog_ticks_.load(std::memory_order_relaxed);
+  report.queue_wait_ms_total =
+      static_cast<double>(queue_wait_nanos_.load(std::memory_order_relaxed)) /
+      1e6;
+  report.compute_ms_total =
+      static_cast<double>(compute_nanos_.load(std::memory_order_relaxed)) /
+      1e6;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     report.last_reload_error = last_reload_error_;
+    report.batch_size_histogram = batch_size_hist_;
+    report.batches_run = batches_run_;
+    report.avg_batch_size =
+        batches_run_ > 0 ? static_cast<double>(batched_elements_) /
+                               static_cast<double>(batches_run_)
+                         : 0.0;
     report.latency_samples = latency_count_;
     if (latency_count_ > 0) {
       std::vector<int64_t> window(
@@ -298,7 +436,9 @@ void Server::Stop() {
     stopped_ = true;
   }
   cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
   {
     std::lock_guard<std::mutex> lock(watchdog_mu_);
     watchdog_stop_ = true;

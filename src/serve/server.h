@@ -1,15 +1,26 @@
 // Overload-aware serving front end: bounded queue, deadlines, admission
-// control, a watchdog, and checkpoint hot-reload with graceful degradation.
+// control, dynamic micro-batching over N workers, a watchdog, and
+// checkpoint hot-reload with graceful degradation.
 //
-// Threading model. All tensor work — inference forwards AND reload-time
-// model construction/restore — runs on ONE worker thread that the Server
-// owns. This is forced by the deterministic thread pool: Pool::Run admits a
-// single caller at a time, so two threads running forwards concurrently
-// would race on the shared dispatch state. Funneling every forward through
-// one thread also makes serving reproducible: requests are answered in
-// admission order, and each answer is bitwise identical to the offline
-// evaluator regardless of DTDBD_NUM_THREADS. Client threads only touch the
-// queue + promise; the watchdog thread only reads atomics.
+// Threading model. `num_workers` serving threads pull from one bounded
+// FIFO. Each worker owns a private KernelPool (installed with
+// ScopedKernelPool for the worker's lifetime), so concurrent forwards
+// never share kernel-dispatch state; shard boundaries are a pure function
+// of (n, grain, nthreads), so which pool runs a kernel cannot change any
+// result. Client threads only touch the queue + promise; the watchdog
+// thread only reads atomics.
+//
+// Micro-batching (see DESIGN.md §9.5): a worker that dequeues an inference
+// request greedily coalesces up to `max_batch` consecutive queued
+// inference requests into one batch-of-N forward. The fill window is zero
+// — only requests already waiting are taken, so a request is NEVER held
+// waiting for the batch to fill (and therefore can never miss its deadline
+// because of batching). Expired elements are shed per element at dequeue;
+// per-element results are bitwise identical to batch-of-one because eval
+// kernels never accumulate across rows. All elements of a batch are served
+// by the same session, so the compatibility key (model version) holds by
+// construction: a reload is a quiescent barrier (below), never interleaved
+// with a batch.
 //
 // Overload semantics (see DESIGN.md §9):
 //   - Admission control: Submit() fails fast with kResourceExhausted when
@@ -17,20 +28,24 @@
 //     jobs (reload, stop) bypass the depth limit so an overloaded server
 //     can still be fixed or shut down.
 //   - Deadlines: each request carries an absolute deadline (clock nanos;
-//     0 = none). The worker sheds expired requests at dequeue time with
-//     kDeadlineExceeded — it never starts a forward it cannot finish in
-//     time usefully.
-//   - Shutdown: Stop() fails everything still queued with kUnavailable.
+//     0 = none). Workers shed expired requests at dequeue time with
+//     kDeadlineExceeded — a forward that cannot finish usefully is never
+//     started, and batch coalescing never delays the check.
+//   - Shutdown: Stop() fails everything still queued — including requests
+//     not yet coalesced into any batch — with kUnavailable.
 //
-// Hot-reload state machine: loading -> serving | degraded. A reload runs on
-// the worker thread (so in-flight forwards never observe a half-swapped
-// model): load the CRC-checked checkpoint, build a fresh model from the
-// factory, restore parameters, swap the session under a bumped version. Any
-// step failing is retried with exponential backoff up to
-// `reload_max_attempts`; on exhaustion the server keeps the last-good model
-// and marks itself degraded in the HealthReport (cleared by the next
-// successful reload). FaultInjector hooks (load failure, slow load) drive
-// the failure paths in tests.
+// Hot-reload state machine: loading -> serving | degraded. The worker that
+// dequeues a reload raises a barrier: no new batches start, and it waits
+// for in-flight batches to drain before touching the session, so a forward
+// never observes a half-swapped model even with N workers. Requests queued
+// behind the reload are served after it under the new version (strict
+// queue order); requests dequeued by other workers *before* the reload was
+// popped may complete after it — the per-response `model_version` stamp is
+// authoritative. Any load step failing is retried with exponential backoff
+// up to `reload_max_attempts`; on exhaustion the server keeps the
+// last-good model and marks itself degraded in the HealthReport (cleared
+// by the next successful reload). FaultInjector hooks (load failure, slow
+// load) drive the failure paths in tests.
 #ifndef DTDBD_SERVE_SERVER_H_
 #define DTDBD_SERVE_SERVER_H_
 
@@ -47,9 +62,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "models/model.h"
 #include "serve/session.h"
 #include "train/fault_injector.h"
+
+namespace dtdbd {
+class FlagParser;
+}  // namespace dtdbd
 
 namespace dtdbd::serve {
 
@@ -82,7 +102,13 @@ class ManualClock : public Clock {
 };
 
 struct ServerOptions {
-  // Admission control: max requests waiting (excludes the one being served
+  // Serving worker threads. 0 = resolve from DTDBD_SERVE_WORKERS (strict
+  // parse; unset -> 1, invalid -> warning + 1).
+  int num_workers = 0;
+  // Max inference requests coalesced into one forward (>= 1). 1 disables
+  // batching.
+  int max_batch = 1;
+  // Admission control: max requests waiting (excludes those being served
   // and control jobs).
   int64_t max_queue_depth = 64;
   // Applied at Submit() when the caller passes deadline 0. 0 = no deadline.
@@ -105,10 +131,22 @@ struct ServerOptions {
   std::function<std::unique_ptr<models::FakeNewsModel>()> model_factory;
 };
 
+// Strict resolution for the serving knobs, matching the --threads rule: a
+// present-but-invalid value (non-numeric, zero, negative, trailing junk)
+// logs a warning and yields the safe default of 1 instead of being
+// silently reinterpreted.
+int ServeWorkersFromEnv();  // DTDBD_SERVE_WORKERS; unset -> 1
+// --serve-workers flag, falling back to DTDBD_SERVE_WORKERS, then 1.
+int ResolveServeWorkers(const FlagParser& flags);
+// --max-batch flag; absent -> 1.
+int ResolveMaxBatch(const FlagParser& flags);
+
 // One watchdog/Health() snapshot. Counters are cumulative since start.
 struct HealthReport {
   int64_t queue_depth = 0;
   int64_t max_queue_depth = 0;
+  int64_t num_workers = 0;
+  int64_t max_batch = 0;
   int64_t submitted = 0;
   int64_t admitted = 0;
   int64_t rejected_queue_full = 0;  // kResourceExhausted at admission
@@ -126,11 +164,19 @@ struct HealthReport {
   double p99_latency_ms = 0.0;
   int64_t latency_samples = 0;
   int64_t watchdog_ticks = 0;
+  // Micro-batching: histogram[s] = forwards executed with s live elements
+  // (index 0 unused), plus the cumulative queue-wait vs compute split so
+  // operators can see whether latency is fill or forward.
+  std::vector<int64_t> batch_size_histogram;
+  int64_t batches_run = 0;
+  double avg_batch_size = 0.0;
+  double queue_wait_ms_total = 0.0;  // admission -> dequeue, served elements
+  double compute_ms_total = 0.0;     // forward wall-clock across batches
 };
 
 class Server {
  public:
-  // Takes ownership of the initial session and starts the worker (and,
+  // Takes ownership of the initial session and starts the workers (and,
   // unless disabled, the watchdog).
   Server(std::unique_ptr<InferenceSession> session, ServerOptions options);
   ~Server();  // Stop()s
@@ -147,13 +193,13 @@ class Server {
   std::future<StatusOr<Prediction>> Submit(InferenceRequest request,
                                            int64_t deadline_nanos = 0);
 
-  // Synchronous convenience wrapper around Submit(). Do not call from the
+  // Synchronous convenience wrapper around Submit(). Do not call from a
   // worker's own callbacks (it would self-deadlock).
   StatusOr<Prediction> Predict(const InferenceRequest& request);
 
   // Schedules a hot-reload from a v2 checkpoint; resolves with the final
-  // outcome after retries. Queued behind in-flight requests, ahead of
-  // nothing — strict FIFO with inference.
+  // outcome after retries. A quiescent barrier: strictly ordered against
+  // everything still queued, and no forward overlaps the swap.
   std::future<Status> ReloadFromCheckpoint(std::string checkpoint_path);
 
   // Current snapshot, computed on the calling thread.
@@ -165,9 +211,11 @@ class Server {
   int64_t model_version() const {
     return model_version_.load(std::memory_order_acquire);
   }
+  int num_workers() const { return num_workers_; }
+  int max_batch() const { return max_batch_; }
 
-  // Rejects new work, fails everything still queued with kUnavailable, and
-  // joins both threads. Idempotent.
+  // Rejects new work, fails everything still queued — coalesced into a
+  // batch or not — with kUnavailable, and joins all threads. Idempotent.
   void Stop();
 
  private:
@@ -184,24 +232,36 @@ class Server {
     std::promise<Status> reload_reply;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(KernelPool* pool);
   void WatchdogLoop();
-  void ServeOne(Job* job);
-  // Runs on the worker thread; one attempt of the reload state machine.
+  // Serves one coalesced batch: per-element deadline shed, one PredictBatch
+  // forward, per-element replies and counters.
+  void ServeBatch(std::vector<Job>* jobs);
+  // Fails everything still queued with kUnavailable. Caller holds mu_.
+  void DrainQueueLocked();
+  // Runs on a worker thread inside the reload barrier; one attempt of the
+  // reload state machine.
   Status TryLoadInto(const std::string& path);
   Status RunReload(const std::string& path);
   void RecordLatency(int64_t nanos);
 
   const ServerOptions options_;
   const Clock* const clock_;
+  int num_workers_ = 1;  // resolved from options/env in the constructor
+  int max_batch_ = 1;
 
-  // session_ is touched only by the worker thread after construction.
+  // session_ is read by workers only between the inflight-batch increment
+  // and decrement (both under mu_), and written only inside the reload
+  // barrier after in-flight batches drained — so the pointer is stable for
+  // the duration of every forward.
   std::unique_ptr<InferenceSession> session_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Job> queue_;
-  int64_t inference_depth_ = 0;  // kInfer jobs currently queued
+  int64_t inference_depth_ = 0;   // kInfer jobs currently queued
+  int64_t inflight_batches_ = 0;  // batches between dequeue and reply
+  bool reload_active_ = false;    // barrier: blocks all dequeue
   bool stopped_ = false;
 
   std::atomic<int64_t> submitted_{0};
@@ -215,13 +275,18 @@ class Server {
   std::atomic<int64_t> reload_successes_{0};
   std::atomic<int64_t> reload_failures_{0};
   std::atomic<int64_t> watchdog_ticks_{0};
+  std::atomic<int64_t> queue_wait_nanos_{0};
+  std::atomic<int64_t> compute_nanos_{0};
   std::atomic<bool> degraded_{false};
   std::atomic<int64_t> model_version_{0};
 
-  mutable std::mutex stats_mu_;  // guards latencies_ + last_reload_error_
+  mutable std::mutex stats_mu_;  // guards latencies_, batch hist, reload err
   std::vector<int64_t> latencies_;  // ring buffer of size latency_window
   int64_t latency_next_ = 0;
   int64_t latency_count_ = 0;
+  std::vector<int64_t> batch_size_hist_;  // [0, max_batch_], index 0 unused
+  int64_t batches_run_ = 0;
+  int64_t batched_elements_ = 0;  // live elements across all batches
   std::string last_reload_error_;
 
   mutable std::mutex watchdog_mu_;
@@ -229,7 +294,8 @@ class Server {
   bool watchdog_stop_ = false;
   HealthReport last_watchdog_report_;
 
-  std::thread worker_;
+  std::vector<std::unique_ptr<KernelPool>> pools_;  // one per worker
+  std::vector<std::thread> workers_;
   std::thread watchdog_;
 };
 

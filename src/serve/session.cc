@@ -13,12 +13,12 @@ namespace dtdbd::serve {
 
 namespace {
 
-// Zero-fills an absent feature vector and lifts it into the [1, dim] tensor
-// shape the models expect. Validation already guaranteed size() is 0 or dim.
-tensor::Tensor FeatureRow(const std::vector<float>& values, int dim) {
-  std::vector<float> row = values;
-  row.resize(static_cast<size_t>(dim), 0.0f);
-  return tensor::Tensor::FromData({1, dim}, std::move(row));
+// Appends a feature row (zero-filled when absent) to a flat [*, dim]
+// buffer. Validation already guaranteed size() is 0 or dim.
+void AppendFeatureRow(const std::vector<float>& values, int dim,
+                      std::vector<float>* out) {
+  out->insert(out->end(), values.begin(), values.end());
+  out->resize(out->size() + static_cast<size_t>(dim) - values.size(), 0.0f);
 }
 
 }  // namespace
@@ -34,30 +34,83 @@ InferenceSession::InferenceSession(
 
 StatusOr<Prediction> InferenceSession::Predict(
     const InferenceRequest& request) {
-  DTDBD_RETURN_IF_ERROR(ValidateRequest(request, limits_));
-  tensor::NoGradGuard no_grad;
+  std::vector<StatusOr<Prediction>> results = PredictBatch({&request});
+  return std::move(results[0]);
+}
 
-  data::Batch batch;
-  batch.batch_size = 1;
-  batch.seq_len = limits_.seq_len;
-  batch.tokens = request.tokens;
-  batch.tokens.resize(static_cast<size_t>(limits_.seq_len), 0);  // PAD id 0
-  batch.labels = {data::kReal};  // unused by eval forwards; shape filler
-  batch.domains = {request.domain};
-  batch.style = FeatureRow(request.style, text::kStyleFeatureDim);
-  batch.emotion = FeatureRow(request.emotion, text::kEmotionFeatureDim);
-
-  models::ModelOutput out = model_->Forward(batch, /*training=*/false);
-  tensor::Tensor p = tensor::Softmax(out.logits);
-  const float p_fake = p.at(data::kFake);
-  if (!std::isfinite(p_fake)) {
-    return Status::Internal("model produced a non-finite probability");
+std::vector<StatusOr<Prediction>> InferenceSession::PredictBatch(
+    const std::vector<const InferenceRequest*>& requests) {
+  const size_t count = requests.size();
+  // Per-element validation first: a malformed request is answered typed and
+  // excluded from the forward without failing its batchmates.
+  std::vector<Status> element_status(count, Status::Ok());
+  std::vector<size_t> live;
+  live.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DTDBD_CHECK(requests[i] != nullptr);
+    element_status[i] = ValidateRequest(*requests[i], limits_);
+    if (element_status[i].ok()) live.push_back(i);
   }
-  Prediction pred;
-  pred.p_fake = p_fake;
-  pred.label = p_fake >= 0.5f ? data::kFake : data::kReal;
-  pred.model_version = model_version_;
-  return pred;
+
+  std::vector<float> p_fake(count, 0.0f);
+  if (!live.empty()) {
+    tensor::NoGradGuard no_grad;
+    const int64_t m = static_cast<int64_t>(live.size());
+
+    data::Batch batch;
+    batch.batch_size = m;
+    batch.seq_len = limits_.seq_len;
+    batch.tokens.reserve(static_cast<size_t>(m * limits_.seq_len));
+    batch.labels.assign(static_cast<size_t>(m), data::kReal);  // shape filler
+    batch.domains.reserve(static_cast<size_t>(m));
+    std::vector<float> style, emotion;
+    style.reserve(static_cast<size_t>(m) * text::kStyleFeatureDim);
+    emotion.reserve(static_cast<size_t>(m) * text::kEmotionFeatureDim);
+    for (const size_t i : live) {
+      const InferenceRequest& request = *requests[i];
+      batch.tokens.insert(batch.tokens.end(), request.tokens.begin(),
+                          request.tokens.end());
+      batch.tokens.resize(batch.tokens.size() +
+                              static_cast<size_t>(limits_.seq_len) -
+                              request.tokens.size(),
+                          0);  // PAD id 0
+      batch.domains.push_back(request.domain);
+      AppendFeatureRow(request.style, text::kStyleFeatureDim, &style);
+      AppendFeatureRow(request.emotion, text::kEmotionFeatureDim, &emotion);
+    }
+    batch.style = tensor::Tensor::FromData({m, text::kStyleFeatureDim},
+                                           std::move(style));
+    batch.emotion = tensor::Tensor::FromData({m, text::kEmotionFeatureDim},
+                                             std::move(emotion));
+
+    models::ModelOutput out = model_->Forward(batch, /*training=*/false);
+    tensor::Tensor p = tensor::Softmax(out.logits);
+    for (int64_t row = 0; row < m; ++row) {
+      const size_t i = live[static_cast<size_t>(row)];
+      const float prob = p.at(row * 2 + data::kFake);
+      if (!std::isfinite(prob)) {
+        element_status[i] =
+            Status::Internal("model produced a non-finite probability");
+      } else {
+        p_fake[i] = prob;
+      }
+    }
+  }
+
+  std::vector<StatusOr<Prediction>> results;
+  results.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!element_status[i].ok()) {
+      results.emplace_back(element_status[i]);
+      continue;
+    }
+    Prediction pred;
+    pred.p_fake = p_fake[i];
+    pred.label = p_fake[i] >= 0.5f ? data::kFake : data::kReal;
+    pred.model_version = model_version_;
+    results.emplace_back(std::move(pred));
+  }
+  return results;
 }
 
 }  // namespace dtdbd::serve

@@ -1,23 +1,28 @@
 // A no-graph inference path over any FakeNewsModel.
 //
 // InferenceSession is the serving counterpart of the training forward pass:
-// it validates a request against the deployed model's limits, runs a
-// batch-of-one eval-mode forward under NoGradGuard (no autograd nodes are
-// recorded — the `graph_recorded` op counter stays at zero, a tested
-// invariant), and reduces the logits to a fake-probability exactly the way
-// PredictFakeProbability does. Eval-mode forwards are per-row deterministic,
-// so a session's batch-of-one answer is bitwise identical to the batched
-// offline evaluator — the parity contract the soak test enforces.
+// it validates each request against the deployed model's limits, runs one
+// eval-mode forward under NoGradGuard (no autograd nodes are recorded — the
+// `graph_recorded` op counter stays at zero, a tested invariant), and
+// reduces the logits to a fake-probability exactly the way
+// PredictFakeProbability does. Eval-mode kernels are per-row deterministic
+// (no cross-row accumulation), so every per-request answer is bitwise
+// identical whether it was computed batch-of-one, inside a coalesced
+// micro-batch (PredictBatch), or by the batched offline evaluator — the
+// parity contract the serve and soak tests enforce.
 //
-// A session is NOT thread-safe: the Server funnels all calls (and model
-// swaps) through its single worker thread, because tensor kernels share the
-// process-wide deterministic thread pool whose Run() admits one caller at a
-// time.
+// Concurrency: Predict/PredictBatch are read-only over the model (eval
+// forwards mutate no model state; dropout is an identity that draws no
+// RNG), so distinct server workers may call them concurrently on one
+// session — provided each calling thread dispatches kernels into its own
+// KernelPool (ScopedKernelPool) and model swaps are quiesced, which is
+// exactly what serve::Server arranges.
 #ifndef DTDBD_SERVE_SESSION_H_
 #define DTDBD_SERVE_SESSION_H_
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "models/model.h"
@@ -41,8 +46,18 @@ class InferenceSession {
 
   // Validate -> pad to seq_len -> eval forward -> softmax. Returns
   // kInvalidArgument for malformed requests (never reaches a kernel),
-  // kInternal if the model emits a non-finite probability.
+  // kInternal if the model emits a non-finite probability. Exactly
+  // PredictBatch of one request.
   StatusOr<Prediction> Predict(const InferenceRequest& request);
+
+  // Batched variant: one batch-of-M forward over every request that passes
+  // validation. results[i] corresponds to requests[i]; malformed requests
+  // get kInvalidArgument without suppressing the rest of the batch, and a
+  // non-finite output row poisons only its own element (kInternal). Because
+  // eval kernels never accumulate across rows, each OK element is bitwise
+  // identical to what a batch-of-one Predict of the same request returns.
+  std::vector<StatusOr<Prediction>> PredictBatch(
+      const std::vector<const InferenceRequest*>& requests);
 
   models::FakeNewsModel* model() { return model_.get(); }
   const RequestLimits& limits() const { return limits_; }

@@ -9,6 +9,10 @@
 #include "common/thread_pool.h"
 #include "tensor/registry.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>  // row-blocked conv fast path (runtime-dispatched)
+#endif
+
 namespace dtdbd::tensor {
 
 namespace {
@@ -1415,6 +1419,124 @@ Tensor EmbeddingGather(const Tensor& table_in, const std::vector<int>& ids,
                 state);
 }
 
+namespace {
+
+// ----- Row-blocked conv execution (shared by Conv1dSeq / Conv1dSeqRelu) --
+//
+// The conv hot loop is a length-`win` dot product per (row, channel): one
+// scalar accumulator chain, latency-bound on the FP add. Batched serving
+// hands the kernel many independent output rows, so the fast path computes
+// 16 rows at once — one vector lane per row, each lane performing exactly
+// the scalar chain's multiply/add sequence in the same j order. Per-lane
+// mulps/addps round identically to mulss/addss, so every output element is
+// bitwise identical to the scalar path (and therefore batch-of-N stays
+// bitwise identical to batch-of-one, at any thread count: shard boundaries
+// only change block membership, never an element's accumulation order).
+// Sub-block tails — in particular batch-of-one forwards, whose row count
+// is below the block size — and machines without AVX-512 take the
+// reference scalar loop. The vector path must NOT be contracted into FMA
+// (fused rounding would diverge from the scalar chain); this file is built
+// with -ffp-contract=off, a no-op for the baseline scalar ISA.
+
+// Reference path: rows [s, e2) of the [b*to, c] output, one scalar chain
+// per element. pmask != nullptr selects the fused ReLU variant (mask of
+// positive pre-activations, clamped output).
+inline void ConvRowsScalar(const float* px, const float* pw,
+                           const float* pbias, float* po, float* pmask,
+                           int64_t t, int64_t e, int64_t to, int64_t c,
+                           int64_t win, int64_t s, int64_t e2) {
+  for (int64_t r = s; r < e2; ++r) {
+    const int64_t bi = r / to, o = r % to;
+    // The window x[bi, o:o+k, :] is contiguous of length k*E.
+    const float* window = px + (bi * t + o) * e;
+    float* orow = po + r * c;
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* wrow = pw + ci * win;
+      float acc = pbias[ci];
+      for (int64_t j = 0; j < win; ++j) acc += window[j] * wrow[j];
+      if (pmask != nullptr) {
+        const bool on = acc > 0.0f;
+        pmask[r * c + ci] = on ? 1.0f : 0.0f;
+        orow[ci] = on ? acc : 0.0f;
+      } else {
+        orow[ci] = acc;
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DTDBD_CONV_ROWBLOCK_AVX512 1
+
+bool CpuHasAvx512f() {
+  static const bool has = __builtin_cpu_supports("avx512f");
+  return has;
+}
+
+// One block of 16 rows, all channels. `scratch` is [win, 16] (the 16
+// windows transposed so each j reads one contiguous vector of row values),
+// `out16` is [c, 16] of raw pre-activations.
+__attribute__((target("avx512f"))) void ConvBlock16Avx512(
+    const float* const* wins, const float* pw, const float* pbias, int64_t c,
+    int64_t win, float* scratch, float* out16) {
+  for (int64_t j = 0; j < win; ++j) {
+    float* srow = scratch + j * 16;
+    for (int rr = 0; rr < 16; ++rr) srow[rr] = wins[rr][j];
+  }
+  for (int64_t ci = 0; ci < c; ++ci) {
+    __m512 acc = _mm512_set1_ps(pbias[ci]);
+    const float* wrow = pw + ci * win;
+    for (int64_t j = 0; j < win; ++j) {
+      // Separate mul/add, never fmadd: each lane must round exactly like
+      // the scalar chain.
+      acc = _mm512_add_ps(
+          acc, _mm512_mul_ps(_mm512_loadu_ps(scratch + j * 16),
+                             _mm512_set1_ps(wrow[j])));
+    }
+    _mm512_storeu_ps(out16 + ci * 16, acc);
+  }
+}
+#endif  // x86_64
+
+// Shard body for both conv ops: vector blocks while 16 rows remain, scalar
+// reference loop for the tail.
+void ConvRows(const float* px, const float* pw, const float* pbias, float* po,
+              float* pmask, int64_t t, int64_t e, int64_t to, int64_t c,
+              int64_t win, int64_t s, int64_t e2) {
+  int64_t r = s;
+#ifdef DTDBD_CONV_ROWBLOCK_AVX512
+  if (CpuHasAvx512f() && e2 - r >= 16) {
+    std::vector<float> scratch(static_cast<size_t>(win) * 16);
+    std::vector<float> out16(static_cast<size_t>(c) * 16);
+    for (; r + 16 <= e2; r += 16) {
+      const float* wins[16];
+      for (int rr = 0; rr < 16; ++rr) {
+        const int64_t rw = r + rr;
+        wins[rr] = px + ((rw / to) * t + rw % to) * e;
+      }
+      ConvBlock16Avx512(wins, pw, pbias, c, win, scratch.data(),
+                        out16.data());
+      for (int rr = 0; rr < 16; ++rr) {
+        float* orow = po + (r + rr) * c;
+        for (int64_t ci = 0; ci < c; ++ci) {
+          const float acc = out16[ci * 16 + rr];
+          if (pmask != nullptr) {
+            const bool on = acc > 0.0f;
+            pmask[(r + rr) * c + ci] = on ? 1.0f : 0.0f;
+            orow[ci] = on ? acc : 0.0f;
+          } else {
+            orow[ci] = acc;
+          }
+        }
+      }
+    }
+  }
+#endif
+  ConvRowsScalar(px, pw, pbias, po, pmask, t, e, to, c, win, r, e2);
+}
+
+}  // namespace
+
 Tensor Conv1dSeq(const Tensor& x_in, const Tensor& weight_in,
                  const Tensor& bias_in, int64_t kernel_width) {
   DTDBD_CHECK_EQ(x_in.ndim(), 3);
@@ -1439,18 +1561,7 @@ Tensor Conv1dSeq(const Tensor& x_in, const Tensor& weight_in,
   const int64_t win = kernel_width * e;
   float* po = out.data();
   ParallelFor(b * to, GrainForRows(c * win), [&](int64_t s, int64_t e2) {
-    for (int64_t r = s; r < e2; ++r) {
-      const int64_t bi = r / to, o = r % to;
-      // The window x[bi, o:o+k, :] is contiguous of length k*E.
-      const float* window = px + (bi * t + o) * e;
-      float* orow = po + r * c;
-      for (int64_t ci = 0; ci < c; ++ci) {
-        const float* wrow = pw + ci * win;
-        float acc = pbias[ci];
-        for (int64_t j = 0; j < win; ++j) acc += window[j] * wrow[j];
-        orow[ci] = acc;
-      }
-    }
+    ConvRows(px, pw, pbias, po, /*pmask=*/nullptr, t, e, to, c, win, s, e2);
   });
   return MakeOp(kConv1dSeq, {b, to, c}, std::move(out), {x, weight, bias});
 }
@@ -1533,20 +1644,7 @@ Tensor Conv1dSeqRelu(const Tensor& x_in, const Tensor& weight_in,
   float* po = out.data();
   float* pmask = state->mask.data();
   ParallelFor(b * to, GrainForRows(c * win), [&](int64_t s, int64_t e2) {
-    for (int64_t r = s; r < e2; ++r) {
-      const int64_t bi = r / to, o = r % to;
-      const float* window = px + (bi * t + o) * e;
-      float* orow = po + r * c;
-      float* mrow = pmask + r * c;
-      for (int64_t ci = 0; ci < c; ++ci) {
-        const float* wrow = pw + ci * win;
-        float acc = pbias[ci];
-        for (int64_t j = 0; j < win; ++j) acc += window[j] * wrow[j];
-        const bool on = acc > 0.0f;
-        mrow[ci] = on ? 1.0f : 0.0f;
-        orow[ci] = on ? acc : 0.0f;
-      }
-    }
+    ConvRows(px, pw, pbias, po, pmask, t, e, to, c, win, s, e2);
   });
   return MakeOp(kConv1dSeqRelu, {b, to, c}, std::move(out), {x, weight, bias},
                 state);

@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <future>
 #include <limits>
@@ -12,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/flags.h"
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "dtdbd/trainer.h"
 #include "models/model.h"
@@ -446,6 +450,319 @@ TEST_F(ServeTest, ReloadWithoutFactoryIsFailedPrecondition) {
   Server server(MakeSession("MDFEND", 3), options);
   const Status status = server.ReloadFromCheckpoint("/anything").get();
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ----- Micro-batching: bitwise parity -----
+
+TEST_F(ServeTest, PredictBatchMatchesBatchOfOneBitwiseAcrossZooAndThreads) {
+  // The batching contract from DESIGN.md §9.5: for EVERY model in the zoo,
+  // each element of a batch-of-N forward is bitwise identical to the
+  // batch-of-one answer and to the offline evaluator, at every kernel
+  // thread count. The reference is computed once at 1 thread; every other
+  // configuration must reproduce it exactly.
+  constexpr size_t kBatch = 24;
+  std::vector<InferenceRequest> requests;
+  std::vector<const InferenceRequest*> pointers;
+  for (size_t i = 0; i < kBatch; ++i) {
+    requests.push_back(RequestFor(dataset_.samples[i]));
+  }
+  for (const InferenceRequest& r : requests) pointers.push_back(&r);
+
+  data::NewsDataset subset = dataset_;
+  subset.samples.resize(kBatch);
+
+  const int prev_threads = GetNumThreads();
+  for (const std::string& name : models::AllModelNames()) {
+    SCOPED_TRACE(name);
+    SetNumThreads(1);
+    auto session = MakeSession(name, 3);
+    const std::vector<float> reference =
+        PredictFakeProbability(session->model(), subset, 64);
+    ASSERT_EQ(reference.size(), kBatch);
+
+    for (const int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      SetNumThreads(threads);
+      const auto batched = session->PredictBatch(pointers);
+      ASSERT_EQ(batched.size(), kBatch);
+      for (size_t i = 0; i < kBatch; ++i) {
+        ASSERT_TRUE(batched[i].ok()) << batched[i].status().ToString();
+        EXPECT_EQ(batched[i].value().p_fake, reference[i]) << "sample " << i;
+        const auto single = session->Predict(requests[i]);
+        ASSERT_TRUE(single.ok());
+        EXPECT_EQ(batched[i].value().p_fake, single.value().p_fake)
+            << "sample " << i;
+      }
+    }
+  }
+  SetNumThreads(prev_threads);
+}
+
+TEST_F(ServeTest, PredictBatchIsolatesPerElementFailures) {
+  auto session = MakeSession("MDFEND", 3);
+  std::vector<InferenceRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(RequestFor(dataset_.samples[static_cast<size_t>(i)]));
+  }
+  requests[1].tokens[0] = -9;                     // invalid
+  requests[3].domain = limits_.num_domains + 4;   // invalid
+  std::vector<const InferenceRequest*> pointers;
+  for (const InferenceRequest& r : requests) pointers.push_back(&r);
+
+  const auto results = session->PredictBatch(pointers);
+  ASSERT_EQ(results.size(), requests.size());
+  for (const size_t bad : {size_t{1}, size_t{3}}) {
+    ASSERT_FALSE(results[bad].ok());
+    EXPECT_EQ(results[bad].status().code(), StatusCode::kInvalidArgument);
+  }
+  for (const size_t good : {size_t{0}, size_t{2}, size_t{4}}) {
+    ASSERT_TRUE(results[good].ok()) << results[good].status().ToString();
+    EXPECT_EQ(results[good].value().p_fake,
+              session->Predict(requests[good]).value().p_fake);
+  }
+}
+
+TEST_F(ServeTest, BatchedMultiWorkerServerMatchesSessionBitwise) {
+  // Concurrent clients against a 2-worker batching server: every answer
+  // must equal the serial single-request reference, and the batching
+  // telemetry must be internally consistent.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  auto reference = MakeSession("MDFEND", 3);
+  std::vector<float> expected;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    const auto r = reference->Predict(RequestFor(
+        dataset_.samples[static_cast<size_t>(i) % dataset_.samples.size()]));
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value().p_fake);
+  }
+
+  ServerOptions options = BaseOptions();
+  options.num_workers = 2;
+  options.max_batch = 8;
+  options.max_queue_depth = 128;
+  Server server(MakeSession("MDFEND", 3), options);
+  EXPECT_EQ(server.num_workers(), 2);
+  EXPECT_EQ(server.max_batch(), 8);
+
+  std::atomic<int> next{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= kClients * kPerClient) return;
+        const auto served = server.Predict(RequestFor(
+            dataset_.samples[static_cast<size_t>(i) %
+                             dataset_.samples.size()]));
+        if (!served.ok() ||
+            served.value().p_fake != expected[static_cast<size_t>(i)]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.served_ok, kClients * kPerClient);
+  EXPECT_EQ(health.num_workers, 2);
+  EXPECT_EQ(health.max_batch, 8);
+  ASSERT_EQ(health.batch_size_histogram.size(), 9u);
+  int64_t hist_batches = 0, hist_elements = 0;
+  for (size_t s = 1; s < health.batch_size_histogram.size(); ++s) {
+    hist_batches += health.batch_size_histogram[s];
+    hist_elements += health.batch_size_histogram[s] * static_cast<int64_t>(s);
+  }
+  EXPECT_EQ(hist_batches, health.batches_run);
+  EXPECT_EQ(hist_elements, kClients * kPerClient);
+  EXPECT_GE(health.avg_batch_size, 1.0);
+  EXPECT_GE(health.compute_ms_total, 0.0);
+  EXPECT_GE(health.queue_wait_ms_total, 0.0);
+}
+
+// ----- Micro-batching: deadlines and shutdown -----
+
+TEST_F(ServeTest, SingleRequestIsNeverHeldForBatchFill) {
+  // Fill window is zero: with max_batch=16 and no other traffic, a lone
+  // request runs immediately as a batch of one rather than waiting for
+  // companions that will never arrive.
+  ServerOptions options = BaseOptions();
+  options.num_workers = 1;
+  options.max_batch = 16;
+  Server server(MakeSession("MDFEND", 3), options);
+  auto pending = server.Submit(ValidRequest());
+  ASSERT_EQ(pending.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_TRUE(pending.get().ok());
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.batches_run, 1);
+  ASSERT_GT(health.batch_size_histogram.size(), 1u);
+  EXPECT_EQ(health.batch_size_histogram[1], 1);
+}
+
+TEST_F(ServeTest, ExpiredElementIsShedFromCoalescedBatchAtDequeue) {
+  // Pin the single worker with a slow reload so three requests queue up,
+  // one already past its deadline. When the worker drains them it must
+  // coalesce all three, shed the expired element, and serve the two live
+  // ones in ONE batch — proving the deadline check happens per element at
+  // dequeue and batching never delays it.
+  ManualClock clock;
+  clock.Set(1'000'000);
+  train::FaultInjector injector(7);
+  injector.set_slow_load_nanos(200'000'000);
+  ServerOptions options = BaseOptions();
+  options.clock = &clock;
+  options.num_workers = 1;
+  options.max_batch = 16;
+  options.reload_max_attempts = 1;
+  options.fault_injector = &injector;
+  Server server(MakeSession("MDFEND", 3), options);
+
+  auto reload = server.ReloadFromCheckpoint("/nonexistent/checkpoint.bin");
+  auto expired = server.Submit(ValidRequest(), /*deadline_nanos=*/500'000);
+  auto live_a = server.Submit(ValidRequest(), /*deadline_nanos=*/0);
+  auto live_b = server.Submit(ValidRequest(), /*deadline_nanos=*/0);
+
+  const auto shed = expired.get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(live_a.get().ok());
+  EXPECT_TRUE(live_b.get().ok());
+  EXPECT_FALSE(reload.get().ok());
+
+  const HealthReport health = server.Health();
+  EXPECT_EQ(health.shed_deadline, 1);
+  EXPECT_EQ(health.served_ok, 2);
+  EXPECT_EQ(health.batches_run, 1);
+  ASSERT_GT(health.batch_size_histogram.size(), 2u);
+  EXPECT_EQ(health.batch_size_histogram[2], 1);
+}
+
+TEST_F(ServeTest, StopFailsQueuedUncoalescedRequestsUnderMultiWorker) {
+  // Regression: with N workers, requests queued behind a reload barrier
+  // have not been coalesced into any batch when Stop() lands. Every one of
+  // them must resolve kUnavailable — none may hang or be dropped.
+  train::FaultInjector injector(7);
+  injector.set_slow_load_nanos(200'000'000);
+  ServerOptions options = BaseOptions();
+  options.num_workers = 4;
+  options.max_batch = 4;
+  options.reload_max_attempts = 1;
+  options.fault_injector = &injector;
+  Server server(MakeSession("MDFEND", 3), options);
+
+  auto reload = server.ReloadFromCheckpoint("/nonexistent/checkpoint.bin");
+  std::vector<std::future<StatusOr<Prediction>>> pending;
+  for (int i = 0; i < 6; ++i) {
+    pending.push_back(server.Submit(ValidRequest()));
+  }
+  server.Stop();
+  for (auto& f : pending) {
+    const auto result = f.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_FALSE(reload.get().ok());
+  EXPECT_EQ(server.Health().served_ok, 0);
+}
+
+// ----- Serving knobs: strict flag / env resolution -----
+
+// Save/restore DTDBD_SERVE_WORKERS around a test (mirrors the
+// DTDBD_NUM_THREADS helper in thread_pool_test).
+class ScopedServeWorkersEnv {
+ public:
+  ScopedServeWorkersEnv() {
+    const char* old = std::getenv("DTDBD_SERVE_WORKERS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+  }
+  ~ScopedServeWorkersEnv() {
+    if (had_old_) {
+      setenv("DTDBD_SERVE_WORKERS", old_.c_str(), 1);
+    } else {
+      unsetenv("DTDBD_SERVE_WORKERS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+template <typename Fn>
+int WithFlags(std::vector<std::string> args, Fn fn) {
+  args.insert(args.begin(), "serve_test");
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  const FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  return fn(flags);
+}
+
+TEST_F(ServeTest, ServeWorkersFromEnvParsesStrictly) {
+  ScopedServeWorkersEnv guard;
+  unsetenv("DTDBD_SERVE_WORKERS");
+  EXPECT_EQ(ServeWorkersFromEnv(), 1);
+  setenv("DTDBD_SERVE_WORKERS", "3", 1);
+  EXPECT_EQ(ServeWorkersFromEnv(), 3);
+  for (const char* bad : {"0", "-2", "abc", "4x", " 4", "2.5", ""}) {
+    setenv("DTDBD_SERVE_WORKERS", bad, 1);
+    EXPECT_EQ(ServeWorkersFromEnv(), 1) << "'" << bad << "'";
+  }
+}
+
+TEST_F(ServeTest, ResolveServeWorkersPrefersFlagThenEnv) {
+  ScopedServeWorkersEnv guard;
+  const auto resolve = [](const FlagParser& f) {
+    return ResolveServeWorkers(f);
+  };
+  unsetenv("DTDBD_SERVE_WORKERS");
+  EXPECT_EQ(WithFlags({}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--serve-workers=4"}, resolve), 4);
+  setenv("DTDBD_SERVE_WORKERS", "2", 1);
+  EXPECT_EQ(WithFlags({}, resolve), 2);                      // env fallback
+  EXPECT_EQ(WithFlags({"--serve-workers=4"}, resolve), 4);   // flag wins
+  // A present-but-invalid flag pins to the safe default of 1; it does NOT
+  // silently fall through to the env (same rule as --threads).
+  EXPECT_EQ(WithFlags({"--serve-workers=zero"}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--serve-workers=0"}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--serve-workers=-1"}, resolve), 1);
+}
+
+TEST_F(ServeTest, ResolveMaxBatchParsesStrictly) {
+  const auto resolve = [](const FlagParser& f) { return ResolveMaxBatch(f); };
+  EXPECT_EQ(WithFlags({}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--max-batch=16"}, resolve), 16);
+  EXPECT_EQ(WithFlags({"--max-batch=0"}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--max-batch=-8"}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--max-batch=lots"}, resolve), 1);
+  EXPECT_EQ(WithFlags({"--max-batch=4x"}, resolve), 1);
+}
+
+TEST_F(ServeTest, ServerResolvesWorkerCountFromOptionsThenEnv) {
+  ScopedServeWorkersEnv guard;
+  setenv("DTDBD_SERVE_WORKERS", "3", 1);
+  {
+    ServerOptions options = BaseOptions();
+    options.num_workers = 0;  // resolve from env
+    Server server(MakeSession("MDFEND", 3), options);
+    EXPECT_EQ(server.num_workers(), 3);
+    EXPECT_EQ(server.Health().num_workers, 3);
+  }
+  {
+    ServerOptions options = BaseOptions();
+    options.num_workers = 2;  // explicit option beats env
+    Server server(MakeSession("MDFEND", 3), options);
+    EXPECT_EQ(server.num_workers(), 2);
+  }
+  setenv("DTDBD_SERVE_WORKERS", "bogus", 1);
+  {
+    Server server(MakeSession("MDFEND", 3), BaseOptions());
+    EXPECT_EQ(server.num_workers(), 1);  // invalid env -> warn + 1
+  }
 }
 
 // ----- Watchdog -----

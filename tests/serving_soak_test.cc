@@ -1,9 +1,11 @@
-// Serving soak: >= 10k requests through the Server under fault injection —
+// Serving soak: >= 11k requests through the Server under fault injection —
 // malformed inputs, deadline pressure, and mid-run hot-reloads (including
-// injected load failures) — at thread counts 1/2/4/8. The contract under
-// test: zero crashes, every request answered with OK or a typed error, and
-// every OK answer bitwise identical to the offline evaluator
-// (PredictFakeProbability) for the model version that served it.
+// injected load failures) — swept over serving workers {1, 4} x kernel
+// thread counts {1, 2, 4, 8} with micro-batching enabled (max_batch 8).
+// The contract under test: zero crashes, every request answered with OK or
+// a typed error, and every OK answer bitwise identical to the offline
+// evaluator (PredictFakeProbability) for the model version that served it —
+// no matter which worker served it or how large a batch it rode in.
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -125,7 +127,7 @@ InferenceRequest Corrupt(InferenceRequest request,
   return request;
 }
 
-TEST_F(ServingSoakTest, TenThousandFaultyRequestsAcrossThreadCounts) {
+TEST_F(ServingSoakTest, ElevenThousandFaultyRequestsAcrossWorkersAndThreads) {
   const std::string checkpoint = WriteReloadCheckpoint();
 
   // Offline references, computed once at 1 thread; every served answer at
@@ -145,18 +147,23 @@ TEST_F(ServingSoakTest, TenThousandFaultyRequestsAcrossThreadCounts) {
   };
 
   constexpr int kClientThreads = 4;
-  constexpr int kRequestsPerClient = 700;
-  // 4 sweeps x 4 clients x 700 = 11200 requests total.
+  constexpr int kRequestsPerClient = 350;
+  // 2 worker counts x 4 thread counts x 4 clients x 350 = 11200 requests.
   int64_t total_ok = 0, total_invalid = 0, total_shed = 0, total_rejected = 0;
   int64_t total_requests = 0;
 
+  for (const int num_workers : {1, 4}) {
   for (const int num_threads : {1, 2, 4, 8}) {
-    SCOPED_TRACE("threads=" + std::to_string(num_threads));
+    SCOPED_TRACE("workers=" + std::to_string(num_workers) +
+                 " threads=" + std::to_string(num_threads));
     SetNumThreads(num_threads);
 
-    train::FaultInjector injector(static_cast<uint64_t>(num_threads) * 31);
+    train::FaultInjector injector(static_cast<uint64_t>(num_threads) * 31 +
+                                  static_cast<uint64_t>(num_workers));
     injector.set_request_fault_probability(0.15);
     ServerOptions options;
+    options.num_workers = num_workers;
+    options.max_batch = 8;  // exercise coalescing in every config
     options.max_queue_depth = 256;
     options.watchdog_period_nanos = 2'000'000;
     options.reload_max_attempts = 2;
@@ -268,14 +275,31 @@ TEST_F(ServingSoakTest, TenThousandFaultyRequestsAcrossThreadCounts) {
     EXPECT_GT(health.watchdog_ticks, 0);
     EXPECT_GE(server->model_version(), 2);
 
+    // Batching telemetry must account for exactly the dequeued elements:
+    // every non-shed request rode in some batch of size 1..max_batch.
+    EXPECT_EQ(health.num_workers, num_workers);
+    EXPECT_EQ(health.max_batch, 8);
+    ASSERT_EQ(health.batch_size_histogram.size(), 9u);
+    int64_t hist_batches = 0, hist_elements = 0;
+    for (size_t s = 1; s < health.batch_size_histogram.size(); ++s) {
+      hist_batches += health.batch_size_histogram[s];
+      hist_elements +=
+          health.batch_size_histogram[s] * static_cast<int64_t>(s);
+    }
+    EXPECT_EQ(hist_batches, health.batches_run);
+    EXPECT_EQ(hist_elements, ok + invalid);
+    EXPECT_GT(health.batches_run, 0);
+    EXPECT_GE(health.avg_batch_size, 1.0);
+
     server->Stop();
     total_ok += ok;
     total_invalid += invalid;
     total_shed += shed;
     total_rejected += rejected;
   }
+  }
 
-  EXPECT_GE(total_requests, 10'000);
+  EXPECT_GE(total_requests, 11'000);
   EXPECT_EQ(total_requests,
             total_ok + total_invalid + total_shed + total_rejected);
   SetNumThreads(0);  // restore the environment default

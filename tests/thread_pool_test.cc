@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -185,6 +186,131 @@ TEST_F(ThreadPoolTest, InitThreadsFromFlagsInvalidFallsBackToOne) {
 TEST_F(ThreadPoolTest, InitThreadsFromFlagsAbsentUsesDefault) {
   ScopedThreadsEnv env("2");
   EXPECT_EQ(InitThreadsFromArgs({}), 2);
+}
+
+// ----- Multi-dispatcher: KernelPool + ScopedKernelPool -----
+
+TEST_F(ThreadPoolTest, ScopedKernelPoolInstallsAndRestores) {
+  EXPECT_EQ(CurrentKernelPool(), nullptr);
+  KernelPool a(2);
+  EXPECT_EQ(a.nthreads(), 2);
+  {
+    ScopedKernelPool scoped_a(&a);
+    EXPECT_EQ(CurrentKernelPool(), &a);
+    KernelPool b(3);
+    {
+      ScopedKernelPool scoped_b(&b);
+      EXPECT_EQ(CurrentKernelPool(), &b);
+    }
+    EXPECT_EQ(CurrentKernelPool(), &a);
+  }
+  EXPECT_EQ(CurrentKernelPool(), nullptr);
+}
+
+TEST_F(ThreadPoolTest, AmbientPoolUsesSameShardBoundariesAsGlobal) {
+  // Sharding is a pure function of (n, grain, threads); which pool runs
+  // the shards must not change the partition.
+  SetNumThreads(4);
+  const auto collect = [] {
+    std::set<std::pair<int64_t, int64_t>> shards;
+    std::mutex mu;
+    ParallelFor(1000, /*grain=*/10, [&](int64_t begin, int64_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      shards.emplace(begin, end);
+    });
+    return shards;
+  };
+  const auto global_shards = collect();
+  KernelPool pool(4);
+  ScopedKernelPool scoped(&pool);
+  EXPECT_EQ(collect(), global_shards);
+}
+
+TEST_F(ThreadPoolTest, ConcurrentDispatchersProduceIdenticalResults) {
+  // N threads, each owning a private KernelPool, dispatch ParallelFor
+  // concurrently — the serving-worker topology. Every dispatcher must see
+  // exactly the serial result; no dispatch state is shared.
+  SetNumThreads(1);
+  const int64_t n = 20000;
+  std::vector<int64_t> expected(n);
+  for (int64_t i = 0; i < n; ++i) expected[i] = (i * i) % 977 + i;
+
+  constexpr int kDispatchers = 4;
+  std::vector<std::vector<int64_t>> results(
+      kDispatchers, std::vector<int64_t>(n, -1));
+  std::vector<std::thread> dispatchers;
+  for (int d = 0; d < kDispatchers; ++d) {
+    dispatchers.emplace_back([&, d] {
+      KernelPool pool(4);
+      ScopedKernelPool scoped(&pool);
+      auto& mine = results[static_cast<size_t>(d)];
+      for (int round = 0; round < 50; ++round) {
+        ParallelFor(n, /*grain=*/256, [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) mine[i] = (i * i) % 977 + i;
+        });
+      }
+    });
+  }
+  for (auto& t : dispatchers) t.join();
+  for (int d = 0; d < kDispatchers; ++d) {
+    ASSERT_EQ(results[static_cast<size_t>(d)], expected) << "dispatcher " << d;
+  }
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForInsideKernelPoolInlines) {
+  // The nested-inline rule holds for ambient pools too: a kernel running
+  // on a pool worker never re-dispatches into its own pool.
+  KernelPool pool(4);
+  ScopedKernelPool scoped(&pool);
+  const int64_t outer = 8, inner = 1000;
+  std::vector<int64_t> sums(outer, 0);
+  ParallelFor(outer, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      int64_t local = 0;
+      ParallelFor(inner, /*grain=*/1, [&](int64_t b2, int64_t e2) {
+        for (int64_t j = b2; j < e2; ++j) local += j;
+      });
+      sums[i] = local;
+    }
+  });
+  for (int64_t i = 0; i < outer; ++i) {
+    EXPECT_EQ(sums[i], inner * (inner - 1) / 2);
+  }
+}
+
+TEST_F(ThreadPoolTest, SingleThreadKernelPoolRunsInline) {
+  KernelPool pool(1);
+  EXPECT_EQ(pool.impl(), nullptr);  // no worker threads to spin up
+  ScopedKernelPool scoped(&pool);
+  std::atomic<int> calls{0};
+  ParallelFor(100, /*grain=*/10, [&](int64_t begin, int64_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 100);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// ----- ParsePositiveInt (shared by --threads / --serve-workers / env) -----
+
+TEST_F(ThreadPoolTest, ParsePositiveIntAcceptsStrictPositiveDecimals) {
+  int out = 0;
+  EXPECT_TRUE(ParsePositiveInt("1", &out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ParsePositiveInt("64", &out));
+  EXPECT_EQ(out, 64);
+  EXPECT_TRUE(ParsePositiveInt("2147483647", &out));
+  EXPECT_EQ(out, 2147483647);
+}
+
+TEST_F(ThreadPoolTest, ParsePositiveIntRejectsEverythingElse) {
+  for (const char* bad : {"", " 2", "2 ", "abc", "4x", "0", "-3", "2.5",
+                          "+2", "0x10", "2147483648", "99999999999999"}) {
+    int out = -1;
+    EXPECT_FALSE(ParsePositiveInt(bad, &out)) << "'" << bad << "'";
+    EXPECT_EQ(out, -1) << "out must be untouched on failure: '" << bad << "'";
+  }
+  EXPECT_FALSE(ParsePositiveInt(nullptr, nullptr));
 }
 
 TEST_F(ThreadPoolTest, ManyConsecutiveDispatches) {
