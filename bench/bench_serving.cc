@@ -1,28 +1,40 @@
 // Serving-path benchmark. Not a paper artifact — operational numbers for
-// the hardened inference subsystem (src/serve/).
+// the hardened serving stack (src/serve/ behind the src/net/ socket front
+// end), measured the way a real user would see them: over TCP.
 //
-// Closed-loop throughput sweep over serving workers × max_batch
-// ({1,2,4} × {1,4,16}): a fixed pool of client threads each keeps exactly
-// one synchronous request in flight, so queue pressure — and therefore
-// batch fill — emerges from contention rather than from an open-loop
-// arrival schedule. Per config we report requests/sec plus client-side
-// p50/p99/p99.9 end-to-end latency and the server's observed batch-size
-// mix. The headline number is the 4-worker/batch-16 throughput relative
-// to the 1-worker/batch-1 baseline. Writes BENCH_serving.json atomically
-// (temp file + rename).
+// Two phases, one server:
+//   1. Closed-loop calibration: --clients socket clients each keep one
+//      request in flight until --requests complete. The measured rate is
+//      the capacity estimate (and yields closed-loop p50/p99).
+//   2. Open-loop storm: at load factors 1.0x and 2.0x of the estimated
+//      capacity, each client runs an independent Poisson arrival process
+//      (exponential inter-arrival sleeps; the merge of per-client processes
+//      is Poisson at the target rate) and SENDS ON SCHEDULE regardless of
+//      outstanding responses — queueing pressure is real, not an artifact
+//      of client back-pressure. Every request carries a --deadline-ms
+//      deadline. Reported per load point: offered vs goodput rate, shed
+//      rate (RETRY_LATER + DEADLINE_EXCEEDED), and p50/p99 of the OK
+//      responses. Writes BENCH_serving.json atomically.
 //
-// Flags: --requests=N per config (default 2000), --clients=N (default 64),
-//        --queue-depth, --threads=N, --json=BENCH_serving.json,
-//        --model=MDFEND. Passing --serve-workers and/or --max-batch
-//        (strict-parsed; invalid -> warning + 1) replaces the sweep with
-//        that single configuration.
+// Flags: --requests=N closed-loop calibration count (default 2000),
+//        --open-requests=N per open-loop load point (default --requests),
+//        --clients=N socket clients (default 8), --deadline-ms (default
+//        200), --queue-depth (default 256), --threads=N,
+//        --serve-workers / --max-batch (strict-parsed; default 4 workers'
+//        rule: env fallback / batch 4), --model=MDFEND,
+//        --json=BENCH_serving.json, and the strict-parsed socket knobs
+//        --port (0 = ephemeral), --max-conns (64), --idle-timeout-ms
+//        (5000) — present-but-invalid values warn and pin the default.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <random>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
@@ -30,6 +42,9 @@
 #include "common/thread_pool.h"
 #include "data/generator.h"
 #include "models/model.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/socket_server.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "text/frozen_encoder.h"
@@ -37,6 +52,12 @@
 namespace {
 
 using namespace dtdbd;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 serve::InferenceRequest RequestFor(const data::NewsSample& sample) {
   serve::InferenceRequest request;
@@ -47,24 +68,221 @@ serve::InferenceRequest RequestFor(const data::NewsSample& sample) {
   return request;
 }
 
-struct ConfigResult {
-  int workers = 0;
-  int max_batch = 0;
-  double rps = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  double p999_ms = 0.0;
-  double avg_batch_size = 0.0;
-  long long batches_run = 0;
-  double queue_wait_ms_total = 0.0;
-  double compute_ms_total = 0.0;
-};
-
 double PercentileMs(std::vector<int64_t>* sorted_nanos, double q) {
   if (sorted_nanos->empty()) return 0.0;
   const auto idx = static_cast<size_t>(
       q * static_cast<double>(sorted_nanos->size() - 1) + 0.5);
   return static_cast<double>((*sorted_nanos)[idx]) / 1e6;
+}
+
+struct LoadPointResult {
+  double load_factor = 0.0;
+  double target_rps = 0.0;
+  double offered_rps = 0.0;
+  double goodput_rps = 0.0;
+  double shed_rate = 0.0;
+  long long sent = 0;
+  long long ok = 0;
+  long long retry_later = 0;
+  long long deadline_exceeded = 0;
+  long long other = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Closed loop: `clients` call/response clients racing a shared counter.
+// Returns measured requests/sec; fills sorted latencies.
+double RunClosedLoop(int port, const std::vector<serve::InferenceRequest>& reqs,
+                     int clients, int total_requests,
+                     std::vector<int64_t>* sorted_latencies_nanos,
+                     long long* errors_out) {
+  std::atomic<int> next{0};
+  std::atomic<long long> errors{0};
+  std::vector<std::vector<int64_t>> latencies(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total_requests) return;
+        const auto& request = reqs[static_cast<size_t>(i) % reqs.size()];
+        net::WireResponse response;
+        const int64_t t0 = NowNanos();
+        const Status called =
+            client.Call(static_cast<uint64_t>(i) + 1, 0, request, &response);
+        const int64_t t1 = NowNanos();
+        if (!called.ok() || response.code != net::WireCode::kOk) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[static_cast<size_t>(c)].push_back(t1 - t0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_sec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  for (const auto& v : latencies) {
+    sorted_latencies_nanos->insert(sorted_latencies_nanos->end(), v.begin(),
+                                   v.end());
+  }
+  std::sort(sorted_latencies_nanos->begin(), sorted_latencies_nanos->end());
+  *errors_out = errors.load();
+  return wall_sec > 0 ? static_cast<double>(total_requests) / wall_sec : 0.0;
+}
+
+// Open loop: per-client Poisson arrivals at target_rps/clients, sends on
+// schedule (pipelined), a receiver thread per client drains and classifies.
+LoadPointResult RunOpenLoop(int port,
+                            const std::vector<serve::InferenceRequest>& reqs,
+                            int clients, int total_requests, double load_factor,
+                            double target_rps, int deadline_ms) {
+  LoadPointResult result;
+  result.load_factor = load_factor;
+  result.target_rps = target_rps;
+  const int per_client = std::max(1, total_requests / clients);
+  const double rate_per_client =
+      target_rps / static_cast<double>(clients);  // events/sec
+
+  std::atomic<long long> ok{0}, retry_later{0}, deadline_exceeded{0},
+      other{0}, sent{0};
+  std::vector<std::vector<int64_t>> latencies(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        other.fetch_add(per_client);
+        return;
+      }
+      // Send timestamps shared with the receiver; also the ledger of ids
+      // still awaiting an answer.
+      std::mutex mu;
+      std::unordered_map<uint64_t, int64_t> pending;
+      std::atomic<long long> my_sent{0};
+      std::atomic<bool> sender_done{false};
+
+      std::thread receiver([&] {
+        long long received = 0;
+        for (;;) {
+          if (sender_done.load(std::memory_order_acquire) &&
+              received >= my_sent.load(std::memory_order_acquire)) {
+            return;
+          }
+          net::WireResponse response;
+          const Status got = client.Receive(&response, 10'000);
+          if (!got.ok()) {
+            // Clean close or timeout: everything unanswered counts "other".
+            std::lock_guard<std::mutex> lock(mu);
+            other.fetch_add(static_cast<long long>(pending.size()));
+            pending.clear();
+            return;
+          }
+          ++received;
+          int64_t t0 = 0;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            auto it = pending.find(response.request_id);
+            if (it != pending.end()) {
+              t0 = it->second;
+              pending.erase(it);
+            }
+          }
+          switch (response.code) {
+            case net::WireCode::kOk:
+              ok.fetch_add(1, std::memory_order_relaxed);
+              if (t0 > 0) {
+                latencies[static_cast<size_t>(c)].push_back(NowNanos() - t0);
+              }
+              break;
+            case net::WireCode::kRetryLater:
+              retry_later.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case net::WireCode::kDeadlineExceeded:
+              deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              other.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        }
+      });
+
+      std::mt19937_64 rng(0x9E3779B97F4A7C15ull + static_cast<uint64_t>(c));
+      std::exponential_distribution<double> inter_arrival(rate_per_client);
+      auto next_send = std::chrono::steady_clock::now();
+      for (int i = 0; i < per_client; ++i) {
+        next_send += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(inter_arrival(rng)));
+        std::this_thread::sleep_until(next_send);
+        const uint64_t id =
+            static_cast<uint64_t>(c) * 10'000'000 + static_cast<uint64_t>(i) +
+            1;
+        const auto& request =
+            reqs[(static_cast<size_t>(c) * 131 + static_cast<size_t>(i)) %
+                 reqs.size()];
+        const int64_t now = NowNanos();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          pending.emplace(id, now);
+        }
+        const int64_t deadline =
+            now + static_cast<int64_t>(deadline_ms) * 1'000'000;
+        if (!client.Send(id, deadline, request).ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          pending.erase(id);
+          other.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        my_sent.fetch_add(1, std::memory_order_release);
+        sent.fetch_add(1, std::memory_order_relaxed);
+      }
+      sender_done.store(true, std::memory_order_release);
+      receiver.join();
+      client.Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_sec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  std::vector<int64_t> merged;
+  for (const auto& v : latencies) {
+    merged.insert(merged.end(), v.begin(), v.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  result.sent = sent.load();
+  result.ok = ok.load();
+  result.retry_later = retry_later.load();
+  result.deadline_exceeded = deadline_exceeded.load();
+  result.other = other.load();
+  result.offered_rps =
+      wall_sec > 0 ? static_cast<double>(result.sent) / wall_sec : 0.0;
+  result.goodput_rps =
+      wall_sec > 0 ? static_cast<double>(result.ok) / wall_sec : 0.0;
+  const long long answered = result.ok + result.retry_later +
+                             result.deadline_exceeded + result.other;
+  result.shed_rate =
+      answered > 0 ? static_cast<double>(result.retry_later +
+                                         result.deadline_exceeded) /
+                         static_cast<double>(answered)
+                   : 0.0;
+  result.p50_ms = PercentileMs(&merged, 0.50);
+  result.p99_ms = PercentileMs(&merged, 0.99);
+  return result;
 }
 
 }  // namespace
@@ -73,11 +291,21 @@ int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const int threads = InitThreadsFromFlags(flags);
   const int requests = flags.GetInt("requests", 2000);
-  const int clients = flags.GetInt("clients", 64);
-  const int64_t queue_depth =
-      flags.GetInt("queue-depth", std::max(256, clients + 1));
+  const int open_requests = flags.GetInt("open-requests", requests);
+  const int clients = flags.GetInt("clients", 8);
+  const int deadline_ms = flags.GetInt("deadline-ms", 200);
+  const int64_t queue_depth = flags.GetInt("queue-depth", 256);
   const std::string model_name = flags.GetString("model", "MDFEND");
   const std::string json_path = flags.GetString("json", "BENCH_serving.json");
+  const int serve_workers = serve::ResolveServeWorkers(flags);
+  const int max_batch =
+      flags.Has("max-batch") ? serve::ResolveMaxBatch(flags) : 4;
+  // Socket knobs share the strict-parse rule: a typo'd --port must not bind
+  // a random port silently — warn and pin the default instead.
+  const int port_flag = ResolvePositiveIntFlag(flags, "port", 0, 0);
+  const int max_conns = ResolvePositiveIntFlag(flags, "max-conns", 64, 64);
+  const int idle_timeout_ms =
+      ResolvePositiveIntFlag(flags, "idle-timeout-ms", 5000, 5000);
 
   data::NewsDataset dataset = data::GenerateCorpus(data::MicroConfig(29));
   text::FrozenEncoder encoder(dataset.vocab->size(), 32, 14);
@@ -92,140 +320,133 @@ int main(int argc, char** argv) {
   limits.num_domains = config.num_domains;
   limits.seq_len = dataset.seq_len;
 
-  // Default: full sweep. An explicit --serve-workers / --max-batch pins a
-  // single configuration (the flags share the strict --threads parse rule).
-  std::vector<int> worker_grid = {1, 2, 4};
-  std::vector<int> batch_grid = {1, 4, 16};
-  if (flags.Has("serve-workers") || flags.Has("max-batch")) {
-    worker_grid = {serve::ResolveServeWorkers(flags)};
-    batch_grid = {serve::ResolveMaxBatch(flags)};
+  serve::ServerOptions options;
+  options.num_workers = serve_workers;
+  options.max_batch = max_batch;
+  options.max_queue_depth = queue_depth;
+  serve::Server server(
+      std::make_unique<serve::InferenceSession>(
+          models::CreateModel(model_name, config), limits,
+          /*model_version=*/1),
+      std::move(options));
+
+  net::SocketServerOptions net_options;
+  net_options.port = port_flag;
+  net_options.max_connections = max_conns;
+  net_options.idle_timeout_ms = idle_timeout_ms;
+  // Open-loop clients pipeline deeply by design; shed on the shared queue,
+  // not on the per-connection guard rail.
+  net_options.max_inflight_per_connection = 1024;
+  net::SocketServer net(&server, net_options);
+  const Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
   }
-  std::vector<ConfigResult> results;
 
-  for (const int workers : worker_grid) {
-    for (const int max_batch : batch_grid) {
-      serve::ServerOptions options;
-      options.num_workers = workers;
-      options.max_batch = max_batch;
-      options.max_queue_depth = queue_depth;
-      serve::Server server(
-          std::make_unique<serve::InferenceSession>(
-              models::CreateModel(model_name, config), limits,
-              /*model_version=*/1),
-          std::move(options));
+  std::vector<serve::InferenceRequest> requests_pool;
+  requests_pool.reserve(dataset.samples.size());
+  for (const auto& sample : dataset.samples) {
+    requests_pool.push_back(RequestFor(sample));
+  }
+  // Warm-up: first-touch allocation out of the numbers.
+  for (int i = 0; i < 32; ++i) {
+    (void)server.Predict(
+        requests_pool[static_cast<size_t>(i) % requests_pool.size()]);
+  }
 
-      // Warm-up so first-touch allocation noise stays out of the numbers.
-      for (int i = 0; i < 32; ++i) {
-        (void)server.Predict(
-            RequestFor(dataset.samples[i % dataset.samples.size()]));
-      }
+  std::vector<int64_t> closed_latencies;
+  long long closed_errors = 0;
+  const double capacity_rps = RunClosedLoop(
+      net.port(), requests_pool, clients, requests, &closed_latencies,
+      &closed_errors);
+  const double closed_p50 = PercentileMs(&closed_latencies, 0.50);
+  const double closed_p99 = PercentileMs(&closed_latencies, 0.99);
+  if (closed_errors > 0) {
+    std::fprintf(stderr, "closed loop: %lld errors\n", closed_errors);
+    return 1;
+  }
+  std::printf(
+      "closed loop: %d clients  %8.1f req/s (capacity estimate)  "
+      "p50 %7.3f ms  p99 %7.3f ms\n",
+      clients, capacity_rps, closed_p50, closed_p99);
 
-      std::atomic<int> next{0};
-      std::atomic<long long> errors{0};
-      std::vector<std::vector<int64_t>> client_latencies(
-          static_cast<size_t>(clients));
-      const auto start = std::chrono::steady_clock::now();
-      std::vector<std::thread> client_threads;
-      client_threads.reserve(static_cast<size_t>(clients));
-      for (int c = 0; c < clients; ++c) {
-        client_threads.emplace_back([&, c] {
-          std::vector<int64_t>& latencies =
-              client_latencies[static_cast<size_t>(c)];
-          for (;;) {
-            const int i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= requests) return;
-            const serve::InferenceRequest request = RequestFor(
-                dataset.samples[static_cast<size_t>(i) %
-                                dataset.samples.size()]);
-            const auto t0 = std::chrono::steady_clock::now();
-            const auto result = server.Predict(request);
-            const auto t1 = std::chrono::steady_clock::now();
-            if (!result.ok()) {
-              errors.fetch_add(1, std::memory_order_relaxed);
-              continue;
-            }
-            latencies.push_back(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                    .count());
-          }
-        });
-      }
-      for (auto& t : client_threads) t.join();
-      const auto end = std::chrono::steady_clock::now();
-      const double wall_sec =
-          std::chrono::duration<double>(end - start).count();
+  std::vector<LoadPointResult> points;
+  for (const double factor : {1.0, 2.0}) {
+    const LoadPointResult point =
+        RunOpenLoop(net.port(), requests_pool, clients, open_requests, factor,
+                    factor * capacity_rps, deadline_ms);
+    std::printf(
+        "open loop %.1fx: offered %8.1f req/s  goodput %8.1f req/s  "
+        "shed %5.1f%%  p50 %7.3f ms  p99 %7.3f ms  "
+        "(ok %lld, retry %lld, deadline %lld, other %lld)\n",
+        point.load_factor, point.offered_rps, point.goodput_rps,
+        100.0 * point.shed_rate, point.p50_ms, point.p99_ms, point.ok,
+        point.retry_later, point.deadline_exceeded, point.other);
+    points.push_back(point);
+  }
 
-      const serve::HealthReport health = server.Health();
-      server.Stop();
-      if (errors.load() > 0) {
-        std::fprintf(stderr,
-                     "config workers=%d max_batch=%d: %lld request errors\n",
-                     workers, max_batch, errors.load());
-        return 1;
-      }
+  const serve::HealthReport health = server.Health();
+  const net::NetStats net_stats = net.Stats();
+  net.Stop();
+  server.Stop();
 
-      std::vector<int64_t> merged;
-      for (const auto& v : client_latencies) {
-        merged.insert(merged.end(), v.begin(), v.end());
-      }
-      std::sort(merged.begin(), merged.end());
-
-      ConfigResult r;
-      r.workers = workers;
-      r.max_batch = max_batch;
-      r.rps = wall_sec > 0 ? static_cast<double>(requests) / wall_sec : 0.0;
-      r.p50_ms = PercentileMs(&merged, 0.50);
-      r.p99_ms = PercentileMs(&merged, 0.99);
-      r.p999_ms = PercentileMs(&merged, 0.999);
-      r.avg_batch_size = health.avg_batch_size;
-      r.batches_run = static_cast<long long>(health.batches_run);
-      r.queue_wait_ms_total = health.queue_wait_ms_total;
-      r.compute_ms_total = health.compute_ms_total;
-      results.push_back(r);
-
-      std::printf(
-          "workers=%d max_batch=%2d  %8.1f req/s  p50 %7.3f ms  "
-          "p99 %7.3f ms  p99.9 %7.3f ms  avg batch %.2f\n",
-          workers, max_batch, r.rps, r.p50_ms, r.p99_ms, r.p999_ms,
-          r.avg_batch_size);
+  for (const LoadPointResult& point : points) {
+    if (point.other > 0) {
+      std::fprintf(stderr, "open loop %.1fx: %lld unexpected outcomes\n",
+                   point.load_factor, point.other);
+      return 1;
     }
   }
 
-  double baseline_rps = 0.0, headline_rps = 0.0;
-  for (const ConfigResult& r : results) {
-    if (r.workers == 1 && r.max_batch == 1) baseline_rps = r.rps;
-    if (r.workers == 4 && r.max_batch == 16) headline_rps = r.rps;
-  }
-  const double speedup =
-      baseline_rps > 0 ? headline_rps / baseline_rps : 0.0;
-
   char line[1024];
   std::string json = "{\n";
-  json += "  \"bench\": \"serving_microbatch_sweep\",\n";
+  json += "  \"bench\": \"serving_socket_load\",\n";
   json += "  \"model\": \"" + model_name + "\",\n";
   std::snprintf(line, sizeof(line),
                 "  \"threads\": %d,\n  \"clients\": %d,\n"
-                "  \"requests_per_config\": %d,\n  \"configs\": [\n",
-                threads, clients, requests);
+                "  \"serve_workers\": %d,\n  \"max_batch\": %d,\n"
+                "  \"queue_depth\": %lld,\n  \"deadline_ms\": %d,\n",
+                threads, clients, server.num_workers(), server.max_batch(),
+                static_cast<long long>(queue_depth), deadline_ms);
   json += line;
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ConfigResult& r = results[i];
+  std::snprintf(line, sizeof(line),
+                "  \"closed_loop\": {\"requests\": %d, \"rps\": %.2f, "
+                "\"p50_ms\": %.4f, \"p99_ms\": %.4f},\n",
+                requests, capacity_rps, closed_p50, closed_p99);
+  json += line;
+  json += "  \"open_loop\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPointResult& p = points[i];
     std::snprintf(
         line, sizeof(line),
-        "    {\"workers\": %d, \"max_batch\": %d, \"rps\": %.2f, "
-        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
-        "\"avg_batch_size\": %.3f, \"batches_run\": %lld, "
-        "\"queue_wait_ms_total\": %.2f, \"compute_ms_total\": %.2f}%s\n",
-        r.workers, r.max_batch, r.rps, r.p50_ms, r.p99_ms, r.p999_ms,
-        r.avg_batch_size, r.batches_run, r.queue_wait_ms_total,
-        r.compute_ms_total, i + 1 < results.size() ? "," : "");
+        "    {\"load_factor\": %.1f, \"target_rps\": %.2f, "
+        "\"offered_rps\": %.2f, \"goodput_rps\": %.2f, "
+        "\"shed_rate\": %.4f, \"sent\": %lld, \"ok\": %lld, "
+        "\"retry_later\": %lld, \"deadline_exceeded\": %lld, "
+        "\"other\": %lld, \"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+        p.load_factor, p.target_rps, p.offered_rps, p.goodput_rps,
+        p.shed_rate, p.sent, p.ok, p.retry_later, p.deadline_exceeded,
+        p.other, p.p50_ms, p.p99_ms, i + 1 < points.size() ? "," : "");
     json += line;
   }
-  std::snprintf(line, sizeof(line),
-                "  ],\n  \"rps_workers1_batch1\": %.2f,\n"
-                "  \"rps_workers4_batch16\": %.2f,\n"
-                "  \"speedup_4x16_vs_1x1\": %.3f\n}\n",
-                baseline_rps, headline_rps, speedup);
+  json += "  ],\n";
+  std::snprintf(
+      line, sizeof(line),
+      "  \"capacity_rps_estimate\": %.2f,\n"
+      "  \"shed_rate_2x\": %.4f,\n  \"goodput_rps_2x\": %.2f,\n"
+      "  \"server\": {\"served_ok\": %lld, \"rejected_queue_full\": %lld, "
+      "\"shed_deadline\": %lld, \"avg_batch_size\": %.3f},\n"
+      "  \"net\": {\"accepted\": %lld, \"frames_received\": %lld, "
+      "\"responses_sent\": %lld, \"bad_frames\": %lld}\n}\n",
+      capacity_rps, points.back().shed_rate, points.back().goodput_rps,
+      static_cast<long long>(health.served_ok),
+      static_cast<long long>(health.rejected_queue_full),
+      static_cast<long long>(health.shed_deadline), health.avg_batch_size,
+      static_cast<long long>(net_stats.accepted),
+      static_cast<long long>(net_stats.frames_received),
+      static_cast<long long>(net_stats.responses_sent),
+      static_cast<long long>(net_stats.bad_frames));
   json += line;
 
   const Status written = AtomicWriteFile(json_path, json);
@@ -233,7 +454,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;
   }
-  std::printf("speedup 4x16 vs 1x1: %.2fx\n", speedup);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

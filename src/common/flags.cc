@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "common/logging.h"
+
 namespace dtdbd {
 
 FlagParser::FlagParser(int argc, char** argv) {
@@ -72,6 +74,17 @@ bool ParsePositiveInt(const char* text, int* out) {
   if (n <= 0 || n > std::numeric_limits<int>::max()) return false;
   *out = static_cast<int>(n);
   return true;
+}
+
+int ResolvePositiveIntFlag(const FlagParser& flags, const char* name,
+                           int absent_value, int invalid_value) {
+  if (!flags.Has(name)) return absent_value;
+  const std::string value = flags.GetString(name, "");
+  int n = 0;
+  if (ParsePositiveInt(value.c_str(), &n)) return n;
+  DTDBD_LOG(Warning) << "--" << name << " '" << value
+                     << "' is not a positive integer; using " << invalid_value;
+  return invalid_value;
 }
 
 }  // namespace dtdbd

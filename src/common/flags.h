@@ -38,6 +38,15 @@ class FlagParser {
 // prefix (the old std::atoi behavior).
 bool ParsePositiveInt(const char* text, int* out);
 
+// Strict resolution of a positive-integer flag. Absent flag -> `absent_value`
+// (so callers can chain an env fallback). Present-but-invalid flag
+// (non-numeric, zero, negative, trailing junk) -> warning + `invalid_value`,
+// never a silently reinterpreted prefix and never a fall-through to the env
+// — a typo'd --port must not bind a random port. Shared by --serve-workers,
+// --max-batch, --port, --max-conns, --idle-timeout-ms.
+int ResolvePositiveIntFlag(const FlagParser& flags, const char* name,
+                           int absent_value, int invalid_value);
+
 }  // namespace dtdbd
 
 #endif  // DTDBD_COMMON_FLAGS_H_

@@ -1,10 +1,35 @@
 #include "common/io.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
 
 namespace dtdbd {
+
+namespace {
+
+// fsync the directory containing `path` so the rename that published the
+// file is itself durable: POSIX only guarantees the new directory entry
+// survives a power loss after the directory has been synced.
+Status SyncContainingDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";  // "/file" -> root
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return Status::IoError("cannot open directory for fsync: " + dir);
+  }
+  const bool synced = ::fsync(dfd) == 0;
+  ::close(dfd);
+  if (!synced) {
+    return Status::IoError("directory fsync failed: " + dir);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& contents) {
   const std::string tmp_path = path + ".tmp";
@@ -27,7 +52,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& contents) {
     std::remove(tmp_path.c_str());
     return Status::IoError("rename failed: " + tmp_path + " -> " + path);
   }
-  return Status::Ok();
+  return SyncContainingDirectory(path);
 }
 
 }  // namespace dtdbd

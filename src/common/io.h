@@ -10,9 +10,12 @@
 namespace dtdbd {
 
 // Atomically replaces `path` with `contents`: the bytes are written to
-// `<path>.tmp`, flushed and fsync'd, then renamed over `path`. A reader
-// never observes a partially written file even if the process dies mid-save;
-// on any failure the temp file is removed and `path` is left untouched.
+// `<path>.tmp`, flushed and fsync'd, then renamed over `path`, and finally
+// the containing directory is fsync'd so the rename itself survives a power
+// loss (without the directory sync the new entry may vanish on crash even
+// though the data blocks were synced). A reader never observes a partially
+// written file even if the process dies mid-save; on any failure the temp
+// file is removed and `path` is left untouched.
 Status AtomicWriteFile(const std::string& path, const std::string& contents);
 
 }  // namespace dtdbd

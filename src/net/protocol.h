@@ -1,0 +1,129 @@
+// Length-prefixed binary wire protocol for the serving front end.
+//
+// Every frame is a fixed 32-byte header followed by `payload_len` bytes of
+// typed payload. All integers are little-endian, all floats IEEE-754
+// single-precision, serialized byte-exactly — the response carries the same
+// float the in-process Submit() produced, so wire answers are bitwise
+// comparable to offline references (the §9.4 parity contract extends to the
+// socket).
+//
+//   offset  size  field
+//        0     4  magic          0x42445444 ("DTDB" on the wire)
+//        4     2  version        kProtocolVersion
+//        6     2  type           FrameType
+//        8     8  request_id     client-chosen, echoed verbatim in response
+//       16     8  deadline_nanos absolute per the server's monotonic clock;
+//                                0 = no deadline (loopback clients share the
+//                                machine's steady clock, so "absolute" is
+//                                well-defined; cross-machine callers send 0
+//                                or over-provision for skew)
+//       24     4  payload_len    bytes following the header
+//       28     4  reserved       must be 0
+//
+// Request payload (type kRequest):
+//   i32 domain, u32 num_tokens, u32 style_dim, u32 emotion_dim,
+//   i32 tokens[num_tokens], f32 style[style_dim], f32 emotion[emotion_dim]
+//
+// Response payload (type kResponse):
+//   u16 code (WireCode), u16 reserved, u32 retry_after_ms,
+//   f32 p_fake, i32 label, i64 model_version,
+//   u32 message_len, char message[message_len]
+//
+// The header is validated *before* any payload byte is buffered, so an
+// oversized or garbage length can never balloon a read buffer. Header
+// trouble falls in two classes: framing still trusted (clean version
+// mismatch, non-request type) -> answer a kBadFrame error frame, then close;
+// framing untrusted (bad magic, reserved != 0, payload_len > max) -> the
+// byte stream cannot be resynchronized, close immediately. A payload that
+// decodes inconsistently under a valid header gets a kBadFrame error frame
+// and the connection SURVIVES — the length prefix still frames the stream.
+#ifndef DTDBD_NET_PROTOCOL_H_
+#define DTDBD_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/session.h"
+#include "serve/validation.h"
+
+namespace dtdbd::net {
+
+inline constexpr uint32_t kMagic = 0x42445444;  // "DTDB" little-endian
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 32;
+// Default ceiling on payload_len; SocketServerOptions can lower it.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class FrameType : uint16_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+// Protocol-level result codes carried in every response frame. The serving
+// Status taxonomy maps onto these 1:1 (WireCodeForStatus); kBadFrame is
+// net-only — the request never reached the queue because the bytes
+// themselves were malformed.
+enum class WireCode : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // Status kInvalidArgument (validation taxonomy)
+  kRetryLater = 2,        // Status kResourceExhausted; retry_after_ms is set
+  kDeadlineExceeded = 3,  // Status kDeadlineExceeded
+  kUnavailable = 4,       // Status kUnavailable (draining / stopped)
+  kInternal = 5,          // Status kInternal and anything unmapped
+  kBadFrame = 6,          // malformed frame; never entered the queue
+};
+
+const char* WireCodeName(WireCode code);
+WireCode WireCodeForStatus(const Status& status);
+
+struct FrameHeader {
+  uint32_t magic = kMagic;
+  uint16_t version = kProtocolVersion;
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  int64_t deadline_nanos = 0;
+  uint32_t payload_len = 0;
+  uint32_t reserved = 0;
+};
+
+// Decoded response frame, as seen by a client.
+struct WireResponse {
+  uint64_t request_id = 0;
+  WireCode code = WireCode::kInternal;
+  uint32_t retry_after_ms = 0;
+  serve::Prediction prediction;  // meaningful only when code == kOk
+  std::string message;           // human-readable error detail, may be empty
+};
+
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out);
+// Byte-level decode only; never fails. Callers judge the fields with
+// ValidateHeader.
+void DecodeFrameHeader(const uint8_t* data, FrameHeader* header);
+
+// Header sanity against this endpoint's limits. `trusted_framing` reports
+// whether the length prefix can still be believed when the status is non-ok
+// (version mismatch: yes; bad magic / oversized length: no).
+Status ValidateHeader(const FrameHeader& header, uint32_t max_frame_bytes,
+                      bool* trusted_framing);
+
+// Full request frame (header + payload) ready to write to a socket.
+std::string EncodeRequestFrame(uint64_t request_id, int64_t deadline_nanos,
+                               const serve::InferenceRequest& request);
+// Decodes a request payload; kInvalidArgument when the advertised counts do
+// not reconcile with `len` (a garbage frame, distinct from a semantically
+// invalid request which serve/validation rejects AFTER decode succeeds).
+Status DecodeRequestPayload(const uint8_t* data, size_t len,
+                            serve::InferenceRequest* request);
+
+// Full response frame. `prediction` may be null for error responses.
+std::string EncodeResponseFrame(uint64_t request_id, WireCode code,
+                                uint32_t retry_after_ms,
+                                const serve::Prediction* prediction,
+                                const std::string& message);
+Status DecodeResponsePayload(const uint8_t* data, size_t len,
+                             WireResponse* response);
+
+}  // namespace dtdbd::net
+
+#endif  // DTDBD_NET_PROTOCOL_H_

@@ -35,28 +35,14 @@ int ServeWorkersFromEnv() {
   return 1;
 }
 
-namespace {
-
-// Shared strict-parse for the serving flags: invalid -> warning + 1.
-int ResolvePositiveFlag(const FlagParser& flags, const char* name,
-                        int fallback) {
-  if (!flags.Has(name)) return fallback;
-  const std::string value = flags.GetString(name, "");
-  int n = 0;
-  if (ParsePositiveInt(value.c_str(), &n)) return n;
-  DTDBD_LOG(Warning) << "--" << name << " '" << value
-                     << "' is not a positive integer; using 1";
-  return 1;
-}
-
-}  // namespace
-
 int ResolveServeWorkers(const FlagParser& flags) {
-  return ResolvePositiveFlag(flags, "serve-workers", ServeWorkersFromEnv());
+  return ResolvePositiveIntFlag(flags, "serve-workers", ServeWorkersFromEnv(),
+                                /*invalid_value=*/1);
 }
 
 int ResolveMaxBatch(const FlagParser& flags) {
-  return ResolvePositiveFlag(flags, "max-batch", 1);
+  return ResolvePositiveIntFlag(flags, "max-batch", /*absent_value=*/1,
+                                /*invalid_value=*/1);
 }
 
 Server::Server(std::unique_ptr<InferenceSession> session,
@@ -93,6 +79,18 @@ Server::~Server() { Stop(); }
 
 std::future<StatusOr<Prediction>> Server::Submit(InferenceRequest request,
                                                  int64_t deadline_nanos) {
+  auto reply = std::make_shared<std::promise<StatusOr<Prediction>>>();
+  std::future<StatusOr<Prediction>> future = reply->get_future();
+  SubmitAsync(std::move(request), deadline_nanos,
+              [reply](StatusOr<Prediction> result) {
+                reply->set_value(std::move(result));
+              });
+  return future;
+}
+
+void Server::SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
+                         std::function<void(StatusOr<Prediction>)> done) {
+  DTDBD_CHECK(done != nullptr);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   const int64_t now = clock_->NowNanos();
   if (deadline_nanos == 0 && options_.default_deadline_nanos > 0) {
@@ -104,28 +102,27 @@ std::future<StatusOr<Prediction>> Server::Submit(InferenceRequest request,
   job.request = std::move(request);
   job.deadline_nanos = deadline_nanos;
   job.enqueue_nanos = now;
-  std::future<StatusOr<Prediction>> future = job.reply.get_future();
+  job.done = std::move(done);
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopped_) {
     lock.unlock();
-    job.reply.set_value(Status::Unavailable("server is stopped"));
-    return future;
+    job.done(Status::Unavailable("server is stopped"));
+    return;
   }
   if (inference_depth_ >= options_.max_queue_depth) {
     lock.unlock();
     rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
-    job.reply.set_value(Status::ResourceExhausted(
+    job.done(Status::ResourceExhausted(
         "serving queue full (" + std::to_string(options_.max_queue_depth) +
         " requests waiting)"));
-    return future;
+    return;
   }
   ++inference_depth_;
   admitted_.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(job));
   lock.unlock();
   cv_.notify_one();
-  return future;
 }
 
 StatusOr<Prediction> Server::Predict(const InferenceRequest& request) {
@@ -158,7 +155,7 @@ void Server::DrainQueueLocked() {
     queue_.pop_front();
     if (dropped.kind == Job::Kind::kInfer) {
       --inference_depth_;
-      dropped.reply.set_value(
+      dropped.done(
           Status::Unavailable("server stopped before serving request"));
     } else if (dropped.kind == Job::Kind::kReload) {
       dropped.reload_reply.set_value(
@@ -238,7 +235,7 @@ void Server::ServeBatch(std::vector<Job>* jobs) {
   for (Job& job : *jobs) {
     if (job.deadline_nanos > 0 && dequeue_nanos > job.deadline_nanos) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
-      job.reply.set_value(Status::DeadlineExceeded(
+      job.done(Status::DeadlineExceeded(
           "request shed: deadline expired before serving"));
     } else {
       live.push_back(&job);
@@ -276,7 +273,7 @@ void Server::ServeBatch(std::vector<Job>* jobs) {
     } else {
       internal_errors_.fetch_add(1, std::memory_order_relaxed);
     }
-    job->reply.set_value(std::move(result));
+    job->done(std::move(result));
   }
 }
 
@@ -388,11 +385,23 @@ HealthReport Server::Health() const {
     report.last_reload_error = last_reload_error_;
     report.batch_size_histogram = batch_size_hist_;
     report.batches_run = batches_run_;
+    // Guard both splits against an empty window: before the first batch the
+    // denominators are zero and the averages must read 0.0, not NaN.
     report.avg_batch_size =
         batches_run_ > 0 ? static_cast<double>(batched_elements_) /
                                static_cast<double>(batches_run_)
                          : 0.0;
+    report.avg_queue_wait_ms =
+        batched_elements_ > 0
+            ? report.queue_wait_ms_total /
+                  static_cast<double>(batched_elements_)
+            : 0.0;
+    report.avg_compute_ms =
+        batches_run_ > 0
+            ? report.compute_ms_total / static_cast<double>(batches_run_)
+            : 0.0;
     report.latency_samples = latency_count_;
+    report.latency_no_samples = latency_count_ == 0;
     if (latency_count_ > 0) {
       std::vector<int64_t> window(
           latencies_.begin(), latencies_.begin() + latency_count_);

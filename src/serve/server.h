@@ -164,6 +164,11 @@ struct HealthReport {
   double p99_latency_ms = 0.0;
   int64_t latency_samples = 0;
   int64_t watchdog_ticks = 0;
+  // True when the latency window holds no samples yet. The percentiles
+  // above are meaningless zeros in that case; consumers (watchdog alerts,
+  // bench JSON) must branch on this flag instead of treating 0.0 ms as a
+  // real — and suspiciously excellent — p99.
+  bool latency_no_samples = true;
   // Micro-batching: histogram[s] = forwards executed with s live elements
   // (index 0 unused), plus the cumulative queue-wait vs compute split so
   // operators can see whether latency is fill or forward.
@@ -172,6 +177,10 @@ struct HealthReport {
   double avg_batch_size = 0.0;
   double queue_wait_ms_total = 0.0;  // admission -> dequeue, served elements
   double compute_ms_total = 0.0;     // forward wall-clock across batches
+  // Per-element / per-batch averages of the split above, 0.0 (never NaN)
+  // before any batch has run.
+  double avg_queue_wait_ms = 0.0;
+  double avg_compute_ms = 0.0;
 };
 
 class Server {
@@ -192,6 +201,16 @@ class Server {
   // (non-finite output).
   std::future<StatusOr<Prediction>> Submit(InferenceRequest request,
                                            int64_t deadline_nanos = 0);
+
+  // Callback flavor of Submit() for event-loop callers (the socket front
+  // end) that must not block a thread per pending request. `done` is invoked
+  // exactly once with the same outcomes Submit() produces — on the
+  // submitting thread for immediate rejections (queue full, stopped), on a
+  // worker thread otherwise. It must be fast and must not call back into
+  // this Server (a worker thread invoking Submit().get() would self-
+  // deadlock); enqueue-and-wake is the intended shape.
+  void SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
+                   std::function<void(StatusOr<Prediction>)> done);
 
   // Synchronous convenience wrapper around Submit(). Do not call from a
   // worker's own callbacks (it would self-deadlock).
@@ -222,11 +241,12 @@ class Server {
   struct Job {
     enum class Kind { kInfer, kReload };
     Kind kind = Kind::kInfer;
-    // kInfer:
+    // kInfer: `done` is the single resolution path — Submit() wraps a
+    // promise into it, SubmitAsync() passes the caller's callback through.
     InferenceRequest request;
     int64_t deadline_nanos = 0;  // absolute; 0 = none
     int64_t enqueue_nanos = 0;
-    std::promise<StatusOr<Prediction>> reply;
+    std::function<void(StatusOr<Prediction>)> done;
     // kReload:
     std::string checkpoint_path;
     std::promise<Status> reload_reply;

@@ -99,6 +99,33 @@ FaultInjector::RequestFault FaultInjector::NextRequestFault() {
   }
 }
 
+void FaultInjector::set_net_fault_probability(double p) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  net_fault_probability_ = p;
+}
+
+FaultInjector::NetFault FaultInjector::NextNetFault() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (net_fault_probability_ <= 0.0 ||
+      !serve_rng_.Bernoulli(net_fault_probability_)) {
+    return NetFault::kNone;
+  }
+  ++injected_net_faults_;
+  // Uniform over the 5 concrete fault kinds (kNone excluded).
+  switch (serve_rng_.UniformInt(5)) {
+    case 0: return NetFault::kTruncatedFrame;
+    case 1: return NetFault::kOversizedFrame;
+    case 2: return NetFault::kGarbageFrame;
+    case 3: return NetFault::kMidFrameDisconnect;
+    default: return NetFault::kStalledReader;
+  }
+}
+
+int64_t FaultInjector::injected_net_faults() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return injected_net_faults_;
+}
+
 Status FaultInjector::TruncateFile(const std::string& path,
                                    double keep_fraction) {
   if (keep_fraction < 0.0 || keep_fraction > 1.0) {

@@ -89,6 +89,23 @@ class FaultInjector {
   void set_request_fault_probability(double p);
   RequestFault NextRequestFault();
 
+  // Network-fault sampling for the socket front end (src/net/). Same
+  // division of labor as RequestFault: the injector only picks WHICH wire
+  // corruption a client should inflict with the configured probability; the
+  // test or load generator owns the actual byte mangling, so the injector
+  // stays ignorant of net/ framing.
+  enum class NetFault {
+    kNone,
+    kTruncatedFrame,      // header or payload cut short, then a clean close
+    kOversizedFrame,      // header advertises payload_len > max frame
+    kGarbageFrame,        // valid framing, self-inconsistent payload bytes
+    kMidFrameDisconnect,  // hard disconnect partway through a frame
+    kStalledReader,       // stop reading responses / dribble bytes (slow-loris)
+  };
+  void set_net_fault_probability(double p);
+  NetFault NextNetFault();
+  int64_t injected_net_faults() const;
+
  private:
   Rng rng_;
   std::set<int64_t> nan_steps_;
@@ -104,6 +121,8 @@ class FaultInjector {
   int64_t injected_load_failures_ = 0;
   int64_t slow_load_nanos_ = 0;
   double request_fault_probability_ = 0.0;
+  double net_fault_probability_ = 0.0;
+  int64_t injected_net_faults_ = 0;
 };
 
 }  // namespace dtdbd::train

@@ -786,5 +786,47 @@ TEST_F(ServeTest, WatchdogSnapshotsHealth) {
   EXPECT_LE(report.queue_depth, report.max_queue_depth);
 }
 
+TEST_F(ServeTest, EmptyLatencyWindowIsFlaggedNotSilentZero) {
+  // A server that has served nothing must say so explicitly instead of
+  // reporting a suspiciously excellent p99 of 0.0 ms, and the queue-wait /
+  // compute averages must be exactly 0.0 (never NaN from a 0/0).
+  Server server(MakeSession("MDFEND", 3), BaseOptions());
+  const HealthReport before = server.Health();
+  EXPECT_TRUE(before.latency_no_samples);
+  EXPECT_EQ(before.latency_samples, 0);
+  EXPECT_EQ(before.p50_latency_ms, 0.0);
+  EXPECT_EQ(before.p99_latency_ms, 0.0);
+  EXPECT_FALSE(std::isnan(before.avg_queue_wait_ms));
+  EXPECT_FALSE(std::isnan(before.avg_compute_ms));
+  EXPECT_FALSE(std::isnan(before.avg_batch_size));
+  EXPECT_EQ(before.avg_queue_wait_ms, 0.0);
+  EXPECT_EQ(before.avg_compute_ms, 0.0);
+
+  ASSERT_TRUE(server.Predict(ValidRequest()).ok());
+  const HealthReport after = server.Health();
+  EXPECT_FALSE(after.latency_no_samples);
+  EXPECT_EQ(after.latency_samples, 1);
+  EXPECT_GE(after.avg_queue_wait_ms, 0.0);
+  EXPECT_GT(after.avg_compute_ms, 0.0);
+}
+
+TEST_F(ServeTest, WatchdogReportBeforeAnyTrafficCarriesNoSamplesFlag) {
+  ServerOptions options = BaseOptions();
+  options.watchdog_period_nanos = 1'000'000;  // 1 ms
+  Server server(MakeSession("MDFEND", 3), options);
+  HealthReport report;
+  for (int spin = 0; spin < 2000; ++spin) {
+    report = server.LastWatchdogReport();
+    if (report.watchdog_ticks >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(report.watchdog_ticks, 1);
+  // The watchdog observed an idle server: zeros are flagged, not asserted
+  // as real latencies.
+  EXPECT_TRUE(report.latency_no_samples);
+  EXPECT_FALSE(std::isnan(report.avg_queue_wait_ms));
+  EXPECT_FALSE(std::isnan(report.avg_compute_ms));
+}
+
 }  // namespace
 }  // namespace dtdbd::serve
