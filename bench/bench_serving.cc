@@ -15,9 +15,15 @@
 //      deadline. Reported per load point: offered vs goodput rate, shed
 //      rate (RETRY_LATER + DEADLINE_EXCEEDED), and p50/p99 of the OK
 //      responses. Writes BENCH_serving.json atomically.
+//   3. Fleet sweep: fresh servers at {1, 3} models x {no shadow, shadow},
+//      closed loop with clients round-robining model names across the
+//      fleet — the cost of routing, per-model stats, and off-path shadow
+//      scoring in one table (goodput + p50/p99 per point, shadow scoring
+//      telemetry where active).
 //
 // Flags: --requests=N closed-loop calibration count (default 2000),
 //        --open-requests=N per open-loop load point (default --requests),
+//        --fleet-requests=N per fleet-sweep point (default --requests),
 //        --clients=N socket clients (default 8), --deadline-ms (default
 //        200), --queue-depth (default 256), --threads=N,
 //        --serve-workers / --max-batch (strict-parsed; default 4 workers'
@@ -47,7 +53,9 @@
 #include "net/socket_server.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "tensor/optim.h"
 #include "text/frozen_encoder.h"
+#include "train/checkpoint.h"
 
 namespace {
 
@@ -285,6 +293,148 @@ LoadPointResult RunOpenLoop(int port,
   return result;
 }
 
+// One point of the fleet sweep: a fresh server with `num_models` models
+// behind one shared queue (optionally a shadow scorer on the default
+// model), measured closed-loop over the socket with clients round-robining
+// model names across the fleet.
+struct FleetPointResult {
+  int num_models = 1;
+  bool shadow = false;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long long errors = 0;
+  long long shadow_scored = 0;
+  long long shadow_label_disagreements = 0;
+  double shadow_mean_abs_delta = 0.0;
+};
+
+// Writes a servable v2 checkpoint holding fresh weights from `config` —
+// the shadow candidate the sweep scores off the response path.
+Status WriteFleetCheckpoint(data::NewsDataset* dataset,
+                            const models::ModelConfig& config,
+                            const std::string& path) {
+  auto model = models::CreateModel("MDFEND", config);
+  std::vector<tensor::Tensor> trainable;
+  for (auto& p : model->Parameters()) {
+    if (p.requires_grad()) trainable.push_back(p);
+  }
+  tensor::Adam adam(trainable, 1e-3f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  data::DataLoader loader(dataset, 8, /*shuffle=*/false, 0);
+  std::vector<Rng*> rngs;
+  model->CollectRngs(&rngs);
+  const train::CheckpointState state = train::CaptureState(
+      "supervised", 0, model->NamedParameters(), adam, rngs, loader);
+  return train::SaveCheckpoint(state, path);
+}
+
+FleetPointResult RunFleetPoint(data::NewsDataset* dataset,
+                               const models::ModelConfig& base_config,
+                               const serve::RequestLimits& limits,
+                               int num_models, bool with_shadow,
+                               const std::string& shadow_checkpoint,
+                               int clients, int total_requests,
+                               int64_t queue_depth, int serve_workers,
+                               int max_batch) {
+  FleetPointResult result;
+  result.num_models = num_models;
+  result.shadow = with_shadow;
+
+  auto config_with_seed = [&](uint64_t seed) {
+    models::ModelConfig c = base_config;
+    c.seed = seed;
+    return c;
+  };
+  auto make_session = [&](uint64_t seed) {
+    return std::make_unique<serve::InferenceSession>(
+        models::CreateModel("MDFEND", config_with_seed(seed)), limits,
+        /*model_version=*/1);
+  };
+  // Distinct seeds per model so routing mistakes would show up as wrong
+  // answers, not just wrong counters.
+  const char* kNames[] = {"", "m1", "m2"};
+  const uint64_t kSeeds[] = {7, 11, 13};
+
+  serve::ServerOptions options;
+  options.num_workers = serve_workers;
+  options.max_batch = max_batch;
+  options.max_queue_depth = queue_depth;
+  options.model_factory = [config = config_with_seed(7)] {
+    return models::CreateModel("MDFEND", config);
+  };
+  serve::Server server(make_session(kSeeds[0]), std::move(options));
+  for (int m = 1; m < num_models; ++m) {
+    const Status added = server.AddModel(kNames[m], make_session(kSeeds[m]));
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      result.errors = total_requests;
+      return result;
+    }
+  }
+  if (with_shadow) {
+    const Status shadowed = server.StartShadow("", shadow_checkpoint).get();
+    if (!shadowed.ok()) {
+      std::fprintf(stderr, "%s\n", shadowed.ToString().c_str());
+      result.errors = total_requests;
+      return result;
+    }
+  }
+
+  net::SocketServerOptions net_options;
+  net_options.max_connections = 64;
+  net_options.max_inflight_per_connection = 1024;
+  net::SocketServer net(&server, net_options);
+  const Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    result.errors = total_requests;
+    return result;
+  }
+
+  // Requests cycle model names across the fleet (all default at 1 model).
+  std::vector<serve::InferenceRequest> pool;
+  pool.reserve(dataset->samples.size());
+  for (size_t i = 0; i < dataset->samples.size(); ++i) {
+    serve::InferenceRequest request = RequestFor(dataset->samples[i]);
+    request.model_name = kNames[i % static_cast<size_t>(num_models)];
+    pool.push_back(std::move(request));
+  }
+  // Warm-up out of the numbers.
+  for (int i = 0; i < 16; ++i) {
+    (void)server.Predict(pool[static_cast<size_t>(i) % pool.size()]);
+  }
+
+  std::vector<int64_t> latencies;
+  result.rps = RunClosedLoop(net.port(), pool, clients, total_requests,
+                             &latencies, &result.errors);
+  result.p50_ms = PercentileMs(&latencies, 0.50);
+  result.p99_ms = PercentileMs(&latencies, 0.99);
+
+  if (with_shadow) {
+    // Shadow scoring runs off the response path — the last batch's shadow
+    // forward may still be in flight when the final reply lands. Poll until
+    // the counter settles.
+    serve::ShadowHealth shadow;
+    int64_t last_scored = -1;
+    for (int stable = 0; stable < 5;) {
+      const serve::HealthReport health = server.Health();
+      for (const serve::ModelHealth& m : health.models) {
+        if (m.is_default) shadow = m.shadow;
+      }
+      stable = shadow.scored == last_scored ? stable + 1 : 0;
+      last_scored = shadow.scored;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    result.shadow_scored = shadow.scored;
+    result.shadow_label_disagreements = shadow.label_disagreements;
+    result.shadow_mean_abs_delta = shadow.mean_abs_delta;
+  }
+
+  net.Stop();
+  server.Stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +442,7 @@ int main(int argc, char** argv) {
   const int threads = InitThreadsFromFlags(flags);
   const int requests = flags.GetInt("requests", 2000);
   const int open_requests = flags.GetInt("open-requests", requests);
+  const int fleet_requests = flags.GetInt("fleet-requests", requests);
   const int clients = flags.GetInt("clients", 8);
   const int deadline_ms = flags.GetInt("deadline-ms", 200);
   const int64_t queue_depth = flags.GetInt("queue-depth", 256);
@@ -399,6 +550,44 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Phase 3: fleet sweep (fresh server per point).
+  const std::string shadow_ckpt = json_path + ".shadow.ckpt";
+  {
+    models::ModelConfig shadow_config = config;
+    shadow_config.seed = 21;  // distinct weights => non-zero score deltas
+    const Status wrote =
+        WriteFleetCheckpoint(&dataset, shadow_config, shadow_ckpt);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<FleetPointResult> fleet_points;
+  for (const int num_models : {1, 3}) {
+    for (const bool with_shadow : {false, true}) {
+      const FleetPointResult point = RunFleetPoint(
+          &dataset, config, limits, num_models, with_shadow, shadow_ckpt,
+          clients, fleet_requests, queue_depth, serve_workers, max_batch);
+      if (point.errors > 0) {
+        std::fprintf(stderr, "fleet sweep (%d models, shadow=%d): %lld errors\n",
+                     num_models, with_shadow ? 1 : 0, point.errors);
+        std::remove(shadow_ckpt.c_str());
+        return 1;
+      }
+      std::printf(
+          "fleet %d model%s %-9s %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms",
+          num_models, num_models == 1 ? " " : "s",
+          with_shadow ? "+shadow" : "", point.rps, point.p50_ms, point.p99_ms);
+      if (with_shadow) {
+        std::printf("  (shadow scored %lld, mean |dp| %.4f)",
+                    point.shadow_scored, point.shadow_mean_abs_delta);
+      }
+      std::printf("\n");
+      fleet_points.push_back(point);
+    }
+  }
+  std::remove(shadow_ckpt.c_str());
+
   char line[1024];
   std::string json = "{\n";
   json += "  \"bench\": \"serving_socket_load\",\n";
@@ -428,6 +617,21 @@ int main(int argc, char** argv) {
         p.load_factor, p.target_rps, p.offered_rps, p.goodput_rps,
         p.shed_rate, p.sent, p.ok, p.retry_later, p.deadline_exceeded,
         p.other, p.p50_ms, p.p99_ms, i + 1 < points.size() ? "," : "");
+    json += line;
+  }
+  json += "  ],\n";
+  json += "  \"fleet_sweep\": [\n";
+  for (size_t i = 0; i < fleet_points.size(); ++i) {
+    const FleetPointResult& p = fleet_points[i];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"models\": %d, \"shadow\": %s, \"requests\": %d, "
+        "\"rps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"shadow_scored\": %lld, \"shadow_label_disagreements\": %lld, "
+        "\"shadow_mean_abs_delta\": %.6f}%s\n",
+        p.num_models, p.shadow ? "true" : "false", fleet_requests, p.rps,
+        p.p50_ms, p.p99_ms, p.shadow_scored, p.shadow_label_disagreements,
+        p.shadow_mean_abs_delta, i + 1 < fleet_points.size() ? "," : "");
     json += line;
   }
   json += "  ],\n";

@@ -15,12 +15,16 @@ namespace dtdbd::net {
 
 Client::~Client() { Close(); }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), protocol_version_(other.protocol_version_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    protocol_version_ = other.protocol_version_;
     other.fd_ = -1;
   }
   return *this;
@@ -86,7 +90,9 @@ void Client::ShutdownWrite() {
 
 Status Client::Send(uint64_t request_id, int64_t deadline_nanos,
                     const serve::InferenceRequest& request) {
-  return SendBytes(EncodeRequestFrame(request_id, deadline_nanos, request));
+  return SendBytes(
+      EncodeRequestFrame(request_id, deadline_nanos, request,
+                         protocol_version_));
 }
 
 namespace {
@@ -141,7 +147,10 @@ Status Client::Receive(WireResponse* response, int64_t timeout_ms) {
   DTDBD_RETURN_IF_ERROR(
       ReadExact(fd_, payload.data(), payload.size(), /*at_boundary=*/false));
   response->request_id = header.request_id;
-  return DecodeResponsePayload(payload.data(), payload.size(), response);
+  // Decode under the version the SERVER stamped on this frame (it echoes
+  // the request's version, but pre-header rejections arrive as v1).
+  return DecodeResponsePayload(payload.data(), payload.size(), response,
+                               header.version);
 }
 
 Status Client::Call(uint64_t request_id, int64_t deadline_nanos,

@@ -34,6 +34,13 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  // Protocol version used to encode outgoing requests (default: current).
+  // Setting kMinProtocolVersion makes this client byte-identical to a
+  // pre-fleet v1 client — compat tests downgrade through this, and the
+  // server answers each frame in the version it was asked in.
+  void set_protocol_version(uint16_t version) { protocol_version_ = version; }
+  uint16_t protocol_version() const { return protocol_version_; }
+
   // Encodes and writes one request frame (blocking until fully written).
   Status Send(uint64_t request_id, int64_t deadline_nanos,
               const serve::InferenceRequest& request);
@@ -56,6 +63,7 @@ class Client {
 
  private:
   int fd_ = -1;
+  uint16_t protocol_version_ = kProtocolVersion;
 };
 
 }  // namespace dtdbd::net

@@ -1,5 +1,6 @@
 #include "net/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dtdbd::net {
@@ -67,6 +68,7 @@ const char* WireCodeName(WireCode code) {
     case WireCode::kUnavailable: return "UNAVAILABLE";
     case WireCode::kInternal: return "INTERNAL";
     case WireCode::kBadFrame: return "BAD_FRAME";
+    case WireCode::kNotFound: return "NOT_FOUND";
   }
   return "UNKNOWN";
 }
@@ -78,6 +80,7 @@ WireCode WireCodeForStatus(const Status& status) {
     case StatusCode::kResourceExhausted: return WireCode::kRetryLater;
     case StatusCode::kDeadlineExceeded: return WireCode::kDeadlineExceeded;
     case StatusCode::kUnavailable: return WireCode::kUnavailable;
+    case StatusCode::kNotFound: return WireCode::kNotFound;
     default: return WireCode::kInternal;
   }
 }
@@ -119,20 +122,30 @@ Status ValidateHeader(const FrameHeader& header, uint32_t max_frame_bytes,
   // From here the length prefix is believable even if the frame is
   // unserviceable, so the peer deserves an error frame before the close.
   *trusted_framing = true;
-  if (header.version != kProtocolVersion) {
+  if (header.version < kMinProtocolVersion ||
+      header.version > kProtocolVersion) {
     return Status::InvalidArgument(
         "unsupported protocol version " + std::to_string(header.version) +
-        " (speaking " + std::to_string(kProtocolVersion) + ")");
+        " (speaking " + std::to_string(kMinProtocolVersion) + ".." +
+        std::to_string(kProtocolVersion) + ")");
   }
   return Status::Ok();
 }
 
 std::string EncodeRequestFrame(uint64_t request_id, int64_t deadline_nanos,
-                               const serve::InferenceRequest& request) {
-  const size_t payload_len =
+                               const serve::InferenceRequest& request,
+                               uint16_t version) {
+  // Version 1 has no model-name field: the request silently routes to the
+  // server's default model, exactly like a pre-fleet client.
+  const size_t name_len =
+      version >= 2 ? std::min<size_t>(request.model_name.size(), UINT16_MAX)
+                   : 0;
+  size_t payload_len =
       16 + 4 * (request.tokens.size() + request.style.size() +
                 request.emotion.size());
+  if (version >= 2) payload_len += 2 + name_len;
   FrameHeader header;
+  header.version = version;
   header.type = FrameType::kRequest;
   header.request_id = request_id;
   header.deadline_nanos = deadline_nanos;
@@ -165,11 +178,17 @@ std::string EncodeRequestFrame(uint64_t request_id, int64_t deadline_nanos,
     StoreF32(word, v);
     AppendBytes(&frame, word, 4);
   }
+  if (version >= 2) {
+    StoreU16(word, static_cast<uint16_t>(name_len));
+    AppendBytes(&frame, word, 2);
+    frame.append(request.model_name.data(), name_len);
+  }
   return frame;
 }
 
 Status DecodeRequestPayload(const uint8_t* data, size_t len,
-                            serve::InferenceRequest* request) {
+                            serve::InferenceRequest* request,
+                            uint16_t version) {
   if (len < 16) {
     return Status::InvalidArgument("request payload shorter than its header");
   }
@@ -179,12 +198,28 @@ Status DecodeRequestPayload(const uint8_t* data, size_t len,
   const uint64_t emotion_dim = LoadU32(data + 12);
   // Reconcile the advertised counts with the actual byte count in 64-bit so
   // hostile counts near UINT32_MAX cannot wrap the arithmetic.
-  const uint64_t expected =
+  const uint64_t arrays_end =
       16 + 4 * (num_tokens + style_dim + emotion_dim);
-  if (expected != len) {
+  uint64_t name_len = 0;
+  if (version >= 2) {
+    // v2: the model-name field follows the arrays. Its length prefix must
+    // itself fit before the total length is reconciled.
+    if (arrays_end + 2 > len) {
+      return Status::InvalidArgument(
+          "request payload length " + std::to_string(len) +
+          " cannot hold the advertised counts plus a model-name field");
+    }
+    name_len = LoadU16(data + arrays_end);
+    if (arrays_end + 2 + name_len != len) {
+      return Status::InvalidArgument(
+          "request payload length " + std::to_string(len) +
+          " does not match advertised counts (" +
+          std::to_string(arrays_end + 2 + name_len) + ")");
+    }
+  } else if (arrays_end != len) {
     return Status::InvalidArgument(
         "request payload length " + std::to_string(len) +
-        " does not match advertised counts (" + std::to_string(expected) +
+        " does not match advertised counts (" + std::to_string(arrays_end) +
         ")");
   }
   request->domain = domain;
@@ -201,15 +236,28 @@ Status DecodeRequestPayload(const uint8_t* data, size_t len,
   for (uint64_t i = 0; i < emotion_dim; ++i, p += 4) {
     request->emotion[i] = LoadF32(p);
   }
+  if (version >= 2) {
+    request->model_name.assign(
+        reinterpret_cast<const char*>(data + arrays_end + 2), name_len);
+  } else {
+    request->model_name.clear();  // v1: route to the default model
+  }
   return Status::Ok();
 }
 
 std::string EncodeResponseFrame(uint64_t request_id, WireCode code,
                                 uint32_t retry_after_ms,
                                 const serve::Prediction* prediction,
-                                const std::string& message) {
-  const size_t payload_len = 28 + message.size();
+                                const std::string& message,
+                                uint16_t version) {
+  const size_t name_len =
+      version >= 2 && prediction != nullptr
+          ? std::min<size_t>(prediction->model_name.size(), UINT16_MAX)
+          : 0;
+  size_t payload_len = 28 + message.size();
+  if (version >= 2) payload_len += 2 + name_len;
   FrameHeader header;
+  header.version = version;
   header.type = FrameType::kResponse;
   header.request_id = request_id;
   header.payload_len = static_cast<uint32_t>(payload_len);
@@ -222,7 +270,11 @@ std::string EncodeResponseFrame(uint64_t request_id, WireCode code,
 
   uint8_t word[8];
   StoreU16(word, static_cast<uint16_t>(code));
-  StoreU16(word + 2, 0);
+  // v2 reuses the reserved u16 as flags (bit 0 = canary-served); v1
+  // encoders always wrote 0 here, which is why the reuse is compatible.
+  const uint16_t flags =
+      version >= 2 && prediction != nullptr && prediction->canary ? 1 : 0;
+  StoreU16(word + 2, flags);
   AppendBytes(&frame, word, 4);
   StoreU32(word, retry_after_ms);
   AppendBytes(&frame, word, 4);
@@ -235,23 +287,48 @@ std::string EncodeResponseFrame(uint64_t request_id, WireCode code,
   StoreU32(word, static_cast<uint32_t>(message.size()));
   AppendBytes(&frame, word, 4);
   frame += message;
+  if (version >= 2) {
+    StoreU16(word, static_cast<uint16_t>(name_len));
+    AppendBytes(&frame, word, 2);
+    if (prediction != nullptr) {
+      frame.append(prediction->model_name.data(), name_len);
+    }
+  }
   return frame;
 }
 
 Status DecodeResponsePayload(const uint8_t* data, size_t len,
-                             WireResponse* response) {
+                             WireResponse* response, uint16_t version) {
   if (len < 28) {
     return Status::InvalidArgument("response payload shorter than fixed part");
   }
   response->code = static_cast<WireCode>(LoadU16(data + 0));
+  const uint16_t flags = LoadU16(data + 2);
   response->retry_after_ms = LoadU32(data + 4);
   response->prediction.p_fake = LoadF32(data + 8);
   response->prediction.label = LoadI32(data + 12);
   response->prediction.model_version = LoadI64(data + 16);
+  response->prediction.canary = version >= 2 && (flags & 1) != 0;
   const uint64_t message_len = LoadU32(data + 24);
-  if (28 + message_len != len) {
-    return Status::InvalidArgument(
-        "response message length does not match payload length");
+  const uint64_t message_end = 28 + message_len;
+  if (version >= 2) {
+    if (message_end + 2 > len) {
+      return Status::InvalidArgument(
+          "response payload cannot hold its message plus a model-name field");
+    }
+    const uint64_t name_len = LoadU16(data + message_end);
+    if (message_end + 2 + name_len != len) {
+      return Status::InvalidArgument(
+          "response model-name length does not match payload length");
+    }
+    response->prediction.model_name.assign(
+        reinterpret_cast<const char*>(data + message_end + 2), name_len);
+  } else {
+    if (message_end != len) {
+      return Status::InvalidArgument(
+          "response message length does not match payload length");
+    }
+    response->prediction.model_name.clear();
   }
   response->message.assign(reinterpret_cast<const char*>(data + 28),
                            message_len);

@@ -20,14 +20,28 @@
 //       24     4  payload_len    bytes following the header
 //       28     4  reserved       must be 0
 //
-// Request payload (type kRequest):
+// Request payload (type kRequest), version 1:
 //   i32 domain, u32 num_tokens, u32 style_dim, u32 emotion_dim,
 //   i32 tokens[num_tokens], f32 style[style_dim], f32 emotion[emotion_dim]
+// Version 2 appends the fleet-routing field AFTER the v1 arrays (the v1
+// prefix is byte-identical, so a v2 decoder reads v1 frames by stopping
+// early and a v1 frame simply routes to the default model):
+//   u16 model_name_len, char model_name[model_name_len]
 //
-// Response payload (type kResponse):
+// Response payload (type kResponse), version 1:
 //   u16 code (WireCode), u16 reserved, u32 retry_after_ms,
 //   f32 p_fake, i32 label, i64 model_version,
 //   u32 message_len, char message[message_len]
+// Version 2 reuses the reserved u16 at payload offset 2 as `flags`
+// (bit 0 = answered by the canary variant; v1 encoders always wrote 0
+// there) and appends after the message:
+//   u16 model_name_len, char model_name[model_name_len]
+//
+// Version negotiation is per-frame and server-side passive: the server
+// accepts any version in [kMinProtocolVersion, kProtocolVersion], decodes
+// the request under the version its header names, and encodes the
+// response under that SAME version — an old client never sees a byte it
+// cannot parse, and mixed-version clients can share one connection.
 //
 // The header is validated *before* any payload byte is buffered, so an
 // oversized or garbage length can never balloon a read buffer. Header
@@ -50,7 +64,10 @@
 namespace dtdbd::net {
 
 inline constexpr uint32_t kMagic = 0x42445444;  // "DTDB" little-endian
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
+// Oldest version this endpoint still decodes (version-tolerant decode:
+// pre-fleet v1 clients keep working against a v2 server).
+inline constexpr uint16_t kMinProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderSize = 32;
 // Default ceiling on payload_len; SocketServerOptions can lower it.
 inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
@@ -72,6 +89,7 @@ enum class WireCode : uint16_t {
   kUnavailable = 4,       // Status kUnavailable (draining / stopped)
   kInternal = 5,          // Status kInternal and anything unmapped
   kBadFrame = 6,          // malformed frame; never entered the queue
+  kNotFound = 7,          // Status kNotFound (unknown model name)
 };
 
 const char* WireCodeName(WireCode code);
@@ -103,26 +121,37 @@ void DecodeFrameHeader(const uint8_t* data, FrameHeader* header);
 
 // Header sanity against this endpoint's limits. `trusted_framing` reports
 // whether the length prefix can still be believed when the status is non-ok
-// (version mismatch: yes; bad magic / oversized length: no).
+// (version outside the tolerated range: yes; bad magic / oversized length:
+// no). Any version in [kMinProtocolVersion, kProtocolVersion] is accepted.
 Status ValidateHeader(const FrameHeader& header, uint32_t max_frame_bytes,
                       bool* trusted_framing);
 
-// Full request frame (header + payload) ready to write to a socket.
+// Full request frame (header + payload) ready to write to a socket,
+// encoded under `version` (v1 omits the model-name field — pre-fleet
+// byte layout, routes to the server's default model).
 std::string EncodeRequestFrame(uint64_t request_id, int64_t deadline_nanos,
-                               const serve::InferenceRequest& request);
-// Decodes a request payload; kInvalidArgument when the advertised counts do
-// not reconcile with `len` (a garbage frame, distinct from a semantically
-// invalid request which serve/validation rejects AFTER decode succeeds).
+                               const serve::InferenceRequest& request,
+                               uint16_t version = kProtocolVersion);
+// Decodes a request payload under `version` (the header's, already
+// range-checked by ValidateHeader); kInvalidArgument when the advertised
+// counts do not reconcile with `len` (a garbage frame, distinct from a
+// semantically invalid request which serve/validation rejects AFTER decode
+// succeeds).
 Status DecodeRequestPayload(const uint8_t* data, size_t len,
-                            serve::InferenceRequest* request);
+                            serve::InferenceRequest* request,
+                            uint16_t version = kProtocolVersion);
 
-// Full response frame. `prediction` may be null for error responses.
+// Full response frame, encoded under `version` — servers pass the
+// REQUEST header's version so a v1 client never receives v2 bytes.
+// `prediction` may be null for error responses.
 std::string EncodeResponseFrame(uint64_t request_id, WireCode code,
                                 uint32_t retry_after_ms,
                                 const serve::Prediction* prediction,
-                                const std::string& message);
+                                const std::string& message,
+                                uint16_t version = kProtocolVersion);
 Status DecodeResponsePayload(const uint8_t* data, size_t len,
-                             WireResponse* response);
+                             WireResponse* response,
+                             uint16_t version = kProtocolVersion);
 
 }  // namespace dtdbd::net
 

@@ -5,7 +5,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -24,6 +24,21 @@ namespace {
 // are all parsed immediately, so the connection's inbuf never accumulates
 // more than one partial frame plus this slack.
 constexpr size_t kIoChunkBytes = 16 * 1024;
+
+// epoll_event.data.u64 tags. Connection ids count up from 1, so the two
+// non-connection fds live at the top of the u64 space where no id can
+// ever collide with them.
+constexpr uint64_t kWakeTag = UINT64_MAX;
+constexpr uint64_t kListenTag = UINT64_MAX - 1;
+
+// Clamp an arbitrary (possibly out-of-range) request header version into
+// the range this endpoint speaks, for encoding best-effort error replies
+// to peers whose version we rejected.
+uint16_t ClampVersion(uint16_t version) {
+  if (version < kMinProtocolVersion) return kMinProtocolVersion;
+  if (version > kProtocolVersion) return kProtocolVersion;
+  return version;
+}
 
 void CloseFd(int* fd) {
   if (*fd >= 0) {
@@ -112,6 +127,27 @@ Status SocketServer::Start() {
   wake_read_fd_ = pipe_fds[0];
   wake_write_fd_ = pipe_fds[1];
 
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    const Status status = Status::IoError(
+        "epoll_create1() failed: " + std::string(std::strerror(errno)));
+    CloseFd(&wake_read_fd_);
+    CloseFd(&wake_write_fd_);
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  // Level-triggered throughout: readiness is re-reported every wait until
+  // consumed, so a handler that stops early (e.g. close_after_flush) never
+  // strands buffered bytes the way edge-triggered would.
+  if (!EpollUpdate(EPOLL_CTL_ADD, wake_read_fd_, EPOLLIN, kWakeTag) ||
+      !EpollUpdate(EPOLL_CTL_ADD, listen_fd_, EPOLLIN, kListenTag)) {
+    CloseFd(&epoll_fd_);
+    CloseFd(&wake_read_fd_);
+    CloseFd(&wake_write_fd_);
+    CloseFd(&listen_fd_);
+    return Status::IoError("epoll_ctl(ADD) failed at startup");
+  }
+
   sink_ = std::make_shared<CompletionSink>();
   sink_->wake_fd = wake_write_fd_;
 
@@ -139,6 +175,20 @@ NetStats SocketServer::Stats() const {
   return stats_;
 }
 
+bool SocketServer::EpollUpdate(int op, int fd, uint32_t events,
+                               uint64_t tag) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, op, fd, &ev) != 0) {
+    DTDBD_LOG(Warning) << "epoll_ctl(op=" << op << ", fd=" << fd
+                       << ") failed: " << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
 void SocketServer::HandleAccept() {
   for (;;) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr,
@@ -156,11 +206,14 @@ void SocketServer::HandleAccept() {
     if (static_cast<int>(conns_.size()) >= options_.max_connections) {
       // Over the cap: answer one UNAVAILABLE frame best-effort and close.
       // The peer gets a typed reason instead of a silent RST or an unbounded
-      // backlog wait.
+      // backlog wait. No request header has been read yet, so the peer's
+      // version is unknown — encode at the minimum version, which every
+      // client this endpoint tolerates can parse.
       const std::string frame = EncodeResponseFrame(
           /*request_id=*/0, WireCode::kUnavailable, 0, nullptr,
           "connection limit reached (" +
-              std::to_string(options_.max_connections) + ")");
+              std::to_string(options_.max_connections) + ")",
+          kMinProtocolVersion);
       {
         // Count before close(2) so a peer that sees the EOF cannot observe
         // a Stats() snapshot missing its own rejection.
@@ -175,6 +228,11 @@ void SocketServer::HandleAccept() {
     conn.fd = fd;
     conn.id = next_conn_id_++;
     conn.last_activity_ms = NowMs();
+    conn.epoll_events = EPOLLIN;
+    if (!EpollUpdate(EPOLL_CTL_ADD, fd, EPOLLIN, conn.id)) {
+      ::close(fd);
+      continue;
+    }
     conns_.emplace(conn.id, std::move(conn));
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.accepted;
@@ -219,21 +277,23 @@ void SocketServer::SubmitRequest(Connection* conn, const FrameHeader& header,
   // immediate rejection — the sink makes both re-entrancy-safe). Encoding
   // happens on the callback's thread, keeping serialization off the IO
   // thread's critical path.
+  // The response is encoded under the version the REQUEST header named, so
+  // a v1 client on a shared server never receives v2 bytes.
   server_->SubmitAsync(
       std::move(request), header.deadline_nanos,
       [sink = sink_, conn_id = conn->id, request_id = header.request_id,
-       hint = options_.retry_after_ms_hint](
+       version = header.version, hint = options_.retry_after_ms_hint](
           StatusOr<serve::Prediction> result) {
         std::string frame;
         if (result.ok()) {
           frame = EncodeResponseFrame(request_id, WireCode::kOk, 0,
-                                      &result.value(), "");
+                                      &result.value(), "", version);
         } else {
           const WireCode code = WireCodeForStatus(result.status());
           frame = EncodeResponseFrame(
               request_id, code,
               code == WireCode::kRetryLater ? hint : 0, nullptr,
-              result.status().message());
+              result.status().message(), version);
         }
         sink->Push(Completion{conn_id, std::move(frame)});
       });
@@ -260,10 +320,13 @@ bool SocketServer::ParseFrames(Connection* conn) {
         }
         // Framing intact (e.g. clean version mismatch): answer a typed
         // error frame, then close once it flushes — the peer learns why.
+        // The peer's version may be the very thing that was rejected, so
+        // clamp it into the supported range for the reply.
         QueueResponse(conn,
                       EncodeResponseFrame(conn->header.request_id,
                                           WireCode::kBadFrame, 0, nullptr,
-                                          header_ok.message()));
+                                          header_ok.message(),
+                                          ClampVersion(conn->header.version)));
         conn->close_after_flush = true;
         return true;
       }
@@ -274,7 +337,8 @@ bool SocketServer::ParseFrames(Connection* conn) {
         }
         QueueResponse(conn, EncodeResponseFrame(
                                 conn->header.request_id, WireCode::kBadFrame,
-                                0, nullptr, "expected a request frame"));
+                                0, nullptr, "expected a request frame",
+                                conn->header.version));
         conn->close_after_flush = true;
         return true;
       }
@@ -289,8 +353,9 @@ bool SocketServer::ParseFrames(Connection* conn) {
       ++stats_.frames_received;
     }
     serve::InferenceRequest request;
-    const Status decoded = DecodeRequestPayload(
-        conn->inbuf.data(), conn->header.payload_len, &request);
+    const Status decoded =
+        DecodeRequestPayload(conn->inbuf.data(), conn->header.payload_len,
+                             &request, conn->header.version);
     if (!decoded.ok()) {
       // Garbage payload under a valid header: the length prefix still
       // frames the stream, so the connection survives the error.
@@ -300,7 +365,8 @@ bool SocketServer::ParseFrames(Connection* conn) {
       }
       QueueResponse(conn, EncodeResponseFrame(conn->header.request_id,
                                               WireCode::kBadFrame, 0, nullptr,
-                                              decoded.message()));
+                                              decoded.message(),
+                                              conn->header.version));
     } else if (draining_) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -309,7 +375,8 @@ bool SocketServer::ParseFrames(Connection* conn) {
       QueueResponse(conn,
                     EncodeResponseFrame(conn->header.request_id,
                                         WireCode::kUnavailable, 0, nullptr,
-                                        "server is draining"));
+                                        "server is draining",
+                                        conn->header.version));
     } else if (conn->inflight >= options_.max_inflight_per_connection) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -321,7 +388,8 @@ bool SocketServer::ParseFrames(Connection* conn) {
                               "per-connection in-flight limit (" +
                                   std::to_string(
                                       options_.max_inflight_per_connection) +
-                                  ") reached"));
+                                  ") reached",
+                              conn->header.version));
     } else {
       SubmitRequest(conn, conn->header, std::move(request));
     }
@@ -422,8 +490,7 @@ void SocketServer::DrainCompletions() {
 
 void SocketServer::IoLoop() {
   bool listen_open = true;
-  std::vector<pollfd> pfds;
-  std::vector<uint64_t> pfd_conn_ids;
+  std::vector<epoll_event> events(64);
   for (;;) {
     bool draining;
     {
@@ -432,28 +499,28 @@ void SocketServer::IoLoop() {
       if (stop_) break;
     }
     if (draining && listen_open) {
+      // close(2) removes the fd from the epoll interest set automatically.
       CloseFd(&listen_fd_);
       listen_open = false;
     }
 
+    // Reconcile each connection's registered interest set with what its
+    // state machine currently wants. Level-triggered epoll makes this the
+    // only bookkeeping: a MOD fires only when the desired set changed
+    // (outbox drained, teardown started), not every round like poll's
+    // rebuilt pollfd array.
     const int64_t now = NowMs();
-    pfds.clear();
-    pfd_conn_ids.clear();
-    pfds.push_back({wake_read_fd_, POLLIN, 0});
-    pfd_conn_ids.push_back(0);
-    if (listen_open) {
-      pfds.push_back({listen_fd_, POLLIN, 0});
-      pfd_conn_ids.push_back(0);
-    }
     int64_t timeout_ms = 100;
     for (auto& [id, conn] : conns_) {
-      short events = 0;
+      uint32_t want = 0;
       // A connection being torn down after a protocol error only flushes;
       // everyone else keeps reading (frames pipeline freely).
-      if (!conn.close_after_flush) events |= POLLIN;
-      if (!conn.outbox.empty()) events |= POLLOUT;
-      pfds.push_back({conn.fd, events, 0});
-      pfd_conn_ids.push_back(id);
+      if (!conn.close_after_flush) want |= EPOLLIN;
+      if (!conn.outbox.empty()) want |= EPOLLOUT;
+      if (want != conn.epoll_events &&
+          EpollUpdate(EPOLL_CTL_MOD, conn.fd, want, id)) {
+        conn.epoll_events = want;
+      }
       if (conn.inflight == 0) {
         const int64_t deadline =
             conn.last_activity_ms + options_.idle_timeout_ms;
@@ -461,46 +528,59 @@ void SocketServer::IoLoop() {
       }
     }
 
-    int ready = ::poll(pfds.data(), pfds.size(),
-                       static_cast<int>(timeout_ms));
+    const int ready = ::epoll_wait(epoll_fd_, events.data(),
+                                   static_cast<int>(events.size()),
+                                   static_cast<int>(timeout_ms));
     if (ready < 0 && errno != EINTR) {
-      DTDBD_LOG(Error) << "poll failed: " << std::strerror(errno);
+      DTDBD_LOG(Error) << "epoll_wait failed: " << std::strerror(errno);
       break;
     }
 
     if (ready > 0) {
-      // Wake pipe: drain it, then route completed responses.
-      if (pfds[0].revents & POLLIN) {
-        uint8_t sink_bytes[256];
-        while (::read(wake_read_fd_, sink_bytes, sizeof(sink_bytes)) > 0) {
+      // First pass: service the wake pipe and the listener before any
+      // connection work, preserving the poll loop's ordering (completions
+      // are routed before connection events are handled).
+      bool accept_ready = false;
+      for (int i = 0; i < ready; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kWakeTag && (events[i].events & EPOLLIN)) {
+          uint8_t sink_bytes[256];
+          while (::read(wake_read_fd_, sink_bytes, sizeof(sink_bytes)) > 0) {
+          }
+        } else if (tag == kListenTag && (events[i].events & EPOLLIN)) {
+          accept_ready = true;
         }
       }
-      size_t idx = 1;
-      if (listen_open) {
-        if (pfds[idx].revents & POLLIN) HandleAccept();
-        ++idx;
-      }
+      if (accept_ready && listen_open) HandleAccept();
       DrainCompletions();
-      for (; idx < pfds.size(); ++idx) {
-        const uint64_t conn_id = pfd_conn_ids[idx];
-        auto it = conns_.find(conn_id);
+      for (int i = 0; i < ready; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kWakeTag || tag == kListenTag) continue;
+        auto it = conns_.find(tag);
         if (it == conns_.end()) continue;  // closed earlier this round
-        const short revents = pfds[idx].revents;
-        if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
-          // POLLHUP with readable data still pending is handled by the read
-          // path (read() returns the data, then 0); a bare error means the
-          // peer is gone.
-          if (!(revents & POLLIN)) {
-            CloseConnection(conn_id, CloseReason::kPeer);
+        const uint32_t revents = events[i].events;
+        if (revents & (EPOLLERR | EPOLLHUP)) {
+          // EPOLLHUP with readable data still pending is handled by the
+          // read path (read() returns the data, then 0); a bare error means
+          // the peer is gone.
+          if (!(revents & EPOLLIN)) {
+            CloseConnection(tag, CloseReason::kPeer);
             continue;
           }
         }
-        if (revents & POLLIN) {
+        if (revents & EPOLLIN) {
           if (!HandleReadable(&it->second)) continue;
         }
-        if (revents & POLLOUT) {
+        if (revents & EPOLLOUT) {
           if (!HandleWritable(&it->second)) continue;
         }
+      }
+      // A full event buffer means more readiness may be pending; grow so a
+      // busy fleet is not drip-fed 64 events a round. Level-triggered epoll
+      // re-reports whatever this round missed, so this is throughput tuning,
+      // not correctness.
+      if (ready == static_cast<int>(events.size())) {
+        events.resize(events.size() * 2);
       }
     } else {
       // Timeout round: still route completions so responses are not gated
@@ -579,6 +659,7 @@ void SocketServer::Stop() {
   }
   CloseFd(&wake_read_fd_);
   CloseFd(&wake_write_fd_);
+  CloseFd(&epoll_fd_);
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     stopped_ = true;

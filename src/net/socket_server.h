@@ -1,6 +1,9 @@
-// Socket front end for serve::Server: a poll()-driven acceptor/IO thread
-// speaking the length-prefixed protocol of net/protocol.h, feeding the
-// existing bounded queue through Server::SubmitAsync.
+// Socket front end for serve::Server: an epoll-driven (level-triggered)
+// acceptor/IO thread speaking the length-prefixed protocol of
+// net/protocol.h, feeding the existing bounded queue through
+// Server::SubmitAsync. Each response frame is encoded under the protocol
+// version its REQUEST header named, so v1 and v2 clients can share one
+// server (and one connection) without either seeing bytes it cannot parse.
 //
 // Threading model. ONE IO thread owns every fd (listener, self-wake pipe,
 // all connections) and is the only thread that reads, writes, or closes a
@@ -156,6 +159,7 @@ class SocketServer {
     int inflight = 0;
     int64_t last_activity_ms = 0;
     bool close_after_flush = false;  // flush outbox, then close
+    uint32_t epoll_events = 0;  // interest set currently registered
   };
 
   void IoLoop();
@@ -173,10 +177,14 @@ class SocketServer {
   void DrainCompletions();
   enum class CloseReason { kPeer, kIdle, kProtocol, kOverflow, kDrain };
   void CloseConnection(uint64_t conn_id, CloseReason reason);
+  // epoll_ctl wrapper; false (with a log line) on failure. `tag` lands in
+  // epoll_event.data.u64 and routes events back to their connection.
+  bool EpollUpdate(int op, int fd, uint32_t events, uint64_t tag);
 
   serve::Server* const server_;
   const SocketServerOptions options_;
 
+  int epoll_fd_ = -1;
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;

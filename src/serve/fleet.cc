@@ -1,0 +1,113 @@
+#include "serve/fleet.h"
+
+#include <utility>
+
+namespace dtdbd::serve {
+
+uint64_t RouteHash(const InferenceRequest& request) {
+  // FNV-1a, 64-bit. Domain first, then token ids, each mixed byte-wise so
+  // the hash is endianness-independent in spirit (we only ever compute it
+  // in-process, but determinism across builds is what the tests pin).
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFFu;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(static_cast<int64_t>(request.domain)));
+  for (int token : request.tokens) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(token)));
+  }
+  return h;
+}
+
+bool InCanarySlice(uint64_t hash, int percent) {
+  if (percent <= 0) return false;
+  if (percent >= 100) return true;
+  return hash % 100 < static_cast<uint64_t>(percent);
+}
+
+CanaryVerdict EvaluateCanaryWindow(const CanaryWindowStats& window,
+                                   const CanaryOptions& options) {
+  CanaryVerdict verdict;
+  if (window.canary_served <= 0) return verdict;
+
+  const double canary_error_rate =
+      static_cast<double>(window.canary_errors) /
+      static_cast<double>(window.canary_served);
+  // No primary traffic in the window (e.g. percent=100) degenerates to an
+  // absolute threshold against zero baseline error.
+  const double primary_error_rate =
+      window.primary_served > 0
+          ? static_cast<double>(window.primary_errors) /
+                static_cast<double>(window.primary_served)
+          : 0.0;
+  if (canary_error_rate >
+      primary_error_rate + options.max_error_rate_increase) {
+    verdict.regression = true;
+    verdict.reason = "canary error rate " + std::to_string(canary_error_rate) +
+                     " exceeds primary " + std::to_string(primary_error_rate) +
+                     " by more than " +
+                     std::to_string(options.max_error_rate_increase);
+    return verdict;
+  }
+
+  if (options.max_latency_ratio > 0.0 &&
+      window.primary_served >= options.min_primary_samples &&
+      window.primary_compute_nanos > 0) {
+    const double canary_mean =
+        static_cast<double>(window.canary_compute_nanos) /
+        static_cast<double>(window.canary_served);
+    const double primary_mean =
+        static_cast<double>(window.primary_compute_nanos) /
+        static_cast<double>(window.primary_served);
+    if (canary_mean > primary_mean * options.max_latency_ratio) {
+      verdict.regression = true;
+      verdict.reason =
+          "canary mean compute " + std::to_string(canary_mean) +
+          "ns exceeds primary mean " + std::to_string(primary_mean) +
+          "ns x " + std::to_string(options.max_latency_ratio);
+    }
+  }
+  return verdict;
+}
+
+StatusOr<ModelState*> ModelFleet::Add(
+    const std::string& name, std::unique_ptr<InferenceSession> session,
+    std::function<std::unique_ptr<models::FakeNewsModel>()> factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (session == nullptr) {
+    return Status::InvalidArgument("model '" + name +
+                                   "' registered with a null session");
+  }
+  if (Find(name) != nullptr) {
+    return Status::FailedPrecondition("model '" + name +
+                                      "' is already registered");
+  }
+  auto state = std::make_unique<ModelState>();
+  state->name = name;
+  state->is_default = name == default_model_;
+  state->factory = std::move(factory);
+  state->version.store(session->model_version(), std::memory_order_release);
+  state->primary = std::move(session);
+  models_.push_back(std::move(state));
+  return models_.back().get();
+}
+
+ModelState* ModelFleet::Resolve(const std::string& name) {
+  return Find(name.empty() ? default_model_ : name);
+}
+
+ModelState* ModelFleet::Find(const std::string& name) {
+  for (const auto& model : models_) {
+    if (model->name == name) return model.get();
+  }
+  return nullptr;
+}
+
+}  // namespace dtdbd::serve

@@ -1,0 +1,240 @@
+// Multi-model fleet primitives for serve::Server: a named-model registry
+// with a default-routing rule, the deterministic canary hash slice, the
+// windowed canary regression monitor, and the per-model health structs the
+// HealthReport models[] section is built from.
+//
+// Ownership and locking. ModelFleet and ModelState hold no locks of their
+// own — they are data owned by serve::Server and synchronized by ITS
+// mutexes, with the same discipline the single-model server used for its
+// one session:
+//   - the registry (ModelFleet::Add / Resolve / models) and every
+//     InferenceSession pointer inside a ModelState are read and written
+//     only under Server::mu_, and sessions are SWAPPED only inside the
+//     quiescent barrier (no in-flight batches) — so a forward that started
+//     on a session can never watch it be replaced;
+//   - a worker serving an in-flight batch may read the session pointers it
+//     resolved at dequeue without mu_, because the barrier cannot complete
+//     until the batch does;
+//   - the plain counter fields below the "stats" marker are guarded by
+//     Server::stats_mu_;
+//   - `version`, `degraded`, and `canary_draining` are atomics readable
+//     anywhere.
+// ModelState objects are never destroyed while the server lives: the
+// registry only appends (models can be added mid-flight, never removed),
+// so a ModelState* stored in a queued Job stays valid without refcounting.
+//
+// Canary routing is deterministic: RouteHash hashes the request CONTENT
+// (tokens + domain), so whether a given request falls in the canary slice
+// is a pure function of the request and the configured percent —
+// replayable in tests and stable across retries of the same post. The
+// slice membership is evaluated at DEQUEUE time, so a rollback between
+// admission and dequeue simply reroutes the request to the primary; no
+// queued request is ever failed because its canary disappeared.
+#ifndef DTDBD_SERVE_FLEET_H_
+#define DTDBD_SERVE_FLEET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "models/model.h"
+#include "serve/session.h"
+
+namespace dtdbd::serve {
+
+// The model a request routes to when it names none (wire v1 clients and
+// in-process callers that leave InferenceRequest::model_name empty).
+inline constexpr char kDefaultModelName[] = "default";
+
+// Deterministic content hash for canary slicing: FNV-1a over domain and
+// token ids. Feature values are deliberately excluded — two deliveries of
+// the same post with slightly different float features still land in the
+// same slice.
+uint64_t RouteHash(const InferenceRequest& request);
+
+// True when `hash` falls in the canary slice of `percent` (clamped to
+// [0, 100]; 0 = nothing, 100 = everything).
+bool InCanarySlice(uint64_t hash, int percent);
+
+struct CanaryOptions {
+  // Hash-slice size in percent of traffic routed to the candidate.
+  int percent = 10;
+  // Canary responses per evaluation window; the monitor judges the
+  // candidate every time this many canary-served elements complete.
+  int64_t window = 64;
+  // Regression if canary error rate exceeds the primary's (over the same
+  // window) by more than this absolute slack. Errors are unexpected
+  // failures (kInternal and friends); client mistakes (kInvalidArgument)
+  // and deadline sheds are charged to neither variant.
+  double max_error_rate_increase = 0.05;
+  // Regression if canary mean per-element compute exceeds primary mean *
+  // this ratio. <= 0 disables the latency check (useful under ManualClock
+  // where compute time reads as zero).
+  double max_latency_ratio = 0.0;
+  // The latency check only fires once the primary contributed at least
+  // this many elements to the window (a ratio against nothing is noise).
+  int64_t min_primary_samples = 1;
+};
+
+// One evaluation window of paired canary-vs-primary observations for a
+// single model. Reset after every verdict.
+struct CanaryWindowStats {
+  int64_t canary_served = 0;  // elements answered by the candidate
+  int64_t canary_errors = 0;
+  int64_t canary_compute_nanos = 0;
+  int64_t primary_served = 0;
+  int64_t primary_errors = 0;
+  int64_t primary_compute_nanos = 0;
+};
+
+struct CanaryVerdict {
+  bool regression = false;
+  std::string reason;  // set when regression; human-readable
+};
+
+// Pure decision function for the windowed monitor — deterministic and
+// testable without a server.
+CanaryVerdict EvaluateCanaryWindow(const CanaryWindowStats& window,
+                                   const CanaryOptions& options);
+
+// Cumulative off-path shadow-scoring telemetry for one model.
+struct ShadowStats {
+  int64_t scored = 0;  // elements where primary and shadow both answered OK
+  int64_t shadow_errors = 0;          // shadow failed where primary succeeded
+  int64_t label_disagreements = 0;    // argmax flipped
+  double abs_delta_sum = 0.0;         // sum |p_fake_shadow - p_fake_primary|
+  double abs_delta_max = 0.0;
+};
+
+// Per-model slices of a HealthReport (the models[] section).
+struct CanaryHealth {
+  bool active = false;
+  bool draining = false;  // regression detected, rollback barrier pending
+  int percent = 0;
+  int64_t candidate_version = 0;
+  int64_t window = 0;
+  int64_t window_canary_served = 0;  // progress of the current window
+  int64_t windows_evaluated = 0;
+  int64_t started = 0;      // cumulative StartCanary successes
+  int64_t rollbacks = 0;    // cumulative auto-rollbacks
+  int64_t promotions = 0;   // cumulative PromoteCanary successes
+  int64_t cancels = 0;      // cumulative CancelCanary on an active canary
+  std::string last_event;   // most recent start/rollback/promote/cancel
+};
+
+struct ShadowHealth {
+  bool active = false;
+  int64_t scored = 0;
+  int64_t shadow_errors = 0;
+  int64_t label_disagreements = 0;
+  double mean_abs_delta = 0.0;
+  double max_abs_delta = 0.0;
+};
+
+struct ModelHealth {
+  std::string name;
+  bool is_default = false;
+  int64_t version = 0;
+  bool degraded = false;
+  std::string last_reload_error;
+  int64_t queue_depth = 0;  // requests routed here, still waiting
+  int64_t served_ok = 0;
+  int64_t invalid_requests = 0;
+  int64_t internal_errors = 0;
+  int64_t shed_deadline = 0;
+  int64_t reload_attempts = 0;
+  int64_t reload_successes = 0;
+  int64_t reload_failures = 0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  int64_t latency_samples = 0;
+  bool latency_no_samples = true;  // same contract as the aggregate flag
+  CanaryHealth canary;
+  ShadowHealth shadow;
+};
+
+// One named model in the fleet. See the file comment for which of
+// Server::mu_ / Server::stats_mu_ guards each group.
+struct ModelState {
+  std::string name;
+  bool is_default = false;
+  // Builds a fresh architecture-matched model for reload / canary / shadow
+  // checkpoint loads. May be null (loads then fail kFailedPrecondition).
+  std::function<std::unique_ptr<models::FakeNewsModel>()> factory;
+
+  // Sessions — written only inside the quiescent barrier under Server::mu_.
+  std::unique_ptr<InferenceSession> primary;
+  std::unique_ptr<InferenceSession> canary;
+  std::unique_ptr<InferenceSession> shadow;
+  CanaryOptions canary_options;  // meaningful while canary != nullptr
+
+  std::atomic<int64_t> version{0};
+  std::atomic<bool> degraded{false};
+  // Set at regression detection so routing stops feeding the candidate
+  // immediately, before the rollback barrier job lands.
+  std::atomic<bool> canary_draining{false};
+
+  // --- guarded by Server::mu_ ---
+  int64_t queued = 0;
+
+  // --- stats: guarded by Server::stats_mu_ ---
+  int64_t served_ok = 0;
+  int64_t invalid_requests = 0;
+  int64_t internal_errors = 0;
+  int64_t shed_deadline = 0;
+  int64_t reload_attempts = 0;
+  int64_t reload_successes = 0;
+  int64_t reload_failures = 0;
+  std::string last_reload_error;
+  std::vector<int64_t> latencies;  // ring buffer, sized by the server
+  int64_t latency_next = 0;
+  int64_t latency_count = 0;
+  CanaryWindowStats window;
+  int64_t windows_evaluated = 0;
+  int64_t canaries_started = 0;
+  int64_t canary_rollbacks = 0;
+  int64_t canary_promotions = 0;
+  int64_t canary_cancels = 0;
+  std::string last_canary_event;
+  ShadowStats shadow_stats;
+};
+
+// Registry + router. Externally synchronized: every method requires the
+// owning Server's mu_. Append-only — ModelState addresses are stable for
+// the life of the fleet.
+class ModelFleet {
+ public:
+  explicit ModelFleet(std::string default_model)
+      : default_model_(std::move(default_model)) {}
+
+  ModelFleet(const ModelFleet&) = delete;
+  ModelFleet& operator=(const ModelFleet&) = delete;
+
+  // Registers a model. kInvalidArgument for an empty name or null session,
+  // kFailedPrecondition for a duplicate. The returned pointer is stable.
+  StatusOr<ModelState*> Add(
+      const std::string& name, std::unique_ptr<InferenceSession> session,
+      std::function<std::unique_ptr<models::FakeNewsModel>()> factory);
+
+  // Routing rule: empty name -> the configured default; otherwise exact
+  // match. nullptr when unknown (the caller owes a typed kNotFound).
+  ModelState* Resolve(const std::string& name);
+  ModelState* Find(const std::string& name);
+
+  const std::string& default_model() const { return default_model_; }
+  const std::vector<std::unique_ptr<ModelState>>& models() const {
+    return models_;
+  }
+
+ private:
+  std::string default_model_;
+  std::vector<std::unique_ptr<ModelState>> models_;
+};
+
+}  // namespace dtdbd::serve
+
+#endif  // DTDBD_SERVE_FLEET_H_

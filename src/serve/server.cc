@@ -50,16 +50,23 @@ Server::Server(std::unique_ptr<InferenceSession> session,
     : options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock
                                        : SystemClock::Get()),
-      session_(std::move(session)) {
-  DTDBD_CHECK(session_ != nullptr);
+      fleet_(options_.default_model_name) {
+  DTDBD_CHECK(session != nullptr);
   DTDBD_CHECK_GT(options_.max_queue_depth, 0);
   DTDBD_CHECK_GT(options_.latency_window, 0);
   num_workers_ =
       options_.num_workers > 0 ? options_.num_workers : ServeWorkersFromEnv();
   max_batch_ = std::max(1, options_.max_batch);
-  model_version_.store(session_->model_version(), std::memory_order_release);
   latencies_.assign(static_cast<size_t>(options_.latency_window), 0);
   batch_size_hist_.assign(static_cast<size_t>(max_batch_) + 1, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    StatusOr<ModelState*> added = fleet_.Add(
+        options_.default_model_name, std::move(session), options_.model_factory);
+    DTDBD_CHECK(added.ok()) << added.status().ToString();
+    default_state_ = added.value();
+    InitModelStatsLocked(default_state_);
+  }
   pools_.reserve(static_cast<size_t>(num_workers_));
   workers_.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
@@ -76,6 +83,27 @@ Server::Server(std::unique_ptr<InferenceSession> session,
 }
 
 Server::~Server() { Stop(); }
+
+void Server::InitModelStatsLocked(ModelState* model) {
+  // Nested stats_mu_ under mu_ — the one-way mu_ -> stats_mu_ order is
+  // deadlock-free (no path locks stats_mu_ first). Sizing the ring inside
+  // the same mu_ hold that registers the model guarantees no request can
+  // be served (let alone record a latency) against an unsized ring.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  model->latencies.assign(static_cast<size_t>(options_.latency_window), 0);
+}
+
+Status Server::AddModel(
+    const std::string& name, std::unique_ptr<InferenceSession> session,
+    std::function<std::unique_ptr<models::FakeNewsModel>()> factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return Status::Unavailable("server is stopped");
+  StatusOr<ModelState*> added =
+      fleet_.Add(name, std::move(session), std::move(factory));
+  if (!added.ok()) return added.status();
+  InitModelStatsLocked(added.value());
+  return Status::Ok();
+}
 
 std::future<StatusOr<Prediction>> Server::Submit(InferenceRequest request,
                                                  int64_t deadline_nanos) {
@@ -103,11 +131,24 @@ void Server::SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
   job.deadline_nanos = deadline_nanos;
   job.enqueue_nanos = now;
   job.done = std::move(done);
+  // Content hash for the canary slice, computed outside the lock; the
+  // slice test itself happens at dequeue so a rollback between admission
+  // and dequeue reroutes (never fails) the request.
+  job.route_hash = RouteHash(job.request);
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopped_) {
     lock.unlock();
     job.done(Status::Unavailable("server is stopped"));
+    return;
+  }
+  job.model = fleet_.Resolve(job.request.model_name);
+  if (job.model == nullptr) {
+    lock.unlock();
+    rejected_unknown_model_.fetch_add(1, std::memory_order_relaxed);
+    job.done(Status::NotFound("unknown model '" + job.request.model_name +
+                              "' (fleet default is '" + fleet_.default_model() +
+                              "')"));
     return;
   }
   if (inference_depth_ >= options_.max_queue_depth) {
@@ -119,6 +160,7 @@ void Server::SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
     return;
   }
   ++inference_depth_;
+  ++job.model->queued;
   admitted_.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(job));
   lock.unlock();
@@ -129,24 +171,194 @@ StatusOr<Prediction> Server::Predict(const InferenceRequest& request) {
   return Submit(request).get();
 }
 
-std::future<Status> Server::ReloadFromCheckpoint(std::string checkpoint_path) {
+std::future<Status> Server::EnqueueControl(
+    const std::string& model_name, std::function<Status(ModelState*)> fn,
+    bool front) {
   Job job;
-  job.kind = Job::Kind::kReload;
-  job.checkpoint_path = std::move(checkpoint_path);
-  std::future<Status> future = job.reload_reply.get_future();
+  job.kind = Job::Kind::kControl;
+  std::future<Status> future = job.control_reply.get_future();
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopped_) {
     lock.unlock();
-    job.reload_reply.set_value(Status::Unavailable("server is stopped"));
+    job.control_reply.set_value(Status::Unavailable("server is stopped"));
     return future;
   }
+  ModelState* model = fleet_.Resolve(model_name);
+  if (model == nullptr) {
+    lock.unlock();
+    job.control_reply.set_value(
+        Status::NotFound("unknown model '" + model_name + "'"));
+    return future;
+  }
+  job.control = [fn = std::move(fn), model] { return fn(model); };
   // Control jobs bypass the depth limit: an overloaded server must still
-  // accept the reload that might fix it.
-  queue_.push_back(std::move(job));
+  // accept the reload that might fix it. `front` jumps the backlog — used
+  // by auto-rollback so the drain is bounded by in-flight work, not by
+  // every queued request ahead of it.
+  if (front) {
+    queue_.push_front(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
   lock.unlock();
   cv_.notify_all();
   return future;
+}
+
+std::future<Status> Server::ReloadFromCheckpoint(std::string checkpoint_path) {
+  return ReloadModelFromCheckpoint(std::string(), std::move(checkpoint_path));
+}
+
+std::future<Status> Server::ReloadModelFromCheckpoint(
+    const std::string& model_name, std::string checkpoint_path) {
+  return EnqueueControl(
+      model_name, [this, path = std::move(checkpoint_path)](ModelState* model) {
+        return RunReload(model, path);
+      });
+}
+
+std::future<Status> Server::StartCanary(const std::string& model_name,
+                                        std::string checkpoint_path,
+                                        CanaryOptions options) {
+  if (options.percent < 1 || options.percent > 100) {
+    std::promise<Status> reply;
+    reply.set_value(Status::InvalidArgument(
+        "canary percent must be in [1, 100], got " +
+        std::to_string(options.percent)));
+    return reply.get_future();
+  }
+  if (options.window < 1) {
+    std::promise<Status> reply;
+    reply.set_value(Status::InvalidArgument(
+        "canary window must be >= 1, got " + std::to_string(options.window)));
+    return reply.get_future();
+  }
+  return EnqueueControl(
+      model_name,
+      [this, path = std::move(checkpoint_path), options](ModelState* model) {
+        // Inside the barrier: no batch is in flight and no other control
+        // job runs, so session pointers are ours to read and write (mu_ is
+        // still taken for the write so Health() snapshots stay coherent).
+        if (model->canary != nullptr) {
+          return Status::FailedPrecondition(
+              "model '" + model->name +
+              "' already has an active canary; promote or cancel it first");
+        }
+        StatusOr<std::unique_ptr<InferenceSession>> candidate =
+            LoadCandidate(model, path);
+        if (!candidate.ok()) return candidate.status();
+        const int64_t candidate_version = candidate.value()->model_version();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          model->canary = std::move(candidate).value();
+          model->canary_options = options;
+        }
+        model->canary_draining.store(false, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++model->canaries_started;
+          model->window = CanaryWindowStats();
+          model->last_canary_event =
+              "canary started at version " + std::to_string(candidate_version) +
+              " (" + std::to_string(options.percent) + "% slice)";
+        }
+        DTDBD_LOG(Info) << "model '" << model->name << "': canary version "
+                        << candidate_version << " serving "
+                        << options.percent << "% of traffic";
+        return Status::Ok();
+      });
+}
+
+std::future<Status> Server::PromoteCanary(const std::string& model_name) {
+  return EnqueueControl(model_name, [this](ModelState* model) {
+    if (model->canary == nullptr) {
+      return Status::FailedPrecondition("model '" + model->name +
+                                        "' has no active canary to promote");
+    }
+    if (model->canary_draining.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "model '" + model->name +
+          "' canary is draining after a detected regression; cancel instead");
+    }
+    const int64_t version = model->canary->model_version();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      model->primary = std::move(model->canary);
+      model->canary.reset();
+    }
+    model->version.store(version, std::memory_order_release);
+    model->degraded.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++model->canary_promotions;
+      model->window = CanaryWindowStats();
+      model->last_canary_event =
+          "canary promoted to primary at version " + std::to_string(version);
+    }
+    DTDBD_LOG(Info) << "model '" << model->name
+                    << "': canary promoted to primary, version " << version;
+    return Status::Ok();
+  });
+}
+
+std::future<Status> Server::CancelCanary(const std::string& model_name) {
+  return EnqueueControl(model_name, [this](ModelState* model) {
+    if (model->canary == nullptr) {
+      return Status::FailedPrecondition("model '" + model->name +
+                                        "' has no active canary to cancel");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      model->canary.reset();
+    }
+    model->canary_draining.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++model->canary_cancels;
+      model->window = CanaryWindowStats();
+      model->last_canary_event = "canary canceled";
+    }
+    return Status::Ok();
+  });
+}
+
+std::future<Status> Server::StartShadow(const std::string& model_name,
+                                        std::string checkpoint_path) {
+  return EnqueueControl(
+      model_name, [this, path = std::move(checkpoint_path)](ModelState* model) {
+        StatusOr<std::unique_ptr<InferenceSession>> candidate =
+            LoadCandidate(model, path);
+        if (!candidate.ok()) return candidate.status();
+        const int64_t version = candidate.value()->model_version();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          model->shadow = std::move(candidate).value();
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          model->shadow_stats = ShadowStats();
+        }
+        DTDBD_LOG(Info) << "model '" << model->name
+                        << "': shadow scoring version " << version
+                        << " off the response path";
+        return Status::Ok();
+      });
+}
+
+std::future<Status> Server::StopShadow(const std::string& model_name) {
+  return EnqueueControl(model_name, [this](ModelState* model) {
+    std::lock_guard<std::mutex> lock(mu_);
+    model->shadow.reset();
+    return Status::Ok();
+  });
+}
+
+bool Server::RouteToCanaryLocked(const Job& job) const {
+  const ModelState* model = job.model;
+  return model->canary != nullptr &&
+         !model->canary_draining.load(std::memory_order_acquire) &&
+         InCanarySlice(job.route_hash, model->canary_options.percent);
 }
 
 void Server::DrainQueueLocked() {
@@ -155,10 +367,11 @@ void Server::DrainQueueLocked() {
     queue_.pop_front();
     if (dropped.kind == Job::Kind::kInfer) {
       --inference_depth_;
+      --dropped.model->queued;
       dropped.done(
           Status::Unavailable("server stopped before serving request"));
-    } else if (dropped.kind == Job::Kind::kReload) {
-      dropped.reload_reply.set_value(
+    } else {
+      dropped.control_reply.set_value(
           Status::Unavailable("server stopped before reload"));
     }
   }
@@ -166,20 +379,25 @@ void Server::DrainQueueLocked() {
 
 void Server::WorkerLoop(KernelPool* pool) {
   // Every kernel this thread dispatches — inference forwards AND
-  // reload-time model construction/restore — runs on this worker's private
+  // control-job model construction/restore — runs on this worker's private
   // pool, never the process-wide one.
   ScopedKernelPool scoped(pool);
   std::vector<Job> batch;
   for (;;) {
     batch.clear();
-    Job reload_job;
-    bool have_reload = false;
+    Job control_job;
+    bool have_control = false;
+    ModelState* model = nullptr;
+    bool use_canary = false;
+    InferenceSession* session = nullptr;
+    InferenceSession* shadow = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      // The reload barrier (reload_active_) parks every other worker here,
-      // so a swap never overlaps a dequeue, let alone a forward.
+      // The control barrier (barrier_active_) parks every other worker
+      // here, so a session swap never overlaps a dequeue, let alone a
+      // forward.
       cv_.wait(lock, [this] {
-        return stopped_ || (!queue_.empty() && !reload_active_);
+        return stopped_ || (!queue_.empty() && !barrier_active_);
       });
       if (stopped_) {
         // Fail everything still queued — coalesced or not; admission is
@@ -187,37 +405,48 @@ void Server::WorkerLoop(KernelPool* pool) {
         DrainQueueLocked();
         return;
       }
-      if (queue_.front().kind == Job::Kind::kReload) {
-        reload_job = std::move(queue_.front());
+      if (queue_.front().kind == Job::Kind::kControl) {
+        control_job = std::move(queue_.front());
         queue_.pop_front();
-        have_reload = true;
-        reload_active_ = true;
-        // Quiesce: in-flight batches must finish before the swap.
+        have_control = true;
+        barrier_active_ = true;
+        // Quiesce: in-flight batches must finish before the closure runs.
         cv_.wait(lock, [this] { return inflight_batches_ == 0; });
       } else {
         // Greedy coalescing: take only what is already waiting (fill
         // window zero — nobody is ever held for batchmates), stop at a
-        // control job so reloads stay strictly ordered with the queue.
+        // control job so barrier work stays strictly ordered with the
+        // queue, and NEVER mix (model, canary-variant) — every batch is
+        // served by exactly one session.
+        model = queue_.front().model;
+        use_canary = RouteToCanaryLocked(queue_.front());
         while (!queue_.empty() &&
                queue_.front().kind == Job::Kind::kInfer &&
+               queue_.front().model == model &&
+               RouteToCanaryLocked(queue_.front()) == use_canary &&
                static_cast<int>(batch.size()) < max_batch_) {
           batch.push_back(std::move(queue_.front()));
           queue_.pop_front();
           --inference_depth_;
+          --model->queued;
         }
+        // Session pointers resolved under mu_ stay valid lock-free for the
+        // whole batch: the barrier waits for inflight_batches_ == 0.
+        session = use_canary ? model->canary.get() : model->primary.get();
+        shadow = use_canary ? nullptr : model->shadow.get();
         ++inflight_batches_;
       }
     }
-    if (have_reload) {
-      reload_job.reload_reply.set_value(RunReload(reload_job.checkpoint_path));
+    if (have_control) {
+      control_job.control_reply.set_value(control_job.control());
       {
         std::lock_guard<std::mutex> lock(mu_);
-        reload_active_ = false;
+        barrier_active_ = false;
       }
       cv_.notify_all();
       continue;
     }
-    ServeBatch(&batch);
+    ServeBatch(model, use_canary, session, shadow, &batch);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_batches_;
@@ -226,22 +455,32 @@ void Server::WorkerLoop(KernelPool* pool) {
   }
 }
 
-void Server::ServeBatch(std::vector<Job>* jobs) {
+void Server::ServeBatch(ModelState* model, bool use_canary,
+                        InferenceSession* session, InferenceSession* shadow,
+                        std::vector<Job>* jobs) {
   const int64_t dequeue_nanos = clock_->NowNanos();
   // Per-element shed at dequeue: batching never delays the deadline check,
   // and one expired element never poisons its batchmates.
   std::vector<Job*> live;
   live.reserve(jobs->size());
+  int64_t local_shed = 0;
   for (Job& job : *jobs) {
     if (job.deadline_nanos > 0 && dequeue_nanos > job.deadline_nanos) {
       shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      ++local_shed;
       job.done(Status::DeadlineExceeded(
           "request shed: deadline expired before serving"));
     } else {
       live.push_back(&job);
     }
   }
-  if (live.empty()) return;
+  if (live.empty()) {
+    if (local_shed > 0) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      model->shed_deadline += local_shed;
+    }
+    return;
+  }
 
   std::vector<const InferenceRequest*> requests;
   requests.reserve(live.size());
@@ -250,34 +489,193 @@ void Server::ServeBatch(std::vector<Job>* jobs) {
     requests.push_back(&job->request);
     queue_wait += dequeue_nanos - job->enqueue_nanos;
   }
-  std::vector<StatusOr<Prediction>> results =
-      session_->PredictBatch(requests);
+  std::vector<StatusOr<Prediction>> results = session->PredictBatch(requests);
+  // Canary-only failure injection: converts a would-be OK canary answer
+  // into kInternal so tests can fake a regressed candidate without ever
+  // perturbing a primary response (the parity contracts depend on that).
+  if (use_canary && options_.fault_injector != nullptr) {
+    for (StatusOr<Prediction>& result : results) {
+      if (result.ok() && options_.fault_injector->MaybeFailCanaryPredict()) {
+        result = Status::Internal("injected canary prediction failure");
+      }
+    }
+  }
   const int64_t done_nanos = clock_->NowNanos();
+  const int64_t batch_compute = done_nanos - dequeue_nanos;
   queue_wait_nanos_.fetch_add(queue_wait, std::memory_order_relaxed);
-  compute_nanos_.fetch_add(done_nanos - dequeue_nanos,
-                           std::memory_order_relaxed);
+  compute_nanos_.fetch_add(batch_compute, std::memory_order_relaxed);
+
+  // Stamp fleet attribution and classify. No reply leaves yet: every
+  // counter and histogram cell a caller could observe right after its
+  // future resolves must already be committed when it does. When a shadow
+  // is active the primary outcomes are also copied here — replies consume
+  // the results, and the shadow comparison must never delay them.
+  struct ShadowBaseline {
+    bool ok = false;
+    float p_fake = 0.0f;
+    int label = 0;
+  };
+  std::vector<ShadowBaseline> baseline;
+  if (shadow != nullptr) baseline.resize(live.size());
+  std::vector<int64_t> ok_latencies;
+  ok_latencies.reserve(live.size());
+  int64_t local_ok = 0;
+  int64_t local_invalid = 0;
+  int64_t local_internal = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    StatusOr<Prediction>& result = results[i];
+    if (result.ok()) {
+      result.value().model_name = model->name;
+      result.value().canary = use_canary;
+      if (shadow != nullptr) {
+        baseline[i] = {true, result.value().p_fake, result.value().label};
+      }
+      ++local_ok;
+      served_ok_.fetch_add(1, std::memory_order_relaxed);
+      ok_latencies.push_back(done_nanos - live[i]->enqueue_nanos);
+    } else if (result.status().code() == StatusCode::kInvalidArgument) {
+      ++local_invalid;
+      invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++local_internal;
+      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool trigger_rollback = false;
+  std::string rollback_reason;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++batches_run_;
     batched_elements_ += static_cast<int64_t>(live.size());
     ++batch_size_hist_[live.size()];
-  }
-  for (size_t i = 0; i < live.size(); ++i) {
-    Job* job = live[i];
-    StatusOr<Prediction>& result = results[i];
-    if (result.ok()) {
-      served_ok_.fetch_add(1, std::memory_order_relaxed);
-      RecordLatency(done_nanos - job->enqueue_nanos);
-    } else if (result.status().code() == StatusCode::kInvalidArgument) {
-      invalid_requests_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    model->shed_deadline += local_shed;
+    model->served_ok += local_ok;
+    model->invalid_requests += local_invalid;
+    model->internal_errors += local_internal;
+    for (int64_t nanos : ok_latencies) {
+      latencies_[static_cast<size_t>(latency_next_)] = nanos;
+      latency_next_ = (latency_next_ + 1) % options_.latency_window;
+      if (latency_count_ < options_.latency_window) ++latency_count_;
+      model->latencies[static_cast<size_t>(model->latency_next)] = nanos;
+      model->latency_next = (model->latency_next + 1) % options_.latency_window;
+      if (model->latency_count < options_.latency_window) {
+        ++model->latency_count;
+      }
     }
-    job->done(std::move(result));
+    // Canary monitor: both variants feed the shared window (reading the
+    // canary session pointer here is safe — this batch is still in flight,
+    // so no barrier job can swap it). Only canary-side batches can
+    // complete a window, so a verdict always includes fresh canary data.
+    if (model->canary != nullptr &&
+        !model->canary_draining.load(std::memory_order_acquire)) {
+      CanaryWindowStats& window = model->window;
+      const int64_t reached_forward = local_ok + local_internal;
+      if (use_canary) {
+        window.canary_served += reached_forward;
+        window.canary_errors += local_internal;
+        window.canary_compute_nanos += batch_compute;
+      } else {
+        window.primary_served += reached_forward;
+        window.primary_errors += local_internal;
+        window.primary_compute_nanos += batch_compute;
+      }
+      if (use_canary &&
+          window.canary_served >= model->canary_options.window) {
+        ++model->windows_evaluated;
+        const CanaryVerdict verdict =
+            EvaluateCanaryWindow(window, model->canary_options);
+        window = CanaryWindowStats();
+        if (verdict.regression) {
+          trigger_rollback = true;
+          rollback_reason = verdict.reason;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i]->done(std::move(results[i]));
+  }
+
+  // Off-path shadow scoring: primary replies are already on their way and
+  // bitwise identical to a no-shadow run. This runs inside the in-flight
+  // window, so no barrier job can swap sessions under it; its wall-clock
+  // is deliberately NOT charged to compute_ms/latency telemetry.
+  if (shadow != nullptr) {
+    ShadowStats delta;
+    std::vector<StatusOr<Prediction>> shadow_results =
+        shadow->PredictBatch(requests);
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!baseline[i].ok) continue;  // compare only where primary answered
+      if (!shadow_results[i].ok()) {
+        ++delta.shadow_errors;
+        continue;
+      }
+      ++delta.scored;
+      const double d = std::fabs(
+          static_cast<double>(shadow_results[i].value().p_fake) -
+          static_cast<double>(baseline[i].p_fake));
+      delta.abs_delta_sum += d;
+      delta.abs_delta_max = std::max(delta.abs_delta_max, d);
+      if (shadow_results[i].value().label != baseline[i].label) {
+        ++delta.label_disagreements;
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ShadowStats& stats = model->shadow_stats;
+    stats.scored += delta.scored;
+    stats.shadow_errors += delta.shadow_errors;
+    stats.label_disagreements += delta.label_disagreements;
+    stats.abs_delta_sum += delta.abs_delta_sum;
+    stats.abs_delta_max = std::max(stats.abs_delta_max, delta.abs_delta_max);
+  }
+  if (trigger_rollback &&
+      !model->canary_draining.exchange(true, std::memory_order_acq_rel)) {
+    // Draining flips BEFORE the rollback job runs, so dequeue stops
+    // feeding the candidate immediately; queued slice members fall back to
+    // the primary. The barrier job then frees the candidate. exchange()
+    // guards against two workers observing the same regression.
+    DTDBD_LOG(Warning) << "model '" << model->name
+                       << "': canary regression detected — " << rollback_reason
+                       << "; rolling back to last-good version "
+                       << model->version.load(std::memory_order_acquire);
+    EnqueueControl(
+        model->name,
+        [this, rollback_reason](ModelState* m) {
+          return RollbackCanary(m, rollback_reason);
+        },
+        /*front=*/true);
   }
 }
 
-Status Server::TryLoadInto(const std::string& path) {
+Status Server::RollbackCanary(ModelState* model, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (model->canary == nullptr) {
+      // Already canceled/promoted between detection and the barrier; the
+      // drain flag must still be cleared so a future canary can route.
+      model->canary_draining.store(false, std::memory_order_release);
+      return Status::Ok();
+    }
+    model->canary.reset();
+  }
+  model->canary_draining.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++model->canary_rollbacks;
+    model->window = CanaryWindowStats();
+    model->last_canary_event = "auto-rollback: " + reason;
+  }
+  DTDBD_LOG(Warning) << "model '" << model->name
+                     << "': canary rolled back to last-good version "
+                     << model->version.load(std::memory_order_acquire) << " ("
+                     << reason << ")";
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<InferenceSession>> Server::LoadSessionFor(
+    ModelState* model, const std::string& path, int64_t version) {
   if (options_.fault_injector != nullptr) {
     const int64_t slow = options_.fault_injector->slow_load_nanos();
     if (slow > 0) {
@@ -285,45 +683,60 @@ Status Server::TryLoadInto(const std::string& path) {
     }
     DTDBD_RETURN_IF_ERROR(options_.fault_injector->MaybeFailLoad());
   }
-  if (!options_.model_factory) {
-    return Status::FailedPrecondition(
-        "hot-reload requires ServerOptions::model_factory");
+  if (!model->factory) {
+    if (model->is_default) {
+      return Status::FailedPrecondition(
+          "hot-reload requires ServerOptions::model_factory");
+    }
+    return Status::FailedPrecondition("model '" + model->name +
+                                      "' was registered without a factory");
   }
   DTDBD_ASSIGN_OR_RETURN(train::CheckpointState state,
                          train::LoadCheckpoint(path));
   // Both "supervised" and "dtdbd" checkpoints are servable; only the model
   // parameter map matters here. Restore into a FRESH model so a mismatched
-  // checkpoint can never leave the live session half-overwritten.
-  std::unique_ptr<models::FakeNewsModel> model = options_.model_factory();
-  if (model == nullptr) {
+  // checkpoint can never leave any live session half-overwritten.
+  std::unique_ptr<models::FakeNewsModel> fresh = model->factory();
+  if (fresh == nullptr) {
     return Status::FailedPrecondition("model_factory returned null");
   }
-  std::map<std::string, tensor::Tensor> named = model->NamedParameters();
+  std::map<std::string, tensor::Tensor> named = fresh->NamedParameters();
   DTDBD_RETURN_IF_ERROR(tensor::RestoreInto(state.model, &named));
-  const int64_t next_version =
-      model_version_.load(std::memory_order_acquire) + 1;
-  session_ = std::make_unique<InferenceSession>(
-      std::move(model), session_->limits(), next_version);
-  model_version_.store(next_version, std::memory_order_release);
-  return Status::Ok();
+  // The primary pointer is stable here: loads only run inside the barrier,
+  // the one context that may also write it.
+  return std::make_unique<InferenceSession>(std::move(fresh),
+                                            model->primary->limits(), version);
 }
 
-Status Server::RunReload(const std::string& path) {
+StatusOr<std::unique_ptr<InferenceSession>> Server::LoadCandidate(
+    ModelState* model, const std::string& path) {
   int64_t backoff = options_.reload_backoff_initial_nanos;
   Status last = Status::Ok();
   const int attempts = std::max(1, options_.reload_max_attempts);
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     reload_attempts_.fetch_add(1, std::memory_order_relaxed);
-    last = TryLoadInto(path);
-    if (last.ok()) {
-      reload_successes_.fetch_add(1, std::memory_order_relaxed);
-      degraded_.store(false, std::memory_order_release);
+    {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      last_reload_error_.clear();
-      return last;
+      ++model->reload_attempts;
     }
+    const int64_t version =
+        model->version.load(std::memory_order_acquire) + 1;
+    StatusOr<std::unique_ptr<InferenceSession>> loaded =
+        LoadSessionFor(model, path, version);
+    if (loaded.ok()) {
+      reload_successes_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++model->reload_successes;
+      return loaded;
+    }
+    last = loaded.status();
     reload_failures_.fetch_add(1, std::memory_order_relaxed);
-    DTDBD_LOG(Warning) << "hot-reload attempt " << attempt << "/" << attempts
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++model->reload_failures;
+    }
+    DTDBD_LOG(Warning) << "model '" << model->name << "': load attempt "
+                       << attempt << "/" << attempts
                        << " failed: " << last.ToString();
     if (attempt < attempts && backoff > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
@@ -331,32 +744,87 @@ Status Server::RunReload(const std::string& path) {
           static_cast<double>(backoff) * options_.reload_backoff_multiplier);
     }
   }
-  // Exhausted: keep serving the last-good model, but say so loudly.
-  degraded_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    last_reload_error_ = last.ToString();
-  }
-  DTDBD_LOG(Error) << "hot-reload of " << path
-                   << " failed after " << attempts
-                   << " attempts; serving degraded on model version "
-                   << model_version_.load(std::memory_order_acquire);
   return last;
 }
 
-void Server::RecordLatency(int64_t nanos) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  latencies_[static_cast<size_t>(latency_next_)] = nanos;
-  latency_next_ = (latency_next_ + 1) % options_.latency_window;
-  if (latency_count_ < options_.latency_window) ++latency_count_;
+Status Server::RunReload(ModelState* model, const std::string& path) {
+  StatusOr<std::unique_ptr<InferenceSession>> candidate =
+      LoadCandidate(model, path);
+  if (candidate.ok()) {
+    const int64_t version = candidate.value()->model_version();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      model->primary = std::move(candidate).value();
+    }
+    model->version.store(version, std::memory_order_release);
+    model->degraded.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    model->last_reload_error.clear();
+    return Status::Ok();
+  }
+  // Exhausted: keep serving the last-good model, but say so loudly.
+  model->degraded.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    model->last_reload_error = candidate.status().ToString();
+  }
+  DTDBD_LOG(Error) << "model '" << model->name << "': hot-reload of " << path
+                   << " failed; serving degraded on version "
+                   << model->version.load(std::memory_order_acquire);
+  return candidate.status();
 }
+
+namespace {
+
+// p50/p99 over the first `count` slots of a latency ring. The ring is
+// unordered (it wraps), so order statistics need a sorted copy.
+void LatencyPercentiles(const std::vector<int64_t>& ring, int64_t count,
+                        double* p50_ms, double* p99_ms) {
+  if (count <= 0) return;
+  std::vector<int64_t> window(ring.begin(), ring.begin() + count);
+  std::sort(window.begin(), window.end());
+  const auto pick = [&window](double q) {
+    const auto idx = static_cast<size_t>(
+        q * static_cast<double>(window.size() - 1) + 0.5);
+    return static_cast<double>(window[idx]) / 1e6;
+  };
+  *p50_ms = pick(0.50);
+  *p99_ms = pick(0.99);
+}
+
+}  // namespace
 
 HealthReport Server::Health() const {
   HealthReport report;
+  // Phase 1 (mu_): queue depths, registry snapshot, and session-pointer
+  // facts (canary/shadow active). The pointer snapshot makes the report
+  // immune to a model registered mid-call: it simply appears next time.
+  std::vector<ModelState*> states;
   {
     std::lock_guard<std::mutex> lock(mu_);
     report.queue_depth = inference_depth_;
+    report.num_models = static_cast<int64_t>(fleet_.models().size());
+    states.reserve(fleet_.models().size());
+    for (const auto& model : fleet_.models()) {
+      ModelState* m = model.get();
+      states.push_back(m);
+      ModelHealth health;
+      health.name = m->name;
+      health.is_default = m->is_default;
+      health.queue_depth = m->queued;
+      health.canary.active = m->canary != nullptr;
+      health.canary.draining =
+          m->canary_draining.load(std::memory_order_acquire);
+      if (m->canary != nullptr) {
+        health.canary.percent = m->canary_options.percent;
+        health.canary.window = m->canary_options.window;
+        health.canary.candidate_version = m->canary->model_version();
+      }
+      health.shadow.active = m->shadow != nullptr;
+      report.models.push_back(std::move(health));
+    }
   }
+  report.default_model = fleet_.default_model();
   report.max_queue_depth = options_.max_queue_depth;
   report.num_workers = num_workers_;
   report.max_batch = max_batch_;
@@ -364,6 +832,8 @@ HealthReport Server::Health() const {
   report.admitted = admitted_.load(std::memory_order_relaxed);
   report.rejected_queue_full =
       rejected_queue_full_.load(std::memory_order_relaxed);
+  report.rejected_unknown_model =
+      rejected_unknown_model_.load(std::memory_order_relaxed);
   report.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   report.served_ok = served_ok_.load(std::memory_order_relaxed);
   report.invalid_requests = invalid_requests_.load(std::memory_order_relaxed);
@@ -371,8 +841,11 @@ HealthReport Server::Health() const {
   report.reload_attempts = reload_attempts_.load(std::memory_order_relaxed);
   report.reload_successes = reload_successes_.load(std::memory_order_relaxed);
   report.reload_failures = reload_failures_.load(std::memory_order_relaxed);
-  report.degraded = degraded_.load(std::memory_order_acquire);
-  report.model_version = model_version_.load(std::memory_order_acquire);
+  // Top-level reload/version fields mirror the DEFAULT model — the
+  // pre-fleet contract every existing consumer was written against.
+  report.degraded = default_state_->degraded.load(std::memory_order_acquire);
+  report.model_version =
+      default_state_->version.load(std::memory_order_acquire);
   report.watchdog_ticks = watchdog_ticks_.load(std::memory_order_relaxed);
   report.queue_wait_ms_total =
       static_cast<double>(queue_wait_nanos_.load(std::memory_order_relaxed)) /
@@ -380,9 +853,17 @@ HealthReport Server::Health() const {
   report.compute_ms_total =
       static_cast<double>(compute_nanos_.load(std::memory_order_relaxed)) /
       1e6;
+  for (size_t i = 0; i < states.size(); ++i) {
+    ModelHealth& health = report.models[i];
+    health.version = states[i]->version.load(std::memory_order_acquire);
+    health.degraded = states[i]->degraded.load(std::memory_order_acquire);
+  }
+  // Phase 2 (stats_mu_): counters, latency windows, canary/shadow
+  // telemetry. Never held together with mu_ (one-way order, and Health
+  // releases mu_ first anyway).
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    report.last_reload_error = last_reload_error_;
+    report.last_reload_error = default_state_->last_reload_error;
     report.batch_size_histogram = batch_size_hist_;
     report.batches_run = batches_run_;
     // Guard both splits against an empty window: before the first batch the
@@ -402,17 +883,39 @@ HealthReport Server::Health() const {
             : 0.0;
     report.latency_samples = latency_count_;
     report.latency_no_samples = latency_count_ == 0;
-    if (latency_count_ > 0) {
-      std::vector<int64_t> window(
-          latencies_.begin(), latencies_.begin() + latency_count_);
-      std::sort(window.begin(), window.end());
-      const auto pick = [&window](double q) {
-        const auto idx = static_cast<size_t>(
-            q * static_cast<double>(window.size() - 1) + 0.5);
-        return static_cast<double>(window[idx]) / 1e6;
-      };
-      report.p50_latency_ms = pick(0.50);
-      report.p99_latency_ms = pick(0.99);
+    LatencyPercentiles(latencies_, latency_count_, &report.p50_latency_ms,
+                       &report.p99_latency_ms);
+    for (size_t i = 0; i < states.size(); ++i) {
+      ModelState* m = states[i];
+      ModelHealth& health = report.models[i];
+      health.last_reload_error = m->last_reload_error;
+      health.served_ok = m->served_ok;
+      health.invalid_requests = m->invalid_requests;
+      health.internal_errors = m->internal_errors;
+      health.shed_deadline = m->shed_deadline;
+      health.reload_attempts = m->reload_attempts;
+      health.reload_successes = m->reload_successes;
+      health.reload_failures = m->reload_failures;
+      health.latency_samples = m->latency_count;
+      health.latency_no_samples = m->latency_count == 0;
+      LatencyPercentiles(m->latencies, m->latency_count,
+                         &health.p50_latency_ms, &health.p99_latency_ms);
+      health.canary.window_canary_served = m->window.canary_served;
+      health.canary.windows_evaluated = m->windows_evaluated;
+      health.canary.started = m->canaries_started;
+      health.canary.rollbacks = m->canary_rollbacks;
+      health.canary.promotions = m->canary_promotions;
+      health.canary.cancels = m->canary_cancels;
+      health.canary.last_event = m->last_canary_event;
+      health.shadow.scored = m->shadow_stats.scored;
+      health.shadow.shadow_errors = m->shadow_stats.shadow_errors;
+      health.shadow.label_disagreements = m->shadow_stats.label_disagreements;
+      health.shadow.mean_abs_delta =
+          m->shadow_stats.scored > 0
+              ? m->shadow_stats.abs_delta_sum /
+                    static_cast<double>(m->shadow_stats.scored)
+              : 0.0;
+      health.shadow.max_abs_delta = m->shadow_stats.abs_delta_max;
     }
   }
   return report;
@@ -421,6 +924,18 @@ HealthReport Server::Health() const {
 HealthReport Server::LastWatchdogReport() const {
   std::lock_guard<std::mutex> lock(watchdog_mu_);
   return last_watchdog_report_;
+}
+
+bool Server::degraded() const {
+  return default_state_->degraded.load(std::memory_order_acquire);
+}
+
+int64_t Server::model_version() const {
+  return default_state_->version.load(std::memory_order_acquire);
+}
+
+const std::string& Server::default_model() const {
+  return fleet_.default_model();
 }
 
 void Server::WatchdogLoop() {

@@ -1,6 +1,17 @@
 // Overload-aware serving front end: bounded queue, deadlines, admission
-// control, dynamic micro-batching over N workers, a watchdog, and
-// checkpoint hot-reload with graceful degradation.
+// control, dynamic micro-batching over N workers, a watchdog, and a
+// multi-model fleet with per-model hot-reload, canary, and shadow
+// deployments.
+//
+// Fleet model (see DESIGN.md §11). The server owns a registry of N named
+// models (ModelFleet); every model has its own InferenceSession stack
+// (primary + optional canary candidate + optional shadow), its own version
+// counter, reload state, and telemetry — but all models share ONE
+// admission gate, ONE bounded FIFO, and ONE worker pool. The router
+// resolves each request at admission by `InferenceRequest::model_name`
+// (empty = the configured default, so pre-fleet call sites are a
+// fleet-of-one and behave bitwise identically); an unknown name is
+// rejected immediately with kNotFound.
 //
 // Threading model. `num_workers` serving threads pull from one bounded
 // FIFO. Each worker owns a private KernelPool (installed with
@@ -12,40 +23,60 @@
 //
 // Micro-batching (see DESIGN.md §9.5): a worker that dequeues an inference
 // request greedily coalesces up to `max_batch` consecutive queued
-// inference requests into one batch-of-N forward. The fill window is zero
-// — only requests already waiting are taken, so a request is NEVER held
-// waiting for the batch to fill (and therefore can never miss its deadline
-// because of batching). Expired elements are shed per element at dequeue;
+// inference requests into one batch-of-N forward — but only while they
+// agree on (model, canary-variant): a coalesced batch NEVER mixes models
+// or variants, so the per-batch compatibility key (one session, one
+// version) holds by construction. The fill window is zero — only requests
+// already waiting are taken, so a request is NEVER held waiting for the
+// batch to fill. Expired elements are shed per element at dequeue;
 // per-element results are bitwise identical to batch-of-one because eval
-// kernels never accumulate across rows. All elements of a batch are served
-// by the same session, so the compatibility key (model version) holds by
-// construction: a reload is a quiescent barrier (below), never interleaved
-// with a batch.
+// kernels never accumulate across rows.
 //
 // Overload semantics (see DESIGN.md §9):
 //   - Admission control: Submit() fails fast with kResourceExhausted when
-//     `max_queue_depth` inference requests are already waiting. Control
-//     jobs (reload, stop) bypass the depth limit so an overloaded server
-//     can still be fixed or shut down.
+//     `max_queue_depth` inference requests are already waiting (the gate is
+//     shared across the fleet). Control jobs (reload, canary ops, stop)
+//     bypass the depth limit so an overloaded server can still be fixed or
+//     shut down.
 //   - Deadlines: each request carries an absolute deadline (clock nanos;
 //     0 = none). Workers shed expired requests at dequeue time with
-//     kDeadlineExceeded — a forward that cannot finish usefully is never
-//     started, and batch coalescing never delays the check.
-//   - Shutdown: Stop() fails everything still queued — including requests
-//     not yet coalesced into any batch — with kUnavailable.
+//     kDeadlineExceeded.
+//   - Shutdown: Stop() fails everything still queued with kUnavailable.
 //
-// Hot-reload state machine: loading -> serving | degraded. The worker that
-// dequeues a reload raises a barrier: no new batches start, and it waits
-// for in-flight batches to drain before touching the session, so a forward
-// never observes a half-swapped model even with N workers. Requests queued
-// behind the reload are served after it under the new version (strict
-// queue order); requests dequeued by other workers *before* the reload was
-// popped may complete after it — the per-response `model_version` stamp is
-// authoritative. Any load step failing is retried with exponential backoff
-// up to `reload_max_attempts`; on exhaustion the server keeps the
-// last-good model and marks itself degraded in the HealthReport (cleared
-// by the next successful reload). FaultInjector hooks (load failure, slow
-// load) drive the failure paths in tests.
+// Control jobs and the quiescent barrier. Reload, canary start / promote /
+// cancel, shadow start / stop, and canary auto-rollback all run as control
+// jobs: the worker that dequeues one raises a barrier — no new batches
+// start, in-flight batches drain — and then runs the job's closure, so a
+// forward never observes a half-swapped session even with N workers.
+// Control jobs are strictly ordered against the queue (requests queued
+// behind one are served after it under the new state).
+//
+// Canary (see DESIGN.md §11.2): StartCanary loads a candidate version next
+// to the primary and routes a deterministic hash slice (`percent`% by
+// content hash) of that model's traffic to it. A windowed monitor compares
+// canary vs primary error rate (and optionally mean compute) every
+// `window` canary-served elements; on regression the server flips the
+// model's `canary_draining` flag — so routing stops feeding the candidate
+// immediately — and pushes an auto-rollback control job to the FRONT of
+// the queue, which frees the candidate under the barrier. Requests already
+// queued for the canary slice simply fall back to the primary at dequeue:
+// a rollback never fails or drops a request. PromoteCanary installs the
+// candidate as the new primary; CancelCanary discards it.
+//
+// Shadow (see DESIGN.md §11.3): StartShadow loads a candidate that scores
+// every primary-path batch of that model OFF the response path — the
+// primary's replies are sent first and are bitwise identical to a
+// no-shadow run; afterwards the worker runs the shadow forward on the same
+// inputs and records per-request score deltas (|Δ p_fake|, label
+// disagreements) into the model's ShadowStats. Shadow runs inside the
+// in-flight-batch window, so barrier jobs never overlap it.
+//
+// Hot-reload state machine (per model): loading -> serving | degraded.
+// Any load step failing is retried with exponential backoff up to
+// `reload_max_attempts`; on exhaustion the model keeps its last-good
+// primary and marks itself degraded (cleared by the next success). The
+// top-level HealthReport reload fields mirror the DEFAULT model for
+// backward compatibility; per-model state lives in HealthReport::models.
 #ifndef DTDBD_SERVE_SERVER_H_
 #define DTDBD_SERVE_SERVER_H_
 
@@ -64,6 +95,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "models/model.h"
+#include "serve/fleet.h"
 #include "serve/session.h"
 #include "train/fault_injector.h"
 
@@ -109,24 +141,31 @@ struct ServerOptions {
   // batching.
   int max_batch = 1;
   // Admission control: max requests waiting (excludes those being served
-  // and control jobs).
+  // and control jobs). Shared across all models in the fleet.
   int64_t max_queue_depth = 64;
   // Applied at Submit() when the caller passes deadline 0. 0 = no deadline.
   int64_t default_deadline_nanos = 0;
   // Watchdog snapshot period; <= 0 disables the watchdog thread.
   int64_t watchdog_period_nanos = 50'000'000;  // 50 ms
-  // Hot-reload retry policy.
+  // Hot-reload retry policy (applies to every model's reload and to
+  // canary/shadow candidate loads).
   int reload_max_attempts = 3;
   int64_t reload_backoff_initial_nanos = 1'000'000;  // 1 ms
   double reload_backoff_multiplier = 2.0;
-  // Sliding window of recent request latencies backing p50/p99.
+  // Sliding window of recent request latencies backing p50/p99 (aggregate
+  // and per model).
   int64_t latency_window = 1024;
+  // Fleet name the constructor registers the initial session under, and
+  // the model requests with an empty model_name route to.
+  std::string default_model_name = kDefaultModelName;
   // nullptr = SystemClock::Get(). Must outlive the server.
   const Clock* clock = nullptr;
-  // Optional failure-injection hooks (load failure, slow load) for tests.
+  // Optional failure-injection hooks (load failure, slow load, canary
+  // predict failure) for tests.
   train::FaultInjector* fault_injector = nullptr;
-  // Builds a fresh model for hot-reload; must produce the same architecture
-  // the serving checkpoints were written from. Reload fails with
+  // Builds a fresh model for hot-reload of the DEFAULT model; must produce
+  // the same architecture the serving checkpoints were written from.
+  // (AddModel takes a per-model factory.) Reload fails with
   // kFailedPrecondition if unset.
   std::function<std::unique_ptr<models::FakeNewsModel>()> model_factory;
 };
@@ -142,6 +181,9 @@ int ResolveServeWorkers(const FlagParser& flags);
 int ResolveMaxBatch(const FlagParser& flags);
 
 // One watchdog/Health() snapshot. Counters are cumulative since start.
+// Top-level fields are fleet aggregates, except model_version / degraded /
+// last_reload_error which mirror the DEFAULT model (the pre-fleet
+// contract); `models` carries the per-model breakdown.
 struct HealthReport {
   int64_t queue_depth = 0;
   int64_t max_queue_depth = 0;
@@ -157,9 +199,9 @@ struct HealthReport {
   int64_t reload_attempts = 0;
   int64_t reload_successes = 0;
   int64_t reload_failures = 0;  // individual failed attempts
-  bool degraded = false;        // last reload exhausted all attempts
-  std::string last_reload_error;
-  int64_t model_version = 0;
+  bool degraded = false;        // DEFAULT model: last reload exhausted
+  std::string last_reload_error;  // DEFAULT model
+  int64_t model_version = 0;      // DEFAULT model
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   int64_t latency_samples = 0;
@@ -181,34 +223,55 @@ struct HealthReport {
   // before any batch has run.
   double avg_queue_wait_ms = 0.0;
   double avg_compute_ms = 0.0;
+  // Fleet section. A model registered after the mu_ snapshot of one
+  // Health() call simply appears in the next report — `models` is built
+  // from a pointer snapshot, so a watchdog tick racing AddModel can never
+  // observe a half-registered entry.
+  std::string default_model;
+  int64_t num_models = 0;
+  int64_t rejected_unknown_model = 0;  // kNotFound at admission
+  std::vector<ModelHealth> models;
 };
 
 class Server {
  public:
-  // Takes ownership of the initial session and starts the workers (and,
-  // unless disabled, the watchdog).
+  // Takes ownership of the initial session — registered under
+  // options.default_model_name with options.model_factory as its reload
+  // factory — and starts the workers (and, unless disabled, the watchdog).
   Server(std::unique_ptr<InferenceSession> session, ServerOptions options);
   ~Server();  // Stop()s
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Enqueues a request. `deadline_nanos` is absolute per the server clock;
+  // Registers another named model behind the shared queue. Safe while
+  // serving (the registry is append-only; nothing existing is touched).
+  // kInvalidArgument for empty name / null session, kFailedPrecondition
+  // for a duplicate, kUnavailable after Stop(). `factory` builds fresh
+  // models for this model's reload / canary / shadow loads (may be null —
+  // those loads then fail with kFailedPrecondition).
+  Status AddModel(
+      const std::string& name, std::unique_ptr<InferenceSession> session,
+      std::function<std::unique_ptr<models::FakeNewsModel>()> factory =
+          nullptr);
+
+  // Enqueues a request; the router resolves request.model_name (empty =
+  // default model). `deadline_nanos` is absolute per the server clock;
   // 0 means "apply default_deadline_nanos, else none". The future resolves
-  // with the prediction or a typed error: kInvalidArgument (validation),
-  // kResourceExhausted (queue full — resolved immediately),
-  // kDeadlineExceeded (shed), kUnavailable (server stopped), kInternal
-  // (non-finite output).
+  // with the prediction or a typed error: kNotFound (unknown model name),
+  // kInvalidArgument (validation), kResourceExhausted (queue full —
+  // resolved immediately), kDeadlineExceeded (shed), kUnavailable (server
+  // stopped), kInternal (non-finite output).
   std::future<StatusOr<Prediction>> Submit(InferenceRequest request,
                                            int64_t deadline_nanos = 0);
 
   // Callback flavor of Submit() for event-loop callers (the socket front
   // end) that must not block a thread per pending request. `done` is invoked
   // exactly once with the same outcomes Submit() produces — on the
-  // submitting thread for immediate rejections (queue full, stopped), on a
-  // worker thread otherwise. It must be fast and must not call back into
-  // this Server (a worker thread invoking Submit().get() would self-
-  // deadlock); enqueue-and-wake is the intended shape.
+  // submitting thread for immediate rejections (unknown model, queue full,
+  // stopped), on a worker thread otherwise. It must be fast and must not
+  // call back into this Server (a worker thread invoking Submit().get()
+  // would self-deadlock); enqueue-and-wake is the intended shape.
   void SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
                    std::function<void(StatusOr<Prediction>)> done);
 
@@ -216,22 +279,47 @@ class Server {
   // worker's own callbacks (it would self-deadlock).
   StatusOr<Prediction> Predict(const InferenceRequest& request);
 
-  // Schedules a hot-reload from a v2 checkpoint; resolves with the final
-  // outcome after retries. A quiescent barrier: strictly ordered against
-  // everything still queued, and no forward overlaps the swap.
+  // Schedules a hot-reload of the DEFAULT model from a v2 checkpoint;
+  // resolves with the final outcome after retries. A quiescent barrier:
+  // strictly ordered against everything still queued, and no forward
+  // overlaps the swap.
   std::future<Status> ReloadFromCheckpoint(std::string checkpoint_path);
+  // Same, for a named model ("" = default). kNotFound for unknown names.
+  std::future<Status> ReloadModelFromCheckpoint(const std::string& model_name,
+                                                std::string checkpoint_path);
+
+  // Canary deployment for a named model ("" = default). StartCanary loads
+  // the checkpoint as a candidate (version = current + 1) and begins
+  // routing `options.percent`% of the model's traffic (by deterministic
+  // content hash) to it, monitored per `options`. Fails with
+  // kFailedPrecondition if a canary is already active. PromoteCanary
+  // installs the candidate as primary; CancelCanary discards it; both fail
+  // with kFailedPrecondition when no canary is active (or, for promote,
+  // when the canary is draining after a detected regression).
+  std::future<Status> StartCanary(const std::string& model_name,
+                                  std::string checkpoint_path,
+                                  CanaryOptions options = CanaryOptions());
+  std::future<Status> PromoteCanary(const std::string& model_name);
+  std::future<Status> CancelCanary(const std::string& model_name);
+
+  // Shadow deployment for a named model ("" = default). StartShadow loads
+  // the checkpoint as an off-path scorer (replacing any active shadow and
+  // resetting ShadowStats); StopShadow removes it (idempotent).
+  std::future<Status> StartShadow(const std::string& model_name,
+                                  std::string checkpoint_path);
+  std::future<Status> StopShadow(const std::string& model_name);
 
   // Current snapshot, computed on the calling thread.
   HealthReport Health() const;
   // Most recent snapshot taken by the watchdog thread.
   HealthReport LastWatchdogReport() const;
 
-  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
-  int64_t model_version() const {
-    return model_version_.load(std::memory_order_acquire);
-  }
+  // DEFAULT-model convenience accessors (the pre-fleet contract).
+  bool degraded() const;
+  int64_t model_version() const;
   int num_workers() const { return num_workers_; }
   int max_batch() const { return max_batch_; }
+  const std::string& default_model() const;
 
   // Rejects new work, fails everything still queued — coalesced into a
   // batch or not — with kUnavailable, and joins all threads. Idempotent.
@@ -239,54 +327,92 @@ class Server {
 
  private:
   struct Job {
-    enum class Kind { kInfer, kReload };
+    enum class Kind { kInfer, kControl };
     Kind kind = Kind::kInfer;
     // kInfer: `done` is the single resolution path — Submit() wraps a
     // promise into it, SubmitAsync() passes the caller's callback through.
+    // `model` was resolved by the router at admission (stable address for
+    // the server's lifetime); `route_hash` is the precomputed content hash
+    // the canary slice test uses at dequeue.
     InferenceRequest request;
     int64_t deadline_nanos = 0;  // absolute; 0 = none
     int64_t enqueue_nanos = 0;
     std::function<void(StatusOr<Prediction>)> done;
-    // kReload:
-    std::string checkpoint_path;
-    std::promise<Status> reload_reply;
+    ModelState* model = nullptr;
+    uint64_t route_hash = 0;
+    // kControl: the closure runs on a worker thread inside the quiescent
+    // barrier (no batches in flight, dequeue blocked); its Status resolves
+    // the promise. Reload, canary, shadow, and auto-rollback all take this
+    // path.
+    std::function<Status()> control;
+    std::promise<Status> control_reply;
   };
 
   void WorkerLoop(KernelPool* pool);
   void WatchdogLoop();
-  // Serves one coalesced batch: per-element deadline shed, one PredictBatch
-  // forward, per-element replies and counters.
-  void ServeBatch(std::vector<Job>* jobs);
+  // Serves one coalesced single-(model,variant) batch: per-element deadline
+  // shed, one PredictBatch forward on `session`, per-element replies and
+  // counters, then (primary path only) the optional shadow forward.
+  void ServeBatch(ModelState* model, bool use_canary,
+                  InferenceSession* session, InferenceSession* shadow,
+                  std::vector<Job>* jobs);
+  // True when this queued job should be served by `model`'s canary
+  // session. Caller holds mu_.
+  bool RouteToCanaryLocked(const Job& job) const;
   // Fails everything still queued with kUnavailable. Caller holds mu_.
   void DrainQueueLocked();
-  // Runs on a worker thread inside the reload barrier; one attempt of the
-  // reload state machine.
-  Status TryLoadInto(const std::string& path);
-  Status RunReload(const std::string& path);
-  void RecordLatency(int64_t nanos);
+  // Enqueues a control job whose closure receives the resolved model;
+  // resolves immediately with kNotFound / kUnavailable when the name is
+  // unknown or the server is stopped. `front` jumps the queue (used by
+  // auto-rollback so the drain is bounded by one batch, not the backlog).
+  std::future<Status> EnqueueControl(const std::string& model_name,
+                                     std::function<Status(ModelState*)> fn,
+                                     bool front = false);
+  // Loads `path` into a fresh session for `model` (fresh factory model so
+  // a mismatched checkpoint can never half-overwrite anything live),
+  // stamping it `version`. One attempt; fault-injector hooks apply.
+  StatusOr<std::unique_ptr<InferenceSession>> LoadSessionFor(
+      ModelState* model, const std::string& path, int64_t version);
+  // Runs on a worker thread inside the barrier; full retry/backoff state
+  // machine for one model's primary reload.
+  Status RunReload(ModelState* model, const std::string& path);
+  // Same retry/backoff, but produces a candidate session instead of
+  // swapping the primary (shared by canary and shadow starts).
+  StatusOr<std::unique_ptr<InferenceSession>> LoadCandidate(
+      ModelState* model, const std::string& path);
+  // Barrier-side of the canary auto-rollback (the control closure).
+  Status RollbackCanary(ModelState* model, const std::string& reason);
+  // Initializes a model's latency ring. Caller holds mu_ (nested
+  // stats_mu_ acquisition; the one-way mu_ -> stats_mu_ order is safe
+  // because no path locks stats_mu_ first).
+  void InitModelStatsLocked(ModelState* model);
 
   const ServerOptions options_;
   const Clock* const clock_;
   int num_workers_ = 1;  // resolved from options/env in the constructor
   int max_batch_ = 1;
 
-  // session_ is read by workers only between the inflight-batch increment
-  // and decrement (both under mu_), and written only inside the reload
-  // barrier after in-flight batches drained — so the pointer is stable for
-  // the duration of every forward.
-  std::unique_ptr<InferenceSession> session_;
+  // Fleet registry: guarded by mu_; ModelState addresses are stable (the
+  // registry is append-only), so workers may keep pointers across unlock.
+  // Session pointers inside a ModelState are written only inside the
+  // control-job barrier; a worker reads them under mu_ at dequeue and may
+  // use them lock-free while its batch is in flight (the barrier waits for
+  // inflight_batches_ == 0).
+  ModelFleet fleet_;
+  ModelState* default_state_ = nullptr;  // set in ctor, never changes
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Job> queue_;
-  int64_t inference_depth_ = 0;   // kInfer jobs currently queued
+  int64_t inference_depth_ = 0;   // kInfer jobs currently queued (all models)
   int64_t inflight_batches_ = 0;  // batches between dequeue and reply
-  bool reload_active_ = false;    // barrier: blocks all dequeue
+  bool barrier_active_ = false;   // a control job holds the barrier
   bool stopped_ = false;
 
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> admitted_{0};
   std::atomic<int64_t> rejected_queue_full_{0};
+  std::atomic<int64_t> rejected_unknown_model_{0};
   std::atomic<int64_t> shed_deadline_{0};
   std::atomic<int64_t> served_ok_{0};
   std::atomic<int64_t> invalid_requests_{0};
@@ -297,17 +423,14 @@ class Server {
   std::atomic<int64_t> watchdog_ticks_{0};
   std::atomic<int64_t> queue_wait_nanos_{0};
   std::atomic<int64_t> compute_nanos_{0};
-  std::atomic<bool> degraded_{false};
-  std::atomic<int64_t> model_version_{0};
 
-  mutable std::mutex stats_mu_;  // guards latencies_, batch hist, reload err
-  std::vector<int64_t> latencies_;  // ring buffer of size latency_window
+  mutable std::mutex stats_mu_;  // guards aggregate + per-model stats blocks
+  std::vector<int64_t> latencies_;  // aggregate ring of size latency_window
   int64_t latency_next_ = 0;
   int64_t latency_count_ = 0;
   std::vector<int64_t> batch_size_hist_;  // [0, max_batch_], index 0 unused
   int64_t batches_run_ = 0;
   int64_t batched_elements_ = 0;  // live elements across all batches
-  std::string last_reload_error_;
 
   mutable std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -34,6 +35,11 @@ struct Prediction {
   float p_fake = 0.0f;       // P(label == fake), from Softmax over the logits
   int label = 0;             // data::kFake iff p_fake >= 0.5
   int64_t model_version = 0; // which hot-reload generation answered
+  // Fleet attribution, stamped by the server (a session doesn't know its
+  // fleet name): which named model answered, and whether the canary
+  // candidate (rather than the primary) produced this response.
+  std::string model_name;
+  bool canary = false;
 };
 
 class InferenceSession {

@@ -28,6 +28,12 @@ struct InferenceRequest {
   int domain = 0;
   std::vector<float> style;
   std::vector<float> emotion;
+  // Fleet routing: which named model should answer. Empty routes to the
+  // server's configured default, so single-model callers never set it.
+  // Resolution (including the kNotFound rejection for unknown names)
+  // happens at admission, not in ValidateRequest — validation stays a pure
+  // function of the request against one model's limits.
+  std::string model_name;
 };
 
 // The envelope of requests a deployed model can execute safely. Derived

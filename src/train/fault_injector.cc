@@ -76,6 +76,36 @@ int64_t FaultInjector::slow_load_nanos() const {
   return slow_load_nanos_;
 }
 
+void FaultInjector::ScheduleCanaryPredictFailures(int n) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  scheduled_canary_failures_ += n;
+}
+
+void FaultInjector::set_canary_predict_failure_probability(double p) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  canary_failure_probability_ = p;
+}
+
+bool FaultInjector::MaybeFailCanaryPredict() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  bool fire = false;
+  if (scheduled_canary_failures_ > 0) {
+    --scheduled_canary_failures_;
+    fire = true;
+  }
+  if (!fire && canary_failure_probability_ > 0.0 &&
+      serve_rng_.Bernoulli(canary_failure_probability_)) {
+    fire = true;
+  }
+  if (fire) ++injected_canary_failures_;
+  return fire;
+}
+
+int64_t FaultInjector::injected_canary_failures() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return injected_canary_failures_;
+}
+
 void FaultInjector::set_request_fault_probability(double p) {
   std::lock_guard<std::mutex> lock(serve_mu_);
   request_fault_probability_ = p;

@@ -73,6 +73,17 @@ class FaultInjector {
   void set_slow_load_nanos(int64_t ns);
   int64_t slow_load_nanos() const;
 
+  // Canary-only prediction failures: the server consults this once per
+  // element served by a CANARY session and converts a `true` into a
+  // kInternal response for that element. Primary-path responses are never
+  // touched, so the fleet parity contracts (fleet-of-one ≡ pre-refactor,
+  // shadow run ≡ no-shadow run) hold even mid-injection — this is the knob
+  // the auto-rollback tests use to fake a regressed candidate.
+  void ScheduleCanaryPredictFailures(int n);
+  void set_canary_predict_failure_probability(double p);
+  bool MaybeFailCanaryPredict();
+  int64_t injected_canary_failures() const;
+
   // Malformed-request sampling for serving soak tests. The injector stays
   // ignorant of serve/ types: it only picks WHICH corruption to apply with
   // the configured probability; the test owns the actual request mutation.
@@ -120,6 +131,9 @@ class FaultInjector {
   double load_failure_probability_ = 0.0;
   int64_t injected_load_failures_ = 0;
   int64_t slow_load_nanos_ = 0;
+  int scheduled_canary_failures_ = 0;
+  double canary_failure_probability_ = 0.0;
+  int64_t injected_canary_failures_ = 0;
   double request_fault_probability_ = 0.0;
   double net_fault_probability_ = 0.0;
   int64_t injected_net_faults_ = 0;

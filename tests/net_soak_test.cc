@@ -1,15 +1,20 @@
 // Fault-injected network soak (the acceptance bar for the socket front
-// end): >= 10k requests from >= 8 concurrent socket clients while a
-// FaultInjector interleaves truncated frames, oversized frames, garbage
-// payloads, mid-frame disconnects, and slow-loris stalls. Invariants:
+// end): >= 10k requests from >= 8 concurrent socket clients against a
+// THREE-model fleet behind one socket front end, while a FaultInjector
+// interleaves truncated frames, oversized frames, garbage payloads,
+// mid-frame disconnects, and slow-loris stalls. Invariants:
 //   - zero crashes, zero fd leaks (/proc/self/fd census before construction
 //     vs after full teardown),
 //   - every accepted request is answered exactly once with its own id,
 //   - every OK answer is bitwise identical to the in-process Submit() answer
-//     for the same input (the §9.4 parity contract over the wire),
+//     for the same input AND the same named model (the §9.4 parity contract
+//     over the wire, extended per model); v1 clients (no model-name field)
+//     reproduce the default model's answers bitwise,
+//   - unknown model names map to the typed NOT_FOUND wire code and the
+//     connection survives,
 //   - typed outcomes only: OK / DEADLINE_EXCEEDED / INVALID_ARGUMENT /
-//     BAD_FRAME on the well-behaved connections, and the hostile
-//     connections die cleanly (idle sweep or immediate close).
+//     BAD_FRAME / NOT_FOUND on the well-behaved connections, and the
+//     hostile connections die cleanly (idle sweep or immediate close).
 // Worker count comes from DTDBD_SERVE_WORKERS so the CI matrix exercises
 // the single-worker and multi-worker interleavings.
 #include <dirent.h>
@@ -79,9 +84,16 @@ struct SoakTotals {
   std::atomic<int64_t> deadline{0};
   std::atomic<int64_t> invalid{0};
   std::atomic<int64_t> bad_frame{0};
+  std::atomic<int64_t> not_found{0};  // unknown-model probes
+  std::atomic<int64_t> v1_ok{0};      // OK answers earned by v1 clients
   std::atomic<int64_t> hostile_conns{0};
   std::atomic<int64_t> failures{0};  // any broken invariant (details via gtest)
 };
+
+// Fleet members behind the one front end. Index 0 is the default model
+// (what v1 clients and empty names route to).
+constexpr const char* kFleet[] = {"", "m1", "m2"};
+constexpr uint64_t kFleetSeeds[] = {3, 5, 7};
 
 TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
   const int fds_before = CountOpenFds();
@@ -110,11 +122,16 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
     options.max_batch = 4;
     options.max_queue_depth = 4096;  // the storm must not shed on depth
     options.watchdog_period_nanos = 0;
+    auto make_session = [&](uint64_t seed) {
+      models::ModelConfig c = config;
+      c.seed = seed;
+      return std::make_unique<serve::InferenceSession>(
+          models::CreateModel("MDFEND", c), limits, /*model_version=*/1);
+    };
     auto server = std::make_unique<serve::Server>(
-        std::make_unique<serve::InferenceSession>(
-            models::CreateModel("MDFEND", config), limits,
-            /*model_version=*/1),
-        options);
+        make_session(kFleetSeeds[0]), options);
+    ASSERT_TRUE(server->AddModel("m1", make_session(kFleetSeeds[1])).ok());
+    ASSERT_TRUE(server->AddModel("m2", make_session(kFleetSeeds[2])).ok());
 
     SocketServerOptions net_options;
     net_options.max_connections = 128;   // 10 main + transient hostiles
@@ -124,19 +141,24 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
     ASSERT_GT(net.port(), 0);
 
     // In-process references, computed through the same server before the
-    // storm: wire answers must reproduce these bitwise.
+    // storm — one per (model, sample): wire answers must reproduce the
+    // named model's answer bitwise.
     std::vector<serve::InferenceRequest> requests;
-    std::vector<serve::Prediction> expected;
+    std::vector<serve::Prediction> expected[3];
     for (const data::NewsSample& sample : dataset.samples) {
       serve::InferenceRequest request;
       request.tokens = sample.tokens;
       request.domain = sample.domain;
       request.style = sample.style;
       request.emotion = sample.emotion;
-      const StatusOr<serve::Prediction> reference = server->Predict(request);
-      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      for (int m = 0; m < 3; ++m) {
+        request.model_name = kFleet[m];
+        const StatusOr<serve::Prediction> reference = server->Predict(request);
+        ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+        expected[m].push_back(reference.value());
+      }
+      request.model_name.clear();
       requests.push_back(std::move(request));
-      expected.push_back(reference.value());
     }
 
     train::FaultInjector injector(23);
@@ -148,6 +170,11 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
     const int port = net.port();
     auto client_thread = [&](int client_index) {
       Client client;
+      // Every third client speaks the pre-fleet v1 protocol: no model-name
+      // field on the wire, so all its traffic must land on the default
+      // model and parse cleanly against the v2 server.
+      const bool v1_client = client_index % 3 == 2;
+      if (v1_client) client.set_protocol_version(kMinProtocolVersion);
       Status connected = client.Connect("127.0.0.1", port);
       if (!connected.ok()) {
         ADD_FAILURE() << "client " << client_index << " connect: "
@@ -200,6 +227,12 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
           continue;
         }
 
+        // Fleet routing: v2 clients spread traffic across the three named
+        // models; v1 clients cannot name one and implicitly get index 0.
+        const int model = v1_client ? 0 : (client_index + i) % 3;
+        serve::InferenceRequest routed = requests[sample];
+        routed.model_name = kFleet[model];
+
         WireResponse response;
         Status outcome;
         WireCode want = WireCode::kOk;
@@ -209,16 +242,20 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
           outcome = sent.ok() ? client.Receive(&response, 30'000) : sent;
         } else if (i % 37 == 0) {
           want = WireCode::kDeadlineExceeded;  // expired before it was sent
-          Status sent = client.Send(id, /*deadline_nanos=*/1,
-                                    requests[sample]);
+          Status sent = client.Send(id, /*deadline_nanos=*/1, routed);
           outcome = sent.ok() ? client.Receive(&response, 30'000) : sent;
         } else if (i % 41 == 0) {
           want = WireCode::kInvalidArgument;  // decodes fine, validates badly
-          serve::InferenceRequest bad = requests[sample];
+          serve::InferenceRequest bad = routed;
           bad.domain = limits.num_domains + 7;
           outcome = client.Call(id, 0, bad, &response);
+        } else if (!v1_client && i % 53 == 0) {
+          want = WireCode::kNotFound;  // unknown model, typed rejection
+          serve::InferenceRequest ghost = routed;
+          ghost.model_name = "no-such-model";
+          outcome = client.Call(id, 0, ghost, &response);
         } else {
-          outcome = client.Call(id, 0, requests[sample], &response);
+          outcome = client.Call(id, 0, routed, &response);
         }
         totals.main_frames.fetch_add(1);
 
@@ -246,14 +283,25 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
         switch (response.code) {
           case WireCode::kOk: {
             totals.ok.fetch_add(1);
-            const serve::Prediction& ref = expected[sample];
+            if (v1_client) totals.v1_ok.fetch_add(1);
+            const serve::Prediction& ref = expected[model][sample];
             if (std::memcmp(&response.prediction.p_fake, &ref.p_fake,
                             sizeof(float)) != 0 ||
                 response.prediction.label != ref.label ||
                 response.prediction.model_version != ref.model_version) {
               ADD_FAILURE() << "client " << client_index << " request " << id
                             << ": wire answer differs bitwise from in-process"
-                            << " Submit for sample " << sample;
+                            << " Submit for sample " << sample << " on model "
+                            << (kFleet[model][0] ? kFleet[model] : "default");
+              totals.failures.fetch_add(1);
+            }
+            // v2 responses echo the routed model; v1 frames carry no name.
+            const std::string& got_name = response.prediction.model_name;
+            if (v1_client ? !got_name.empty()
+                          : got_name != (model == 0 ? "default"
+                                                    : kFleet[model])) {
+              ADD_FAILURE() << "client " << client_index << " request " << id
+                            << ": response named model '" << got_name << "'";
               totals.failures.fetch_add(1);
             }
             break;
@@ -266,6 +314,9 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
             break;
           case WireCode::kBadFrame:
             totals.bad_frame.fetch_add(1);
+            break;
+          case WireCode::kNotFound:
+            totals.not_found.fetch_add(1);
             break;
           default:
             break;
@@ -283,17 +334,29 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
     EXPECT_GE(totals.main_frames.load(), 10'000)
         << "storm too small to satisfy the soak bar";
     EXPECT_GT(totals.ok.load(), 0);
+    EXPECT_GT(totals.v1_ok.load(), 0);  // the v1 compat path really ran
     EXPECT_GT(totals.deadline.load(), 0);
     EXPECT_GT(totals.invalid.load(), 0);
     EXPECT_GT(totals.bad_frame.load(), 0);
+    EXPECT_GT(totals.not_found.load(), 0);  // unknown-model probes answered
     EXPECT_GT(totals.hostile_conns.load(), 0);
     EXPECT_GT(injector.injected_net_faults(), 0);
     EXPECT_EQ(totals.failures.load(), 0);
     // Exactly-once, globally: every framed request on a main connection got
     // exactly one answer (per-client ledgers already rejected duplicates).
     EXPECT_EQ(totals.ok.load() + totals.deadline.load() +
-                  totals.invalid.load() + totals.bad_frame.load(),
+                  totals.invalid.load() + totals.bad_frame.load() +
+                  totals.not_found.load(),
               totals.main_frames.load());
+    // Per-model ledgers: all three fleet members actually served traffic.
+    {
+      const serve::HealthReport health = server->Health();
+      EXPECT_EQ(health.num_models, 3);
+      ASSERT_EQ(health.models.size(), 3u);
+      for (const serve::ModelHealth& m : health.models) {
+        EXPECT_GT(m.served_ok, 0) << "model '" << m.name << "' idle";
+      }
+    }
 
     // The idle sweep must reclaim the slow-loris connections: each stalled
     // client sees a clean close, not a hang.
@@ -316,10 +379,11 @@ TEST(NetSoakTest, FaultInjectedStormNoCrashNoLeakExactlyOnceBitwise) {
     EXPECT_GT(stats.closed_idle, 0);
     EXPECT_GE(stats.responses_sent, totals.main_frames.load());
     // Net and serve ledgers agree once the in-process reference Predicts
-    // (one per sample, before the storm) are discounted.
+    // (three per sample — one per fleet model — before the storm) are
+    // discounted.
     EXPECT_EQ(stats.requests_submitted,
               server->Health().submitted -
-                  static_cast<int64_t>(dataset.samples.size()));
+                  3 * static_cast<int64_t>(dataset.samples.size()));
 
     net.Stop();
     server->Stop();
