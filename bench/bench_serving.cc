@@ -20,6 +20,12 @@
 //      fleet — the cost of routing, per-model stats, and off-path shadow
 //      scoring in one table (goodput + p50/p99 per point, shadow scoring
 //      telemetry where active).
+//   4. Cache sweep: fresh servers at cache {off, on} x traffic
+//      {unique-heavy, zipf-skewed repeats}, closed loop. The unique trace
+//      bounds the cache's overhead on miss-only traffic; the zipf trace
+//      (exponent 1.2 over a 64-request hot set) is the repeat-heavy
+//      workload the prediction cache exists for — the JSON records the
+//      per-point hit rate and the zipf on/off goodput ratio.
 //
 // Flags: --requests=N closed-loop calibration count (default 2000),
 //        --open-requests=N per open-loop load point (default --requests),
@@ -27,13 +33,17 @@
 //        --clients=N socket clients (default 8), --deadline-ms (default
 //        200), --queue-depth (default 256), --threads=N,
 //        --serve-workers / --max-batch (strict-parsed; default 4 workers'
-//        rule: env fallback / batch 4), --model=MDFEND,
+//        rule: env fallback / batch 4), --cache-bytes (strict-parsed,
+//        falls back to DTDBD_CACHE_BYTES, then 0 = off; applies to phases
+//        1-3 and sets the "on" budget of the cache sweep, which otherwise
+//        uses 4 MiB), --model=MDFEND,
 //        --json=BENCH_serving.json, and the strict-parsed socket knobs
 //        --port (0 = ephemeral), --max-conns (64), --idle-timeout-ms
 //        (5000) — present-but-invalid values warn and pin the default.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -435,6 +445,75 @@ FleetPointResult RunFleetPoint(data::NewsDataset* dataset,
   return result;
 }
 
+// One point of the cache sweep: a fresh server with the given cache budget
+// replaying a fixed request trace closed-loop over the socket.
+struct CachePointResult {
+  std::string trace;
+  long long cache_bytes = 0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long long errors = 0;
+  long long cache_hits = 0;
+  long long deduped = 0;
+  double hit_rate = 0.0;  // (hits + deduped) / served_ok
+};
+
+CachePointResult RunCachePoint(const models::ModelConfig& config,
+                               const serve::RequestLimits& limits,
+                               const std::vector<serve::InferenceRequest>& trace,
+                               const std::string& trace_name,
+                               int64_t cache_bytes, int clients,
+                               int serve_workers, int max_batch,
+                               int64_t queue_depth) {
+  CachePointResult result;
+  result.trace = trace_name;
+  result.cache_bytes = cache_bytes;
+
+  serve::ServerOptions options;
+  options.num_workers = serve_workers;
+  options.max_batch = max_batch;
+  options.max_queue_depth = queue_depth;
+  options.cache_bytes = cache_bytes;  // explicit: the sweep pins both modes
+  serve::Server server(
+      std::make_unique<serve::InferenceSession>(
+          models::CreateModel("MDFEND", config), limits, /*model_version=*/1),
+      std::move(options));
+
+  net::SocketServerOptions net_options;
+  net_options.max_inflight_per_connection = 1024;
+  net::SocketServer net(&server, net_options);
+  if (!net.Start().ok()) {
+    result.errors = static_cast<long long>(trace.size());
+    return result;
+  }
+
+  // Identical warm-up for both modes (first-touch allocation; for cache-on
+  // it also seeds a handful of hot entries — steady state, deliberately).
+  for (size_t i = 0; i < 16 && i < trace.size(); ++i) {
+    (void)server.Predict(trace[i]);
+  }
+
+  std::vector<int64_t> latencies;
+  result.rps =
+      RunClosedLoop(net.port(), trace, clients,
+                    static_cast<int>(trace.size()), &latencies, &result.errors);
+  result.p50_ms = PercentileMs(&latencies, 0.50);
+  result.p99_ms = PercentileMs(&latencies, 0.99);
+
+  const serve::HealthReport health = server.Health();
+  result.cache_hits = health.cache_hits;
+  result.deduped = health.deduped;
+  result.hit_rate =
+      health.served_ok > 0
+          ? static_cast<double>(health.cache_hits + health.deduped) /
+                static_cast<double>(health.served_ok)
+          : 0.0;
+  net.Stop();
+  server.Stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -451,6 +530,7 @@ int main(int argc, char** argv) {
   const int serve_workers = serve::ResolveServeWorkers(flags);
   const int max_batch =
       flags.Has("max-batch") ? serve::ResolveMaxBatch(flags) : 4;
+  const int64_t cache_bytes = serve::ResolveCacheBytes(flags);
   // Socket knobs share the strict-parse rule: a typo'd --port must not bind
   // a random port silently — warn and pin the default instead.
   const int port_flag = ResolvePositiveIntFlag(flags, "port", 0, 0);
@@ -475,6 +555,7 @@ int main(int argc, char** argv) {
   options.num_workers = serve_workers;
   options.max_batch = max_batch;
   options.max_queue_depth = queue_depth;
+  options.cache_bytes = cache_bytes;
   serve::Server server(
       std::make_unique<serve::InferenceSession>(
           models::CreateModel(model_name, config), limits,
@@ -588,6 +669,72 @@ int main(int argc, char** argv) {
   }
   std::remove(shadow_ckpt.c_str());
 
+  // Phase 4: cache sweep (fresh server per point).
+  //
+  // Unique-heavy trace: every request perturbs one token of a pool entry,
+  // so contents (and ContentHash) are distinct — the cache can only cost,
+  // never help, and this point bounds that cost. Zipf trace: exponent-1.2
+  // skew over a 64-request hot set — the repeat-heavy traffic shape
+  // (viral posts re-checked over and over) the cache exists for.
+  std::vector<serve::InferenceRequest> unique_trace;
+  unique_trace.reserve(static_cast<size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    serve::InferenceRequest r =
+        requests_pool[static_cast<size_t>(i) % requests_pool.size()];
+    const size_t slot = static_cast<size_t>(i) % r.tokens.size();
+    const int delta = 1 + i / static_cast<int>(requests_pool.size());
+    r.tokens[slot] = (r.tokens[slot] + delta) % config.vocab_size;
+    unique_trace.push_back(std::move(r));
+  }
+  std::vector<serve::InferenceRequest> zipf_trace;
+  zipf_trace.reserve(static_cast<size_t>(requests));
+  {
+    const size_t hot = std::min<size_t>(64, requests_pool.size());
+    std::vector<double> weights(hot);
+    for (size_t n = 0; n < hot; ++n) {
+      weights[n] = 1.0 / std::pow(static_cast<double>(n + 1), 1.2);
+    }
+    std::mt19937_64 rng(0xC0FFEEull);
+    std::discrete_distribution<size_t> zipf(weights.begin(), weights.end());
+    for (int i = 0; i < requests; ++i) {
+      zipf_trace.push_back(requests_pool[zipf(rng)]);
+    }
+  }
+  const int64_t cache_on_bytes = cache_bytes > 0 ? cache_bytes : (4 << 20);
+  std::vector<CachePointResult> cache_points;
+  struct TraceSpec {
+    const char* name;
+    const std::vector<serve::InferenceRequest>* trace;
+  };
+  const TraceSpec trace_specs[] = {{"unique", &unique_trace},
+                                   {"zipf", &zipf_trace}};
+  for (const TraceSpec& spec : trace_specs) {
+    for (const int64_t budget : {int64_t{0}, cache_on_bytes}) {
+      const CachePointResult point =
+          RunCachePoint(config, limits, *spec.trace, spec.name, budget,
+                        clients, serve_workers, max_batch, queue_depth);
+      if (point.errors > 0) {
+        std::fprintf(stderr, "cache sweep (%s, %lld bytes): %lld errors\n",
+                     point.trace.c_str(), point.cache_bytes, point.errors);
+        return 1;
+      }
+      std::printf(
+          "cache %-6s %-9s %8.1f req/s  p50 %7.3f ms  p99 %7.3f ms  "
+          "hit rate %5.1f%%  (hits %lld, deduped %lld)\n",
+          point.trace.c_str(),
+          point.cache_bytes > 0 ? "on" : "off", point.rps, point.p50_ms,
+          point.p99_ms, 100.0 * point.hit_rate, point.cache_hits,
+          point.deduped);
+      cache_points.push_back(point);
+    }
+  }
+  // zipf off is index 2, zipf on is index 3 (trace-major, off-then-on).
+  const double cache_speedup_zipf =
+      cache_points[2].rps > 0 ? cache_points[3].rps / cache_points[2].rps
+                              : 0.0;
+  std::printf("cache zipf speedup: %.2fx (on %.1f req/s vs off %.1f req/s)\n",
+              cache_speedup_zipf, cache_points[3].rps, cache_points[2].rps);
+
   char line[1024];
   std::string json = "{\n";
   json += "  \"bench\": \"serving_socket_load\",\n";
@@ -635,6 +782,23 @@ int main(int argc, char** argv) {
     json += line;
   }
   json += "  ],\n";
+  json += "  \"cache_sweep\": [\n";
+  for (size_t i = 0; i < cache_points.size(); ++i) {
+    const CachePointResult& p = cache_points[i];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"trace\": \"%s\", \"cache_bytes\": %lld, \"requests\": %d, "
+        "\"rps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"hit_rate\": %.4f, \"cache_hits\": %lld, \"deduped\": %lld}%s\n",
+        p.trace.c_str(), p.cache_bytes, requests, p.rps, p.p50_ms, p.p99_ms,
+        p.hit_rate, p.cache_hits, p.deduped,
+        i + 1 < cache_points.size() ? "," : "");
+    json += line;
+  }
+  json += "  ],\n";
+  std::snprintf(line, sizeof(line), "  \"cache_speedup_zipf\": %.4f,\n",
+                cache_speedup_zipf);
+  json += line;
   std::snprintf(
       line, sizeof(line),
       "  \"capacity_rps_estimate\": %.2f,\n"

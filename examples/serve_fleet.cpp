@@ -10,8 +10,12 @@
 //     model's traffic, watch the per-model health, then promote it.
 //  4. Shadow: score another candidate off the response path and read the
 //     accumulated score deltas.
+//  5. Prediction cache + dedup: replay a hot request and read the
+//     cache/dedup counters over the wire with a v2 health frame (a v1
+//     client cannot even encode one).
 //
 // Build & run:  ./build/examples/serve_fleet [--requests 200] [--percent 25]
+//               [--cache-bytes 1048576]
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -114,9 +118,14 @@ int main(int argc, char** argv) {
         models::CreateModel("MDFEND", c), limits, /*model_version=*/1);
   };
 
-  // 1. Fleet of two behind one queue/worker pool.
+  // 1. Fleet of two behind one queue/worker pool, with the prediction
+  //    cache on (--cache-bytes, falling back to DTDBD_CACHE_BYTES; the
+  //    tour defaults it to 1 MiB per model so step 5 has counters to show).
   serve::ServerOptions options;
   options.max_batch = 4;
+  options.cache_bytes = flags.Has("cache-bytes")
+                            ? serve::ResolveCacheBytes(flags)
+                            : (1 << 20);
   options.model_factory = [config] {
     return models::CreateModel("MDFEND", config);
   };
@@ -217,6 +226,36 @@ int main(int argc, char** argv) {
   }
   std::printf("\nafter promote + shadow traffic:\n");
   PrintModels(server.Health());
+
+  // 5. Prediction cache + dedup: hammer one hot request — the first
+  //    occurrence runs a forward, every replay is answered from the cache
+  //    bitwise identically — then read the counters over the wire.
+  for (int i = 0; i < num_requests; ++i) {
+    net::WireResponse response;
+    (void)v2.Call(++id, 0, request_for(0, ""), &response);
+  }
+  net::WireHealth wire_health;
+  if (Status s = v2.GetHealth(++id, &wire_health); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwire health (v2 frame): cache %s, budget %lld bytes\n",
+              wire_health.cache_enabled ? "on" : "off",
+              static_cast<long long>(wire_health.cache_bytes_limit));
+  for (const net::WireModelHealth& m : wire_health.models) {
+    std::printf(
+        "    %-14s hits=%-5lld misses=%-5lld deduped=%-4lld entries=%-4lld "
+        "bytes=%lld\n",
+        m.name.c_str(), static_cast<long long>(m.hits),
+        static_cast<long long>(m.misses), static_cast<long long>(m.deduped),
+        static_cast<long long>(m.entries), static_cast<long long>(m.bytes));
+  }
+  {
+    net::WireHealth ignored;
+    const Status rejected = v1.GetHealth(++id, &ignored);
+    std::printf("v1 client asking for health -> %s (health frames are v2+)\n",
+                rejected.ToString().c_str());
+  }
 
   v1.Close();
   v2.Close();

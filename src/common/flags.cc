@@ -76,6 +76,18 @@ bool ParsePositiveInt(const char* text, int* out) {
   return true;
 }
 
+bool ParseNonNegativeInt64(const char* text, int64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (!std::isdigit(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (n < 0 || n > std::numeric_limits<int64_t>::max()) return false;
+  *out = static_cast<int64_t>(n);
+  return true;
+}
+
 int ResolvePositiveIntFlag(const FlagParser& flags, const char* name,
                            int absent_value, int invalid_value) {
   if (!flags.Has(name)) return absent_value;

@@ -3,6 +3,7 @@
 #ifndef DTDBD_COMMON_FLAGS_H_
 #define DTDBD_COMMON_FLAGS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -37,6 +38,13 @@ class FlagParser {
 // and fall back to a safe default of 1 rather than silently accepting a
 // prefix (the old std::atoi behavior).
 bool ParsePositiveInt(const char* text, int* out);
+
+// Strict non-negative 64-bit parse for byte-budget knobs (--cache-bytes /
+// DTDBD_CACHE_BYTES) where 0 is a meaningful value ("feature off") rather
+// than an error. Same rules as ParsePositiveInt otherwise: the whole string
+// must be a plain decimal with no sign, whitespace, or trailing junk, and
+// must fit in int64_t.
+bool ParseNonNegativeInt64(const char* text, int64_t* out);
 
 // Strict resolution of a positive-integer flag. Absent flag -> `absent_value`
 // (so callers can chain an env fallback). Present-but-invalid flag

@@ -153,6 +153,55 @@ Status Client::Receive(WireResponse* response, int64_t timeout_ms) {
                                header.version);
 }
 
+Status Client::GetHealth(uint64_t request_id, WireHealth* health,
+                         int64_t timeout_ms) {
+  if (protocol_version_ < 2) {
+    return Status::InvalidArgument(
+        "health frames require protocol version 2");
+  }
+  DTDBD_RETURN_IF_ERROR(
+      SendBytes(EncodeHealthRequestFrame(request_id, protocol_version_)));
+
+  timeval tv;
+  tv.tv_sec = timeout_ms > 0 ? timeout_ms / 1000 : 0;
+  tv.tv_usec = timeout_ms > 0 ? (timeout_ms % 1000) * 1000 : 0;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  uint8_t header_bytes[kFrameHeaderSize];
+  DTDBD_RETURN_IF_ERROR(
+      ReadExact(fd_, header_bytes, kFrameHeaderSize, /*at_boundary=*/true));
+  FrameHeader header;
+  DecodeFrameHeader(header_bytes, &header);
+  bool trusted = false;
+  DTDBD_RETURN_IF_ERROR(
+      ValidateHeader(header, kDefaultMaxFrameBytes, &trusted));
+  std::vector<uint8_t> payload(header.payload_len);
+  DTDBD_RETURN_IF_ERROR(
+      ReadExact(fd_, payload.data(), payload.size(), /*at_boundary=*/false));
+  if (header.request_id != request_id) {
+    return Status::Internal("health response id " +
+                            std::to_string(header.request_id) +
+                            " does not match request id " +
+                            std::to_string(request_id));
+  }
+  if (header.type == FrameType::kResponse) {
+    // A server that predates (or rejects) health frames answers a typed
+    // error response; surface its message as the call's failure.
+    WireResponse response;
+    DTDBD_RETURN_IF_ERROR(DecodeResponsePayload(payload.data(), payload.size(),
+                                                &response, header.version));
+    return Status::FailedPrecondition("server rejected health request: " +
+                                 std::string(WireCodeName(response.code)) +
+                                 (response.message.empty()
+                                      ? ""
+                                      : " (" + response.message + ")"));
+  }
+  if (header.type != FrameType::kHealthResponse) {
+    return Status::InvalidArgument("expected a health response frame");
+  }
+  return DecodeHealthResponsePayload(payload.data(), payload.size(), health);
+}
+
 Status Client::Call(uint64_t request_id, int64_t deadline_nanos,
                     const serve::InferenceRequest& request,
                     WireResponse* response) {

@@ -56,6 +56,15 @@ class Client {
   Status Call(uint64_t request_id, int64_t deadline_nanos,
               const serve::InferenceRequest& request, WireResponse* response);
 
+  // Health introspection (v2+ frames; kInvalidArgument when this client is
+  // pinned to v1). Sends a kHealthRequest and blocks for the matching
+  // kHealthResponse — valid under no pipelining, like Call(). The server
+  // may answer a typed error frame instead (e.g. BAD_FRAME from an old
+  // server that predates health frames); that surfaces as the mapped
+  // Status, not a decode failure.
+  Status GetHealth(uint64_t request_id, WireHealth* health,
+                   int64_t timeout_ms = 0);
+
   // Raw escape hatches for malformed-frame tests.
   Status SendBytes(const std::string& bytes);
   // Half-close the write side (the server sees EOF but can still respond).

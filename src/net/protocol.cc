@@ -335,4 +335,134 @@ Status DecodeResponsePayload(const uint8_t* data, size_t len,
   return Status::Ok();
 }
 
+std::string EncodeHealthRequestFrame(uint64_t request_id, uint16_t version) {
+  FrameHeader header;
+  header.version = version;
+  header.type = FrameType::kHealthRequest;
+  header.request_id = request_id;
+  header.payload_len = 0;
+  std::string frame;
+  uint8_t scratch[kFrameHeaderSize];
+  EncodeFrameHeader(header, scratch);
+  AppendBytes(&frame, scratch, kFrameHeaderSize);
+  return frame;
+}
+
+namespace {
+
+// Fixed top-level section of the health payload, before the models array.
+constexpr size_t kHealthFixedBytes = 8 + 8 * 8;
+// Fixed per-model section, after the variable-length name.
+constexpr size_t kHealthPerModelFixedBytes = 2 + 2 + 8 * 8;
+
+}  // namespace
+
+std::string EncodeHealthResponseFrame(uint64_t request_id,
+                                      const WireHealth& health,
+                                      uint16_t version) {
+  size_t payload_len = kHealthFixedBytes;
+  for (const WireModelHealth& m : health.models) {
+    payload_len +=
+        kHealthPerModelFixedBytes + std::min<size_t>(m.name.size(), UINT16_MAX);
+  }
+  FrameHeader header;
+  header.version = version;
+  header.type = FrameType::kHealthResponse;
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload_len);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload_len);
+  uint8_t scratch[kFrameHeaderSize];
+  EncodeFrameHeader(header, scratch);
+  AppendBytes(&frame, scratch, kFrameHeaderSize);
+
+  uint8_t word[8];
+  word[0] = health.cache_enabled ? 1 : 0;
+  word[1] = health.degraded ? 1 : 0;
+  StoreU16(word + 2, 0);
+  StoreU32(word + 4, static_cast<uint32_t>(health.models.size()));
+  AppendBytes(&frame, word, 8);
+  const int64_t top[8] = {health.cache_bytes_limit, health.cache_hits,
+                          health.cache_misses,      health.cache_evicted,
+                          health.cache_bytes,       health.deduped,
+                          health.served_ok,         health.queue_depth};
+  for (const int64_t v : top) {
+    StoreI64(word, v);
+    AppendBytes(&frame, word, 8);
+  }
+  for (const WireModelHealth& m : health.models) {
+    const size_t name_len = std::min<size_t>(m.name.size(), UINT16_MAX);
+    StoreU16(word, static_cast<uint16_t>(name_len));
+    AppendBytes(&frame, word, 2);
+    frame.append(m.name.data(), name_len);
+    word[0] = m.cache_enabled ? 1 : 0;
+    word[1] = 0;
+    AppendBytes(&frame, word, 2);
+    const int64_t fields[8] = {m.hits,        m.misses, m.inserted,
+                               m.evicted,     m.invalidated,
+                               m.bytes,       m.entries, m.deduped};
+    for (const int64_t v : fields) {
+      StoreI64(word, v);
+      AppendBytes(&frame, word, 8);
+    }
+  }
+  return frame;
+}
+
+Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
+                                   WireHealth* health) {
+  if (len < kHealthFixedBytes) {
+    return Status::InvalidArgument("health payload shorter than fixed part");
+  }
+  health->cache_enabled = data[0] != 0;
+  health->degraded = data[1] != 0;
+  const uint64_t num_models = LoadU32(data + 4);
+  const uint8_t* p = data + 8;
+  health->cache_bytes_limit = LoadI64(p + 0);
+  health->cache_hits = LoadI64(p + 8);
+  health->cache_misses = LoadI64(p + 16);
+  health->cache_evicted = LoadI64(p + 24);
+  health->cache_bytes = LoadI64(p + 32);
+  health->deduped = LoadI64(p + 40);
+  health->served_ok = LoadI64(p + 48);
+  health->queue_depth = LoadI64(p + 56);
+  p += 64;
+  health->models.clear();
+  health->models.reserve(num_models);
+  const uint8_t* end = data + len;
+  for (uint64_t i = 0; i < num_models; ++i) {
+    if (p + 2 > end) {
+      return Status::InvalidArgument(
+          "health payload truncated inside the models array");
+    }
+    const uint64_t name_len = LoadU16(p);
+    p += 2;
+    if (p + name_len + 2 + 64 > end) {
+      return Status::InvalidArgument(
+          "health payload truncated inside a model record");
+    }
+    WireModelHealth m;
+    m.name.assign(reinterpret_cast<const char*>(p), name_len);
+    p += name_len;
+    m.cache_enabled = p[0] != 0;
+    p += 2;
+    m.hits = LoadI64(p + 0);
+    m.misses = LoadI64(p + 8);
+    m.inserted = LoadI64(p + 16);
+    m.evicted = LoadI64(p + 24);
+    m.invalidated = LoadI64(p + 32);
+    m.bytes = LoadI64(p + 40);
+    m.entries = LoadI64(p + 48);
+    m.deduped = LoadI64(p + 56);
+    p += 64;
+    health->models.push_back(std::move(m));
+  }
+  if (p != end) {
+    return Status::InvalidArgument(
+        "health payload length does not match its model count");
+  }
+  return Status::Ok();
+}
+
 }  // namespace dtdbd::net

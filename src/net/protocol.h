@@ -56,6 +56,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/session.h"
@@ -75,6 +76,11 @@ inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
 enum class FrameType : uint16_t {
   kRequest = 1,
   kResponse = 2,
+  // Health introspection (v2+ only; a v1 header naming type 3 is answered
+  // kBadFrame like any other non-request type). The request has an empty
+  // payload; the response carries the serving/cache counters below.
+  kHealthRequest = 3,
+  kHealthResponse = 4,
 };
 
 // Protocol-level result codes carried in every response frame. The serving
@@ -112,6 +118,46 @@ struct WireResponse {
   uint32_t retry_after_ms = 0;
   serve::Prediction prediction;  // meaningful only when code == kOk
   std::string message;           // human-readable error detail, may be empty
+};
+
+// Wire-visible health snapshot (type kHealthResponse, v2+). A deliberate
+// SUBSET of serve::HealthReport — the serving + prediction-cache counters
+// an external probe needs to judge cache efficacy, not the full report.
+//
+// Payload layout:
+//   u8 cache_enabled, u8 degraded, u16 reserved (0), u32 num_models,
+//   i64 cache_bytes_limit, i64 cache_hits, i64 cache_misses,
+//   i64 cache_evicted, i64 cache_bytes, i64 deduped,
+//   i64 served_ok, i64 queue_depth,
+//   then num_models repetitions of:
+//     u16 name_len, char name[name_len], u8 cache_enabled, u8 reserved (0),
+//     i64 hits, i64 misses, i64 inserted, i64 evicted, i64 invalidated,
+//     i64 bytes, i64 entries, i64 deduped
+struct WireModelHealth {
+  std::string name;
+  bool cache_enabled = false;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserted = 0;
+  int64_t evicted = 0;
+  int64_t invalidated = 0;
+  int64_t bytes = 0;
+  int64_t entries = 0;
+  int64_t deduped = 0;
+};
+
+struct WireHealth {
+  bool cache_enabled = false;
+  bool degraded = false;
+  int64_t cache_bytes_limit = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evicted = 0;
+  int64_t cache_bytes = 0;
+  int64_t deduped = 0;
+  int64_t served_ok = 0;
+  int64_t queue_depth = 0;
+  std::vector<WireModelHealth> models;
 };
 
 void EncodeFrameHeader(const FrameHeader& header, uint8_t* out);
@@ -152,6 +198,18 @@ std::string EncodeResponseFrame(uint64_t request_id, WireCode code,
 Status DecodeResponsePayload(const uint8_t* data, size_t len,
                              WireResponse* response,
                              uint16_t version = kProtocolVersion);
+
+// Health frames (v2+). The request carries no payload; the response
+// carries the WireHealth snapshot documented above. Both sides encode at
+// the header's version, which ValidateHeader has already bounded >= 2 by
+// the time the socket server consults the type.
+std::string EncodeHealthRequestFrame(uint64_t request_id,
+                                     uint16_t version = kProtocolVersion);
+std::string EncodeHealthResponseFrame(uint64_t request_id,
+                                      const WireHealth& health,
+                                      uint16_t version = kProtocolVersion);
+Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
+                                   WireHealth* health);
 
 }  // namespace dtdbd::net
 

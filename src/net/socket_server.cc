@@ -299,6 +299,43 @@ void SocketServer::SubmitRequest(Connection* conn, const FrameHeader& header,
       });
 }
 
+void SocketServer::AnswerHealthRequest(Connection* conn,
+                                       const FrameHeader& header) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.health_requests;
+  }
+  const serve::HealthReport report = server_->Health();
+  WireHealth health;
+  health.cache_enabled = report.cache_enabled;
+  health.degraded = report.degraded;
+  health.cache_bytes_limit = report.cache_bytes_limit;
+  health.cache_hits = report.cache_hits;
+  health.cache_misses = report.cache_misses;
+  health.cache_evicted = report.cache_evicted;
+  health.cache_bytes = report.cache_bytes;
+  health.deduped = report.deduped;
+  health.served_ok = report.served_ok;
+  health.queue_depth = report.queue_depth;
+  health.models.reserve(report.models.size());
+  for (const serve::ModelHealth& m : report.models) {
+    WireModelHealth wm;
+    wm.name = m.name;
+    wm.cache_enabled = m.cache.enabled;
+    wm.hits = m.cache.hits;
+    wm.misses = m.cache.misses;
+    wm.inserted = m.cache.inserted;
+    wm.evicted = m.cache.evicted;
+    wm.invalidated = m.cache.invalidated;
+    wm.bytes = m.cache.bytes;
+    wm.entries = m.cache.entries;
+    wm.deduped = m.cache.deduped;
+    health.models.push_back(std::move(wm));
+  }
+  QueueResponse(conn, EncodeHealthResponseFrame(header.request_id, health,
+                                                header.version));
+}
+
 bool SocketServer::ParseFrames(Connection* conn) {
   for (;;) {
     if (!conn->have_header) {
@@ -330,7 +367,12 @@ bool SocketServer::ParseFrames(Connection* conn) {
         conn->close_after_flush = true;
         return true;
       }
-      if (conn->header.type != FrameType::kRequest) {
+      // Health frames are v2+: a v1 header naming type 3 falls through to
+      // the generic unexpected-type rejection below.
+      const bool health_request =
+          conn->header.type == FrameType::kHealthRequest &&
+          conn->header.version >= 2;
+      if (conn->header.type != FrameType::kRequest && !health_request) {
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.bad_frames;
@@ -351,6 +393,26 @@ bool SocketServer::ParseFrames(Connection* conn) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.frames_received;
+    }
+    if (conn->header.type == FrameType::kHealthRequest) {
+      if (conn->header.payload_len != 0) {
+        // The stream is still framed by the (nonzero) length prefix, so the
+        // connection survives — but a health request carries no payload.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_frames;
+        QueueResponse(conn,
+                      EncodeResponseFrame(conn->header.request_id,
+                                          WireCode::kBadFrame, 0, nullptr,
+                                          "health request must carry no "
+                                          "payload",
+                                          conn->header.version));
+      } else {
+        AnswerHealthRequest(conn, conn->header);
+      }
+      conn->inbuf.erase(conn->inbuf.begin(),
+                        conn->inbuf.begin() + conn->header.payload_len);
+      conn->have_header = false;
+      continue;
     }
     serve::InferenceRequest request;
     const Status decoded =
@@ -479,6 +541,13 @@ void SocketServer::DrainCompletions() {
     }
     Connection& conn = it->second;
     --conn.inflight;
+    // A completion IS activity. Without this refresh, a response that took
+    // longer than idle_timeout_ms to produce (a dedup follower fanned out
+    // behind a slow leader, a deep queue) drops inflight to 0 while
+    // last_activity_ms still reads from the request's arrival — and the
+    // idle sweep later this same round closes the connection with the
+    // response sitting unflushed in the outbox.
+    conn.last_activity_ms = NowMs();
     QueueResponse(&conn, std::move(completion.frame));
     if (conn.outbox_bytes > options_.max_outbox_bytes) {
       // The peer stopped reading while piling on requests; buffering more

@@ -98,6 +98,7 @@ struct NetStats {
   int64_t rejected_max_conns = 0;
   int64_t frames_received = 0;       // complete, framing-valid frames
   int64_t requests_submitted = 0;    // handed to serve::Server
+  int64_t health_requests = 0;       // kHealthRequest frames answered inline
   int64_t responses_sent = 0;        // frames fully flushed to the socket
   int64_t bad_frames = 0;            // malformed bytes answered BAD_FRAME
   int64_t inflight_rejected = 0;     // RETRY_LATER from the per-conn cap
@@ -173,6 +174,9 @@ class SocketServer {
   bool ParseFrames(Connection* conn);
   void SubmitRequest(Connection* conn, const FrameHeader& header,
                      serve::InferenceRequest request);
+  // Answers a kHealthRequest inline on the IO thread (Health() only takes
+  // the serving mutexes briefly; no forward runs under them).
+  void AnswerHealthRequest(Connection* conn, const FrameHeader& header);
   void QueueResponse(Connection* conn, std::string frame);
   void DrainCompletions();
   enum class CloseReason { kPeer, kIdle, kProtocol, kOverflow, kDrain };

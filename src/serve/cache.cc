@@ -1,0 +1,213 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dtdbd::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void Mix(uint64_t v, uint64_t* h) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xFFu;
+    *h *= kFnvPrime;
+  }
+}
+
+inline uint64_t FloatBits(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+// Per-entry bookkeeping overhead beyond the payload vectors: list node,
+// index slot, key/entry scalars. An estimate — the budget is a resource
+// bound, not an allocator audit.
+constexpr int64_t kEntryOverhead = 128;
+
+}  // namespace
+
+uint64_t ContentHash(const InferenceRequest& request) {
+  // Same FNV-1a construction as RouteHash, but over the FULL content.
+  // Each variable-length section is preceded by its length so e.g.
+  // ({1,2}, style={}) can never collide with ({1}, style={2.8e-45}).
+  uint64_t h = kFnvOffset;
+  Mix(static_cast<uint64_t>(static_cast<int64_t>(request.domain)), &h);
+  Mix(static_cast<uint64_t>(request.tokens.size()), &h);
+  for (int token : request.tokens) {
+    Mix(static_cast<uint64_t>(static_cast<int64_t>(token)), &h);
+  }
+  Mix(static_cast<uint64_t>(request.style.size()), &h);
+  for (float f : request.style) Mix(FloatBits(f), &h);
+  Mix(static_cast<uint64_t>(request.emotion.size()), &h);
+  for (float f : request.emotion) Mix(FloatBits(f), &h);
+  return h;
+}
+
+PredictionCache::Key PredictionCache::MakeKey(const InferenceRequest& request,
+                                             bool canary) {
+  Key key;
+  key.hash = ContentHash(request);
+  key.canary = canary;
+  key.domain = request.domain;
+  key.tokens = request.tokens;
+  key.style = request.style;
+  key.emotion = request.emotion;
+  return key;
+}
+
+bool PredictionCache::KeyEquals(const Key& a, const Key& b) {
+  if (a.hash != b.hash || a.canary != b.canary || a.domain != b.domain ||
+      a.tokens.size() != b.tokens.size() || a.style.size() != b.style.size() ||
+      a.emotion.size() != b.emotion.size()) {
+    return false;
+  }
+  if (!a.tokens.empty() &&
+      std::memcmp(a.tokens.data(), b.tokens.data(),
+                  a.tokens.size() * sizeof(int)) != 0) {
+    return false;
+  }
+  if (!a.style.empty() &&
+      std::memcmp(a.style.data(), b.style.data(),
+                  a.style.size() * sizeof(float)) != 0) {
+    return false;
+  }
+  if (!a.emotion.empty() &&
+      std::memcmp(a.emotion.data(), b.emotion.data(),
+                  a.emotion.size() * sizeof(float)) != 0) {
+    return false;
+  }
+  return true;
+}
+
+int64_t PredictionCache::Cost(const Key& key) {
+  return kEntryOverhead +
+         static_cast<int64_t>(key.tokens.size() * sizeof(int)) +
+         static_cast<int64_t>((key.style.size() + key.emotion.size()) *
+                              sizeof(float));
+}
+
+PredictionCache::PredictionCache(int64_t capacity_bytes, int num_shards)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_(std::max<int64_t>(
+          1, capacity_bytes / std::max(1, num_shards))) {
+  DTDBD_CHECK_GT(capacity_bytes, 0);
+  DTDBD_CHECK_GT(num_shards, 0);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PredictionCache::Shard* PredictionCache::ShardFor(uint64_t hash) {
+  // Top bits: the low bits already select canary slices (mod 100) and the
+  // index buckets, so reuse from the other end of the word.
+  return shards_[(hash >> 48) % shards_.size()].get();
+}
+
+bool PredictionCache::Lookup(const Key& key, Entry* out) {
+  Shard* shard = ShardFor(key.hash);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto range = shard->index.equal_range(key.hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (KeyEquals(it->second->key, key)) {
+      shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+      *out = it->second->entry;
+      ++shard->hits;
+      return true;
+    }
+  }
+  ++shard->misses;
+  return false;
+}
+
+void PredictionCache::Insert(const Key& key, const Entry& entry) {
+  Shard* shard = ShardFor(key.hash);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto range = shard->index.equal_range(key.hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (KeyEquals(it->second->key, key)) {
+      // Refresh (the entry is identical by purity, but a reinsert after a
+      // version bump raced with Clear() must win).
+      it->second->entry = entry;
+      shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+      return;
+    }
+  }
+  Node node;
+  node.key = key;
+  node.entry = entry;
+  node.cost = Cost(key);
+  shard->bytes += node.cost;
+  shard->lru.push_front(std::move(node));
+  shard->index.emplace(key.hash, shard->lru.begin());
+  ++shard->inserted;
+  while (shard->bytes > shard_capacity_ && !shard->lru.empty()) {
+    auto victim = std::prev(shard->lru.end());
+    auto vrange = shard->index.equal_range(victim->key.hash);
+    for (auto it = vrange.first; it != vrange.second; ++it) {
+      if (it->second == victim) {
+        shard->index.erase(it);
+        break;
+      }
+    }
+    shard->bytes -= victim->cost;
+    shard->lru.erase(victim);
+    ++shard->evicted;
+  }
+}
+
+void PredictionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->invalidated += static_cast<int64_t>(shard->lru.size());
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+void PredictionCache::ClearVariant(bool canary) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.canary != canary) {
+        ++it;
+        continue;
+      }
+      auto range = shard->index.equal_range(it->key.hash);
+      for (auto idx = range.first; idx != range.second; ++idx) {
+        if (idx->second == it) {
+          shard->index.erase(idx);
+          break;
+        }
+      }
+      shard->bytes -= it->cost;
+      it = shard->lru.erase(it);
+      ++shard->invalidated;
+    }
+  }
+}
+
+CacheStats PredictionCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserted += shard->inserted;
+    stats.evicted += shard->evicted;
+    stats.invalidated += shard->invalidated;
+    stats.bytes += shard->bytes;
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+  }
+  return stats;
+}
+
+}  // namespace dtdbd::serve

@@ -1,0 +1,178 @@
+// Content-addressed prediction cache + in-flight request dedup for
+// serve::Server (DESIGN.md §12).
+//
+// Why this is sound: FrozenEncoder is frozen and seeded and eval kernels
+// are per-row deterministic, so a prediction is a PURE function of
+// (model, version, variant, request content). That makes two layers of
+// reuse safe without ever weakening the bitwise-parity contracts:
+//
+//   1. Completed-prediction cache (PredictionCache): a sharded LRU mapping
+//      the FULL request content — domain, tokens, AND the style/emotion
+//      feature vectors — to the served (p_fake, label, version). The key
+//      is ContentHash, NOT RouteHash: RouteHash deliberately excludes
+//      features so feature-jittered re-deliveries of a post stay in one
+//      canary slice, which is exactly the property that makes it WRONG as
+//      a content identity (it would alias requests that differ only in
+//      features). Hash collisions cannot alias either: every entry stores
+//      its full key material and Lookup compares it exactly.
+//
+//   2. In-flight dedup (DedupGroup): a second identical request admitted
+//      while the first is still queued or running attaches to the first
+//      request's Job as a follower and is fanned the same result on
+//      completion — one forward, N replies. Per-element deadlines are
+//      still honored per member: a follower with an earlier deadline than
+//      the leader sheds independently at fan-out, and a follower with a
+//      LATER deadline extends the queued leader's shed horizon so joining
+//      a group can never lose a request that would have been served alone.
+//
+// Scope and invalidation. The cache is scoped per (model, variant): each
+// ModelState owns one PredictionCache whose keys carry a primary/canary
+// variant bit, and entries stamp the version that produced them. There is
+// no TTL — entries are exact until the model changes, and every mutation
+// of a model's session stack (reload success, canary promote / cancel /
+// auto-rollback) already runs as a quiescent-barrier control job, so those
+// closures clear the affected scope while nothing is in flight. Admission
+// additionally skips cache/dedup participation while any control job is
+// queued or running, preserving the "requests queued behind a control job
+// are served under the new state" ordering contract bit-for-bit.
+//
+// Locking. PredictionCache has one mutex per shard and is safe to call
+// from any thread; Server calls Lookup under mu_ (one-way mu_ -> shard
+// order, nothing locks a shard first) and Insert from ServeBatch with no
+// server lock held. DedupGroup contents are guarded by Server::mu_.
+#ifndef DTDBD_SERVE_CACHE_H_
+#define DTDBD_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/session.h"
+#include "serve/validation.h"
+
+namespace dtdbd::serve {
+
+// Full content identity: FNV-1a over domain, token ids, AND the
+// style/emotion feature bit patterns (dimension-delimited so boundary
+// shifts between the three sequences cannot collide by construction).
+// Contrast with RouteHash (fleet.h), which excludes features on purpose.
+uint64_t ContentHash(const InferenceRequest& request);
+
+// Cumulative counters + current gauges for one PredictionCache. Counters
+// are monotonic; bytes/entries are point-in-time.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserted = 0;
+  int64_t evicted = 0;      // LRU capacity evictions only
+  int64_t invalidated = 0;  // entries dropped by barrier Clear()s
+  int64_t bytes = 0;        // gauge: approximate resident key+entry bytes
+  int64_t entries = 0;      // gauge
+};
+
+class PredictionCache {
+ public:
+  // Exact cache key: the variant bit plus the full content the hash was
+  // computed over. Lookup compares all of it, so a 64-bit collision
+  // degrades to a miss, never to a wrong answer.
+  struct Key {
+    uint64_t hash = 0;    // ContentHash(request); excludes `canary`
+    bool canary = false;  // primary vs canary-candidate variant
+    int domain = 0;
+    std::vector<int> tokens;
+    std::vector<float> style;
+    std::vector<float> emotion;
+  };
+  static Key MakeKey(const InferenceRequest& request, bool canary);
+  // Bitwise equality over the full key material (floats compared by bit
+  // pattern, so it is a pure identity check with no NaN special case).
+  static bool KeyEquals(const Key& a, const Key& b);
+
+  // What a hit replays. model_name / canary attribution are stamped by the
+  // server at reply time, exactly as for a computed result.
+  struct Entry {
+    float p_fake = 0.0f;
+    int label = 0;
+    int64_t model_version = 0;
+  };
+
+  // `capacity_bytes` > 0; the budget is split evenly across `num_shards`
+  // independently-locked LRU shards (shard = top bits of the content hash).
+  explicit PredictionCache(int64_t capacity_bytes, int num_shards = 8);
+
+  PredictionCache(const PredictionCache&) = delete;
+  PredictionCache& operator=(const PredictionCache&) = delete;
+
+  // True + *out on an exact hit (refreshes LRU recency). Counts hit/miss.
+  bool Lookup(const Key& key, Entry* out);
+  // Inserts or refreshes, then evicts LRU entries until the shard is back
+  // under budget (an entry larger than a whole shard just doesn't stick).
+  void Insert(const Key& key, const Entry& entry);
+  // Barrier invalidation: drop everything / one variant's entries.
+  void Clear();
+  void ClearVariant(bool canary);
+
+  CacheStats Stats() const;
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Node {
+    Key key;
+    Entry entry;
+    int64_t cost = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Node> lru;  // front = most recent
+    // hash -> iterators; a multimap so colliding keys coexist.
+    std::unordered_multimap<uint64_t, std::list<Node>::iterator> index;
+    int64_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserted = 0;
+    int64_t evicted = 0;
+    int64_t invalidated = 0;
+  };
+  Shard* ShardFor(uint64_t hash);
+  static int64_t Cost(const Key& key);
+
+  const int64_t capacity_bytes_;
+  const int64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// One in-flight dedup group: the leader is the Job that actually sits in
+// the queue / runs in a batch; followers are later identical submissions
+// that attached instead of enqueueing. All fields are guarded by
+// Server::mu_; the group outlives its Job via shared_ptr (the wait-set and
+// the Job both hold one).
+struct DedupFollower {
+  std::function<void(StatusOr<Prediction>)> done;
+  int64_t deadline_nanos = 0;  // absolute; 0 = none
+  int64_t enqueue_nanos = 0;   // when this follower attached
+};
+
+struct DedupGroup {
+  PredictionCache::Key key;
+  std::vector<DedupFollower> followers;
+  // Max shed horizon across leader + followers (0 = none). Mirrored into
+  // the queued Job's deadline so a follower with a later deadline keeps
+  // the whole group alive; each member is still judged against its OWN
+  // deadline at fan-out.
+  int64_t group_deadline_nanos = 0;
+  // True once the result (or shed/drain status) has been fanned out; a
+  // group in this state can no longer accept followers.
+  bool resolved = false;
+  // True while the leader Job still sits in the queue (its deadline can be
+  // extended in place); false once a worker popped it into a batch.
+  bool queued = true;
+};
+
+}  // namespace dtdbd::serve
+
+#endif  // DTDBD_SERVE_CACHE_H_

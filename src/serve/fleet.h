@@ -38,10 +38,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "models/model.h"
+#include "serve/cache.h"
 #include "serve/session.h"
 
 namespace dtdbd::serve {
@@ -53,7 +55,10 @@ inline constexpr char kDefaultModelName[] = "default";
 // Deterministic content hash for canary slicing: FNV-1a over domain and
 // token ids. Feature values are deliberately excluded — two deliveries of
 // the same post with slightly different float features still land in the
-// same slice.
+// same slice. That exclusion is exactly why RouteHash must NEVER be used
+// as a content identity: requests that differ only in style/emotion alias
+// under it. The prediction cache keys on ContentHash (cache.h), which
+// mixes the feature bits in.
 uint64_t RouteHash(const InferenceRequest& request);
 
 // True when `hash` falls in the canary slice of `percent` (clamped to
@@ -135,6 +140,20 @@ struct ShadowHealth {
   double max_abs_delta = 0.0;
 };
 
+// Per-model prediction-cache + dedup telemetry (HealthReport and the wire
+// health frame both carry this shape).
+struct PredictionCacheHealth {
+  bool enabled = false;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserted = 0;
+  int64_t evicted = 0;
+  int64_t invalidated = 0;
+  int64_t bytes = 0;
+  int64_t entries = 0;
+  int64_t deduped = 0;  // followers answered by fan-out instead of a forward
+};
+
 struct ModelHealth {
   std::string name;
   bool is_default = false;
@@ -155,6 +174,7 @@ struct ModelHealth {
   bool latency_no_samples = true;  // same contract as the aggregate flag
   CanaryHealth canary;
   ShadowHealth shadow;
+  PredictionCacheHealth cache;
 };
 
 // One named model in the fleet. See the file comment for which of
@@ -178,10 +198,22 @@ struct ModelState {
   // immediately, before the rollback barrier job lands.
   std::atomic<bool> canary_draining{false};
 
+  // --- prediction cache + in-flight dedup (DESIGN.md §12) ---
+  // Created by the server at registration when caching is enabled; entry
+  // scope is (this model, variant) and every barrier job that swaps a
+  // session clears the affected scope. Thread-safe internally.
+  std::unique_ptr<PredictionCache> cache;  // null = caching disabled
+  // In-flight dedup wait-set: content hash -> unresolved groups with that
+  // hash (a vector so colliding hashes coexist; membership is decided by
+  // exact key equality). Guarded by Server::mu_.
+  std::unordered_map<uint64_t, std::vector<std::shared_ptr<DedupGroup>>>
+      dedup_waitset;
+
   // --- guarded by Server::mu_ ---
   int64_t queued = 0;
 
   // --- stats: guarded by Server::stats_mu_ ---
+  int64_t deduped = 0;  // followers served by dedup fan-out, not a forward
   int64_t served_ok = 0;
   int64_t invalid_requests = 0;
   int64_t internal_errors = 0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <map>
 #include <utility>
 
@@ -45,6 +46,26 @@ int ResolveMaxBatch(const FlagParser& flags) {
                                 /*invalid_value=*/1);
 }
 
+int64_t CacheBytesFromEnv() {
+  const char* env = std::getenv("DTDBD_CACHE_BYTES");
+  if (env == nullptr) return 0;
+  int64_t n = 0;
+  if (ParseNonNegativeInt64(env, &n)) return n;
+  DTDBD_LOG(Warning) << "DTDBD_CACHE_BYTES='" << env
+                     << "' is not a non-negative integer; caching stays off";
+  return 0;
+}
+
+int64_t ResolveCacheBytes(const FlagParser& flags) {
+  if (!flags.Has("cache-bytes")) return CacheBytesFromEnv();
+  const std::string value = flags.GetString("cache-bytes", "");
+  int64_t n = 0;
+  if (ParseNonNegativeInt64(value.c_str(), &n)) return n;
+  DTDBD_LOG(Warning) << "--cache-bytes '" << value
+                     << "' is not a non-negative integer; caching stays off";
+  return 0;
+}
+
 Server::Server(std::unique_ptr<InferenceSession> session,
                ServerOptions options)
     : options_(std::move(options)),
@@ -57,6 +78,8 @@ Server::Server(std::unique_ptr<InferenceSession> session,
   num_workers_ =
       options_.num_workers > 0 ? options_.num_workers : ServeWorkersFromEnv();
   max_batch_ = std::max(1, options_.max_batch);
+  cache_bytes_ =
+      options_.cache_bytes >= 0 ? options_.cache_bytes : CacheBytesFromEnv();
   latencies_.assign(static_cast<size_t>(options_.latency_window), 0);
   batch_size_hist_.assign(static_cast<size_t>(max_batch_) + 1, 0);
   {
@@ -65,6 +88,9 @@ Server::Server(std::unique_ptr<InferenceSession> session,
         options_.default_model_name, std::move(session), options_.model_factory);
     DTDBD_CHECK(added.ok()) << added.status().ToString();
     default_state_ = added.value();
+    if (cache_bytes_ > 0) {
+      default_state_->cache = std::make_unique<PredictionCache>(cache_bytes_);
+    }
     InitModelStatsLocked(default_state_);
   }
   pools_.reserve(static_cast<size_t>(num_workers_));
@@ -101,6 +127,9 @@ Status Server::AddModel(
   StatusOr<ModelState*> added =
       fleet_.Add(name, std::move(session), std::move(factory));
   if (!added.ok()) return added.status();
+  if (cache_bytes_ > 0) {
+    added.value()->cache = std::make_unique<PredictionCache>(cache_bytes_);
+  }
   InitModelStatsLocked(added.value());
   return Status::Ok();
 }
@@ -135,6 +164,14 @@ void Server::SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
   // slice test itself happens at dequeue so a rollback between admission
   // and dequeue reroutes (never fails) the request.
   job.route_hash = RouteHash(job.request);
+  // Cache/dedup identity, also outside the lock: the full content hash and
+  // the exact key material it summarizes (the variant bit is filled in
+  // under mu_ once routing is known).
+  PredictionCache::Key key;
+  if (cache_bytes_ > 0) {
+    key = PredictionCache::MakeKey(job.request, /*canary=*/false);
+    job.content_hash = key.hash;
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopped_) {
@@ -151,6 +188,99 @@ void Server::SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
                               "')"));
     return;
   }
+  // Cache + dedup participation (DESIGN.md §12). Gated off whenever a
+  // control job is queued or running: a request submitted behind a
+  // reload/promote must be served under the NEW state, so it may neither
+  // hit pre-swap cache entries nor attach to a pre-swap leader. The gate
+  // also keeps the wait-set empty across every barrier by construction.
+  // Canary-slice requests bypass both layers too: a canary exists to be
+  // JUDGED on live traffic, and answering its slice from cache (or fanning
+  // one forward to N members) would starve the windowed monitor of the
+  // samples the regression verdict needs. The slice test is deterministic
+  // in the request content, so a group leader admitted here can never be
+  // rerouted into the canary at dequeue (draining only ever flips traffic
+  // TOWARD the primary).
+  // A request whose deadline already expired at admission participates in
+  // neither layer: a hit must never resurrect a request the forward path
+  // would shed, so it falls through to the queue and takes the standard
+  // shed-at-dequeue (same status, same counters as with the cache off).
+  const bool expired = job.deadline_nanos > 0 && now > job.deadline_nanos;
+  const bool participate = job.model->cache != nullptr && !expired &&
+                           control_pending_ == 0 && !barrier_active_ &&
+                           !RouteToCanaryLocked(job);
+  if (participate) {
+    PredictionCache::Entry entry;
+    if (job.model->cache->Lookup(key, &entry)) {
+      // Completed-prediction hit: reply immediately, bitwise identical to
+      // the forward that populated the entry. Counted as served (and into
+      // the latency rings) but never into batches_run — no forward ran.
+      ModelState* model = job.model;
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      served_ok_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t reply_nanos = clock_->NowNanos();
+      {
+        std::lock_guard<std::mutex> stats(stats_mu_);
+        ++model->served_ok;
+        const int64_t nanos = reply_nanos - job.enqueue_nanos;
+        latencies_[static_cast<size_t>(latency_next_)] = nanos;
+        latency_next_ = (latency_next_ + 1) % options_.latency_window;
+        if (latency_count_ < options_.latency_window) ++latency_count_;
+        model->latencies[static_cast<size_t>(model->latency_next)] = nanos;
+        model->latency_next =
+            (model->latency_next + 1) % options_.latency_window;
+        if (model->latency_count < options_.latency_window) {
+          ++model->latency_count;
+        }
+      }
+      Prediction hit;
+      hit.p_fake = entry.p_fake;
+      hit.label = entry.label;
+      hit.model_version = entry.model_version;
+      hit.model_name = model->name;
+      hit.canary = key.canary;
+      lock.unlock();
+      job.done(std::move(hit));
+      return;
+    }
+    // Miss: attach to an in-flight identical request if one exists. The
+    // clock read happens under mu_, so it is ordered after the batch's
+    // dequeue timestamp (also taken under mu_): if the leader's group was
+    // (or will be) shed at dequeue, this read is already past the group
+    // deadline and the attach is refused — a follower can never be
+    // silently dragged into a shed it didn't earn.
+    auto waiting = job.model->dedup_waitset.find(job.content_hash);
+    if (waiting != job.model->dedup_waitset.end()) {
+      const int64_t attach_nanos = clock_->NowNanos();
+      for (const std::shared_ptr<DedupGroup>& group : waiting->second) {
+        if (group->resolved ||
+            !PredictionCache::KeyEquals(group->key, key)) {
+          continue;
+        }
+        if (!group->queued && group->group_deadline_nanos > 0 &&
+            attach_nanos > group->group_deadline_nanos) {
+          continue;  // leader already past its shed horizon
+        }
+        group->followers.push_back(
+            {std::move(job.done), job.deadline_nanos, job.enqueue_nanos});
+        // A follower with a later (or absent) deadline extends the shed
+        // horizon of the whole group; one with an earlier deadline is
+        // still judged against its own at fan-out.
+        if (group->group_deadline_nanos != 0) {
+          group->group_deadline_nanos =
+              job.deadline_nanos == 0
+                  ? 0
+                  : std::max(group->group_deadline_nanos, job.deadline_nanos);
+        }
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> stats(stats_mu_);
+          ++job.model->deduped;
+        }
+        return;  // lock released by ~unique_lock; no queue entry to signal
+      }
+    }
+  }
   if (inference_depth_ >= options_.max_queue_depth) {
     lock.unlock();
     rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
@@ -158,6 +288,13 @@ void Server::SubmitAsync(InferenceRequest request, int64_t deadline_nanos,
         "serving queue full (" + std::to_string(options_.max_queue_depth) +
         " requests waiting)"));
     return;
+  }
+  if (participate) {
+    // This job becomes the leader of a fresh dedup group.
+    job.group = std::make_shared<DedupGroup>();
+    job.group->key = std::move(key);
+    job.group->group_deadline_nanos = job.deadline_nanos;
+    job.model->dedup_waitset[job.content_hash].push_back(job.group);
   }
   ++inference_depth_;
   ++job.model->queued;
@@ -196,6 +333,7 @@ std::future<Status> Server::EnqueueControl(
   // accept the reload that might fix it. `front` jumps the backlog — used
   // by auto-rollback so the drain is bounded by in-flight work, not by
   // every queued request ahead of it.
+  ++control_pending_;  // gates cache/dedup until the closure retires
   if (front) {
     queue_.push_front(std::move(job));
   } else {
@@ -287,6 +425,11 @@ std::future<Status> Server::PromoteCanary(const std::string& model_name) {
       model->primary = std::move(model->canary);
       model->canary.reset();
     }
+    // The primary's answers just changed identity: drop every cached
+    // prediction inside the same barrier, before any request can run.
+    // (The wait-set is empty here by construction — admission stopped
+    // creating groups the moment this control job was enqueued.)
+    if (model->cache != nullptr) model->cache->Clear();
     model->version.store(version, std::memory_order_release);
     model->degraded.store(false, std::memory_order_release);
     {
@@ -361,6 +504,23 @@ bool Server::RouteToCanaryLocked(const Job& job) const {
          InCanarySlice(job.route_hash, model->canary_options.percent);
 }
 
+void Server::DetachGroupLocked(ModelState* model,
+                               const std::shared_ptr<DedupGroup>& group,
+                               std::vector<DedupFollower>* followers) {
+  group->resolved = true;
+  followers->insert(followers->end(),
+                    std::make_move_iterator(group->followers.begin()),
+                    std::make_move_iterator(group->followers.end()));
+  group->followers.clear();
+  auto it = model->dedup_waitset.find(group->key.hash);
+  if (it != model->dedup_waitset.end()) {
+    auto& groups = it->second;
+    groups.erase(std::remove(groups.begin(), groups.end(), group),
+                 groups.end());
+    if (groups.empty()) model->dedup_waitset.erase(it);
+  }
+}
+
 void Server::DrainQueueLocked() {
   while (!queue_.empty()) {
     Job dropped = std::move(queue_.front());
@@ -370,7 +530,17 @@ void Server::DrainQueueLocked() {
       --dropped.model->queued;
       dropped.done(
           Status::Unavailable("server stopped before serving request"));
+      if (dropped.group != nullptr) {
+        // Followers die with their leader: same status, exactly once each.
+        std::vector<DedupFollower> followers;
+        DetachGroupLocked(dropped.model, dropped.group, &followers);
+        for (DedupFollower& follower : followers) {
+          follower.done(
+              Status::Unavailable("server stopped before serving request"));
+        }
+      }
     } else {
+      --control_pending_;
       dropped.control_reply.set_value(
           Status::Unavailable("server stopped before reload"));
     }
@@ -391,6 +561,7 @@ void Server::WorkerLoop(KernelPool* pool) {
     bool use_canary = false;
     InferenceSession* session = nullptr;
     InferenceSession* shadow = nullptr;
+    int64_t dequeue_nanos = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       // The control barrier (barrier_active_) parks every other worker
@@ -409,6 +580,11 @@ void Server::WorkerLoop(KernelPool* pool) {
         control_job = std::move(queue_.front());
         queue_.pop_front();
         have_control = true;
+        // barrier_active_ takes over the cache/dedup admission gate from
+        // control_pending_ with both flags under this one mu_ hold, so
+        // there is no instant where a request could slip into the cache
+        // layer between "dequeued" and "running".
+        --control_pending_;
         barrier_active_ = true;
         // Quiesce: in-flight batches must finish before the closure runs.
         cv_.wait(lock, [this] { return inflight_batches_ == 0; });
@@ -429,12 +605,25 @@ void Server::WorkerLoop(KernelPool* pool) {
           queue_.pop_front();
           --inference_depth_;
           --model->queued;
+          if (batch.back().group != nullptr) {
+            // The leader leaves the queue: followers can no longer extend
+            // its deadline in place, so freeze the group's shed horizon
+            // into the job the shed check will consult.
+            batch.back().group->queued = false;
+            batch.back().deadline_nanos =
+                batch.back().group->group_deadline_nanos;
+          }
         }
         // Session pointers resolved under mu_ stay valid lock-free for the
         // whole batch: the barrier waits for inflight_batches_ == 0.
         session = use_canary ? model->canary.get() : model->primary.get();
         shadow = use_canary ? nullptr : model->shadow.get();
         ++inflight_batches_;
+        // The shed timestamp is read under mu_ so it is ordered against
+        // every dedup attach (which also reads the clock under mu_): a
+        // follower observing "now <= group deadline" is guaranteed the
+        // batch did not shed its group.
+        dequeue_nanos = clock_->NowNanos();
       }
     }
     if (have_control) {
@@ -446,7 +635,7 @@ void Server::WorkerLoop(KernelPool* pool) {
       cv_.notify_all();
       continue;
     }
-    ServeBatch(model, use_canary, session, shadow, &batch);
+    ServeBatch(model, use_canary, session, shadow, &batch, dequeue_nanos);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_batches_;
@@ -457,10 +646,13 @@ void Server::WorkerLoop(KernelPool* pool) {
 
 void Server::ServeBatch(ModelState* model, bool use_canary,
                         InferenceSession* session, InferenceSession* shadow,
-                        std::vector<Job>* jobs) {
-  const int64_t dequeue_nanos = clock_->NowNanos();
+                        std::vector<Job>* jobs, int64_t dequeue_nanos) {
   // Per-element shed at dequeue: batching never delays the deadline check,
-  // and one expired element never poisons its batchmates.
+  // and one expired element never poisons its batchmates. A job whose
+  // dedup group sheds sheds every member with it — the group deadline is
+  // the max over members, so an expired group means every member's own
+  // deadline is expired too (and the mu_-ordered clock reads guarantee no
+  // still-live follower attached after this timestamp was taken).
   std::vector<Job*> live;
   live.reserve(jobs->size());
   int64_t local_shed = 0;
@@ -470,6 +662,19 @@ void Server::ServeBatch(ModelState* model, bool use_canary,
       ++local_shed;
       job.done(Status::DeadlineExceeded(
           "request shed: deadline expired before serving"));
+      if (job.group != nullptr) {
+        std::vector<DedupFollower> followers;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          DetachGroupLocked(model, job.group, &followers);
+        }
+        for (DedupFollower& follower : followers) {
+          shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+          ++local_shed;
+          follower.done(Status::DeadlineExceeded(
+              "request shed: deadline expired before serving"));
+        }
+      }
     } else {
       live.push_back(&job);
     }
@@ -488,6 +693,16 @@ void Server::ServeBatch(ModelState* model, bool use_canary,
   for (const Job* job : live) {
     requests.push_back(&job->request);
     queue_wait += dequeue_nanos - job->enqueue_nanos;
+  }
+  // Test hook: a configured slow-predict stall simulates an expensive
+  // forward (it is real wall-clock, independent of the injectable Clock),
+  // so dedup/idle-sweep tests can park followers behind a running leader
+  // deterministically.
+  if (options_.fault_injector != nullptr) {
+    const int64_t slow = options_.fault_injector->slow_predict_nanos();
+    if (slow > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(slow));
+    }
   }
   std::vector<StatusOr<Prediction>> results = session->PredictBatch(requests);
   // Canary-only failure injection: converts a would-be OK canary answer
@@ -539,6 +754,67 @@ void Server::ServeBatch(ModelState* model, bool use_canary,
     } else {
       ++local_internal;
       internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Cache insert + dedup fan-out (DESIGN.md §12). Insertion happens BEFORE
+  // the group detaches from the wait-set, so a concurrent identical
+  // admission either attaches (and is fanned below) or — once detached —
+  // finds the entry in the cache: there is no window where it would
+  // recompute. Followers are fanned a copy of the leader's outcome,
+  // errors included (the outcome is a pure function of the shared
+  // content), but each is first judged against its OWN deadline — that is
+  // the "sheds independently" half of the dedup deadline contract.
+  struct FollowerReply {
+    std::function<void(StatusOr<Prediction>)> done;
+    StatusOr<Prediction> result;
+  };
+  std::vector<FollowerReply> follower_replies;
+  for (size_t i = 0; i < live.size(); ++i) {
+    Job* job = live[i];
+    if (job->group == nullptr) continue;
+    const StatusOr<Prediction>& result = results[i];
+    if (result.ok() && !use_canary && model->cache != nullptr) {
+      PredictionCache::Entry entry;
+      entry.p_fake = result.value().p_fake;
+      entry.label = result.value().label;
+      entry.model_version = result.value().model_version;
+      model->cache->Insert(job->group->key, entry);
+    }
+    std::vector<DedupFollower> followers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      DetachGroupLocked(model, job->group, &followers);
+    }
+    for (DedupFollower& follower : followers) {
+      // The shed horizon a follower is judged at: the batch's dequeue for
+      // members that were waiting then, its own attach time for members
+      // that joined a running leader with an already-expired deadline.
+      const int64_t effective =
+          std::max(dequeue_nanos, follower.enqueue_nanos);
+      if (follower.deadline_nanos > 0 &&
+          effective > follower.deadline_nanos) {
+        shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        ++local_shed;
+        follower_replies.push_back(
+            {std::move(follower.done),
+             Status::DeadlineExceeded(
+                 "request shed: deadline expired before serving")});
+        continue;
+      }
+      if (result.ok()) {
+        ++local_ok;
+        served_ok_.fetch_add(1, std::memory_order_relaxed);
+        ok_latencies.push_back(
+            std::max<int64_t>(0, done_nanos - follower.enqueue_nanos));
+      } else if (result.status().code() == StatusCode::kInvalidArgument) {
+        ++local_invalid;
+        invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++local_internal;
+        internal_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      follower_replies.push_back({std::move(follower.done), result});
     }
   }
 
@@ -596,6 +872,11 @@ void Server::ServeBatch(ModelState* model, bool use_canary,
 
   for (size_t i = 0; i < live.size(); ++i) {
     live[i]->done(std::move(results[i]));
+  }
+  // Dedup fan-out: one forward, N replies — every follower sees exactly
+  // the bytes its leader saw (or its own typed shed).
+  for (FollowerReply& reply : follower_replies) {
+    reply.done(std::move(reply.result));
   }
 
   // Off-path shadow scoring: primary replies are already on their way and
@@ -756,6 +1037,11 @@ Status Server::RunReload(ModelState* model, const std::string& path) {
       std::lock_guard<std::mutex> lock(mu_);
       model->primary = std::move(candidate).value();
     }
+    // Invalidate-by-barrier: stale entries die inside the same quiescent
+    // window that swapped the session, so a post-reload request can only
+    // ever hit post-reload entries. (Failed reloads keep the last-good
+    // primary AND its still-exact cache.)
+    if (model->cache != nullptr) model->cache->Clear();
     model->version.store(version, std::memory_order_release);
     model->degraded.store(false, std::memory_order_release);
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -774,25 +1060,31 @@ Status Server::RunReload(ModelState* model, const std::string& path) {
   return candidate.status();
 }
 
-namespace {
-
 // p50/p99 over the first `count` slots of a latency ring. The ring is
-// unordered (it wraps), so order statistics need a sorted copy.
+// unordered (it wraps), so order statistics need a sorted copy. The pick
+// is canonical nearest-rank — rank = ceil(q * count), clamped into
+// [1, count] — which the old round-half-up interpolation was not: for
+// count == 2 it returned the UPPER sample as p50, and its index was only
+// accidentally in range (q * (count-1) + 0.5 flirts with `count` for
+// q -> 1). Nearest-rank can never read past the filled window, returns
+// the single sample for count == 1, and is monotone in q so p99 is never
+// a lower slot than p50.
 void LatencyPercentiles(const std::vector<int64_t>& ring, int64_t count,
                         double* p50_ms, double* p99_ms) {
   if (count <= 0) return;
+  count = std::min<int64_t>(count, static_cast<int64_t>(ring.size()));
   std::vector<int64_t> window(ring.begin(), ring.begin() + count);
   std::sort(window.begin(), window.end());
   const auto pick = [&window](double q) {
-    const auto idx = static_cast<size_t>(
-        q * static_cast<double>(window.size() - 1) + 0.5);
-    return static_cast<double>(window[idx]) / 1e6;
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(window.size())));
+    rank = std::max<int64_t>(1, rank);
+    rank = std::min<int64_t>(rank, static_cast<int64_t>(window.size()));
+    return static_cast<double>(window[static_cast<size_t>(rank - 1)]) / 1e6;
   };
   *p50_ms = pick(0.50);
   *p99_ms = pick(0.99);
 }
-
-}  // namespace
 
 HealthReport Server::Health() const {
   HealthReport report;
@@ -916,7 +1208,32 @@ HealthReport Server::Health() const {
                     static_cast<double>(m->shadow_stats.scored)
               : 0.0;
       health.shadow.max_abs_delta = m->shadow_stats.abs_delta_max;
+      health.cache.deduped = m->deduped;
     }
+  }
+  // Phase 3 (cache internals): each PredictionCache is internally locked,
+  // so no server mutex is needed to read its shard counters. Aggregate the
+  // per-model stats into the top-level report as we go.
+  report.cache_enabled = cache_bytes_ > 0;
+  report.cache_bytes_limit = cache_bytes_;
+  report.deduped = deduped_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < states.size(); ++i) {
+    ModelState* m = states[i];
+    ModelHealth& health = report.models[i];
+    health.cache.enabled = m->cache != nullptr;
+    if (m->cache == nullptr) continue;
+    const CacheStats stats = m->cache->Stats();
+    health.cache.hits = stats.hits;
+    health.cache.misses = stats.misses;
+    health.cache.inserted = stats.inserted;
+    health.cache.evicted = stats.evicted;
+    health.cache.invalidated = stats.invalidated;
+    health.cache.bytes = stats.bytes;
+    health.cache.entries = stats.entries;
+    report.cache_hits += stats.hits;
+    report.cache_misses += stats.misses;
+    report.cache_evicted += stats.evicted;
+    report.cache_bytes += stats.bytes;
   }
   return report;
 }

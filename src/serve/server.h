@@ -32,6 +32,18 @@
 // per-element results are bitwise identical to batch-of-one because eval
 // kernels never accumulate across rows.
 //
+// Prediction cache + in-flight dedup (see DESIGN.md §12): when
+// `cache_bytes` > 0, admission first consults the routed model's
+// content-addressed PredictionCache (an exact hit replies immediately,
+// bitwise identical to a forward) and then the in-flight dedup wait-set
+// (an identical request already queued or running absorbs this one as a
+// follower; the leader's result is fanned to every member at completion,
+// each judged against its OWN deadline). Both layers stand down while any
+// control job is queued or running, and the barrier closures clear the
+// affected cache scope on reload/promote/cancel/rollback, so control-job
+// ordering and every bitwise-parity contract hold exactly as without the
+// cache. cache_bytes == 0 IS the pre-cache code path.
+//
 // Overload semantics (see DESIGN.md §9):
 //   - Admission control: Submit() fails fast with kResourceExhausted when
 //     `max_queue_depth` inference requests are already waiting (the gate is
@@ -95,6 +107,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "models/model.h"
+#include "serve/cache.h"
 #include "serve/fleet.h"
 #include "serve/session.h"
 #include "train/fault_injector.h"
@@ -158,6 +171,11 @@ struct ServerOptions {
   // Fleet name the constructor registers the initial session under, and
   // the model requests with an empty model_name route to.
   std::string default_model_name = kDefaultModelName;
+  // Prediction cache + in-flight dedup byte budget PER MODEL (DESIGN.md
+  // §12). 0 = off (the pre-cache bitwise-pinned path: every request runs a
+  // forward). -1 = resolve from DTDBD_CACHE_BYTES (strict parse; unset or
+  // invalid -> 0). Positive = both layers on.
+  int64_t cache_bytes = -1;
   // nullptr = SystemClock::Get(). Must outlive the server.
   const Clock* clock = nullptr;
   // Optional failure-injection hooks (load failure, slow load, canary
@@ -179,6 +197,24 @@ int ServeWorkersFromEnv();  // DTDBD_SERVE_WORKERS; unset -> 1
 int ResolveServeWorkers(const FlagParser& flags);
 // --max-batch flag; absent -> 1.
 int ResolveMaxBatch(const FlagParser& flags);
+// Prediction-cache budget. Unlike the worker knobs, 0 is a VALID value
+// ("cache off"), so these use the strict non-negative parse: unset -> 0,
+// invalid (sign, junk, overflow) -> warning + 0 — a typo'd budget must
+// disable the cache, not conjure one of surprise size.
+int64_t CacheBytesFromEnv();  // DTDBD_CACHE_BYTES; unset -> 0
+// --cache-bytes flag, falling back to DTDBD_CACHE_BYTES, then 0.
+int64_t ResolveCacheBytes(const FlagParser& flags);
+
+// Nearest-rank percentiles over the first `count` slots of an (unordered)
+// latency ring, in milliseconds. p50 is the ceil(0.50*count)-th smallest
+// sample, p99 the ceil(0.99*count)-th; count==1 returns that sample for
+// both, count<=0 leaves the outputs untouched (the caller's
+// latency_no_samples flag owns that case). By construction the picked
+// rank is always in [1, count] — never past the filled window — and is
+// monotone in q, so p99 can never come from a lower slot than p50.
+// Exposed for the table-driven tests.
+void LatencyPercentiles(const std::vector<int64_t>& ring, int64_t count,
+                        double* p50_ms, double* p99_ms);
 
 // One watchdog/Health() snapshot. Counters are cumulative since start.
 // Top-level fields are fleet aggregates, except model_version / degraded /
@@ -231,6 +267,17 @@ struct HealthReport {
   int64_t num_models = 0;
   int64_t rejected_unknown_model = 0;  // kNotFound at admission
   std::vector<ModelHealth> models;
+  // Prediction cache + dedup aggregates across the fleet (per-model
+  // breakdown in models[i].cache). Hits and deduped followers count into
+  // served_ok like any other answered request but never into
+  // batches_run / the batch histogram — no forward ran for them.
+  bool cache_enabled = false;
+  int64_t cache_bytes_limit = 0;  // per-model byte budget; 0 = off
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evicted = 0;
+  int64_t cache_bytes = 0;
+  int64_t deduped = 0;
 };
 
 class Server {
@@ -340,6 +387,12 @@ class Server {
     std::function<void(StatusOr<Prediction>)> done;
     ModelState* model = nullptr;
     uint64_t route_hash = 0;
+    // Cache/dedup layer (only when the cache is on and admission was not
+    // gated by a pending control job): the full content hash, and the
+    // dedup group this job leads — followers attach to it under mu_ and
+    // are fanned this job's outcome at completion.
+    uint64_t content_hash = 0;
+    std::shared_ptr<DedupGroup> group;
     // kControl: the closure runs on a worker thread inside the quiescent
     // barrier (no batches in flight, dequeue blocked); its Status resolves
     // the promise. Reload, canary, shadow, and auto-rollback all take this
@@ -353,9 +406,16 @@ class Server {
   // Serves one coalesced single-(model,variant) batch: per-element deadline
   // shed, one PredictBatch forward on `session`, per-element replies and
   // counters, then (primary path only) the optional shadow forward.
+  // `dequeue_nanos` is the batch's shed timestamp, read under mu_ at
+  // dequeue so it is ordered against every dedup attach (see SubmitAsync).
   void ServeBatch(ModelState* model, bool use_canary,
                   InferenceSession* session, InferenceSession* shadow,
-                  std::vector<Job>* jobs);
+                  std::vector<Job>* jobs, int64_t dequeue_nanos);
+  // Marks `group` resolved, removes it from the model's dedup wait-set,
+  // and moves its followers into *followers. Caller holds mu_.
+  void DetachGroupLocked(ModelState* model,
+                         const std::shared_ptr<DedupGroup>& group,
+                         std::vector<DedupFollower>* followers);
   // True when this queued job should be served by `model`'s canary
   // session. Caller holds mu_.
   bool RouteToCanaryLocked(const Job& job) const;
@@ -391,6 +451,7 @@ class Server {
   const Clock* const clock_;
   int num_workers_ = 1;  // resolved from options/env in the constructor
   int max_batch_ = 1;
+  int64_t cache_bytes_ = 0;  // resolved; 0 = cache + dedup off
 
   // Fleet registry: guarded by mu_; ModelState addresses are stable (the
   // registry is append-only), so workers may keep pointers across unlock.
@@ -407,6 +468,12 @@ class Server {
   int64_t inference_depth_ = 0;   // kInfer jobs currently queued (all models)
   int64_t inflight_batches_ = 0;  // batches between dequeue and reply
   bool barrier_active_ = false;   // a control job holds the barrier
+  // kControl jobs currently queued. While any control job is queued or
+  // running, admission skips cache lookups and dedup attach entirely, so a
+  // request submitted after a reload/promote was enqueued can never be
+  // answered from (or attached to) pre-swap state — the strict
+  // control-job ordering contract survives the cache.
+  int64_t control_pending_ = 0;
   bool stopped_ = false;
 
   std::atomic<int64_t> submitted_{0};
@@ -415,6 +482,7 @@ class Server {
   std::atomic<int64_t> rejected_unknown_model_{0};
   std::atomic<int64_t> shed_deadline_{0};
   std::atomic<int64_t> served_ok_{0};
+  std::atomic<int64_t> deduped_{0};
   std::atomic<int64_t> invalid_requests_{0};
   std::atomic<int64_t> internal_errors_{0};
   std::atomic<int64_t> reload_attempts_{0};

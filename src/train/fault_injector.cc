@@ -76,6 +76,16 @@ int64_t FaultInjector::slow_load_nanos() const {
   return slow_load_nanos_;
 }
 
+void FaultInjector::set_slow_predict_nanos(int64_t ns) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  slow_predict_nanos_ = ns;
+}
+
+int64_t FaultInjector::slow_predict_nanos() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return slow_predict_nanos_;
+}
+
 void FaultInjector::ScheduleCanaryPredictFailures(int n) {
   std::lock_guard<std::mutex> lock(serve_mu_);
   scheduled_canary_failures_ += n;

@@ -73,6 +73,13 @@ class FaultInjector {
   void set_slow_load_nanos(int64_t ns);
   int64_t slow_load_nanos() const;
 
+  // Every ServeBatch forward additionally stalls for this long BEFORE
+  // calling the session (simulates slow model compute). The dedup tests
+  // lean on this: pin the first identical request in a slow forward, then
+  // prove later twins attach to its in-flight group instead of running.
+  void set_slow_predict_nanos(int64_t ns);
+  int64_t slow_predict_nanos() const;
+
   // Canary-only prediction failures: the server consults this once per
   // element served by a CANARY session and converts a `true` into a
   // kInternal response for that element. Primary-path responses are never
@@ -131,6 +138,7 @@ class FaultInjector {
   double load_failure_probability_ = 0.0;
   int64_t injected_load_failures_ = 0;
   int64_t slow_load_nanos_ = 0;
+  int64_t slow_predict_nanos_ = 0;
   int scheduled_canary_failures_ = 0;
   double canary_failure_probability_ = 0.0;
   int64_t injected_canary_failures_ = 0;

@@ -525,6 +525,118 @@ TEST_F(FleetTest, PromoteInstallsCandidateAndCancelDiscards) {
   server.Stop();
 }
 
+// ----- Cache invalidation races (DESIGN.md §12) -----
+
+TEST_F(FleetTest, ReloadInvalidatesCacheAndGatedRequestServesNewVersion) {
+  // The race this pins: request X is cached at v1 and a reload barrier is
+  // already queued when X is submitted again. Admission must bypass the
+  // cache while any control job is pending, so X queues BEHIND the barrier
+  // and is served by v2 — never the stale v1 entry, never anything torn.
+  const std::string path = WriteCheckpoint(9, "fleet_cache_reload.ckpt");
+  train::FaultInjector injector(7);
+  injector.set_slow_load_nanos(50'000'000);  // hold the barrier open 50 ms
+  ServerOptions options = BaseOptions();
+  options.cache_bytes = 1 << 20;
+  options.num_workers = 1;  // strict FIFO: barrier, then the gated request
+  options.fault_injector = &injector;
+  Server server(MakeSession(3), options);
+
+  // Prime: X cached at v1, replay hits.
+  const InferenceRequest request = ValidRequest();
+  const auto v1 = server.Predict(request);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value().model_version, 1);
+  ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), v1.value()));
+  EXPECT_EQ(server.Health().cache_hits, 1);
+
+  // The race window: the reload control job is enqueued (and its slow load
+  // holds the quiescent barrier) when the hit-eligible X arrives.
+  std::future<Status> reload = server.ReloadFromCheckpoint(path);
+  auto gated = server.Submit(request);
+  ASSERT_TRUE(reload.get().ok());
+  const auto after = gated.get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().model_version, 2);
+  const auto want = MakeSession(9, 2)->Predict(request);
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(BitwiseEqual(after.value(), want.value()));
+
+  const HealthReport health = server.Health();
+  ASSERT_EQ(health.models.size(), 1u);
+  EXPECT_GE(health.models[0].cache.invalidated, 1);  // v1 entry dropped
+  EXPECT_EQ(health.cache_hits, 1);  // the gated X was NOT a hit
+
+  // The gated X bypassed the cache layer entirely, so its v2 answer was
+  // (conservatively) not inserted. The next replay is a clean miss that
+  // refills under v2; the one after replays the new version's bits.
+  ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), want.value()));
+  ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), want.value()));
+  EXPECT_EQ(server.Health().cache_hits, 2);
+  server.Stop();
+}
+
+TEST_F(FleetTest, PromoteInvalidatesCacheAndGatedRequestServesPromotedBits) {
+  // Same race through the canary path: X lives in the PRIMARY slice (so it
+  // is cache-eligible while the canary runs), is cached at v1, and is
+  // re-submitted right as the promote barrier is enqueued. Whether X lands
+  // before the barrier pops (bypass: control pending) or after it finishes
+  // (miss: the clear already ran), it must be served by the promoted v2 —
+  // a stale v1 hit is the bug.
+  const std::string path = WriteCheckpoint(5, "fleet_cache_promote.ckpt");
+  train::FaultInjector injector(7);
+  injector.set_slow_load_nanos(20'000'000);
+  ServerOptions options = BaseOptions();
+  options.cache_bytes = 1 << 20;
+  options.num_workers = 1;
+  options.fault_injector = &injector;
+  Server server(MakeSession(3), options);
+
+  CanaryOptions canary;
+  canary.percent = 25;
+  canary.window = 1'000'000;  // never auto-evaluated here
+  ASSERT_TRUE(server.StartCanary("", path, canary).get().ok());
+
+  size_t primary_index = dataset_.samples.size();
+  for (size_t i = 0; i < dataset_.samples.size(); ++i) {
+    if (!InCanarySlice(RouteHash(RequestFor(dataset_.samples[i])),
+                       canary.percent)) {
+      primary_index = i;
+      break;
+    }
+  }
+  ASSERT_LT(primary_index, dataset_.samples.size());
+  const InferenceRequest request = RequestFor(dataset_.samples[primary_index]);
+
+  const auto v1 = server.Predict(request);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value().model_version, 1);
+  EXPECT_FALSE(v1.value().canary);
+  ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), v1.value()));
+  EXPECT_EQ(server.Health().cache_hits, 1);
+
+  std::future<Status> promoted = server.PromoteCanary("");
+  auto gated = server.Submit(request);
+  ASSERT_TRUE(promoted.get().ok());
+  const auto after = gated.get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().model_version, 2);
+  EXPECT_FALSE(after.value().canary);  // it IS the primary now
+  const auto want = MakeSession(5, 2)->Predict(request);
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(BitwiseEqual(after.value(), want.value()));
+
+  const HealthReport health = server.Health();
+  ASSERT_EQ(health.models.size(), 1u);
+  EXPECT_GE(health.models[0].cache.invalidated, 1);
+  EXPECT_EQ(health.cache_hits, 1);
+
+  // Miss-and-refill under the promoted version, then a hit with v2 bits.
+  ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), want.value()));
+  ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), want.value()));
+  EXPECT_EQ(server.Health().cache_hits, 2);
+  server.Stop();
+}
+
 // ----- Shadow -----
 
 TEST_F(FleetTest, ShadowLeavesPrimaryBitwiseIdenticalAndRecordsDeltas) {

@@ -593,5 +593,165 @@ TEST_F(NetTest, NetFlagsParseStrictly) {
   EXPECT_EQ(with_flags({"--idle-timeout-ms=2.5"}, idle), 5000);
 }
 
+// ----- Health frames (v2+) and the prediction cache over the wire -----
+
+TEST_F(NetTest, HealthFramesRoundTripCacheCountersOverTheWire) {
+  serve::ServerOptions serve_options = QuietOptions();
+  serve_options.cache_bytes = 1 << 20;
+  auto server = MakeServer(std::move(serve_options));
+  SocketServer net(server.get(), NetOptions());
+  ASSERT_TRUE(net.Start().ok());
+
+  // Traffic that exercises the cache: the same request twice — the second
+  // Call is a hit and must still be bitwise identical on the wire.
+  Client client = ConnectedClient(net);
+  const serve::InferenceRequest request = RequestFor(0);
+  WireResponse first, second;
+  ASSERT_TRUE(client.Call(1, 0, request, &first).ok());
+  ASSERT_TRUE(client.Call(2, 0, request, &second).ok());
+  ASSERT_EQ(first.code, WireCode::kOk);
+  ASSERT_EQ(second.code, WireCode::kOk);
+  EXPECT_EQ(std::memcmp(&first.prediction.p_fake, &second.prediction.p_fake,
+                        sizeof(float)),
+            0);
+
+  // The wire-visible health report must mirror the in-process one.
+  WireHealth health;
+  const Status got = client.GetHealth(77, &health);
+  ASSERT_TRUE(got.ok()) << got.ToString();
+  const serve::HealthReport direct = server->Health();
+  EXPECT_TRUE(health.cache_enabled);
+  EXPECT_EQ(health.cache_bytes_limit, 1 << 20);
+  EXPECT_EQ(health.cache_hits, direct.cache_hits);
+  EXPECT_EQ(health.cache_hits, 1);
+  EXPECT_EQ(health.cache_misses, direct.cache_misses);
+  EXPECT_EQ(health.cache_bytes, direct.cache_bytes);
+  EXPECT_GT(health.cache_bytes, 0);
+  EXPECT_EQ(health.served_ok, 2);
+  EXPECT_EQ(health.deduped, direct.deduped);
+  ASSERT_EQ(health.models.size(), 1u);
+  EXPECT_EQ(health.models[0].name, direct.default_model);
+  EXPECT_TRUE(health.models[0].cache_enabled);
+  EXPECT_EQ(health.models[0].hits, 1);
+  EXPECT_EQ(health.models[0].inserted, 1);
+  EXPECT_EQ(health.models[0].entries, 1);
+
+  // A v1-pinned client cannot even encode the frame: rejected locally.
+  Client old_client = ConnectedClient(net);
+  old_client.set_protocol_version(kMinProtocolVersion);
+  WireHealth ignored;
+  EXPECT_EQ(old_client.GetHealth(78, &ignored).code(),
+            StatusCode::kInvalidArgument);
+
+  // A health request carrying a payload is malformed: BAD_FRAME, and the
+  // connection survives to serve the next (valid) health request.
+  std::string bad = EncodeHealthRequestFrame(79);
+  bad[24] = 4;  // payload_len LE at offset 24: claim 4 payload bytes
+  bad.append(4, '\0');
+  ASSERT_TRUE(client.SendBytes(bad).ok());
+  WireResponse rejected;
+  ASSERT_TRUE(client.Receive(&rejected).ok());
+  EXPECT_EQ(rejected.code, WireCode::kBadFrame);
+  WireHealth again;
+  EXPECT_TRUE(client.GetHealth(80, &again).ok());
+
+  const NetStats stats = net.Stats();
+  EXPECT_EQ(stats.health_requests, 2);
+  EXPECT_EQ(stats.bad_frames, 1);
+
+  net.Stop();
+  server->Stop();
+}
+
+// ----- Idle sweep vs slow responses (the satellite-3 regression) -----
+
+TEST_F(NetTest, IdleSweepSparesConnectionAwaitingSlowResponse) {
+  // A forward slower than idle_timeout_ms: when the completion finally
+  // lands it drops inflight to 0, and before the fix the sweep in that
+  // same round read last_activity from the REQUEST's arrival and closed
+  // the connection with the response still unflushed in the outbox. The
+  // completion must count as activity.
+  train::FaultInjector injector(0);
+  injector.set_slow_predict_nanos(400'000'000);  // 400 ms >> idle timeout
+  serve::ServerOptions serve_options = QuietOptions();
+  serve_options.fault_injector = &injector;
+  auto server = MakeServer(std::move(serve_options));
+  SocketServerOptions net_options = NetOptions();
+  net_options.idle_timeout_ms = 150;
+  SocketServer net(server.get(), net_options);
+  ASSERT_TRUE(net.Start().ok());
+
+  Client client = ConnectedClient(net);
+  ASSERT_TRUE(client.Send(1, 0, RequestFor(0)).ok());
+  WireResponse response;
+  const Status received = client.Receive(&response, /*timeout_ms=*/10'000);
+  ASSERT_TRUE(received.ok()) << received.ToString();
+  EXPECT_EQ(response.code, WireCode::kOk);
+  EXPECT_EQ(net.Stats().closed_idle, 0);
+
+  // The sweep itself still works: the now-quiet connection is reaped once
+  // it has been idle past the timeout with nothing in flight.
+  Status closed = Status::Ok();
+  for (int spin = 0; spin < 100; ++spin) {
+    WireResponse ignored;
+    closed = client.Receive(&ignored, /*timeout_ms=*/100);
+    if (closed.code() != StatusCode::kDeadlineExceeded) break;
+  }
+  EXPECT_EQ(closed.code(), StatusCode::kUnavailable) << closed.ToString();
+  EXPECT_EQ(net.Stats().closed_idle, 1);
+
+  net.Stop();
+  server->Stop();
+}
+
+// ----- In-flight dedup across distinct connections -----
+
+TEST_F(NetTest, DedupFansIdenticalFramesToDistinctConnections) {
+  // Two connections submit the SAME content while a third pins the single
+  // worker: one forward must answer both, and each peer receives a frame
+  // carrying bitwise-identical prediction bytes.
+  train::FaultInjector injector(0);
+  injector.set_slow_predict_nanos(250'000'000);
+  serve::ServerOptions serve_options = QuietOptions();
+  serve_options.cache_bytes = 1 << 20;
+  serve_options.max_batch = 1;
+  serve_options.fault_injector = &injector;
+  auto server = MakeServer(std::move(serve_options));
+  SocketServer net(server.get(), NetOptions());
+  ASSERT_TRUE(net.Start().ok());
+
+  Client pin = ConnectedClient(net);
+  ASSERT_TRUE(pin.Send(1, 0, RequestFor(5)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Client a = ConnectedClient(net);
+  Client b = ConnectedClient(net);
+  ASSERT_TRUE(a.Send(2, 0, RequestFor(0)).ok());
+  ASSERT_TRUE(b.Send(3, 0, RequestFor(0)).ok());
+
+  WireResponse pin_response, a_response, b_response;
+  ASSERT_TRUE(pin.Receive(&pin_response, 10'000).ok());
+  ASSERT_TRUE(a.Receive(&a_response, 10'000).ok());
+  ASSERT_TRUE(b.Receive(&b_response, 10'000).ok());
+  ASSERT_EQ(a_response.code, WireCode::kOk) << a_response.message;
+  ASSERT_EQ(b_response.code, WireCode::kOk) << b_response.message;
+  EXPECT_EQ(std::memcmp(&a_response.prediction.p_fake,
+                        &b_response.prediction.p_fake, sizeof(float)),
+            0);
+  EXPECT_EQ(a_response.prediction.model_version,
+            b_response.prediction.model_version);
+
+  // Race-immune accounting: whichever of the pair arrived second was
+  // absorbed — attached to the in-flight group, or served from the cache
+  // the leader had just populated. Never a second forward.
+  const serve::HealthReport health = server->Health();
+  EXPECT_EQ(health.deduped + health.cache_hits, 1);
+  EXPECT_EQ(health.batches_run, 2);  // the pin and the leader
+  EXPECT_EQ(health.served_ok, 3);
+
+  net.Stop();
+  server->Stop();
+}
+
 }  // namespace
 }  // namespace dtdbd::net

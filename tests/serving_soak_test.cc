@@ -287,7 +287,16 @@ TEST_F(ServingSoakTest, ElevenThousandFaultyRequestsAcrossWorkersAndThreads) {
           health.batch_size_histogram[s] * static_cast<int64_t>(s);
     }
     EXPECT_EQ(hist_batches, health.batches_run);
-    EXPECT_EQ(hist_elements, ok + invalid);
+    if (health.cache_enabled) {
+      // Cache hits and dedup fan-outs are answered without riding a
+      // batch. A follower shed at fan-out is counted in both `deduped`
+      // and `shed`, so the element count is bracketed, not pinned.
+      EXPECT_GE(hist_elements,
+                ok + invalid - health.cache_hits - health.deduped);
+      EXPECT_LE(hist_elements, ok + invalid);
+    } else {
+      EXPECT_EQ(hist_elements, ok + invalid);
+    }
     EXPECT_GT(health.batches_run, 0);
     EXPECT_GE(health.avg_batch_size, 1.0);
 
