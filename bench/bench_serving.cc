@@ -26,10 +26,20 @@
 //      (exponent 1.2 over a 64-request hot set) is the repeat-heavy
 //      workload the prediction cache exists for — the JSON records the
 //      per-point hit rate and the zipf on/off goodput ratio.
+//   5. Drift sweep: fresh servers replaying a LABELED drift stream
+//      in-process (Submit + RecordFeedback) at {stationary, shifting} x
+//      {adaptation off, on}. The shifting trace ends in a domain the
+//      served model never trained on; adaptation-on points periodically
+//      fine-tune an OnlineAdapter on the recent labeled window and
+//      hot-reload the published checkpoint. The JSON records the
+//      per-window AUC trajectory of every point — the shifting/adapt-on
+//      trajectory recovering where shifting/adapt-off stays degraded is
+//      the drift story in one table.
 //
 // Flags: --requests=N closed-loop calibration count (default 2000),
 //        --open-requests=N per open-loop load point (default --requests),
 //        --fleet-requests=N per fleet-sweep point (default --requests),
+//        --drift-requests=N per drift-sweep point (default --requests),
 //        --clients=N socket clients (default 8), --deadline-ms (default
 //        200), --queue-depth (default 256), --threads=N,
 //        --serve-workers / --max-batch (strict-parsed; default 4 workers'
@@ -45,6 +55,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -57,6 +69,9 @@
 #include "common/io.h"
 #include "common/thread_pool.h"
 #include "data/generator.h"
+#include "drift/adapt.h"
+#include "drift/drift.h"
+#include "dtdbd/trainer.h"
 #include "models/model.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -64,6 +79,7 @@
 #include "serve/server.h"
 #include "serve/session.h"
 #include "tensor/optim.h"
+#include "tensor/serialize.h"
 #include "text/frozen_encoder.h"
 #include "train/checkpoint.h"
 
@@ -514,6 +530,137 @@ CachePointResult RunCachePoint(const models::ModelConfig& config,
   return result;
 }
 
+// One point of the drift sweep: a fresh server replaying a labeled drift
+// stream in-process (the quality loop is a serve-layer API; the socket
+// carries no labels), sampling the windowed AUC at fixed intervals.
+struct DriftWindowPoint {
+  long long index = 0;
+  double auc = 0.0;
+  bool auc_valid = false;
+};
+
+struct DriftPointResult {
+  std::string trace;
+  bool adapt = false;
+  double final_auc = 0.0;
+  bool final_auc_valid = false;
+  int adaptations = 0;
+  long long errors = 0;
+  std::vector<DriftWindowPoint> windows;
+};
+
+DriftPointResult RunDriftPoint(
+    const data::NewsDataset& corpus, const models::ModelConfig& config,
+    const serve::RequestLimits& limits, const std::string& base_checkpoint,
+    const drift::DriftTraceConfig& trace_config, const std::string& trace_name,
+    bool adapt_on, int total_requests, int serve_workers, int max_batch,
+    int64_t queue_depth, int feedback_ring, int drift_window) {
+  DriftPointResult result;
+  result.trace = trace_name;
+  result.adapt = adapt_on;
+
+  auto factory = [&config] { return models::CreateModel("MDFEND", config); };
+  auto restored = [&]() -> std::unique_ptr<models::FakeNewsModel> {
+    auto model = factory();
+    auto state = train::LoadCheckpoint(base_checkpoint);
+    if (!state.ok()) return nullptr;
+    std::map<std::string, tensor::Tensor> named = model->NamedParameters();
+    if (!tensor::RestoreInto(state.value().model, &named).ok()) return nullptr;
+    return model;
+  }();
+  if (restored == nullptr) {
+    result.errors = total_requests;
+    return result;
+  }
+
+  serve::ServerOptions options;
+  options.num_workers = serve_workers;
+  options.max_batch = max_batch;
+  options.max_queue_depth = queue_depth;
+  options.feedback_ring = feedback_ring;
+  options.drift_window = drift_window;
+  options.model_factory = factory;
+  serve::Server server(std::make_unique<serve::InferenceSession>(
+                           std::move(restored), limits, /*model_version=*/1),
+                       options);
+
+  drift::OnlineAdapterOptions adapter_options;
+  adapter_options.window = 384;
+  adapter_options.min_samples = 128;
+  adapter_options.epochs = 3;
+  adapter_options.batch_size = 16;
+  adapter_options.lr = 1e-3f;
+  adapter_options.seed = 33;
+  adapter_options.checkpoint_dir = ".";
+  drift::OnlineAdapter adapter(factory, &corpus, adapter_options);
+  if (adapt_on && !adapter.WarmStart(base_checkpoint).ok()) {
+    result.errors = total_requests;
+    return result;
+  }
+  const std::string adapted_ckpt =
+      "bench_drift_" + trace_name + (adapt_on ? "_on" : "_off") + ".ckpt";
+
+  auto stream = drift::DriftStream::Create(&corpus, trace_config);
+  if (!stream.ok()) {
+    result.errors = total_requests;
+    return result;
+  }
+
+  const int window =
+      static_cast<int>(std::max<int64_t>(64, total_requests / 8));
+  constexpr int kChunk = 8;
+  for (int index = 0; index < total_requests; index += kChunk) {
+    std::vector<drift::LabeledRequest> chunk;
+    std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+    for (int i = 0; i < kChunk && index + i < total_requests; ++i) {
+      chunk.push_back(stream.value().Next());
+      futures.push_back(server.Submit(chunk.back().request));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      StatusOr<serve::Prediction> prediction = futures[i].get();
+      if (!prediction.ok()) {
+        ++result.errors;
+        continue;
+      }
+      serve::Feedback feedback;
+      feedback.domain = chunk[i].domain;
+      feedback.p_fake = prediction.value().p_fake;
+      feedback.label = chunk[i].label;
+      if (!server.RecordFeedback(feedback).ok()) ++result.errors;
+      adapter.Ingest(chunk[i].request, chunk[i].label);
+    }
+    const int next_index = index + static_cast<int>(futures.size());
+    if (next_index % window == 0 || next_index >= total_requests) {
+      const serve::HealthReport health = server.Health();
+      DriftWindowPoint point;
+      point.index = next_index;
+      point.auc = health.models[0].quality.auc;
+      point.auc_valid = health.models[0].quality.auc_valid;
+      result.windows.push_back(point);
+      // Adaptation policy: once the second half of the stream begins (the
+      // shifted regime), fine-tune on the recent window and hot-reload —
+      // at most twice, so the point measures recovery, not churn.
+      if (adapt_on && next_index >= total_requests / 2 &&
+          result.adaptations < 2 && adapter.size() >= adapter_options.min_samples) {
+        const auto published = adapter.AdaptOnce(adapted_ckpt);
+        if (published.ok() &&
+            server.ReloadFromCheckpoint(published.value()).get().ok()) {
+          ++result.adaptations;
+        } else {
+          ++result.errors;
+        }
+      }
+    }
+  }
+  if (!result.windows.empty()) {
+    result.final_auc = result.windows.back().auc;
+    result.final_auc_valid = result.windows.back().auc_valid;
+  }
+  std::remove(("./" + adapted_ckpt).c_str());
+  server.Stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -522,6 +669,7 @@ int main(int argc, char** argv) {
   const int requests = flags.GetInt("requests", 2000);
   const int open_requests = flags.GetInt("open-requests", requests);
   const int fleet_requests = flags.GetInt("fleet-requests", requests);
+  const int drift_requests = flags.GetInt("drift-requests", requests);
   const int clients = flags.GetInt("clients", 8);
   const int deadline_ms = flags.GetInt("deadline-ms", 200);
   const int64_t queue_depth = flags.GetInt("queue-depth", 256);
@@ -531,6 +679,11 @@ int main(int argc, char** argv) {
   const int max_batch =
       flags.Has("max-batch") ? serve::ResolveMaxBatch(flags) : 4;
   const int64_t cache_bytes = serve::ResolveCacheBytes(flags);
+  // Drift-sweep quality knobs, strict-parsed like every other serving flag
+  // (--feedback-ring / --drift-window, env twins DTDBD_FEEDBACK_RING /
+  // DTDBD_DRIFT_WINDOW).
+  const int feedback_ring = serve::ResolveFeedbackRing(flags);
+  const int drift_window = serve::ResolveDriftWindow(flags);
   // Socket knobs share the strict-parse rule: a typo'd --port must not bind
   // a random port silently — warn and pin the default instead.
   const int port_flag = ResolvePositiveIntFlag(flags, "port", 0, 0);
@@ -735,6 +888,82 @@ int main(int argc, char** argv) {
   std::printf("cache zipf speedup: %.2fx (on %.1f req/s vs off %.1f req/s)\n",
               cache_speedup_zipf, cache_points[3].rps, cache_points[2].rps);
 
+  // Phase 5: drift sweep (fresh server per point). The base model trains
+  // WITHOUT the last domain; the shifting trace floods exactly that domain
+  // in its final third.
+  const int unseen_domain = config.num_domains - 1;
+  const data::NewsDataset drift_train_set =
+      drift::WithoutDomains(dataset, {unseen_domain});
+  const std::string drift_base_ckpt = json_path + ".drift_base.ckpt";
+  {
+    auto model = models::CreateModel(model_name, config);
+    TrainOptions train_options;
+    train_options.epochs = 8;
+    train_options.batch_size = 16;
+    train_options.lr = 1e-3f;
+    train_options.seed = 5;
+    train_options.checkpoint_path = drift_base_ckpt;
+    const TrainResult trained =
+        TrainSupervised(model.get(), drift_train_set, nullptr, train_options);
+    if (!trained.status.ok()) {
+      std::fprintf(stderr, "%s\n", trained.status.ToString().c_str());
+      return 1;
+    }
+  }
+  drift::DriftTraceConfig stationary_trace;
+  stationary_trace.seed = 99;
+  {
+    drift::DriftPhase p0;
+    p0.start_index = 0;
+    p0.domain_weights.assign(static_cast<size_t>(config.num_domains), 1.0);
+    p0.domain_weights.back() = 0.0;
+    stationary_trace.phases = {p0};
+  }
+  drift::DriftTraceConfig shifting_trace;
+  shifting_trace.seed = 99;
+  {
+    drift::DriftPhase p0 = stationary_trace.phases[0];
+    drift::DriftPhase p1 = p0;
+    p1.start_index = drift_requests / 3;
+    p1.domain_weights[0] = 0.3;
+    p1.fake_ratio.assign(static_cast<size_t>(config.num_domains), -1.0);
+    p1.fake_ratio[1] = 0.85;
+    drift::DriftPhase p2 = p0;
+    p2.start_index = 2 * drift_requests / 3;
+    p2.domain_weights.assign(static_cast<size_t>(config.num_domains), 0.2);
+    p2.domain_weights.back() = 1.0;
+    shifting_trace.phases = {p0, p1, p2};
+  }
+  std::vector<DriftPointResult> drift_points;
+  struct DriftSpec {
+    const char* name;
+    const drift::DriftTraceConfig* trace;
+  };
+  const DriftSpec drift_specs[] = {{"stationary", &stationary_trace},
+                                   {"shifting", &shifting_trace}};
+  for (const DriftSpec& spec : drift_specs) {
+    for (const bool adapt_on : {false, true}) {
+      DriftPointResult point = RunDriftPoint(
+          dataset, config, limits, drift_base_ckpt, *spec.trace, spec.name,
+          adapt_on, drift_requests, serve_workers, max_batch, queue_depth,
+          feedback_ring, drift_window);
+      if (point.errors > 0) {
+        std::fprintf(stderr, "drift sweep (%s, adapt=%d): %lld errors\n",
+                     spec.name, adapt_on ? 1 : 0, point.errors);
+        std::remove(drift_base_ckpt.c_str());
+        return 1;
+      }
+      std::printf(
+          "drift %-10s adapt=%-3s final windowed AUC %.4f%s  "
+          "(%d adaptation%s, %zu windows)\n",
+          point.trace.c_str(), point.adapt ? "on" : "off", point.final_auc,
+          point.final_auc_valid ? "" : " (invalid)", point.adaptations,
+          point.adaptations == 1 ? "" : "s", point.windows.size());
+      drift_points.push_back(std::move(point));
+    }
+  }
+  std::remove(drift_base_ckpt.c_str());
+
   char line[1024];
   std::string json = "{\n";
   json += "  \"bench\": \"serving_socket_load\",\n";
@@ -794,6 +1023,29 @@ int main(int argc, char** argv) {
         p.hit_rate, p.cache_hits, p.deduped,
         i + 1 < cache_points.size() ? "," : "");
     json += line;
+  }
+  json += "  ],\n";
+  json += "  \"drift_sweep\": [\n";
+  for (size_t i = 0; i < drift_points.size(); ++i) {
+    const DriftPointResult& p = drift_points[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"trace\": \"%s\", \"adapt\": %s, \"requests\": %d, "
+                  "\"adaptations\": %d, \"final_auc\": %.4f, "
+                  "\"final_auc_valid\": %s, \"windows\": [",
+                  p.trace.c_str(), p.adapt ? "true" : "false", drift_requests,
+                  p.adaptations, p.final_auc,
+                  p.final_auc_valid ? "true" : "false");
+    json += line;
+    for (size_t w = 0; w < p.windows.size(); ++w) {
+      std::snprintf(line, sizeof(line),
+                    "{\"index\": %lld, \"auc\": %.4f, \"valid\": %s}%s",
+                    p.windows[w].index, p.windows[w].auc,
+                    p.windows[w].auc_valid ? "true" : "false",
+                    w + 1 < p.windows.size() ? ", " : "");
+      json += line;
+    }
+    json += "]}";
+    json += i + 1 < drift_points.size() ? ",\n" : "\n";
   }
   json += "  ],\n";
   std::snprintf(line, sizeof(line), "  \"cache_speedup_zipf\": %.4f,\n",

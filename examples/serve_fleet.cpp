@@ -13,9 +13,14 @@
 //  5. Prediction cache + dedup: replay a hot request and read the
 //     cache/dedup counters over the wire with a v2 health frame (a v1
 //     client cannot even encode one).
+//  6. Labeled feedback + windowed quality: close the loop on served
+//     traffic with Server::RecordFeedback and read the drift-health
+//     fields (feedback counters, windowed AUC, degraded-quality flag)
+//     from the same v2 frame.
 //
 // Build & run:  ./build/examples/serve_fleet [--requests 200] [--percent 25]
-//               [--cache-bytes 1048576]
+//               [--cache-bytes 1048576] [--feedback-ring 1024]
+//               [--drift-window 256] [--quality-slack 5]
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -126,6 +131,10 @@ int main(int argc, char** argv) {
   options.cache_bytes = flags.Has("cache-bytes")
                             ? serve::ResolveCacheBytes(flags)
                             : (1 << 20);
+  // Quality-monitor knobs (DESIGN.md §13), strict-parsed with env twins
+  // DTDBD_FEEDBACK_RING / DTDBD_DRIFT_WINDOW.
+  options.feedback_ring = serve::ResolveFeedbackRing(flags);
+  options.drift_window = serve::ResolveDriftWindow(flags);
   options.model_factory = [config] {
     return models::CreateModel("MDFEND", config);
   };
@@ -192,6 +201,11 @@ int main(int argc, char** argv) {
   serve::CanaryOptions canary;
   canary.percent = percent;
   canary.window = 32;
+  // --quality-slack (DTDBD_QUALITY_SLACK) feeds the canary AUC gate; the
+  // gate itself only arms once quality_window > 0 AND labeled feedback
+  // flows for the canary slice (step 6 feeds the primary only).
+  canary.max_auc_regression =
+      serve::ResolveQualitySlackPercent(flags) / 100.0;
   if (Status s = server.StartCanary("", canary_ckpt, canary).get(); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -255,6 +269,46 @@ int main(int argc, char** argv) {
     const Status rejected = v1.GetHealth(++id, &ignored);
     std::printf("v1 client asking for health -> %s (health frames are v2+)\n",
                 rejected.ToString().c_str());
+  }
+
+  // 6. Close the quality loop: serve labeled traffic, feed the outcomes
+  //    back, and read the windowed drift health over the wire.
+  for (int i = 0; i < num_requests; ++i) {
+    const data::NewsSample& sample =
+        dataset.samples[static_cast<size_t>(i) % dataset.samples.size()];
+    net::WireResponse response;
+    if (!v2.Call(++id, 0, request_for(static_cast<size_t>(i), ""), &response)
+             .ok() ||
+        response.code != net::WireCode::kOk) {
+      continue;
+    }
+    serve::Feedback feedback;
+    feedback.domain = sample.domain;
+    feedback.p_fake = response.prediction.p_fake;
+    feedback.label = sample.label;
+    (void)server.RecordFeedback(feedback);
+  }
+  net::WireHealth quality_health;
+  if (Status s = v2.GetHealth(++id, &quality_health); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwire quality health: feedback_recorded=%lld degraded=%s\n",
+              static_cast<long long>(quality_health.feedback_recorded),
+              quality_health.quality_degraded ? "yes" : "no");
+  for (const net::WireModelHealth& m : quality_health.models) {
+    std::printf("    %-14s feedback=%-5lld window=%-4lld auc=",
+                m.name.c_str(), static_cast<long long>(m.feedback_total),
+                static_cast<long long>(m.quality_window_samples));
+    if (m.quality_auc_valid) {
+      std::printf("%.4f", m.quality_auc);
+    } else {
+      std::printf("n/a");
+    }
+    if (m.bias_spread_valid) {
+      std::printf("  bias_spread=%.4f", m.bias_spread);
+    }
+    std::printf("%s\n", m.quality_degraded ? "  QUALITY-DEGRADED" : "");
   }
 
   v1.Close();

@@ -1,0 +1,93 @@
+#include "drift/adapt.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dtdbd/trainer.h"
+#include "tensor/optim.h"
+#include "tensor/serialize.h"
+#include "train/checkpoint.h"
+
+namespace dtdbd::drift {
+
+OnlineAdapter::OnlineAdapter(
+    std::function<std::unique_ptr<models::FakeNewsModel>()> factory,
+    const data::NewsDataset* reference, OnlineAdapterOptions options)
+    : reference_(reference),
+      options_(std::move(options)),
+      model_(factory()) {
+  ring_.resize(static_cast<size_t>(std::max<int64_t>(1, options_.window)));
+}
+
+Status OnlineAdapter::WarmStart(const std::string& checkpoint_path) {
+  DTDBD_ASSIGN_OR_RETURN(train::CheckpointState state,
+                         train::LoadCheckpoint(checkpoint_path));
+  std::map<std::string, tensor::Tensor> named = model_->NamedParameters();
+  return tensor::RestoreInto(state.model, &named);
+}
+
+void OnlineAdapter::Ingest(const serve::InferenceRequest& request,
+                           int label) {
+  data::NewsSample sample;
+  sample.tokens = request.tokens;
+  sample.tokens.resize(static_cast<size_t>(reference_->seq_len),
+                       reference_->vocab->pad_id());
+  sample.domain = request.domain;
+  sample.label = label;
+  sample.style = request.style;
+  sample.emotion = request.emotion;
+  ring_[static_cast<size_t>(next_)] = std::move(sample);
+  next_ = (next_ + 1) % static_cast<int64_t>(ring_.size());
+  if (count_ < static_cast<int64_t>(ring_.size())) ++count_;
+}
+
+StatusOr<std::string> OnlineAdapter::AdaptOnce(const std::string& filename) {
+  if (count_ < options_.min_samples) {
+    return Status::FailedPrecondition(
+        "adaptation window holds " + std::to_string(count_) +
+        " samples, need at least " + std::to_string(options_.min_samples));
+  }
+  data::NewsDataset window;
+  window.vocab = reference_->vocab;
+  window.domain_names = reference_->domain_names;
+  window.seq_len = reference_->seq_len;
+  window.samples.reserve(static_cast<size_t>(count_));
+  const int64_t capacity = static_cast<int64_t>(ring_.size());
+  // Oldest-first so the loader's shuffle seed is the only order authority.
+  for (int64_t i = count_; i > 0; --i) {
+    const int64_t slot = ((next_ - i) % capacity + capacity) % capacity;
+    window.samples.push_back(ring_[static_cast<size_t>(slot)]);
+  }
+
+  TrainOptions train_options;
+  train_options.epochs = options_.epochs;
+  train_options.batch_size = options_.batch_size;
+  train_options.lr = options_.lr;
+  // Vary the shuffle stream per generation, deterministically.
+  train_options.seed = options_.seed + static_cast<uint64_t>(adaptations_);
+  const TrainResult result =
+      TrainSupervised(model_.get(), window, nullptr, train_options);
+  if (!result.status.ok()) return result.status;
+  ++adaptations_;
+
+  // Publish through the standard atomic checkpoint path. The optimizer and
+  // loader in the capture are placeholders — a servable checkpoint only
+  // needs the parameter map (Server::LoadSessionFor reads nothing else).
+  std::vector<tensor::Tensor> trainable;
+  for (auto& p : model_->Parameters()) {
+    if (p.requires_grad()) trainable.push_back(p);
+  }
+  tensor::Adam adam(trainable, options_.lr, 0.9f, 0.999f, 1e-8f, 0.0f);
+  data::DataLoader loader(&window, options_.batch_size, /*shuffle=*/false, 0);
+  std::vector<Rng*> rngs;
+  model_->CollectRngs(&rngs);
+  const train::CheckpointState state = train::CaptureState(
+      "supervised", adaptations_, model_->NamedParameters(), adam, rngs,
+      loader);
+  const std::string path = options_.checkpoint_dir + "/" + filename;
+  DTDBD_RETURN_IF_ERROR(train::SaveCheckpoint(state, path));
+  return path;
+}
+
+}  // namespace dtdbd::drift

@@ -1,0 +1,88 @@
+// Online adaptation: periodic fine-tuning on recent labeled feedback.
+//
+// The serving side of the drift loop (QualityMonitor, quality-aware canary
+// gates) only DETECTS drift; this is the half that reacts to it. An
+// OnlineAdapter owns a persistent training replica of the served model,
+// ingests the labeled feedback stream into a bounded window, and on demand
+// fine-tunes the replica on that window and publishes the result as a
+// servable checkpoint through the same atomic-write path training uses —
+// so the server picks it up via its existing hot-reload or canary
+// machinery, zero new deployment surface.
+//
+// The adapter deliberately lives OUTSIDE src/serve/: the server knows
+// nothing about training, the adapter knows nothing about queues or
+// barriers; the only coupling is a checkpoint file path. Determinism: with
+// a fixed seed, the same ingest sequence produces bitwise-identical
+// checkpoints at any thread count (TrainSupervised's contract).
+#ifndef DTDBD_DRIFT_ADAPT_H_
+#define DTDBD_DRIFT_ADAPT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "models/model.h"
+#include "serve/validation.h"
+
+namespace dtdbd::drift {
+
+struct OnlineAdapterOptions {
+  // Sliding window of most-recent labeled feedbacks the fine-tune sees.
+  int64_t window = 512;
+  // AdaptOnce refuses (kFailedPrecondition) below this many observations —
+  // fine-tuning on a handful of samples destroys more than it fixes.
+  int64_t min_samples = 64;
+  int epochs = 2;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  uint64_t seed = 77;
+  // Directory checkpoints are published into (must exist).
+  std::string checkpoint_dir;
+};
+
+class OnlineAdapter {
+ public:
+  // `factory` builds the training replica (same config as the served
+  // model); `reference` supplies vocab / domain names / seq_len for the
+  // window datasets and must outlive the adapter.
+  OnlineAdapter(std::function<std::unique_ptr<models::FakeNewsModel>()>
+                    factory,
+                const data::NewsDataset* reference,
+                OnlineAdapterOptions options);
+
+  // Loads a servable checkpoint's parameters into the replica, so
+  // adaptation fine-tunes the DEPLOYED weights instead of a fresh init.
+  Status WarmStart(const std::string& checkpoint_path);
+
+  // Appends one labeled observation to the window (oldest evicted once
+  // `window` is full). Tokens are padded/truncated to the reference
+  // seq_len; the request is assumed already served, hence valid.
+  void Ingest(const serve::InferenceRequest& request, int label);
+
+  // Fine-tunes the replica on the current window and atomically publishes
+  // `<checkpoint_dir>/<filename>`; returns the full path. Typed failures:
+  // kFailedPrecondition under min_samples, the training status if the run
+  // diverges, the save status if the write fails.
+  StatusOr<std::string> AdaptOnce(const std::string& filename);
+
+  int64_t size() const { return count_; }
+  int64_t adaptations() const { return adaptations_; }
+  models::FakeNewsModel* model() { return model_.get(); }
+
+ private:
+  const data::NewsDataset* reference_;
+  OnlineAdapterOptions options_;
+  std::unique_ptr<models::FakeNewsModel> model_;
+  // Ring of window-normalized samples (same shape as the training corpus).
+  std::vector<data::NewsSample> ring_;
+  int64_t next_ = 0;
+  int64_t count_ = 0;
+  int64_t adaptations_ = 0;
+};
+
+}  // namespace dtdbd::drift
+
+#endif  // DTDBD_DRIFT_ADAPT_H_

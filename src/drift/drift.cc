@@ -1,0 +1,180 @@
+#include "drift/drift.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace dtdbd::drift {
+
+namespace {
+
+// Ratio the phase actually uses for `domain`: an explicit in-range entry,
+// or the corpus marginal when the vector is empty / the entry is negative.
+double EffectiveRatio(const DriftPhase& phase, int domain,
+                      const std::vector<double>& marginals) {
+  if (phase.fake_ratio.empty()) return marginals[domain];
+  const double r = phase.fake_ratio[domain];
+  return r < 0.0 ? marginals[domain] : r;
+}
+
+}  // namespace
+
+DriftStream::DriftStream(const data::NewsDataset* dataset,
+                         DriftTraceConfig config)
+    : dataset_(dataset), config_(std::move(config)), rng_(config_.seed) {
+  const int num_domains = dataset_->num_domains();
+  pools_.assign(num_domains, {std::vector<int64_t>(), std::vector<int64_t>()});
+  marginals_.assign(num_domains, 0.0);
+  for (int64_t i = 0; i < dataset_->size(); ++i) {
+    const data::NewsSample& s = dataset_->samples[static_cast<size_t>(i)];
+    pools_[s.domain][s.label == data::kFake ? 1 : 0].push_back(i);
+  }
+  for (int d = 0; d < num_domains; ++d) {
+    const int64_t real = static_cast<int64_t>(pools_[d][0].size());
+    const int64_t fake = static_cast<int64_t>(pools_[d][1].size());
+    if (real + fake > 0) {
+      marginals_[d] =
+          static_cast<double>(fake) / static_cast<double>(real + fake);
+    }
+  }
+}
+
+StatusOr<DriftStream> DriftStream::Create(const data::NewsDataset* dataset,
+                                          DriftTraceConfig config) {
+  if (dataset == nullptr || dataset->size() == 0) {
+    return Status::InvalidArgument(
+        "drift stream requires a non-empty corpus");
+  }
+  if (config.phases.empty()) {
+    return Status::InvalidArgument("drift trace needs at least one phase");
+  }
+  const int num_domains = dataset->num_domains();
+  for (size_t p = 0; p < config.phases.size(); ++p) {
+    const DriftPhase& phase = config.phases[p];
+    const std::string where = "phase " + std::to_string(p);
+    if (p == 0 && phase.start_index != 0) {
+      return Status::InvalidArgument(
+          "phase 0 must start at index 0, got " +
+          std::to_string(phase.start_index));
+    }
+    if (p > 0 && phase.start_index <= config.phases[p - 1].start_index) {
+      return Status::InvalidArgument(
+          where + " start_index " + std::to_string(phase.start_index) +
+          " must exceed the previous phase's " +
+          std::to_string(config.phases[p - 1].start_index));
+    }
+    if (static_cast<int>(phase.domain_weights.size()) != num_domains) {
+      return Status::InvalidArgument(
+          where + " has " + std::to_string(phase.domain_weights.size()) +
+          " domain weights for a " + std::to_string(num_domains) +
+          "-domain corpus");
+    }
+    double weight_sum = 0.0;
+    for (int d = 0; d < num_domains; ++d) {
+      if (phase.domain_weights[d] < 0.0) {
+        return Status::InvalidArgument(where + " domain " +
+                                       std::to_string(d) +
+                                       " has a negative weight");
+      }
+      weight_sum += phase.domain_weights[d];
+    }
+    if (weight_sum <= 0.0) {
+      return Status::InvalidArgument(where +
+                                     " has no positive domain weight");
+    }
+    if (!phase.fake_ratio.empty() &&
+        static_cast<int>(phase.fake_ratio.size()) != num_domains) {
+      return Status::InvalidArgument(
+          where + " has " + std::to_string(phase.fake_ratio.size()) +
+          " fake ratios for a " + std::to_string(num_domains) +
+          "-domain corpus (empty = all marginal)");
+    }
+    for (size_t d = 0; d < phase.fake_ratio.size(); ++d) {
+      if (phase.fake_ratio[d] > 1.0) {
+        return Status::InvalidArgument(
+            where + " domain " + std::to_string(d) + " fake ratio " +
+            std::to_string(phase.fake_ratio[d]) +
+            " must be in [0, 1] (negative = corpus marginal)");
+      }
+    }
+  }
+
+  DriftStream stream(dataset, std::move(config));
+  // Reachability check needs the pools the constructor just built: every
+  // (domain, label) cell a phase can draw must be backed by >= 1 sample.
+  for (size_t p = 0; p < stream.config_.phases.size(); ++p) {
+    const DriftPhase& phase = stream.config_.phases[p];
+    for (int d = 0; d < num_domains; ++d) {
+      if (phase.domain_weights[d] <= 0.0) continue;
+      const int64_t real = static_cast<int64_t>(stream.pools_[d][0].size());
+      const int64_t fake = static_cast<int64_t>(stream.pools_[d][1].size());
+      if (real + fake == 0) {
+        return Status::InvalidArgument(
+            "phase " + std::to_string(p) + " weights domain " +
+            std::to_string(d) + " but the corpus has no samples for it");
+      }
+      const double ratio = EffectiveRatio(phase, d, stream.marginals_);
+      if (ratio > 0.0 && fake == 0) {
+        return Status::InvalidArgument(
+            "phase " + std::to_string(p) + " asks for fake samples in " +
+            "domain " + std::to_string(d) + " but the corpus has none");
+      }
+      if (ratio < 1.0 && real == 0) {
+        return Status::InvalidArgument(
+            "phase " + std::to_string(p) + " asks for real samples in " +
+            "domain " + std::to_string(d) + " but the corpus has none");
+      }
+    }
+  }
+  return stream;
+}
+
+LabeledRequest DriftStream::Next() {
+  while (phase_ + 1 < num_phases() &&
+         config_.phases[static_cast<size_t>(phase_ + 1)].start_index <=
+             index_) {
+    ++phase_;
+  }
+  const DriftPhase& phase = config_.phases[static_cast<size_t>(phase_)];
+  const int domain = rng_.Categorical(phase.domain_weights);
+  const double ratio = EffectiveRatio(phase, domain, marginals_);
+  // The Bernoulli draw happens unconditionally so the stream position in
+  // the RNG sequence is independent of which ratios are degenerate.
+  const int label = rng_.Bernoulli(ratio) ? data::kFake : data::kReal;
+  const std::vector<int64_t>& pool =
+      pools_[domain][label == data::kFake ? 1 : 0];
+  const int64_t pick =
+      pool[static_cast<size_t>(rng_.UniformInt(
+          static_cast<int64_t>(pool.size())))];
+  const data::NewsSample& sample =
+      dataset_->samples[static_cast<size_t>(pick)];
+
+  LabeledRequest out;
+  out.request.tokens = sample.tokens;
+  out.request.domain = sample.domain;
+  out.request.style = sample.style;
+  out.request.emotion = sample.emotion;
+  out.label = sample.label;
+  out.domain = sample.domain;
+  out.index = index_;
+  out.phase = phase_;
+  ++index_;
+  return out;
+}
+
+data::NewsDataset WithoutDomains(const data::NewsDataset& dataset,
+                                 const std::vector<int>& excluded) {
+  data::NewsDataset filtered;
+  filtered.vocab = dataset.vocab;
+  filtered.domain_names = dataset.domain_names;
+  filtered.seq_len = dataset.seq_len;
+  for (const data::NewsSample& sample : dataset.samples) {
+    if (std::find(excluded.begin(), excluded.end(), sample.domain) ==
+        excluded.end()) {
+      filtered.samples.push_back(sample);
+    }
+  }
+  return filtered;
+}
+
+}  // namespace dtdbd::drift

@@ -1,0 +1,105 @@
+// Streaming domain-shift workload generation.
+//
+// Production fake-news traffic is non-stationary: the domain mix moves with
+// the news cycle, the fake ratio inside a domain drifts as campaigns start
+// and stop, and domains the model never trained on appear mid-stream. A
+// DriftStream turns a labeled corpus into exactly such a request stream: a
+// schedule of phases over virtual time (the request index), each phase
+// fixing a domain mixture and per-domain fake ratios, with phase changes
+// taking effect at scheduled indices. "Unseen" domains are modeled by
+// training the served model on a domain-filtered corpus (WithoutDomains)
+// while the stream draws from the full one — the requests stay valid
+// against the deployed limits (the domain id exists in the vocabulary of
+// domains), the model has simply never seen a single example.
+//
+// Everything is driven by one seeded Rng, so a (corpus, config) pair yields
+// a bit-identical stream on every run and platform — the property the drift
+// soak and bench legs pin their assertions on. The emitted LabeledRequest
+// carries the ground-truth label alongside the wire-ready request, so one
+// stream drives both the serving path (Submit or the socket client) and
+// the labeled-feedback path (Server::RecordFeedback).
+#ifndef DTDBD_DRIFT_DRIFT_H_
+#define DTDBD_DRIFT_DRIFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "serve/validation.h"
+
+namespace dtdbd::drift {
+
+// One stationary segment of the trace. `domain_weights` (size == corpus
+// num_domains) is the unnormalized mixture requests are drawn from;
+// `fake_ratio` is per-domain P(label == fake): empty = every domain uses
+// its corpus marginal, a negative entry = that domain uses its marginal,
+// otherwise the entry must lie in [0, 1].
+struct DriftPhase {
+  int64_t start_index = 0;  // first request index this phase governs
+  std::vector<double> domain_weights;
+  std::vector<double> fake_ratio;
+};
+
+struct DriftTraceConfig {
+  std::vector<DriftPhase> phases;
+  uint64_t seed = 0;
+};
+
+// A request plus the ground truth the serving path must never see but the
+// feedback path needs: the label, the drawn domain, and where in the trace
+// it sits (for per-phase / per-window bookkeeping by the driver).
+struct LabeledRequest {
+  serve::InferenceRequest request;
+  int label = data::kReal;
+  int domain = 0;
+  int64_t index = 0;
+  int phase = 0;
+};
+
+// Deterministic phase-scheduled request stream over a labeled corpus.
+class DriftStream {
+ public:
+  // Validates the schedule against the corpus and fails with a typed
+  // kInvalidArgument naming the offending phase/field: phases must be
+  // non-empty, start at index 0, and strictly increase; weights must match
+  // the corpus domain count, be non-negative, and sum positive; explicit
+  // fake ratios must lie in [0, 1]; and every (domain, label) cell a phase
+  // can draw (weight > 0 and ratio reaches the label) must have at least
+  // one corpus sample backing it. `dataset` must outlive the stream.
+  static StatusOr<DriftStream> Create(const data::NewsDataset* dataset,
+                                      DriftTraceConfig config);
+
+  // Draws the next request. The stream is infinite: the phase schedule is
+  // consulted by index, the last phase governs forever.
+  LabeledRequest Next();
+
+  int64_t index() const { return index_; }
+  int current_phase() const { return phase_; }
+  int num_phases() const { return static_cast<int>(config_.phases.size()); }
+
+ private:
+  DriftStream(const data::NewsDataset* dataset, DriftTraceConfig config);
+
+  const data::NewsDataset* dataset_;
+  DriftTraceConfig config_;
+  Rng rng_;
+  int64_t index_ = 0;
+  int phase_ = 0;
+  // pools_[domain][label] -> sample indices; marginals_[domain] = corpus
+  // P(fake | domain), the ratio used when a phase defers to the marginal.
+  std::vector<std::vector<std::vector<int64_t>>> pools_;
+  std::vector<double> marginals_;
+};
+
+// A copy of `dataset` with every sample of the listed domains removed but
+// `domain_names` (and therefore num_domains and the serving RequestLimits)
+// intact — the "unseen domain" construction: the id stays valid, the
+// training set simply never contained it.
+data::NewsDataset WithoutDomains(const data::NewsDataset& dataset,
+                                 const std::vector<int>& excluded);
+
+}  // namespace dtdbd::drift
+
+#endif  // DTDBD_DRIFT_DRIFT_H_

@@ -31,6 +31,11 @@ void StoreF32(uint8_t* p, float v) {
   std::memcpy(&bits, &v, sizeof(bits));
   StoreU32(p, bits);
 }
+void StoreF64(uint8_t* p, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  StoreU64(p, bits);
+}
 
 uint16_t LoadU16(const uint8_t* p) {
   return static_cast<uint16_t>(p[0] | (p[1] << 8));
@@ -49,6 +54,12 @@ int64_t LoadI64(const uint8_t* p) { return static_cast<int64_t>(LoadU64(p)); }
 float LoadF32(const uint8_t* p) {
   const uint32_t bits = LoadU32(p);
   float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+double LoadF64(const uint8_t* p) {
+  const uint64_t bits = LoadU64(p);
+  double v = 0.0;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
 }
@@ -350,10 +361,14 @@ std::string EncodeHealthRequestFrame(uint64_t request_id, uint16_t version) {
 
 namespace {
 
-// Fixed top-level section of the health payload, before the models array.
-constexpr size_t kHealthFixedBytes = 8 + 8 * 8;
-// Fixed per-model section, after the variable-length name.
-constexpr size_t kHealthPerModelFixedBytes = 2 + 2 + 8 * 8;
+// Fixed top-level section of the health payload, before the models array:
+// 8 flag/count bytes + 9 i64 counters.
+constexpr size_t kHealthFixedBytes = 8 + 9 * 8;
+// Fixed per-model section, after the variable-length name: name_len + 2
+// flag bytes + 8 cache i64s + 2 quality i64s + 2 quality f64s.
+constexpr size_t kHealthPerModelFixedBytes = 2 + 2 + 8 * 8 + 2 * 8 + 2 * 8;
+// Flag/metric section of one model record, excluding the u16 name_len.
+constexpr size_t kHealthPerModelTailBytes = kHealthPerModelFixedBytes - 2;
 
 }  // namespace
 
@@ -380,13 +395,15 @@ std::string EncodeHealthResponseFrame(uint64_t request_id,
   uint8_t word[8];
   word[0] = health.cache_enabled ? 1 : 0;
   word[1] = health.degraded ? 1 : 0;
-  StoreU16(word + 2, 0);
+  word[2] = health.quality_degraded ? 1 : 0;
+  word[3] = 0;
   StoreU32(word + 4, static_cast<uint32_t>(health.models.size()));
   AppendBytes(&frame, word, 8);
-  const int64_t top[8] = {health.cache_bytes_limit, health.cache_hits,
+  const int64_t top[9] = {health.cache_bytes_limit, health.cache_hits,
                           health.cache_misses,      health.cache_evicted,
                           health.cache_bytes,       health.deduped,
-                          health.served_ok,         health.queue_depth};
+                          health.served_ok,         health.queue_depth,
+                          health.feedback_recorded};
   for (const int64_t v : top) {
     StoreI64(word, v);
     AppendBytes(&frame, word, 8);
@@ -397,15 +414,22 @@ std::string EncodeHealthResponseFrame(uint64_t request_id,
     AppendBytes(&frame, word, 2);
     frame.append(m.name.data(), name_len);
     word[0] = m.cache_enabled ? 1 : 0;
-    word[1] = 0;
+    word[1] = static_cast<uint8_t>((m.quality_degraded ? 1 : 0) |
+                                   (m.quality_auc_valid ? 2 : 0) |
+                                   (m.bias_spread_valid ? 4 : 0));
     AppendBytes(&frame, word, 2);
-    const int64_t fields[8] = {m.hits,        m.misses, m.inserted,
-                               m.evicted,     m.invalidated,
-                               m.bytes,       m.entries, m.deduped};
+    const int64_t fields[10] = {m.hits,        m.misses,  m.inserted,
+                                m.evicted,     m.invalidated,
+                                m.bytes,       m.entries, m.deduped,
+                                m.feedback_total, m.quality_window_samples};
     for (const int64_t v : fields) {
       StoreI64(word, v);
       AppendBytes(&frame, word, 8);
     }
+    StoreF64(word, m.quality_auc);
+    AppendBytes(&frame, word, 8);
+    StoreF64(word, m.bias_spread);
+    AppendBytes(&frame, word, 8);
   }
   return frame;
 }
@@ -417,6 +441,7 @@ Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
   }
   health->cache_enabled = data[0] != 0;
   health->degraded = data[1] != 0;
+  health->quality_degraded = data[2] != 0;
   const uint64_t num_models = LoadU32(data + 4);
   const uint8_t* p = data + 8;
   health->cache_bytes_limit = LoadI64(p + 0);
@@ -427,7 +452,8 @@ Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
   health->deduped = LoadI64(p + 40);
   health->served_ok = LoadI64(p + 48);
   health->queue_depth = LoadI64(p + 56);
-  p += 64;
+  health->feedback_recorded = LoadI64(p + 64);
+  p += 72;
   health->models.clear();
   health->models.reserve(num_models);
   const uint8_t* end = data + len;
@@ -438,7 +464,7 @@ Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
     }
     const uint64_t name_len = LoadU16(p);
     p += 2;
-    if (p + name_len + 2 + 64 > end) {
+    if (p + name_len + kHealthPerModelTailBytes > end) {
       return Status::InvalidArgument(
           "health payload truncated inside a model record");
     }
@@ -446,6 +472,9 @@ Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
     m.name.assign(reinterpret_cast<const char*>(p), name_len);
     p += name_len;
     m.cache_enabled = p[0] != 0;
+    m.quality_degraded = (p[1] & 1) != 0;
+    m.quality_auc_valid = (p[1] & 2) != 0;
+    m.bias_spread_valid = (p[1] & 4) != 0;
     p += 2;
     m.hits = LoadI64(p + 0);
     m.misses = LoadI64(p + 8);
@@ -455,7 +484,11 @@ Status DecodeHealthResponsePayload(const uint8_t* data, size_t len,
     m.bytes = LoadI64(p + 40);
     m.entries = LoadI64(p + 48);
     m.deduped = LoadI64(p + 56);
-    p += 64;
+    m.feedback_total = LoadI64(p + 64);
+    m.quality_window_samples = LoadI64(p + 72);
+    m.quality_auc = LoadF64(p + 80);
+    m.bias_spread = LoadF64(p + 88);
+    p += 96;
     health->models.push_back(std::move(m));
   }
   if (p != end) {

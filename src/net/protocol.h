@@ -121,18 +121,24 @@ struct WireResponse {
 };
 
 // Wire-visible health snapshot (type kHealthResponse, v2+). A deliberate
-// SUBSET of serve::HealthReport — the serving + prediction-cache counters
-// an external probe needs to judge cache efficacy, not the full report.
+// SUBSET of serve::HealthReport — the serving, prediction-cache, and
+// windowed-quality counters an external probe needs to judge cache
+// efficacy and drift health, not the full report.
 //
 // Payload layout:
-//   u8 cache_enabled, u8 degraded, u16 reserved (0), u32 num_models,
+//   u8 cache_enabled, u8 degraded, u8 quality_degraded, u8 reserved (0),
+//   u32 num_models,
 //   i64 cache_bytes_limit, i64 cache_hits, i64 cache_misses,
 //   i64 cache_evicted, i64 cache_bytes, i64 deduped,
-//   i64 served_ok, i64 queue_depth,
+//   i64 served_ok, i64 queue_depth, i64 feedback_recorded,
 //   then num_models repetitions of:
-//     u16 name_len, char name[name_len], u8 cache_enabled, u8 reserved (0),
+//     u16 name_len, char name[name_len], u8 cache_enabled,
+//     u8 quality_flags (bit0 quality_degraded, bit1 auc_valid,
+//                       bit2 bias_spread_valid),
 //     i64 hits, i64 misses, i64 inserted, i64 evicted, i64 invalidated,
-//     i64 bytes, i64 entries, i64 deduped
+//     i64 bytes, i64 entries, i64 deduped,
+//     i64 feedback_total, i64 quality_window_samples,
+//     f64 quality_auc, f64 bias_spread
 struct WireModelHealth {
   std::string name;
   bool cache_enabled = false;
@@ -144,11 +150,22 @@ struct WireModelHealth {
   int64_t bytes = 0;
   int64_t entries = 0;
   int64_t deduped = 0;
+  // Windowed-quality slice (serve::QualityHealth on the wire). The AUC and
+  // bias spread are meaningful only when their validity bit is set — a
+  // degenerate window ships 0.0 with the bit clear, never a fake metric.
+  bool quality_degraded = false;
+  bool quality_auc_valid = false;
+  bool bias_spread_valid = false;
+  int64_t feedback_total = 0;
+  int64_t quality_window_samples = 0;
+  double quality_auc = 0.0;
+  double bias_spread = 0.0;
 };
 
 struct WireHealth {
   bool cache_enabled = false;
   bool degraded = false;
+  bool quality_degraded = false;  // default model's windowed-quality flag
   int64_t cache_bytes_limit = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
@@ -157,6 +174,7 @@ struct WireHealth {
   int64_t deduped = 0;
   int64_t served_ok = 0;
   int64_t queue_depth = 0;
+  int64_t feedback_recorded = 0;
   std::vector<WireModelHealth> models;
 };
 

@@ -317,6 +317,8 @@ void SocketServer::AnswerHealthRequest(Connection* conn,
   health.deduped = report.deduped;
   health.served_ok = report.served_ok;
   health.queue_depth = report.queue_depth;
+  health.quality_degraded = report.quality_degraded;
+  health.feedback_recorded = report.feedback_recorded;
   health.models.reserve(report.models.size());
   for (const serve::ModelHealth& m : report.models) {
     WireModelHealth wm;
@@ -330,6 +332,13 @@ void SocketServer::AnswerHealthRequest(Connection* conn,
     wm.bytes = m.cache.bytes;
     wm.entries = m.cache.entries;
     wm.deduped = m.cache.deduped;
+    wm.quality_degraded = m.quality.quality_degraded;
+    wm.quality_auc_valid = m.quality.auc_valid;
+    wm.bias_spread_valid = m.quality.bias_spread_valid;
+    wm.feedback_total = m.quality.feedback_total;
+    wm.quality_window_samples = m.quality.window_samples;
+    wm.quality_auc = m.quality.auc;
+    wm.bias_spread = m.quality.bias_spread;
     health.models.push_back(std::move(wm));
   }
   QueueResponse(conn, EncodeHealthResponseFrame(header.request_id, health,

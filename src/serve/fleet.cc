@@ -33,43 +33,94 @@ bool InCanarySlice(uint64_t hash, int percent) {
 CanaryVerdict EvaluateCanaryWindow(const CanaryWindowStats& window,
                                    const CanaryOptions& options) {
   CanaryVerdict verdict;
-  if (window.canary_served <= 0) return verdict;
-
-  const double canary_error_rate =
-      static_cast<double>(window.canary_errors) /
-      static_cast<double>(window.canary_served);
-  // No primary traffic in the window (e.g. percent=100) degenerates to an
-  // absolute threshold against zero baseline error.
-  const double primary_error_rate =
-      window.primary_served > 0
-          ? static_cast<double>(window.primary_errors) /
-                static_cast<double>(window.primary_served)
-          : 0.0;
-  if (canary_error_rate >
-      primary_error_rate + options.max_error_rate_increase) {
-    verdict.regression = true;
-    verdict.reason = "canary error rate " + std::to_string(canary_error_rate) +
-                     " exceeds primary " + std::to_string(primary_error_rate) +
-                     " by more than " +
-                     std::to_string(options.max_error_rate_increase);
-    return verdict;
-  }
-
-  if (options.max_latency_ratio > 0.0 &&
-      window.primary_served >= options.min_primary_samples &&
-      window.primary_compute_nanos > 0) {
-    const double canary_mean =
-        static_cast<double>(window.canary_compute_nanos) /
+  // Gates 1+2 judge served traffic; a feedback-triggered evaluation with
+  // canary_served == 0 skips straight to the quality gate below.
+  if (window.canary_served > 0) {
+    const double canary_error_rate =
+        static_cast<double>(window.canary_errors) /
         static_cast<double>(window.canary_served);
-    const double primary_mean =
-        static_cast<double>(window.primary_compute_nanos) /
-        static_cast<double>(window.primary_served);
-    if (canary_mean > primary_mean * options.max_latency_ratio) {
+    // No primary traffic in the window (e.g. percent=100) degenerates to an
+    // absolute threshold against zero baseline error.
+    const double primary_error_rate =
+        window.primary_served > 0
+            ? static_cast<double>(window.primary_errors) /
+                  static_cast<double>(window.primary_served)
+            : 0.0;
+    if (canary_error_rate >
+        primary_error_rate + options.max_error_rate_increase) {
       verdict.regression = true;
       verdict.reason =
-          "canary mean compute " + std::to_string(canary_mean) +
-          "ns exceeds primary mean " + std::to_string(primary_mean) +
-          "ns x " + std::to_string(options.max_latency_ratio);
+          "canary error rate " + std::to_string(canary_error_rate) +
+          " exceeds primary " + std::to_string(primary_error_rate) +
+          " by more than " + std::to_string(options.max_error_rate_increase);
+      return verdict;
+    }
+
+    if (options.max_latency_ratio > 0.0 &&
+        window.primary_served >= options.min_primary_samples &&
+        window.primary_compute_nanos > 0) {
+      const double canary_mean =
+          static_cast<double>(window.canary_compute_nanos) /
+          static_cast<double>(window.canary_served);
+      const double primary_mean =
+          static_cast<double>(window.primary_compute_nanos) /
+          static_cast<double>(window.primary_served);
+      if (canary_mean > primary_mean * options.max_latency_ratio) {
+        verdict.regression = true;
+        verdict.reason =
+            "canary mean compute " + std::to_string(canary_mean) +
+            "ns exceeds primary mean " + std::to_string(primary_mean) +
+            "ns x " + std::to_string(options.max_latency_ratio);
+        return verdict;
+      }
+    }
+  }
+
+  // Gate 3: labeled-feedback AUC. Fires only on EVIDENCE of regression:
+  // both variants need a defined pooled AUC over at least
+  // min_quality_samples observations — a single-class window, an empty
+  // window, or a cold-started canary produces no verdict at all (the
+  // metrics:: degenerate convention, lifted to the rollback decision).
+  if (options.quality_window <= 0) return verdict;
+  const QualityWindowSnapshot& canary = window.canary_quality;
+  const QualityWindowSnapshot& primary = window.primary_quality;
+  if (!canary.auc_valid || !primary.auc_valid ||
+      canary.samples < options.min_quality_samples ||
+      primary.samples < options.min_quality_samples) {
+    return verdict;
+  }
+  if (canary.auc < primary.auc - options.max_auc_regression) {
+    verdict.regression = true;
+    verdict.quality = true;
+    verdict.reason = "canary windowed AUC " + std::to_string(canary.auc) +
+                     " trails primary " + std::to_string(primary.auc) +
+                     " by more than " +
+                     std::to_string(options.max_auc_regression);
+    return verdict;
+  }
+  // Per-domain deltas, each side guarded by its own min-samples floor: a
+  // canary that holds pooled AUC by sacrificing one domain regresses too,
+  // but a domain either variant has barely seen proves nothing.
+  for (const DomainQuality& cd : canary.domains) {
+    if (!cd.auc_valid || cd.samples < options.min_domain_quality_samples) {
+      continue;
+    }
+    for (const DomainQuality& pd : primary.domains) {
+      if (pd.domain != cd.domain) continue;
+      if (!pd.auc_valid || pd.samples < options.min_domain_quality_samples) {
+        break;
+      }
+      if (cd.auc < pd.auc - options.max_auc_regression) {
+        verdict.regression = true;
+        verdict.quality = true;
+        verdict.reason = "canary domain " + std::to_string(cd.domain) +
+                         " windowed AUC " + std::to_string(cd.auc) +
+                         " trails primary " + std::to_string(pd.auc) +
+                         " by more than " +
+                         std::to_string(options.max_auc_regression);
+        return verdict;
+      }
+      break;
     }
   }
   return verdict;

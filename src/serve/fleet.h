@@ -44,6 +44,7 @@
 #include "common/status.h"
 #include "models/model.h"
 #include "serve/cache.h"
+#include "serve/quality.h"
 #include "serve/session.h"
 
 namespace dtdbd::serve {
@@ -83,6 +84,25 @@ struct CanaryOptions {
   // The latency check only fires once the primary contributed at least
   // this many elements to the window (a ratio against nothing is noise).
   int64_t min_primary_samples = 1;
+  // --- quality gate (DESIGN.md §13) ---
+  // Labeled canary feedbacks per quality evaluation; 0 disables the gate
+  // (the pre-quality monitor judged error rate and latency only). When on,
+  // the server snapshots both variants' QualityMonitors every this many
+  // canary-side feedbacks and judges AUC deltas below.
+  int64_t quality_window = 0;
+  // Regression if the canary's windowed AUC falls below the primary's by
+  // more than this absolute slack — pooled, or within any single domain
+  // that clears the min-samples guards. A canary may not buy its pooled
+  // AUC by abandoning one domain.
+  double max_auc_regression = 0.05;
+  // Both variants must have at least this many observations in their
+  // windows (and a VALID pooled AUC — single-class windows never fire)
+  // before the pooled-quality check can judge anything.
+  int64_t min_quality_samples = 32;
+  // Per-domain AUC deltas only count where BOTH variants saw at least this
+  // many observations of that domain (an unseen domain trickling in with 3
+  // samples must not kill a canary).
+  int64_t min_domain_quality_samples = 8;
 };
 
 // One evaluation window of paired canary-vs-primary observations for a
@@ -94,15 +114,29 @@ struct CanaryWindowStats {
   int64_t primary_served = 0;
   int64_t primary_errors = 0;
   int64_t primary_compute_nanos = 0;
+  // Labeled-feedback quality snapshots (empty / auc_valid = false when the
+  // evaluation was triggered by the serving-side window, which carries no
+  // labels). The quality gate in EvaluateCanaryWindow judges these
+  // independently of the served counters above — a feedback-triggered
+  // evaluation legitimately has canary_served == 0.
+  QualityWindowSnapshot canary_quality;
+  QualityWindowSnapshot primary_quality;
 };
 
 struct CanaryVerdict {
   bool regression = false;
-  std::string reason;  // set when regression; human-readable
+  bool quality = false;  // the regression came from the AUC gate
+  std::string reason;    // set when regression; human-readable
 };
 
 // Pure decision function for the windowed monitor — deterministic and
-// testable without a server.
+// testable without a server. Three independent gates, first regression
+// wins: error rate and mean-compute (both need canary_served > 0 — they
+// judge served traffic), then the labeled-feedback AUC gate (needs only
+// the quality snapshots — it legitimately fires on a window in which the
+// serving-side counters are zero). Degenerate quality windows (either side
+// !auc_valid, or below min_quality_samples) produce NO quality verdict:
+// absence of evidence never rolls a canary back.
 CanaryVerdict EvaluateCanaryWindow(const CanaryWindowStats& window,
                                    const CanaryOptions& options);
 
@@ -154,6 +188,27 @@ struct PredictionCacheHealth {
   int64_t deduped = 0;  // followers answered by fan-out instead of a forward
 };
 
+// Per-model windowed-quality telemetry (DESIGN.md §13): the primary's
+// current quality window plus the counters of the canary quality gate.
+struct QualityHealth {
+  int64_t feedback_total = 0;         // cumulative primary-path feedbacks
+  int64_t canary_feedback_total = 0;  // cumulative canary-path feedbacks
+  // Primary window snapshot (over the server's resolved drift window).
+  int64_t window_samples = 0;
+  double auc = 0.0;
+  bool auc_valid = false;
+  double accuracy = 0.0;
+  double bias_spread = 0.0;
+  bool bias_spread_valid = false;
+  std::vector<DomainQuality> domains;
+  // Typed degraded-quality flag: the primary's windowed AUC fell below the
+  // configured floor. Orthogonal to `degraded` (reload exhaustion) — a
+  // model can serve every request flawlessly and still be quality-degraded.
+  bool quality_degraded = false;
+  int64_t quality_evals = 0;      // canary quality-gate evaluations
+  int64_t quality_rollbacks = 0;  // auto-rollbacks the AUC gate triggered
+};
+
 struct ModelHealth {
   std::string name;
   bool is_default = false;
@@ -175,6 +230,7 @@ struct ModelHealth {
   CanaryHealth canary;
   ShadowHealth shadow;
   PredictionCacheHealth cache;
+  QualityHealth quality;
 };
 
 // One named model in the fleet. See the file comment for which of
@@ -197,6 +253,10 @@ struct ModelState {
   // Set at regression detection so routing stops feeding the candidate
   // immediately, before the rollback barrier job lands.
   std::atomic<bool> canary_draining{false};
+  // Windowed primary AUC fell below ServerOptions::primary_min_auc. Raised
+  // and cleared by RecordFeedback; reset by a successful reload/promote
+  // (the fresh primary starts with a clean slate AND a cleared window).
+  std::atomic<bool> quality_degraded{false};
 
   // --- prediction cache + in-flight dedup (DESIGN.md §12) ---
   // Created by the server at registration when caching is enabled; entry
@@ -233,6 +293,18 @@ struct ModelState {
   int64_t canary_cancels = 0;
   std::string last_canary_event;
   ShadowStats shadow_stats;
+  // --- labeled-feedback quality (DESIGN.md §13), also under stats_mu_ ---
+  // Sized by the server at registration from the resolved feedback-ring
+  // knob; cleared inside the same barriers that swap the session they
+  // observe (reload/promote for the primary ring, every canary transition
+  // for the canary ring) so no window straddles a swap.
+  QualityMonitor primary_quality;
+  QualityMonitor canary_quality;
+  int64_t feedback_total = 0;         // primary-path feedbacks accepted
+  int64_t canary_feedback_total = 0;  // canary-path feedbacks accepted
+  int64_t canary_feedback_since_eval = 0;
+  int64_t quality_evals = 0;
+  int64_t quality_rollbacks = 0;
 };
 
 // Registry + router. Externally synchronized: every method requires the

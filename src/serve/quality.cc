@@ -1,0 +1,115 @@
+#include "serve/quality.h"
+
+#include <algorithm>
+#include <map>
+
+#include "metrics/metrics.h"
+
+namespace dtdbd::serve {
+
+QualityMonitor::QualityMonitor(int64_t capacity)
+    : capacity_(std::max<int64_t>(0, capacity)) {
+  ring_.resize(static_cast<size_t>(capacity_));
+}
+
+void QualityMonitor::Observe(float score, int label, int domain) {
+  if (capacity_ <= 0) return;
+  ring_[static_cast<size_t>(next_)] = {score, label, domain};
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+  ++total_observed_;
+}
+
+void QualityMonitor::Clear() {
+  next_ = 0;
+  count_ = 0;
+}
+
+namespace {
+
+// AUC gated on class presence: metrics::Auc already maps degenerate input
+// to 0.0 with a logged warning, but a serving monitor evaluates every
+// window forever — so the caller counts classes first and only asks for an
+// AUC it knows is defined, keeping auc_valid honest and the log quiet.
+struct SliceAccumulator {
+  std::vector<float> scores;
+  std::vector<int> labels;
+  int64_t positives = 0;
+  int64_t negatives = 0;
+  int64_t correct = 0;
+
+  void Add(const QualityObservation& obs) {
+    scores.push_back(obs.score);
+    labels.push_back(obs.label);
+    if (obs.label == 1) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+    if ((obs.score >= 0.5f ? 1 : 0) == obs.label) ++correct;
+  }
+
+  int64_t size() const { return positives + negatives; }
+  bool auc_defined() const { return positives > 0 && negatives > 0; }
+  double Accuracy() const {
+    return size() > 0
+               ? static_cast<double>(correct) / static_cast<double>(size())
+               : 0.0;
+  }
+};
+
+}  // namespace
+
+QualityWindowSnapshot QualityMonitor::Snapshot(
+    int64_t window, int64_t min_domain_samples) const {
+  QualityWindowSnapshot snapshot;
+  snapshot.total_observed = total_observed_;
+  int64_t take = count_;
+  if (window > 0) take = std::min(take, window);
+  snapshot.samples = take;
+  if (take <= 0) return snapshot;
+
+  SliceAccumulator pooled;
+  std::map<int, SliceAccumulator> by_domain;  // ordered -> stable output
+  // Walk the `take` most recent slots, oldest first (order is irrelevant
+  // to the metrics but keeps the walk obviously bounded).
+  for (int64_t i = take; i > 0; --i) {
+    const int64_t slot = ((next_ - i) % capacity_ + capacity_) % capacity_;
+    const QualityObservation& obs = ring_[static_cast<size_t>(slot)];
+    pooled.Add(obs);
+    by_domain[obs.domain].Add(obs);
+  }
+
+  snapshot.accuracy = pooled.Accuracy();
+  if (pooled.auc_defined()) {
+    snapshot.auc = metrics::Auc(pooled.scores, pooled.labels);
+    snapshot.auc_valid = true;
+  }
+
+  double min_auc = 2.0;
+  double max_auc = -1.0;
+  int qualifying = 0;
+  for (const auto& [domain, slice] : by_domain) {
+    DomainQuality dq;
+    dq.domain = domain;
+    dq.samples = slice.size();
+    dq.accuracy = slice.Accuracy();
+    if (slice.auc_defined()) {
+      dq.auc = metrics::Auc(slice.scores, slice.labels);
+      dq.auc_valid = true;
+      if (dq.samples >= min_domain_samples) {
+        min_auc = std::min(min_auc, dq.auc);
+        max_auc = std::max(max_auc, dq.auc);
+        ++qualifying;
+      }
+    }
+    snapshot.domains.push_back(std::move(dq));
+  }
+  if (qualifying >= 2) {
+    snapshot.bias_spread = max_auc - min_auc;
+    snapshot.bias_spread_valid = true;
+  }
+  return snapshot;
+}
+
+}  // namespace dtdbd::serve

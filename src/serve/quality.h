@@ -1,0 +1,101 @@
+// Windowed per-domain prediction-quality monitoring for serving.
+//
+// The canary monitor of DESIGN.md §11 watches *infrastructure* signals
+// (error rate, compute time); this file adds the *distribution* signal the
+// paper is about: does the model still rank fake above real on live
+// traffic, per domain, right now? A QualityMonitor is a fixed-capacity
+// ring of labeled observations — (score, true label, domain) triples fed
+// by the server's labeled-feedback path (Server::RecordFeedback) — from
+// which Snapshot() computes windowed AUC, accuracy, and a cross-domain
+// bias spread (max − min per-domain AUC, the serving-time analogue of the
+// paper's equality-difference metrics: a model leaning on the domain prior
+// shows a wide spread even when its pooled AUC looks fine).
+//
+// Degenerate windows follow the metrics:: convention (metrics.h): an empty
+// window or one holding a single class CANNOT produce an AUC, so the
+// snapshot reports auc_valid = false instead of 0.0-pretending-to-be-bad —
+// and every consumer (the canary quality gate, the degraded-quality flag)
+// treats !auc_valid as "no verdict", never as a regression. Same for
+// bias_spread_valid, which additionally needs >= 2 domains with a valid
+// AUC over at least min_domain_samples observations.
+//
+// Thread-safety: none. A QualityMonitor is a stats block owned by a
+// ModelState and guarded by Server::stats_mu_, exactly like the latency
+// rings and canary window counters next to it.
+#ifndef DTDBD_SERVE_QUALITY_H_
+#define DTDBD_SERVE_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dtdbd::serve {
+
+// One labeled feedback observation, as stored in the ring.
+struct QualityObservation {
+  float score = 0.0f;  // the P(fake) the server answered with
+  int label = 0;       // ground truth, data:: convention (0 real, 1 fake)
+  int domain = 0;
+};
+
+// Per-domain slice of a quality window.
+struct DomainQuality {
+  int domain = 0;
+  int64_t samples = 0;
+  double auc = 0.0;        // meaningful only when auc_valid
+  bool auc_valid = false;  // both classes present in this domain's slice
+  double accuracy = 0.0;
+};
+
+// One windowed evaluation over the most recent observations.
+struct QualityWindowSnapshot {
+  int64_t samples = 0;         // observations this snapshot covers
+  int64_t total_observed = 0;  // cumulative Observe() calls (ring may drop)
+  double auc = 0.0;            // pooled; meaningful only when auc_valid
+  bool auc_valid = false;
+  double accuracy = 0.0;  // fraction where (score >= 0.5) matches label
+  // max − min per-domain AUC across domains that qualify (>= the caller's
+  // min_domain_samples observations AND a valid per-domain AUC). Needs at
+  // least two qualifying domains to mean anything.
+  double bias_spread = 0.0;
+  bool bias_spread_valid = false;
+  std::vector<DomainQuality> domains;  // ascending domain id, observed only
+};
+
+// Fixed-capacity ring of labeled observations with windowed evaluation.
+class QualityMonitor {
+ public:
+  // capacity <= 0 constructs a disabled monitor: Observe() is a no-op and
+  // every snapshot is empty. The server sizes real monitors from the
+  // resolved --feedback-ring knob at model registration.
+  explicit QualityMonitor(int64_t capacity = 0);
+
+  // Appends one observation, evicting the oldest when full.
+  void Observe(float score, int label, int domain);
+
+  // Drops every buffered observation (but not total_observed_): reload and
+  // canary barriers call this so no quality window ever straddles a
+  // session swap.
+  void Clear();
+
+  // Evaluates the `window` most recent observations (<= 0 or more than
+  // buffered: all of them). min_domain_samples gates which domains count
+  // toward bias_spread — a freshly-appeared domain with 3 samples must not
+  // swing a fleet-wide bias verdict.
+  QualityWindowSnapshot Snapshot(int64_t window,
+                                 int64_t min_domain_samples) const;
+
+  int64_t size() const { return count_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t total_observed() const { return total_observed_; }
+
+ private:
+  int64_t capacity_ = 0;
+  std::vector<QualityObservation> ring_;
+  int64_t next_ = 0;   // slot the next Observe() writes
+  int64_t count_ = 0;  // filled slots, <= capacity_
+  int64_t total_observed_ = 0;
+};
+
+}  // namespace dtdbd::serve
+
+#endif  // DTDBD_SERVE_QUALITY_H_

@@ -10,6 +10,7 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "data/dataset.h"
 #include "tensor/serialize.h"
 #include "train/checkpoint.h"
 
@@ -66,6 +67,51 @@ int64_t ResolveCacheBytes(const FlagParser& flags) {
   return 0;
 }
 
+namespace {
+
+// Shared strict-env rule for the quality knobs: unset -> the documented
+// default, present-but-invalid -> warning + the same default (never a
+// silently reinterpreted prefix).
+int PositiveIntFromEnv(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  int n = 0;
+  if (ParsePositiveInt(env, &n)) return n;
+  DTDBD_LOG(Warning) << name << "='" << env
+                     << "' is not a positive integer; using " << fallback;
+  return fallback;
+}
+
+}  // namespace
+
+int FeedbackRingFromEnv() {
+  return PositiveIntFromEnv("DTDBD_FEEDBACK_RING", 1024);
+}
+
+int ResolveFeedbackRing(const FlagParser& flags) {
+  return ResolvePositiveIntFlag(flags, "feedback-ring", FeedbackRingFromEnv(),
+                                /*invalid_value=*/1024);
+}
+
+int DriftWindowFromEnv() {
+  return PositiveIntFromEnv("DTDBD_DRIFT_WINDOW", 256);
+}
+
+int ResolveDriftWindow(const FlagParser& flags) {
+  return ResolvePositiveIntFlag(flags, "drift-window", DriftWindowFromEnv(),
+                                /*invalid_value=*/256);
+}
+
+int QualitySlackPercentFromEnv() {
+  return PositiveIntFromEnv("DTDBD_QUALITY_SLACK", 5);
+}
+
+int ResolveQualitySlackPercent(const FlagParser& flags) {
+  return ResolvePositiveIntFlag(flags, "quality-slack",
+                                QualitySlackPercentFromEnv(),
+                                /*invalid_value=*/5);
+}
+
 Server::Server(std::unique_ptr<InferenceSession> session,
                ServerOptions options)
     : options_(std::move(options)),
@@ -80,6 +126,10 @@ Server::Server(std::unique_ptr<InferenceSession> session,
   max_batch_ = std::max(1, options_.max_batch);
   cache_bytes_ =
       options_.cache_bytes >= 0 ? options_.cache_bytes : CacheBytesFromEnv();
+  feedback_ring_ =
+      options_.feedback_ring > 0 ? options_.feedback_ring : FeedbackRingFromEnv();
+  drift_window_ =
+      options_.drift_window > 0 ? options_.drift_window : DriftWindowFromEnv();
   latencies_.assign(static_cast<size_t>(options_.latency_window), 0);
   batch_size_hist_.assign(static_cast<size_t>(max_batch_) + 1, 0);
   {
@@ -117,6 +167,8 @@ void Server::InitModelStatsLocked(ModelState* model) {
   // be served (let alone record a latency) against an unsized ring.
   std::lock_guard<std::mutex> lock(stats_mu_);
   model->latencies.assign(static_cast<size_t>(options_.latency_window), 0);
+  model->primary_quality = QualityMonitor(feedback_ring_);
+  model->canary_quality = QualityMonitor(feedback_ring_);
 }
 
 Status Server::AddModel(
@@ -308,6 +360,129 @@ StatusOr<Prediction> Server::Predict(const InferenceRequest& request) {
   return Submit(request).get();
 }
 
+Status Server::RecordFeedback(const Feedback& feedback) {
+  // Feedback is a trust boundary like the request path: labels come from
+  // an external annotation pipeline, so every field is validated with a
+  // typed rejection before it can touch a monitor.
+  if (feedback.label != data::kReal && feedback.label != data::kFake) {
+    return Status::InvalidArgument("feedback label must be 0 (real) or 1 "
+                                   "(fake), got " +
+                                   std::to_string(feedback.label));
+  }
+  if (!std::isfinite(feedback.p_fake) || feedback.p_fake < 0.0f ||
+      feedback.p_fake > 1.0f) {
+    return Status::InvalidArgument(
+        "feedback score must be a finite probability in [0, 1]");
+  }
+  if (feedback.domain < 0) {
+    return Status::InvalidArgument("feedback domain must be >= 0, got " +
+                                   std::to_string(feedback.domain));
+  }
+
+  ModelState* model = nullptr;
+  bool canary_active = false;
+  CanaryOptions canary_options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::Unavailable("server is stopped");
+    model = fleet_.Resolve(feedback.model_name);
+    if (model == nullptr) {
+      return Status::NotFound("unknown model '" + feedback.model_name +
+                              "' (fleet default is '" +
+                              fleet_.default_model() + "')");
+    }
+    // The quality gate only judges a LIVE, non-draining canary; its
+    // options are only meaningful while the session exists, so both facts
+    // are snapshotted under the same mu_ hold.
+    canary_active =
+        model->canary != nullptr &&
+        !model->canary_draining.load(std::memory_order_acquire);
+    if (canary_active) canary_options = model->canary_options;
+  }
+  feedback_recorded_.fetch_add(1, std::memory_order_relaxed);
+
+  bool trigger_rollback = false;
+  std::string rollback_reason;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (feedback.canary) {
+      model->canary_quality.Observe(feedback.p_fake, feedback.label,
+                                    feedback.domain);
+      ++model->canary_feedback_total;
+      if (canary_active && canary_options.quality_window > 0 &&
+          ++model->canary_feedback_since_eval >=
+              canary_options.quality_window) {
+        model->canary_feedback_since_eval = 0;
+        ++model->quality_evals;
+        // Quality-only evaluation: the served-traffic counters stay zero,
+        // so only gate 3 of EvaluateCanaryWindow can judge. The canary
+        // ring holds exactly this candidate's feedback (cleared at every
+        // canary transition); the primary side is its most recent window.
+        CanaryWindowStats window;
+        window.canary_quality = model->canary_quality.Snapshot(
+            /*window=*/0, canary_options.min_domain_quality_samples);
+        window.primary_quality = model->primary_quality.Snapshot(
+            drift_window_, canary_options.min_domain_quality_samples);
+        const CanaryVerdict verdict =
+            EvaluateCanaryWindow(window, canary_options);
+        if (verdict.regression) {
+          trigger_rollback = true;
+          rollback_reason = verdict.reason;
+        }
+      }
+    } else {
+      model->primary_quality.Observe(feedback.p_fake, feedback.label,
+                                     feedback.domain);
+      ++model->feedback_total;
+      if (options_.primary_min_auc > 0.0) {
+        const QualityWindowSnapshot snapshot =
+            model->primary_quality.Snapshot(
+                drift_window_, options_.min_domain_quality_samples);
+        // The flag moves only on evidence: a defined AUC over enough
+        // samples. Degenerate windows leave it where it was, so the flag's
+        // trajectory is a deterministic function of the feedback stream.
+        if (snapshot.auc_valid &&
+            snapshot.samples >= options_.min_quality_samples) {
+          const bool low = snapshot.auc < options_.primary_min_auc;
+          if (low !=
+              model->quality_degraded.load(std::memory_order_acquire)) {
+            model->quality_degraded.store(low, std::memory_order_release);
+            DTDBD_LOG(Warning)
+                << "model '" << model->name << "': windowed AUC "
+                << snapshot.auc << " over " << snapshot.samples
+                << " feedbacks " << (low ? "fell below" : "recovered to")
+                << " the " << options_.primary_min_auc
+                << " floor; quality_degraded=" << (low ? "true" : "false");
+          }
+        }
+      }
+    }
+  }
+  if (trigger_rollback &&
+      !model->canary_draining.exchange(true, std::memory_order_acq_rel)) {
+    // Same path as an error-rate regression (ServeBatch): drain flag
+    // first so routing stops feeding the candidate, then a front-of-queue
+    // barrier job frees it — queued slice members fall back to the
+    // primary, zero requests dropped.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++model->quality_rollbacks;
+    }
+    DTDBD_LOG(Warning) << "model '" << model->name
+                       << "': canary quality regression detected — "
+                       << rollback_reason
+                       << "; rolling back to last-good version "
+                       << model->version.load(std::memory_order_acquire);
+    EnqueueControl(
+        model->name,
+        [this, rollback_reason](ModelState* m) {
+          return RollbackCanary(m, rollback_reason);
+        },
+        /*front=*/true);
+  }
+  return Status::Ok();
+}
+
 std::future<Status> Server::EnqueueControl(
     const std::string& model_name, std::function<Status(ModelState*)> fn,
     bool front) {
@@ -397,6 +572,10 @@ std::future<Status> Server::StartCanary(const std::string& model_name,
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++model->canaries_started;
           model->window = CanaryWindowStats();
+          // A fresh candidate starts with an empty quality ring: feedback
+          // for a PREVIOUS canary must never judge this one.
+          model->canary_quality.Clear();
+          model->canary_feedback_since_eval = 0;
           model->last_canary_event =
               "canary started at version " + std::to_string(candidate_version) +
               " (" + std::to_string(options.percent) + "% slice)";
@@ -432,10 +611,19 @@ std::future<Status> Server::PromoteCanary(const std::string& model_name) {
     if (model->cache != nullptr) model->cache->Clear();
     model->version.store(version, std::memory_order_release);
     model->degraded.store(false, std::memory_order_release);
+    model->quality_degraded.store(false, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++model->canary_promotions;
       model->window = CanaryWindowStats();
+      // The primary just changed identity: both quality windows die inside
+      // the same barrier, so no window ever straddles the swap (feedback
+      // recorded after this observes only the promoted model's answers...
+      // modulo in-flight feedback for pre-swap answers, which the WINDOW
+      // bounds — see DESIGN.md §13).
+      model->primary_quality.Clear();
+      model->canary_quality.Clear();
+      model->canary_feedback_since_eval = 0;
       model->last_canary_event =
           "canary promoted to primary at version " + std::to_string(version);
     }
@@ -460,6 +648,8 @@ std::future<Status> Server::CancelCanary(const std::string& model_name) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++model->canary_cancels;
       model->window = CanaryWindowStats();
+      model->canary_quality.Clear();
+      model->canary_feedback_since_eval = 0;
       model->last_canary_event = "canary canceled";
     }
     return Status::Ok();
@@ -946,6 +1136,8 @@ Status Server::RollbackCanary(ModelState* model, const std::string& reason) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++model->canary_rollbacks;
     model->window = CanaryWindowStats();
+    model->canary_quality.Clear();
+    model->canary_feedback_since_eval = 0;
     model->last_canary_event = "auto-rollback: " + reason;
   }
   DTDBD_LOG(Warning) << "model '" << model->name
@@ -1044,7 +1236,13 @@ Status Server::RunReload(ModelState* model, const std::string& path) {
     if (model->cache != nullptr) model->cache->Clear();
     model->version.store(version, std::memory_order_release);
     model->degraded.store(false, std::memory_order_release);
+    // The swapped-in primary starts with a clean quality slate: the old
+    // window described the old weights, and a degraded-quality verdict must
+    // never outlive the model that earned it. Cleared inside the barrier,
+    // so no quality window straddles the swap.
+    model->quality_degraded.store(false, std::memory_order_release);
     std::lock_guard<std::mutex> lock(stats_mu_);
+    model->primary_quality.Clear();
     model->last_reload_error.clear();
     return Status::Ok();
   }
@@ -1145,10 +1343,15 @@ HealthReport Server::Health() const {
   report.compute_ms_total =
       static_cast<double>(compute_nanos_.load(std::memory_order_relaxed)) /
       1e6;
+  report.feedback_recorded = feedback_recorded_.load(std::memory_order_relaxed);
+  report.quality_degraded =
+      default_state_->quality_degraded.load(std::memory_order_acquire);
   for (size_t i = 0; i < states.size(); ++i) {
     ModelHealth& health = report.models[i];
     health.version = states[i]->version.load(std::memory_order_acquire);
     health.degraded = states[i]->degraded.load(std::memory_order_acquire);
+    health.quality.quality_degraded =
+        states[i]->quality_degraded.load(std::memory_order_acquire);
   }
   // Phase 2 (stats_mu_): counters, latency windows, canary/shadow
   // telemetry. Never held together with mu_ (one-way order, and Health
@@ -1209,6 +1412,19 @@ HealthReport Server::Health() const {
               : 0.0;
       health.shadow.max_abs_delta = m->shadow_stats.abs_delta_max;
       health.cache.deduped = m->deduped;
+      health.quality.feedback_total = m->feedback_total;
+      health.quality.canary_feedback_total = m->canary_feedback_total;
+      health.quality.quality_evals = m->quality_evals;
+      health.quality.quality_rollbacks = m->quality_rollbacks;
+      const QualityWindowSnapshot snapshot = m->primary_quality.Snapshot(
+          drift_window_, options_.min_domain_quality_samples);
+      health.quality.window_samples = snapshot.samples;
+      health.quality.auc = snapshot.auc;
+      health.quality.auc_valid = snapshot.auc_valid;
+      health.quality.accuracy = snapshot.accuracy;
+      health.quality.bias_spread = snapshot.bias_spread;
+      health.quality.bias_spread_valid = snapshot.bias_spread_valid;
+      health.quality.domains = snapshot.domains;
     }
   }
   // Phase 3 (cache internals): each PredictionCache is internally locked,

@@ -176,6 +176,27 @@ struct ServerOptions {
   // forward). -1 = resolve from DTDBD_CACHE_BYTES (strict parse; unset or
   // invalid -> 0). Positive = both layers on.
   int64_t cache_bytes = -1;
+  // --- labeled-feedback quality monitoring (DESIGN.md §13) ---
+  // Capacity of each per-model, per-variant labeled-feedback ring. 0 =
+  // resolve from DTDBD_FEEDBACK_RING (strict parse; unset or invalid ->
+  // 1024). The ring bounds memory; the window below bounds every verdict.
+  int64_t feedback_ring = 0;
+  // Observations per windowed quality evaluation: the primary snapshot
+  // size behind HealthReport, the degraded-flag cadence, and the primary
+  // side of the canary quality gate. 0 = resolve from DTDBD_DRIFT_WINDOW
+  // (strict parse; unset or invalid -> 256).
+  int64_t drift_window = 0;
+  // Windowed-AUC floor for the PRIMARY: when its windowed AUC — over at
+  // least min_quality_samples labeled feedbacks with a defined AUC —
+  // falls below this, the model raises its typed quality_degraded flag;
+  // recovering to >= the floor clears it. Degenerate windows (too few
+  // samples, single class) move the flag in NEITHER direction. <= 0
+  // disables the flag entirely.
+  double primary_min_auc = 0.0;
+  // Minimum window samples before any primary quality verdict.
+  int64_t min_quality_samples = 32;
+  // Per-domain floor for the bias-spread computation in HealthReport.
+  int64_t min_domain_quality_samples = 8;
   // nullptr = SystemClock::Get(). Must outlive the server.
   const Clock* clock = nullptr;
   // Optional failure-injection hooks (load failure, slow load, canary
@@ -204,6 +225,21 @@ int ResolveMaxBatch(const FlagParser& flags);
 int64_t CacheBytesFromEnv();  // DTDBD_CACHE_BYTES; unset -> 0
 // --cache-bytes flag, falling back to DTDBD_CACHE_BYTES, then 0.
 int64_t ResolveCacheBytes(const FlagParser& flags);
+// Quality-monitoring knobs, strict-parsed like the worker knobs: a
+// present-but-invalid value warns and pins the documented default instead
+// of being silently reinterpreted or falling through to the env.
+int FeedbackRingFromEnv();  // DTDBD_FEEDBACK_RING; unset -> 1024
+// --feedback-ring flag, falling back to DTDBD_FEEDBACK_RING, then 1024.
+int ResolveFeedbackRing(const FlagParser& flags);
+int DriftWindowFromEnv();  // DTDBD_DRIFT_WINDOW; unset -> 256
+// --drift-window flag, falling back to DTDBD_DRIFT_WINDOW, then 256.
+int ResolveDriftWindow(const FlagParser& flags);
+// AUC slack in integer percentage points (5 -> 0.05) so the shared strict
+// positive-int parser applies; 0 would mean "any dip regresses" and is
+// rejected like every other invalid value.
+int QualitySlackPercentFromEnv();  // DTDBD_QUALITY_SLACK; unset -> 5
+// --quality-slack flag, falling back to DTDBD_QUALITY_SLACK, then 5.
+int ResolveQualitySlackPercent(const FlagParser& flags);
 
 // Nearest-rank percentiles over the first `count` slots of an (unordered)
 // latency ring, in milliseconds. p50 is the ceil(0.50*count)-th smallest
@@ -278,6 +314,22 @@ struct HealthReport {
   int64_t cache_evicted = 0;
   int64_t cache_bytes = 0;
   int64_t deduped = 0;
+  // Labeled-feedback quality (per-model breakdown in models[i].quality;
+  // quality_degraded mirrors the DEFAULT model like the reload fields).
+  int64_t feedback_recorded = 0;  // accepted RecordFeedback calls, fleet-wide
+  bool quality_degraded = false;
+};
+
+// One labeled-feedback observation: "request X was answered p_fake by
+// model M's primary/canary; the truth turned out to be `label`". The drift
+// harnesses feed these back after each response; a production caller would
+// wire its moderation/annotation pipeline here.
+struct Feedback {
+  std::string model_name;  // "" = the fleet default
+  int domain = 0;          // the request's domain id
+  float p_fake = 0.0f;     // the score the server answered with
+  int label = 0;           // ground truth, data:: convention (0 real, 1 fake)
+  bool canary = false;     // Prediction::canary of the answer being judged
 };
 
 class Server {
@@ -355,6 +407,19 @@ class Server {
   std::future<Status> StartShadow(const std::string& model_name,
                                   std::string checkpoint_path);
   std::future<Status> StopShadow(const std::string& model_name);
+
+  // Labeled-feedback path (DESIGN.md §13). Records one observation into
+  // the routed model's quality monitor (primary or canary ring per
+  // feedback.canary), evaluates the canary quality gate every
+  // CanaryOptions::quality_window canary feedbacks — a quality regression
+  // takes the SAME drain-flag + front-of-queue rollback path as an
+  // error-rate regression, zero dropped requests included — and moves the
+  // primary's typed quality_degraded flag against
+  // ServerOptions::primary_min_auc. Typed failures: kInvalidArgument
+  // (label outside {0,1}, non-finite or out-of-range score, negative
+  // domain), kNotFound (unknown model), kUnavailable (stopped). Callable
+  // from any thread EXCEPT a worker callback (like Submit).
+  Status RecordFeedback(const Feedback& feedback);
 
   // Current snapshot, computed on the calling thread.
   HealthReport Health() const;
@@ -451,7 +516,9 @@ class Server {
   const Clock* const clock_;
   int num_workers_ = 1;  // resolved from options/env in the constructor
   int max_batch_ = 1;
-  int64_t cache_bytes_ = 0;  // resolved; 0 = cache + dedup off
+  int64_t cache_bytes_ = 0;    // resolved; 0 = cache + dedup off
+  int64_t feedback_ring_ = 0;  // resolved quality-ring capacity
+  int64_t drift_window_ = 0;   // resolved quality-evaluation window
 
   // Fleet registry: guarded by mu_; ModelState addresses are stable (the
   // registry is append-only), so workers may keep pointers across unlock.
@@ -488,6 +555,7 @@ class Server {
   std::atomic<int64_t> reload_attempts_{0};
   std::atomic<int64_t> reload_successes_{0};
   std::atomic<int64_t> reload_failures_{0};
+  std::atomic<int64_t> feedback_recorded_{0};
   std::atomic<int64_t> watchdog_ticks_{0};
   std::atomic<int64_t> queue_wait_nanos_{0};
   std::atomic<int64_t> compute_nanos_{0};

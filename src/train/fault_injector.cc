@@ -166,6 +166,31 @@ int64_t FaultInjector::injected_net_faults() const {
   return injected_net_faults_;
 }
 
+void FaultInjector::set_feedback_fault_probability(double p) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  feedback_fault_probability_ = p;
+}
+
+FaultInjector::FeedbackFault FaultInjector::NextFeedbackFault() {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  if (feedback_fault_probability_ <= 0.0 ||
+      !serve_rng_.Bernoulli(feedback_fault_probability_)) {
+    return FeedbackFault::kNone;
+  }
+  ++injected_feedback_faults_;
+  // Uniform over the 3 concrete fault kinds (kNone excluded).
+  switch (serve_rng_.UniformInt(3)) {
+    case 0: return FeedbackFault::kFlipLabel;
+    case 1: return FeedbackFault::kDropFeedback;
+    default: return FeedbackFault::kDelayFeedback;
+  }
+}
+
+int64_t FaultInjector::injected_feedback_faults() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return injected_feedback_faults_;
+}
+
 Status FaultInjector::TruncateFile(const std::string& path,
                                    double keep_fraction) {
   if (keep_fraction < 0.0 || keep_fraction > 1.0) {

@@ -124,6 +124,21 @@ class FaultInjector {
   NetFault NextNetFault();
   int64_t injected_net_faults() const;
 
+  // Feedback-fault sampling for the drift soak tests (src/drift/). Same
+  // division of labor again: the injector picks WHICH corruption the
+  // labeled-feedback pipeline suffers; the driver owns the mutation —
+  // flipping the label before RecordFeedback, delaying the call past the
+  // quality window, or never delivering it at all.
+  enum class FeedbackFault {
+    kNone,
+    kFlipLabel,      // annotation error: label arrives inverted
+    kDropFeedback,   // feedback never delivered for this request
+    kDelayFeedback,  // feedback arrives late (driver re-queues it)
+  };
+  void set_feedback_fault_probability(double p);
+  FeedbackFault NextFeedbackFault();
+  int64_t injected_feedback_faults() const;
+
  private:
   Rng rng_;
   std::set<int64_t> nan_steps_;
@@ -145,6 +160,8 @@ class FaultInjector {
   double request_fault_probability_ = 0.0;
   double net_fault_probability_ = 0.0;
   int64_t injected_net_faults_ = 0;
+  double feedback_fault_probability_ = 0.0;
+  int64_t injected_feedback_faults_ = 0;
 };
 
 }  // namespace dtdbd::train
