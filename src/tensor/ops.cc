@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "tensor/quant.h"
 #include "tensor/registry.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -88,6 +90,391 @@ void CheckSameShape(const char* op, const Tensor& a, const Tensor& b) {
   DTDBD_CHECK(a.shape() == b.shape())
       << op << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
       << ShapeToString(b.shape());
+}
+
+// ----- SIMD fast-path helpers (runtime-dispatched, bitwise-exact) -----
+//
+// Every helper below performs exactly the scalar reference loop's
+// multiply/add sequence per element — separate mul/add (never fmadd; this
+// file is built with -ffp-contract=off), comparisons with the same
+// NaN/±0 semantics as the scalar predicates, and identical accumulation
+// order — so the vector paths are bitwise identical to scalar at every
+// thread count. Dispatch is SimdEnabled() (DTDBD_NO_SIMD pins scalar)
+// && CpuHasAvx512f(). The int8 helpers at the bottom are the exception:
+// they serve the NMSE-bounded quantized eval path and may use fmadd.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DTDBD_SIMD_AVX512 1
+
+bool CpuHasAvx512f() {
+  static const bool has = __builtin_cpu_supports("avx512f");
+  return has;
+}
+
+inline bool UseAvx512() { return SimdEnabled() && CpuHasAvx512f(); }
+
+// o[j] += a * b[j] for j in [0, n) — the inner loop of the ikj matmul.
+__attribute__((target("avx512f"))) void AxpyRowAvx512(float* o, const float* b,
+                                                      float a, int64_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 vo = _mm512_add_ps(
+        _mm512_loadu_ps(o + j), _mm512_mul_ps(va, _mm512_loadu_ps(b + j)));
+    _mm512_storeu_ps(o + j, vo);
+  }
+  for (; j < n; ++j) o[j] += a * b[j];
+}
+
+// dst[j] += src[j] for j in [0, n).
+__attribute__((target("avx512f"))) void AddRowAvx512(float* dst,
+                                                     const float* src,
+                                                     int64_t n) {
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_ps(
+        dst + j, _mm512_add_ps(_mm512_loadu_ps(dst + j),
+                               _mm512_loadu_ps(src + j)));
+  }
+  for (; j < n; ++j) dst[j] += src[j];
+}
+
+// dst[j] = src[j] for j in [0, n) (explicit vector row copy).
+__attribute__((target("avx512f"))) void CopyRowAvx512(float* dst,
+                                                      const float* src,
+                                                      int64_t n) {
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_ps(dst + j, _mm512_loadu_ps(src + j));
+  }
+  for (; j < n; ++j) dst[j] = src[j];
+}
+
+// out16[l] = sum_j g[j] * bt[j*stride + l], j ascending from a zero
+// accumulator — 16 consecutive dot products against a transposed matrix,
+// each lane running the scalar chain exactly.
+__attribute__((target("avx512f"))) void DotAccum16Avx512(const float* g,
+                                                         const float* bt,
+                                                         int64_t rows,
+                                                         int64_t stride,
+                                                         float* out16) {
+  __m512 acc = _mm512_setzero_ps();
+  for (int64_t j = 0; j < rows; ++j) {
+    acc = _mm512_add_ps(
+        acc, _mm512_mul_ps(_mm512_set1_ps(g[j]),
+                           _mm512_loadu_ps(bt + j * stride)));
+  }
+  _mm512_storeu_ps(out16, acc);
+}
+
+// The LinearRelu epilogue: pre = o[j] + b[j]; mask[j] = pre > 0;
+// o[j] = pre > 0 ? pre : 0. _CMP_GT_OQ matches the scalar `pre > 0.0f`
+// (quiet, NaN compares false).
+__attribute__((target("avx512f"))) void BiasReluRowAvx512(float* o,
+                                                          float* mask,
+                                                          const float* b,
+                                                          int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  const __m512 one = _mm512_set1_ps(1.0f);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 pre =
+        _mm512_add_ps(_mm512_loadu_ps(o + j), _mm512_loadu_ps(b + j));
+    const __mmask16 on = _mm512_cmp_ps_mask(pre, zero, _CMP_GT_OQ);
+    _mm512_storeu_ps(mask + j, _mm512_mask_blend_ps(on, zero, one));
+    _mm512_storeu_ps(o + j, _mm512_mask_blend_ps(on, zero, pre));
+  }
+  for (; j < n; ++j) {
+    const float pre = o[j] + b[j];
+    const bool on = pre > 0.0f;
+    mask[j] = on ? 1.0f : 0.0f;
+    o[j] = on ? pre : 0.0f;
+  }
+}
+
+// Per-lane running max over the j-major transposed scratch [cols, 16]:
+// m = (m < x[j]) ? x[j] : m — exactly std::max's predicate, j ascending
+// from x[0]. _CMP_LT_OQ keeps m on NaN, like the scalar chain.
+__attribute__((target("avx512f"))) void RowMax16Avx512(const float* scratch,
+                                                       int64_t cols,
+                                                       float* m16) {
+  __m512 m = _mm512_loadu_ps(scratch);
+  for (int64_t j = 1; j < cols; ++j) {
+    const __m512 xj = _mm512_loadu_ps(scratch + j * 16);
+    const __mmask16 lt = _mm512_cmp_ps_mask(m, xj, _CMP_LT_OQ);
+    m = _mm512_mask_blend_ps(lt, m, xj);
+  }
+  _mm512_storeu_ps(m16, m);
+}
+
+// y[j] *= s for j in [0, n).
+__attribute__((target("avx512f"))) void ScaleRowAvx512(float* y, float s,
+                                                       int64_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_ps(y + j, _mm512_mul_ps(_mm512_loadu_ps(y + j), vs));
+  }
+  for (; j < n; ++j) y[j] *= s;
+}
+
+// y[j] = x[j] - s for j in [0, n) (the log-softmax writeback).
+__attribute__((target("avx512f"))) void SubScalarRowAvx512(float* y,
+                                                           const float* x,
+                                                           float s,
+                                                           int64_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    _mm512_storeu_ps(y + j, _mm512_sub_ps(_mm512_loadu_ps(x + j), vs));
+  }
+  for (; j < n; ++j) y[j] = x[j] - s;
+}
+
+// The fused-MatVec dot for 16 rows at once over the transposed scratch
+// [n, 16]: acc += x * v[kk] only where x != 0 — _CMP_NEQ_UQ includes NaN
+// and excludes ±0, exactly like the scalar `if (av == 0.0f) continue`.
+__attribute__((target("avx512f"))) void MatVec16Avx512(const float* scratch,
+                                                       const float* v,
+                                                       int64_t n,
+                                                       float* out16) {
+  const __m512 zero = _mm512_setzero_ps();
+  __m512 acc = _mm512_setzero_ps();
+  for (int64_t kk = 0; kk < n; ++kk) {
+    const __m512 xcol = _mm512_loadu_ps(scratch + kk * 16);
+    const __mmask16 nz = _mm512_cmp_ps_mask(xcol, zero, _CMP_NEQ_UQ);
+    acc = _mm512_mask_add_ps(acc, nz, acc,
+                             _mm512_mul_ps(xcol, _mm512_set1_ps(v[kk])));
+  }
+  _mm512_storeu_ps(out16, acc);
+}
+
+// gv[kk+l] += x[i, kk+l] * g[i] over i ascending, skipping x == 0 — the
+// MatVecOverTime grad-v column loop for 16 consecutive kk (x rows are
+// contiguous, so no transpose is needed).
+__attribute__((target("avx512f"))) void MatVecGradV16Avx512(
+    const float* px, const float* g, int64_t bt, int64_t n, float* gv) {
+  const __m512 zero = _mm512_setzero_ps();
+  __m512 acc = _mm512_loadu_ps(gv);
+  for (int64_t i = 0; i < bt; ++i) {
+    const __m512 xrow = _mm512_loadu_ps(px + i * n);
+    const __mmask16 nz = _mm512_cmp_ps_mask(xrow, zero, _CMP_NEQ_UQ);
+    acc = _mm512_mask_add_ps(acc, nz, acc,
+                             _mm512_mul_ps(xrow, _mm512_set1_ps(g[i])));
+  }
+  _mm512_storeu_ps(gv, acc);
+}
+
+// Per-lane LayerNorm statistics over the transposed scratch [n, 16]:
+// the scalar sum/divide/variance chain per lane. Division and sqrt are
+// IEEE correctly-rounded in both scalar and vector forms, so the results
+// are bitwise identical to the scalar path.
+__attribute__((target("avx512f"))) void LayerNormStats16Avx512(
+    const float* scratch, int64_t n, float eps, float* mean16, float* is16) {
+  const __m512 vn = _mm512_set1_ps(static_cast<float>(n));
+  __m512 sum = _mm512_setzero_ps();
+  for (int64_t j = 0; j < n; ++j) {
+    sum = _mm512_add_ps(sum, _mm512_loadu_ps(scratch + j * 16));
+  }
+  const __m512 mean = _mm512_div_ps(sum, vn);
+  __m512 var = _mm512_setzero_ps();
+  for (int64_t j = 0; j < n; ++j) {
+    const __m512 d = _mm512_sub_ps(_mm512_loadu_ps(scratch + j * 16), mean);
+    var = _mm512_add_ps(var, _mm512_mul_ps(d, d));
+  }
+  var = _mm512_div_ps(var, vn);
+  const __m512 is = _mm512_div_ps(
+      _mm512_set1_ps(1.0f),
+      _mm512_sqrt_ps(_mm512_add_ps(var, _mm512_set1_ps(eps))));
+  _mm512_storeu_ps(mean16, mean);
+  _mm512_storeu_ps(is16, is);
+}
+
+// LayerNorm writeback for one row: h = (x[j] - mean) * is;
+// o[j] = g[j] * h + beta[j]; xhat[j] = h.
+__attribute__((target("avx512f"))) void LayerNormRowAvx512(
+    const float* xi, const float* pg, const float* pbeta, float mean,
+    float is, float* xhat, float* o, int64_t n) {
+  const __m512 vmean = _mm512_set1_ps(mean);
+  const __m512 vis = _mm512_set1_ps(is);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m512 h = _mm512_mul_ps(
+        _mm512_sub_ps(_mm512_loadu_ps(xi + j), vmean), vis);
+    _mm512_storeu_ps(xhat + j, h);
+    _mm512_storeu_ps(
+        o + j, _mm512_add_ps(_mm512_mul_ps(_mm512_loadu_ps(pg + j), h),
+                             _mm512_loadu_ps(pbeta + j)));
+  }
+  for (; j < n; ++j) {
+    const float h = (xi[j] - mean) * is;
+    xhat[j] = h;
+    o[j] = pg[j] * h + pbeta[j];
+  }
+}
+
+// ----- Int8 dequantize-in-register kernels (NMSE-bounded, NOT bitwise) --
+
+// o[j] += float(q[j]) * m for j in [0, n). fmadd is fine here: the int8
+// path's contract is NMSE-bounded accuracy, not bitwise parity.
+__attribute__((target("avx512f"))) void Int8AxpyRowAvx512(float* o,
+                                                          const int8_t* q,
+                                                          float m, int64_t n) {
+  const __m512 vm = _mm512_set1_ps(m);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i qi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + j));
+    const __m512 f = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qi));
+    _mm512_storeu_ps(o + j,
+                     _mm512_fmadd_ps(f, vm, _mm512_loadu_ps(o + j)));
+  }
+  for (; j < n; ++j) o[j] += static_cast<float>(q[j]) * m;
+}
+#else
+inline bool UseAvx512() { return false; }
+#endif  // x86_64
+
+// Looks up the quantized twin of weight `w` for the int8 eval path: only
+// outside autograd (training never sees int8), only when a session has
+// installed an ambient Int8WeightSet, and only when the quantized shape
+// matches the operand exactly.
+const QuantizedMatrix* Int8WeightFor(const Tensor& w, int64_t k, int64_t n) {
+  if (GradEnabled()) return nullptr;
+  const Int8WeightSet* set = ActiveInt8Weights();
+  if (set == nullptr) return nullptr;
+  const QuantizedMatrix* q = set->Find(w.storage_id());
+  if (q == nullptr || q->rows != k || q->cols != n) return nullptr;
+  return q;
+}
+
+// The int8 twin of the ikj matmul accumulation for output rows [s, e):
+// per (i, kk) the fp32 activation is folded with the row scale into one
+// multiplier, then the int8 row of B is dequantized in-register.
+void Int8MatMulRows(const Reader& ra, const QuantizedMatrix& qb, float* po,
+                    int64_t k, int64_t n, int64_t s, int64_t e) {
+#ifdef DTDBD_SIMD_AVX512
+  const bool vec = CpuHasAvx512f() && n >= 16;
+#endif
+  for (int64_t i = s; i < e; ++i) {
+    const float* arow = ra.row(i);
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float m = av * qb.scales[static_cast<size_t>(kk)];
+      if (m == 0.0f) continue;  // all-zero weight row
+      const int8_t* qrow = qb.q.data() + kk * n;
+#ifdef DTDBD_SIMD_AVX512
+      if (vec) {
+        Int8AxpyRowAvx512(orow, qrow, m, n);
+        continue;
+      }
+#endif
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] += static_cast<float>(qrow[j]) * m;
+      }
+    }
+  }
+}
+
+// The exact ikj accumulation of MatMul (zero-skip per A element) for
+// output rows [s, e) — shared by MatMul and the fused LinearRelu. `vec`
+// is hoisted by the caller (SimdEnabled && AVX-512 && n >= 16).
+void MatMulAccumulateRows(const Reader& ra, const Reader& rb, float* po,
+                          int64_t k, int64_t n, int64_t s, int64_t e,
+                          bool vec) {
+  (void)vec;
+  for (int64_t i = s; i < e; ++i) {
+    const float* arow = ra.row(i);
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = rb.row(kk);
+#ifdef DTDBD_SIMD_AVX512
+      if (vec) {
+        AxpyRowAvx512(orow, brow, av, n);
+        continue;
+      }
+#endif
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// gA[i,kk] += sum_j g[i,j] * B[kk,j] for rows [s, e) — shared by the
+// MatMul and LinearRelu backwards. When `bt` is non-null it holds B
+// transposed ([n, k], bt[j*k+kk] = B[kk,j]) and the vector path computes
+// 16 consecutive kk per pass; the tail and the bt==nullptr case run the
+// scalar reference chain.
+void MatMulBackwardARows(const float* g, const Reader& rb, const float* bt,
+                         float* ga, int64_t k, int64_t n, int64_t s,
+                         int64_t e) {
+  for (int64_t i = s; i < e; ++i) {
+    const float* grow = g + i * n;
+    int64_t kk = 0;
+#ifdef DTDBD_SIMD_AVX512
+    if (bt != nullptr) {
+      float acc16[16];
+      for (; kk + 16 <= k; kk += 16) {
+        DotAccum16Avx512(grow, bt + kk, n, k, acc16);
+        for (int l = 0; l < 16; ++l) ga[i * k + kk + l] += acc16[l];
+      }
+    }
+#endif
+    for (; kk < k; ++kk) {
+      const float* brow = rb.row(kk);
+      float acc = 0.0f;
+      for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+      ga[i * k + kk] += acc;
+    }
+  }
+}
+
+// Builds the transposed copy of B used by MatMulBackwardARows' vector
+// path, or an empty vector when the fast path won't run. Materialized on
+// the dispatching thread, before ParallelFor.
+std::vector<float> MaybeTransposeForBackward(const Reader& rb, int64_t k,
+                                             int64_t n) {
+  std::vector<float> bt;
+#ifdef DTDBD_SIMD_AVX512
+  if (UseAvx512() && k >= 16) {
+    bt.resize(static_cast<size_t>(k * n));
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = rb.row(kk);
+      for (int64_t j = 0; j < n; ++j) bt[j * k + kk] = brow[j];
+    }
+  }
+#else
+  (void)rb;
+  (void)k;
+  (void)n;
+#endif
+  return bt;
+}
+
+// gB[kk,j] += A[i,kk] * g[i,j] for weight rows [s, e), i ascending with
+// the zero-skip — shared by the MatMul and LinearRelu backwards.
+void MatMulBackwardBRows(const Reader& ra, const float* g, float* gb,
+                         int64_t m, int64_t n, int64_t s, int64_t e,
+                         bool vec) {
+  (void)vec;
+  for (int64_t kk = s; kk < e; ++kk) {
+    float* gbrow = gb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = ra.row(i)[kk];
+      if (av == 0.0f) continue;
+      const float* grow = g + i * n;
+#ifdef DTDBD_SIMD_AVX512
+      if (vec) {
+        AxpyRowAvx512(gbrow, grow, av, n);
+        continue;
+      }
+#endif
+      for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+    }
+  }
 }
 
 // ----- Contiguous -----
@@ -335,16 +722,10 @@ void MatMulBackward(Node* self) {
     // gA[i,kk] += sum_j g[i,j] * B[kk,j]; sharded over rows of A.
     const Reader rb = ReadOf(bn);
     float* ga = an->grad.data();
+    const std::vector<float> bt = MaybeTransposeForBackward(rb, k, n);
+    const float* pbt = bt.empty() ? nullptr : bt.data();
     ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
-      for (int64_t i = s; i < e; ++i) {
-        const float* grow = g + i * n;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float* brow = rb.row(kk);
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-          ga[i * k + kk] += acc;
-        }
-      }
+      MatMulBackwardARows(g, rb, pbt, ga, k, n, s, e);
     });
   }
   if (bn->requires_grad) {
@@ -352,16 +733,9 @@ void MatMulBackward(Node* self) {
     // (kk,j) accumulates over i ascending, matching the serial kernel.
     const Reader ra = ReadOf(an);
     float* gb = bn->grad.data();
+    const bool vec = UseAvx512() && n >= 16;
     ParallelFor(k, GrainForRows(m * n), [&](int64_t s, int64_t e) {
-      for (int64_t kk = s; kk < e; ++kk) {
-        float* gbrow = gb + kk * n;
-        for (int64_t i = 0; i < m; ++i) {
-          const float av = ra.row(i)[kk];
-          if (av == 0.0f) continue;
-          const float* grow = g + i * n;
-          for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-        }
-      }
+      MatMulBackwardBRows(ra, g, gb, m, n, s, e, vec);
     });
   }
 }
@@ -398,9 +772,20 @@ void LinearReluBackward(Node* self) {
     for (int64_t i = s; i < e; ++i) pg2[i] = g[i] * mask[i] + 0.0f;
   });
   if (bn->requires_grad) {
-    // AddBias backward: bias columns sharded, rows ascending.
+    // AddBias backward: bias columns sharded, rows ascending. The vector
+    // path interchanges the loops within the shard's column range — each
+    // gb[j] still accumulates over r ascending.
     float* gb = bn->grad.data();
+    const bool vec = UseAvx512();
     ParallelFor(n, GrainForRows(m), [&](int64_t s, int64_t e) {
+      if (vec && e - s >= 16) {
+        for (int64_t r = 0; r < m; ++r) {
+#ifdef DTDBD_SIMD_AVX512
+          AddRowAvx512(gb + s, pg2 + r * n + s, e - s);
+#endif
+        }
+        return;
+      }
       for (int64_t j = s; j < e; ++j) {
         for (int64_t r = 0; r < m; ++r) gb[j] += pg2[r * n + j];
       }
@@ -409,31 +794,18 @@ void LinearReluBackward(Node* self) {
   if (xn->requires_grad) {
     const Reader rb = ReadOf(wn);
     float* gx = xn->grad.data();
+    const std::vector<float> bt = MaybeTransposeForBackward(rb, k, n);
+    const float* pbt = bt.empty() ? nullptr : bt.data();
     ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
-      for (int64_t i = s; i < e; ++i) {
-        const float* grow = pg2 + i * n;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float* wrow = rb.row(kk);
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) acc += grow[j] * wrow[j];
-          gx[i * k + kk] += acc;
-        }
-      }
+      MatMulBackwardARows(pg2, rb, pbt, gx, k, n, s, e);
     });
   }
   if (wn->requires_grad) {
     const Reader ra = ReadOf(xn);
     float* gw = wn->grad.data();
+    const bool vec = UseAvx512() && n >= 16;
     ParallelFor(k, GrainForRows(m * n), [&](int64_t s, int64_t e) {
-      for (int64_t kk = s; kk < e; ++kk) {
-        float* gwrow = gw + kk * n;
-        for (int64_t i = 0; i < m; ++i) {
-          const float av = ra.row(i)[kk];
-          if (av == 0.0f) continue;
-          const float* grow = pg2 + i * n;
-          for (int64_t j = 0; j < n; ++j) gwrow[j] += av * grow[j];
-        }
-      }
+      MatMulBackwardBRows(ra, pg2, gw, m, n, s, e, vec);
     });
   }
 }
@@ -457,10 +829,19 @@ void MatVecOverTimeBackward(Node* self) {
   if (xn->requires_grad) {
     const Reader rv = ReadOf(vn);
     float* gx = xn->grad.data();
+    const bool vec = UseAvx512() && rv.flat && n >= 16;
     ParallelFor(bt, GrainForRows(n), [&](int64_t s, int64_t e) {
       for (int64_t i = s; i < e; ++i) {
         const float gv = g[i];
         float* gxrow = gx + i * n;
+#ifdef DTDBD_SIMD_AVX512
+        if (vec) {
+          AxpyRowAvx512(gxrow, rv.ptr, gv, n);
+          continue;
+        }
+#else
+        (void)vec;
+#endif
         for (int64_t kk = 0; kk < n; ++kk) gxrow[kk] += gv * rv.at(kk);
       }
     });
@@ -468,8 +849,19 @@ void MatVecOverTimeBackward(Node* self) {
   if (vn->requires_grad) {
     const float* px = xn->cdata();
     float* gv = vn->grad.data();
+    const bool vec = UseAvx512();
     ParallelFor(n, GrainForRows(bt), [&](int64_t s, int64_t e) {
-      for (int64_t kk = s; kk < e; ++kk) {
+      int64_t kk = s;
+#ifdef DTDBD_SIMD_AVX512
+      if (vec) {
+        for (; kk + 16 <= e; kk += 16) {
+          MatVecGradV16Avx512(px + kk, g, bt, n, gv + kk);
+        }
+      }
+#else
+      (void)vec;
+#endif
+      for (; kk < e; ++kk) {
         for (int64_t i = 0; i < bt; ++i) {
           const float av = px[i * n + kk];
           if (av == 0.0f) continue;
@@ -685,8 +1077,9 @@ const Op* const kStackTime = OpRegistry::Get().Register(
 
 // ----- Softmax family -----
 
-// Row-wise softmax of `in` (rows x cols) into `out`.
-void RowSoftmax(const float* in, float* out, int64_t rows, int64_t cols) {
+// Scalar reference row-wise softmax of `in` (rows x cols) into `out`.
+void RowSoftmaxScalar(const float* in, float* out, int64_t rows,
+                      int64_t cols) {
   for (int64_t r = 0; r < rows; ++r) {
     const float* x = in + r * cols;
     float* y = out + r * cols;
@@ -700,6 +1093,40 @@ void RowSoftmax(const float* in, float* out, int64_t rows, int64_t cols) {
     const float inv = 1.0f / sum;
     for (int64_t j = 0; j < cols; ++j) y[j] *= inv;
   }
+}
+
+// Row-wise softmax with the vector fast path: blocks of 16 rows compute
+// their maxima lane-per-row over a transposed scratch and scale their
+// outputs with vector multiplies; the exp+sum stage stays scalar per row
+// (std::exp has no bitwise vector equivalent). Tail rows take the
+// reference loop.
+void RowSoftmax(const float* in, float* out, int64_t rows, int64_t cols) {
+  int64_t r = 0;
+#ifdef DTDBD_SIMD_AVX512
+  if (UseAvx512() && rows >= 16 && cols >= 2) {
+    std::vector<float> scratch(static_cast<size_t>(cols) * 16);
+    float m16[16];
+    for (; r + 16 <= rows; r += 16) {
+      for (int rr = 0; rr < 16; ++rr) {
+        const float* x = in + (r + rr) * cols;
+        for (int64_t j = 0; j < cols; ++j) scratch[j * 16 + rr] = x[j];
+      }
+      RowMax16Avx512(scratch.data(), cols, m16);
+      for (int rr = 0; rr < 16; ++rr) {
+        const float* x = in + (r + rr) * cols;
+        float* y = out + (r + rr) * cols;
+        const float mx = m16[rr];
+        float sum = 0.0f;
+        for (int64_t j = 0; j < cols; ++j) {
+          y[j] = std::exp(x[j] - mx);
+          sum += y[j];
+        }
+        ScaleRowAvx512(y, 1.0f / sum, cols);
+      }
+    }
+  }
+#endif
+  RowSoftmaxScalar(in + r * cols, out + r * cols, rows - r, cols);
 }
 
 void SoftmaxBackward(Node* self) {
@@ -760,8 +1187,21 @@ void EmbeddingGatherBackward(Node* self) {
   float* gi = in->grad.data();
   // Sharded over embedding columns: repeated ids land in the same column
   // range of the table gradient inside one shard, accumulated over i in
-  // ascending order — matching the serial kernel bit for bit.
+  // ascending order — matching the serial kernel bit for bit. The vector
+  // path interchanges the loops within the shard (contiguous column
+  // stripes instead of stride-e walks); each (row, j) element still
+  // accumulates over i ascending.
+  const bool vec = UseAvx512();
   ParallelFor(e, GrainForRows(count), [&](int64_t s, int64_t e2) {
+    if (vec && e2 - s >= 16) {
+      for (int64_t i = 0; i < count; ++i) {
+        const int64_t row = st->ids[static_cast<size_t>(i)];
+#ifdef DTDBD_SIMD_AVX512
+        AddRowAvx512(gi + row * e + s, g + i * e + s, e2 - s);
+#endif
+      }
+      return;
+    }
     for (int64_t j = s; j < e2; ++j) {
       for (int64_t i = 0; i < count; ++i) {
         const int64_t row = st->ids[static_cast<size_t>(i)];
@@ -1140,21 +1580,20 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
   ScopedOpTimer timer(kMatMul);
   const Reader ra = ReadOf(a.node().get());
   const Reader rb = ReadOf(b.node().get());
+  // Serving eval path: when the session installed an int8 twin of this
+  // weight, dequantize-in-register instead of streaming the fp32 rows.
+  const QuantizedMatrix* qb = Int8WeightFor(b, k, n);
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   float* po = out.data();
+  const bool vec = UseAvx512() && n >= 16;
   // ikj order per output row: streaming access to b and out rows. Each
   // output row is produced by exactly one shard.
   ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
-    for (int64_t i = s; i < e; ++i) {
-      const float* arow = ra.row(i);
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = rb.row(kk);
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
+    if (qb != nullptr) {
+      Int8MatMulRows(ra, *qb, po, k, n, s, e);
+      return;
     }
+    MatMulAccumulateRows(ra, rb, po, k, n, s, e, vec);
   });
   return MakeOp(kMatMul, {m, n}, std::move(out), {a, b});
 }
@@ -1361,7 +1800,31 @@ Tensor LogSoftmax(const Tensor& x_in) {
   std::vector<float> out(static_cast<size_t>(x.numel()));
   float* po = out.data();
   ParallelFor(rows, GrainForRows(cols), [&](int64_t s, int64_t e) {
-    for (int64_t r = s; r < e; ++r) {
+    int64_t r = s;
+#ifdef DTDBD_SIMD_AVX512
+    // Vector path: row maxima lane-per-row over a transposed scratch,
+    // vector writeback; the sum-of-exp stays scalar per row.
+    if (UseAvx512() && e - r >= 16) {
+      std::vector<float> scratch(static_cast<size_t>(cols) * 16);
+      float m16[16];
+      for (; r + 16 <= e; r += 16) {
+        for (int rr = 0; rr < 16; ++rr) {
+          const float* xi = px + (r + rr) * cols;
+          for (int64_t j = 0; j < cols; ++j) scratch[j * 16 + rr] = xi[j];
+        }
+        RowMax16Avx512(scratch.data(), cols, m16);
+        for (int rr = 0; rr < 16; ++rr) {
+          const float* xi = px + (r + rr) * cols;
+          const float mx = m16[rr];
+          float sum = 0.0f;
+          for (int64_t j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
+          SubScalarRowAvx512(po + (r + rr) * cols, xi, mx + std::log(sum),
+                             cols);
+        }
+      }
+    }
+#endif
+    for (; r < e; ++r) {
       const float* xi = px + r * cols;
       float* y = po + r * cols;
       float mx = xi[0];
@@ -1407,9 +1870,18 @@ Tensor EmbeddingGather(const Tensor& table_in, const std::vector<int>& ids,
   const float* pt = table.data().data();
   std::vector<float> out(static_cast<size_t>(batch * time * e));
   float* po = out.data();
+  const bool vec = UseAvx512() && e >= 16;
   ParallelFor(batch * time, GrainForRows(e), [&](int64_t s, int64_t e2) {
     for (int64_t i = s; i < e2; ++i) {
       const int64_t row = ids[static_cast<size_t>(i)];
+#ifdef DTDBD_SIMD_AVX512
+      if (vec) {
+        CopyRowAvx512(po + i * e, pt + row * e, e);
+        continue;
+      }
+#else
+      (void)vec;
+#endif
       std::copy_n(pt + row * e, e, po + i * e);
     }
   });
@@ -1465,14 +1937,7 @@ inline void ConvRowsScalar(const float* px, const float* pw,
   }
 }
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define DTDBD_CONV_ROWBLOCK_AVX512 1
-
-bool CpuHasAvx512f() {
-  static const bool has = __builtin_cpu_supports("avx512f");
-  return has;
-}
-
+#ifdef DTDBD_SIMD_AVX512
 // One block of 16 rows, all channels. `scratch` is [win, 16] (the 16
 // windows transposed so each j reads one contiguous vector of row values),
 // `out16` is [c, 16] of raw pre-activations.
@@ -1504,8 +1969,8 @@ void ConvRows(const float* px, const float* pw, const float* pbias, float* po,
               float* pmask, int64_t t, int64_t e, int64_t to, int64_t c,
               int64_t win, int64_t s, int64_t e2) {
   int64_t r = s;
-#ifdef DTDBD_CONV_ROWBLOCK_AVX512
-  if (CpuHasAvx512f() && e2 - r >= 16) {
+#ifdef DTDBD_SIMD_AVX512
+  if (UseAvx512() && e2 - r >= 16) {
     std::vector<float> scratch(static_cast<size_t>(win) * 16);
     std::vector<float> out16(static_cast<size_t>(c) * 16);
     for (; r + 16 <= e2; r += 16) {
@@ -1589,20 +2054,27 @@ Tensor LinearRelu(const Tensor& x_in, const Tensor& w_in,
   auto state = std::make_shared<LinearReluState>();
   state->mask.resize(static_cast<size_t>(m * n));
   float* pmask = state->mask.data();
+  // Serving eval path: int8 twin of the weight, fp32 bias/ReLU epilogue.
+  const QuantizedMatrix* qw = Int8WeightFor(w, k, n);
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   float* po = out.data();
+  const bool vec = UseAvx512() && n >= 16;
   // MatMul's exact ikj accumulation, then bias-add + clamp in place.
   ParallelFor(m, GrainForRows(k * n), [&](int64_t s, int64_t e) {
+    if (qw != nullptr) {
+      Int8MatMulRows(ra, *qw, po, k, n, s, e);
+    } else {
+      MatMulAccumulateRows(ra, rb, po, k, n, s, e, vec);
+    }
     for (int64_t i = s; i < e; ++i) {
-      const float* arow = ra.row(i);
       float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = rb.row(kk);
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
       float* mrow = pmask + i * n;
+#ifdef DTDBD_SIMD_AVX512
+      if (vec) {
+        BiasReluRowAvx512(orow, mrow, pb, n);
+        continue;
+      }
+#endif
       for (int64_t j = 0; j < n; ++j) {
         const float pre = orow[j] + pb[j];
         const bool on = pre > 0.0f;
@@ -1669,8 +2141,30 @@ Tensor MatVecOverTime(const Tensor& x_in, const Tensor& v_in) {
   const Reader rv = ReadOf(v.node().get());
   std::vector<float> out(static_cast<size_t>(b * t));
   float* po = out.data();
+  const bool vec = UseAvx512() && rv.flat;
   ParallelFor(b * t, GrainForRows(n), [&](int64_t s, int64_t e) {
-    for (int64_t i = s; i < e; ++i) {
+    int64_t i = s;
+#ifdef DTDBD_SIMD_AVX512
+    // Lane-per-row over a transposed scratch: 16 dot products at once,
+    // each lane running the scalar zero-skip chain exactly.
+    if (vec && e - i >= 16) {
+      std::vector<float> scratch(static_cast<size_t>(n) * 16);
+      float out16[16];
+      for (; i + 16 <= e; i += 16) {
+        for (int rr = 0; rr < 16; ++rr) {
+          const float* xrow = px + (i + rr) * n;
+          for (int64_t kk = 0; kk < n; ++kk) {
+            scratch[kk * 16 + rr] = xrow[kk];
+          }
+        }
+        MatVec16Avx512(scratch.data(), rv.ptr, n, out16);
+        for (int rr = 0; rr < 16; ++rr) po[i + rr] = out16[rr];
+      }
+    }
+#else
+    (void)vec;
+#endif
+    for (; i < e; ++i) {
       const float* xrow = px + i * n;
       float acc = 0.0f;
       for (int64_t kk = 0; kk < n; ++kk) {
@@ -1747,7 +2241,30 @@ Tensor LayerNormOp(const Tensor& x_in, const Tensor& gamma_in,
   float* pxhat = state->xhat.data();
   float* pis = state->inv_std.data();
   ParallelFor(rows, GrainForRows(n), [&](int64_t s, int64_t e) {
-    for (int64_t r = s; r < e; ++r) {
+    int64_t r = s;
+#ifdef DTDBD_SIMD_AVX512
+    // Vector path: mean/variance chains lane-per-row over a transposed
+    // scratch (division and sqrt are correctly rounded in both forms),
+    // then a vector writeback per row.
+    if (UseAvx512() && e - r >= 16) {
+      std::vector<float> scratch(static_cast<size_t>(n) * 16);
+      float mean16[16], is16[16];
+      for (; r + 16 <= e; r += 16) {
+        for (int rr = 0; rr < 16; ++rr) {
+          const float* xi = px + (r + rr) * n;
+          for (int64_t j = 0; j < n; ++j) scratch[j * 16 + rr] = xi[j];
+        }
+        LayerNormStats16Avx512(scratch.data(), n, eps, mean16, is16);
+        for (int rr = 0; rr < 16; ++rr) {
+          pis[r + rr] = is16[rr];
+          LayerNormRowAvx512(px + (r + rr) * n, pg, pbeta, mean16[rr],
+                             is16[rr], pxhat + (r + rr) * n,
+                             po + (r + rr) * n, n);
+        }
+      }
+    }
+#endif
+    for (; r < e; ++r) {
       const float* xi = px + r * n;
       float mean = 0.0f;
       for (int64_t j = 0; j < n; ++j) mean += xi[j];

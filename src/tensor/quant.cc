@@ -1,0 +1,128 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dtdbd::tensor {
+
+QuantizedMatrix QuantizeRowwise(const float* w, int64_t rows, int64_t cols) {
+  QuantizedMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.q.resize(static_cast<size_t>(rows * cols));
+  m.scales.resize(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float maxabs = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      maxabs = std::max(maxabs, std::fabs(row[c]));
+    }
+    if (maxabs == 0.0f) {
+      m.scales[r] = 0.0f;
+      // q already zero-initialized by resize.
+      continue;
+    }
+    const float scale = maxabs / 127.0f;
+    m.scales[r] = scale;
+    const float inv = 1.0f / scale;
+    int8_t* qrow = m.q.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      long v = std::lroundf(row[c] * inv);
+      if (v > 127) v = 127;
+      if (v < -127) v = -127;
+      qrow[c] = static_cast<int8_t>(v);
+    }
+  }
+  return m;
+}
+
+std::vector<float> Dequantize(const QuantizedMatrix& m) {
+  std::vector<float> out(static_cast<size_t>(m.rows * m.cols));
+  for (int64_t r = 0; r < m.rows; ++r) {
+    const float scale = m.scales[static_cast<size_t>(r)];
+    const int8_t* qrow = m.q.data() + r * m.cols;
+    float* orow = out.data() + r * m.cols;
+    for (int64_t c = 0; c < m.cols; ++c) {
+      orow[c] = static_cast<float>(qrow[c]) * scale;
+    }
+  }
+  return out;
+}
+
+void Int8WeightSet::Add(const void* key, const float* w, int64_t rows,
+                        int64_t cols) {
+  QuantizedMatrix m = QuantizeRowwise(w, rows, cols);
+  auto it = weights_.find(key);
+  if (it != weights_.end()) {
+    total_bytes_ -= it->second.bytes();
+    it->second = std::move(m);
+    total_bytes_ += it->second.bytes();
+    return;
+  }
+  total_bytes_ += m.bytes();
+  weights_.emplace(key, std::move(m));
+}
+
+const QuantizedMatrix* Int8WeightSet::Find(const void* key) const {
+  auto it = weights_.find(key);
+  return it == weights_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Int8WeightSet> QuantizeWeightMatrices(
+    const std::vector<Tensor>& params) {
+  auto set = std::make_unique<Int8WeightSet>();
+  for (const Tensor& p : params) {
+    if (p.ndim() != 2 || p.dim(0) <= 1 || p.dim(1) <= 1) continue;
+    if (!p.contiguous()) continue;
+    set->Add(p.storage_id(), p.data().data(), p.dim(0), p.dim(1));
+  }
+  return set;
+}
+
+namespace {
+
+thread_local const Int8WeightSet* g_active_int8_weights = nullptr;
+
+// Strict parse of DTDBD_INT8: unset/"0" → off, "1" → on, anything else →
+// warn and pin off. Mirrors the ParsePositiveInt philosophy — an operator
+// typo must never silently flip a serving-accuracy knob.
+bool Int8Default() {
+  const char* env = std::getenv("DTDBD_INT8");
+  if (env == nullptr) return false;
+  const std::string value(env);
+  if (value == "0") return false;
+  if (value == "1") return true;
+  DTDBD_LOG(Warning) << "invalid DTDBD_INT8 value \"" << value
+                     << "\" (want 0 or 1); int8 serving stays off";
+  return false;
+}
+
+std::atomic<bool>& Int8Flag() {
+  static std::atomic<bool> flag{Int8Default()};
+  return flag;
+}
+
+}  // namespace
+
+const Int8WeightSet* ActiveInt8Weights() { return g_active_int8_weights; }
+
+ScopedInt8Weights::ScopedInt8Weights(const Int8WeightSet* set)
+    : saved_(g_active_int8_weights) {
+  g_active_int8_weights = set;
+}
+
+ScopedInt8Weights::~ScopedInt8Weights() { g_active_int8_weights = saved_; }
+
+bool Int8Enabled() { return Int8Flag().load(std::memory_order_relaxed); }
+
+void SetInt8Enabled(bool enabled) {
+  Int8Flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace dtdbd::tensor

@@ -1,0 +1,108 @@
+// Int8 weight quantization for the serving eval path (DESIGN.md §8).
+//
+// Weights are quantized ONCE, at checkpoint/session load, with per-row
+// symmetric scales: scale_r = maxabs(row_r) / 127, q = round(w / scale_r)
+// clamped to [-127, 127]. Activations stay fp32 end to end; the matmul /
+// linear kernels dequantize in-register (q * scale folded into the
+// per-element multiplier), so there is no int8 activation path and no
+// calibration step. The contract is explicitly NOT bitwise: the int8 path
+// is NMSE-bounded against the fp32 oracle (pinned by quantize_test and
+// reported per-op and end-to-end by the benches).
+//
+// Ownership: an Int8WeightSet is built by serve::InferenceSession from the
+// live parameter tensors of a loaded model and keyed by Tensor::storage_id(),
+// so a kernel can look up "is this weight quantized?" by pointer identity
+// with zero per-call hashing of tensor contents. The set is installed as a
+// thread-local ambient scope (ScopedInt8Weights) only around eval forwards;
+// training paths (GradEnabled()) never consult it.
+#ifndef DTDBD_TENSOR_QUANT_H_
+#define DTDBD_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dtdbd::tensor {
+
+// One row-major int8 matrix plus its per-row dequantization scales.
+struct QuantizedMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> q;      // rows * cols, row-major
+  std::vector<float> scales;  // rows; 0.0f for an all-zero row (q == 0)
+
+  int64_t bytes() const {
+    return static_cast<int64_t>(q.size() * sizeof(int8_t) +
+                                scales.size() * sizeof(float));
+  }
+};
+
+// Per-row symmetric quantization of a row-major [rows, cols] fp32 matrix.
+// An all-zero row gets scale 0 and all-zero codes (dequantizes exactly).
+QuantizedMatrix QuantizeRowwise(const float* w, int64_t rows, int64_t cols);
+
+// Dequantizes back to fp32 (test/NMSE helper; kernels dequantize in-register
+// and never materialize this).
+std::vector<float> Dequantize(const QuantizedMatrix& m);
+
+// The quantized twins of a model's weight matrices, keyed by the storage
+// identity of the live fp32 parameter they shadow.
+class Int8WeightSet {
+ public:
+  // Quantizes w ([rows, cols], row-major, inner-dense) and files it under
+  // `key` (the parameter tensor's storage_id()). Re-adding a key replaces
+  // the entry (hot-reload builds a fresh set instead, but be safe).
+  void Add(const void* key, const float* w, int64_t rows, int64_t cols);
+
+  // Returns the quantized twin for `key`, or nullptr if this weight was
+  // never quantized. Callers must still shape-check the result against the
+  // operand they are about to multiply.
+  const QuantizedMatrix* Find(const void* key) const;
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t size() const { return static_cast<int64_t>(weights_.size()); }
+
+ private:
+  std::unordered_map<const void*, QuantizedMatrix> weights_;
+  int64_t total_bytes_ = 0;
+};
+
+// Quantizes every true weight matrix in `params` — contiguous, 2D, both
+// dims > 1 — into a fresh set keyed by storage identity. This is THE
+// eligibility rule: the serving session and the offline evaluator both
+// build their sets through it, so the two paths quantize identical fp32
+// weights identically and stay bitwise-comparable under DTDBD_INT8=1.
+std::unique_ptr<Int8WeightSet> QuantizeWeightMatrices(
+    const std::vector<Tensor>& params);
+
+// Thread-local ambient set consulted by the MatMul / LinearRelu eval
+// kernels. Null (the default) means "serve fp32".
+const Int8WeightSet* ActiveInt8Weights();
+
+// RAII installer for the ambient set; restores the previous value so eval
+// scopes nest with training code on the same thread.
+class ScopedInt8Weights {
+ public:
+  explicit ScopedInt8Weights(const Int8WeightSet* set);
+  ~ScopedInt8Weights();
+  ScopedInt8Weights(const ScopedInt8Weights&) = delete;
+  ScopedInt8Weights& operator=(const ScopedInt8Weights&) = delete;
+
+ private:
+  const Int8WeightSet* saved_;
+};
+
+// Process-wide default for "quantize weights at session load". The initial
+// value comes from DTDBD_INT8 with a strict parse: unset or "0" → off,
+// "1" → on, anything else → warn once and pin off (never a silent guess).
+// The --int8 serving flag resolves through serve::ResolveInt8 and calls
+// SetInt8Enabled before sessions are constructed.
+bool Int8Enabled();
+void SetInt8Enabled(bool enabled);
+
+}  // namespace dtdbd::tensor
+
+#endif  // DTDBD_TENSOR_QUANT_H_

@@ -56,6 +56,16 @@ std::atomic<bool>& FusionFlag() {
   return flag;
 }
 
+bool SimdDefault() {
+  const char* env = std::getenv("DTDBD_NO_SIMD");
+  return env == nullptr || std::string(env) == "0";
+}
+
+std::atomic<bool>& SimdFlag() {
+  static std::atomic<bool> flag{SimdDefault()};
+  return flag;
+}
+
 }  // namespace
 
 bool FusionEnabled() {
@@ -64,6 +74,14 @@ bool FusionEnabled() {
 
 void SetFusionEnabled(bool enabled) {
   FusionFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool SimdEnabled() {
+  return SimdFlag().load(std::memory_order_relaxed);
+}
+
+void SetSimdEnabled(bool enabled) {
+  SimdFlag().store(enabled, std::memory_order_relaxed);
 }
 
 OpRegistry& OpRegistry::Get() {

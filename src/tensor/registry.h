@@ -89,6 +89,17 @@ Tensor MakeView(const Op* op, Shape shape, Shape strides, int64_t offset,
 bool FusionEnabled();
 void SetFusionEnabled(bool enabled);
 
+// ----- SIMD dispatch toggle -----
+
+// Runtime-dispatched vector fast paths (the AVX-512 row-blocked Conv1dSeq
+// kernel plus the MatMul / LinearRelu / MatVecOverTime / softmax-row /
+// LayerNorm / EmbeddingGather paths) are enabled by default and are bitwise
+// identical to their scalar reference loops, so callers never branch.
+// Setting DTDBD_NO_SIMD to anything other than "0" pins the scalar paths
+// process-wide (used by tests to produce the scalar oracle).
+bool SimdEnabled();
+void SetSimdEnabled(bool enabled);
+
 // ----- Per-op profiling counters -----
 
 struct OpStats {

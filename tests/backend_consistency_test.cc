@@ -43,6 +43,20 @@ class ScopedFusion {
   bool saved_;
 };
 
+// Forces the SIMD dispatch flag: off produces the scalar oracle, on runs
+// the AVX-512 fast paths (where the CPU has them; on other machines both
+// settings run scalar and the parity tests are vacuous but still green).
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool enabled) : saved_(SimdEnabled()) {
+    SetSimdEnabled(enabled);
+  }
+  ~ScopedSimd() { SetSimdEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
 // One consistency case: builds leaves + a scalar loss from fixed seeds.
 struct Built {
   std::vector<Tensor> leaves;
@@ -194,6 +208,39 @@ std::vector<Case> AllCases() {
     return Built{{x, w, bias, seq, cw, cb, v}, loss};
   }});
 
+  cases.push_back({"simd_tail_shapes", [] {
+    // Dimensions deliberately not multiples of 16: every vector fast path
+    // must hand off to its scalar tail mid-row and mid-block. Covers
+    // MatMul, LinearRelu, Softmax, LogSoftmax, LayerNorm, MatVecOverTime,
+    // EmbeddingGather, and Conv1dSeq with 16-block + remainder shapes.
+    ScopedFusion fusion(true);
+    Tensor x = Rand({19, 17}, 30);
+    Tensor w = Rand({17, 23}, 31);
+    Tensor m = MatMul(x, w);
+    Tensor bias = Rand({23}, 32);
+    Tensor lin = LinearRelu(x, w, bias);
+    Tensor soft = Add(Sum(Softmax(m)), Mean(LogSoftmax(m)));
+
+    Tensor table = Rand({40, 17}, 33);
+    Rng id_rng(34);
+    std::vector<int> ids(3 * 7);
+    for (auto& id : ids) id = static_cast<int>(id_rng.UniformInt(40));
+    Tensor e = EmbeddingGather(table, ids, 3, 7);
+    Tensor cw = Rand({18, 3 * 17}, 35);
+    Tensor cb = Rand({18}, 36);
+    Tensor conv = Conv1dSeq(e, cw, cb, 3);
+    Tensor gamma = Rand({18}, 37);
+    Tensor beta = Rand({18}, 38);
+    Tensor ln = LayerNormOp(conv, gamma, beta);
+
+    Tensor v = Rand({17, 1}, 39);
+    Tensor scores = MatVecOverTime(e, v);
+
+    Tensor loss = Add(Add(Sum(m), Add(Sum(lin), soft)),
+                      Add(Sum(ln), Sum(scores)));
+    return Built{{x, w, bias, table, cw, cb, gamma, beta, v}, loss};
+  }});
+
   cases.push_back({"unfused_reference", [] {
     // Fusion forced OFF: covers the reference composition ops (NllLoss,
     // KlFromLogProbs) that the fused losses fall back to.
@@ -225,6 +272,30 @@ TEST_F(BackendConsistencyTest, BitwiseIdenticalAcrossThreadCounts) {
       SCOPED_TRACE(std::string(c.name) + " threads=" +
                    std::to_string(threads));
       ExpectBitwiseEqual(serial, parallel, c.name);
+    }
+  }
+}
+
+// The PR 5 contract extended to every vectorized kernel (MatMul fwd+bwd,
+// LinearRelu fwd+bwd, MatVecOverTime fwd+bwd, softmax / log-softmax /
+// LayerNorm rows, EmbeddingGather fwd+bwd, Conv1dSeq): the SIMD fast
+// paths must be bitwise identical to the scalar reference loops — same
+// forward bits, same gradient bits — at every thread count.
+TEST_F(BackendConsistencyTest, ScalarAndSimdPathsBitwiseIdentical) {
+  for (const Case& c : AllCases()) {
+    SetNumThreads(1);
+    CaseResult scalar;
+    {
+      ScopedSimd simd(false);
+      scalar = RunCase(c);
+    }
+    for (int threads : {1, 2, 4, 8}) {
+      SetNumThreads(threads);
+      ScopedSimd simd(true);
+      const CaseResult vec = RunCase(c);
+      SCOPED_TRACE(std::string(c.name) + " simd threads=" +
+                   std::to_string(threads));
+      ExpectBitwiseEqual(scalar, vec, c.name);
     }
   }
 }

@@ -917,7 +917,10 @@ TEST(DriftHealthFrameTest, QualityFieldsRoundTrip) {
   m.quality_window_samples = 17;
   m.quality_auc = 0.8125;
   m.bias_spread = 0.25;
+  m.int8_active = true;
+  m.quantized_bytes = 123456;
   health.models.push_back(m);
+  health.int8_active = true;
 
   const std::string frame = EncodeHealthResponseFrame(7, health);
   WireHealth decoded;
@@ -935,8 +938,11 @@ TEST(DriftHealthFrameTest, QualityFieldsRoundTrip) {
   EXPECT_EQ(decoded.models[0].quality_window_samples, 17);
   EXPECT_DOUBLE_EQ(decoded.models[0].quality_auc, 0.8125);
   EXPECT_DOUBLE_EQ(decoded.models[0].bias_spread, 0.25);
+  EXPECT_TRUE(decoded.int8_active);
+  EXPECT_TRUE(decoded.models[0].int8_active);
+  EXPECT_EQ(decoded.models[0].quantized_bytes, 123456);
 
-  // Truncation inside the quality tail is a typed decode error, not a
+  // Truncation inside the quality/int8 tail is a typed decode error, not a
   // partial model record.
   WireHealth ignored;
   EXPECT_EQ(DecodeHealthResponsePayload(

@@ -630,10 +630,17 @@ TEST_F(FleetTest, PromoteInvalidatesCacheAndGatedRequestServesPromotedBits) {
   EXPECT_GE(health.models[0].cache.invalidated, 1);
   EXPECT_EQ(health.cache_hits, 1);
 
-  // Miss-and-refill under the promoted version, then a hit with v2 bits.
+  // Refill under the promoted version, then a hit with v2 bits. Both legal
+  // schedules for the gated submit X leave the cache holding v2 bits here:
+  // if X bypassed (control pending) the first predict below misses and
+  // refills (total hits 2); if X landed after the barrier it already
+  // refilled and the first predict below hits too (total hits 3). Either
+  // way every answer above was bitwise v2 — only the hit count forks.
   ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), want.value()));
   ASSERT_TRUE(BitwiseEqual(server.Predict(request).value(), want.value()));
-  EXPECT_EQ(server.Health().cache_hits, 2);
+  const int64_t hits = server.Health().cache_hits;
+  EXPECT_GE(hits, 2);
+  EXPECT_LE(hits, 3);
   server.Stop();
 }
 

@@ -1,0 +1,324 @@
+// Int8 weight-quantized serving (DESIGN.md §8): per-row symmetric scale
+// round-trip bounds, NMSE bounds of the int8 MatMul / LinearRelu kernels
+// against the fp32 oracle, the zoo-wide end-to-end |delta p_fake| bound,
+// the training-never-sees-int8 invariant, and the strict --int8 /
+// DTDBD_INT8 resolution rule. The int8 contract is explicitly NOT bitwise
+// — these bounds are the replacement contract the benches report against.
+#include "tensor/quant.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "models/model.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "text/frozen_encoder.h"
+
+namespace dtdbd::tensor {
+namespace {
+
+// Restores the process-wide int8 toggle so tests can flip it freely.
+class ScopedInt8Enabled {
+ public:
+  explicit ScopedInt8Enabled(bool enabled) : saved_(Int8Enabled()) {
+    SetInt8Enabled(enabled);
+  }
+  ~ScopedInt8Enabled() { SetInt8Enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+std::vector<float> RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                                float bound) {
+  Rng rng(seed);
+  Tensor t = UniformInit({rows, cols}, bound, &rng, /*requires_grad=*/false);
+  return t.ToVector();
+}
+
+// Normalized mean squared error of `got` against the oracle `want`.
+double Nmse(const std::vector<float>& want, const std::vector<float>& got) {
+  EXPECT_EQ(want.size(), got.size());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    const double d = static_cast<double>(got[i]) - want[i];
+    num += d * d;
+    den += static_cast<double>(want[i]) * want[i];
+  }
+  return den > 0.0 ? num / den : num;
+}
+
+// ----- Per-row symmetric scale round-trip -----
+
+TEST(QuantizeTest, RowwiseRoundTripErrorWithinHalfScale) {
+  const int64_t rows = 7, cols = 33;
+  const std::vector<float> w = RandomMatrix(rows, cols, 11, 0.8f);
+  const QuantizedMatrix q = QuantizeRowwise(w.data(), rows, cols);
+  ASSERT_EQ(q.rows, rows);
+  ASSERT_EQ(q.cols, cols);
+  ASSERT_EQ(q.q.size(), static_cast<size_t>(rows * cols));
+  ASSERT_EQ(q.scales.size(), static_cast<size_t>(rows));
+  const std::vector<float> deq = Dequantize(q);
+  for (int64_t r = 0; r < rows; ++r) {
+    float maxabs = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      maxabs = std::max(maxabs, std::fabs(w[r * cols + c]));
+    }
+    // Symmetric round-to-nearest: every element lands within half a
+    // quantization step of the original, and the scale is maxabs/127.
+    EXPECT_NEAR(q.scales[r], maxabs / 127.0f, 1e-7f);
+    for (int64_t c = 0; c < cols; ++c) {
+      EXPECT_LE(std::fabs(deq[r * cols + c] - w[r * cols + c]),
+                q.scales[r] * 0.5f + 1e-7f)
+          << "row " << r << " col " << c;
+    }
+  }
+  EXPECT_EQ(q.bytes(),
+            static_cast<int64_t>(rows * cols * sizeof(int8_t) +
+                                 rows * sizeof(float)));
+}
+
+TEST(QuantizeTest, AllZeroRowDequantizesExactly) {
+  std::vector<float> w(3 * 5, 0.0f);
+  w[2 * 5 + 1] = 0.5f;  // only row 2 is nonzero
+  const QuantizedMatrix q = QuantizeRowwise(w.data(), 3, 5);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  EXPECT_EQ(q.scales[1], 0.0f);
+  EXPECT_GT(q.scales[2], 0.0f);
+  const std::vector<float> deq = Dequantize(q);
+  for (int64_t i = 0; i < 2 * 5; ++i) EXPECT_EQ(deq[i], 0.0f);
+}
+
+TEST(QuantizeTest, WeightSetKeysByStorageIdentityAndCountsBytes) {
+  const std::vector<float> w = RandomMatrix(4, 6, 3, 0.5f);
+  Int8WeightSet set;
+  set.Add(w.data(), w.data(), 4, 6);
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_EQ(set.total_bytes(),
+            static_cast<int64_t>(4 * 6 * sizeof(int8_t) + 4 * sizeof(float)));
+  ASSERT_NE(set.Find(w.data()), nullptr);
+  EXPECT_EQ(set.Find(w.data())->rows, 4);
+  EXPECT_EQ(set.Find(&w), nullptr);  // unknown key -> fp32 path
+  // Re-adding replaces, never double-counts.
+  set.Add(w.data(), w.data(), 4, 6);
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_EQ(set.total_bytes(),
+            static_cast<int64_t>(4 * 6 * sizeof(int8_t) + 4 * sizeof(float)));
+}
+
+// ----- Kernel NMSE bounds (the not-bitwise contract) -----
+
+TEST(QuantizeTest, Int8MatMulNmseBounded) {
+  const int64_t m = 24, k = 40, n = 32;
+  const Tensor a = Tensor::FromData({m, k}, RandomMatrix(m, k, 5, 1.0f));
+  const Tensor b = Tensor::FromData({k, n}, RandomMatrix(k, n, 6, 0.6f));
+  NoGradGuard no_grad;
+  const std::vector<float> oracle = MatMul(a, b).ToVector();
+
+  Int8WeightSet set;
+  set.Add(b.storage_id(), b.data().data(), k, n);
+  std::vector<float> quantized;
+  {
+    ScopedInt8Weights scope(&set);
+    quantized = MatMul(a, b).ToVector();
+  }
+  const double nmse = Nmse(oracle, quantized);
+  EXPECT_GT(nmse, 0.0);      // the paths genuinely diverge...
+  EXPECT_LT(nmse, 1e-4);     // ...but stay NMSE-bounded
+  // Outside the scope the same call is the fp32 oracle again, bitwise.
+  const std::vector<float> after = MatMul(a, b).ToVector();
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(after[i], oracle[i]);
+  }
+}
+
+TEST(QuantizeTest, Int8LinearReluNmseBounded) {
+  const int64_t m = 24, k = 40, n = 32;
+  const Tensor x = Tensor::FromData({m, k}, RandomMatrix(m, k, 7, 1.0f));
+  const Tensor w = Tensor::FromData({k, n}, RandomMatrix(k, n, 8, 0.6f));
+  const Tensor bias = Tensor::FromData({n}, RandomMatrix(1, n, 9, 0.1f));
+  NoGradGuard no_grad;
+  const std::vector<float> oracle = LinearRelu(x, w, bias).ToVector();
+
+  Int8WeightSet set;
+  set.Add(w.storage_id(), w.data().data(), k, n);
+  std::vector<float> quantized;
+  {
+    ScopedInt8Weights scope(&set);
+    quantized = LinearRelu(x, w, bias).ToVector();
+  }
+  EXPECT_LT(Nmse(oracle, quantized), 1e-4);
+}
+
+// ----- Training never sees int8 -----
+
+TEST(QuantizeTest, GradEnabledForwardIgnoresInstalledInt8Weights) {
+  // Even with the ambient set installed (as it is inside PredictBatch),
+  // a grad-enabled forward must take the fp32 path bitwise — a training
+  // step interleaved on the same thread can never absorb quantization
+  // noise into its gradients.
+  const int64_t m = 8, k = 24, n = 16;
+  const Tensor a = Tensor::FromData({m, k}, RandomMatrix(m, k, 12, 1.0f));
+  const Tensor b = Tensor::FromData({k, n}, RandomMatrix(k, n, 13, 0.6f),
+                                    /*requires_grad=*/true);
+  const std::vector<float> oracle = MatMul(a, b).ToVector();
+
+  Int8WeightSet set;
+  set.Add(b.storage_id(), b.data().data(), k, n);
+  ScopedInt8Weights scope(&set);
+  ASSERT_TRUE(GradEnabled());
+  const std::vector<float> trained = MatMul(a, b).ToVector();
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(trained[i], oracle[i]) << "index " << i;
+  }
+  // And the eval forward in the same scope DOES take the int8 path.
+  NoGradGuard no_grad;
+  const std::vector<float> served = MatMul(a, b).ToVector();
+  double max_delta = 0.0;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    max_delta = std::max(
+        max_delta, std::fabs(static_cast<double>(served[i]) - oracle[i]));
+  }
+  EXPECT_GT(max_delta, 0.0);
+}
+
+// ----- Zoo-wide end-to-end accuracy delta -----
+
+class QuantizeZooTest : public ::testing::Test {
+ protected:
+  QuantizeZooTest() {
+    dataset_ = data::GenerateCorpus(data::MicroConfig(17));
+    encoder_ = std::make_unique<text::FrozenEncoder>(dataset_.vocab->size(),
+                                                     16, 5);
+    config_.vocab_size = dataset_.vocab->size();
+    config_.num_domains = dataset_.num_domains();
+    config_.encoder = encoder_.get();
+    config_.embed_dim = 12;
+    config_.hidden_dim = 16;
+    config_.conv_channels = 8;
+    config_.rnn_hidden = 8;
+    config_.num_experts = 3;
+    config_.seed = 3;
+    limits_.vocab_size = config_.vocab_size;
+    limits_.num_domains = config_.num_domains;
+    limits_.seq_len = dataset_.seq_len;
+  }
+
+  serve::InferenceRequest RequestFor(const data::NewsSample& sample) const {
+    serve::InferenceRequest request;
+    request.tokens = sample.tokens;
+    request.domain = sample.domain;
+    request.style = sample.style;
+    request.emotion = sample.emotion;
+    return request;
+  }
+
+  std::unique_ptr<serve::InferenceSession> MakeSession(
+      const std::string& name) const {
+    models::ModelConfig c = config_;
+    return std::make_unique<serve::InferenceSession>(
+        models::CreateModel(name, c), limits_, /*model_version=*/1);
+  }
+
+  data::NewsDataset dataset_;
+  std::unique_ptr<text::FrozenEncoder> encoder_;
+  models::ModelConfig config_;
+  serve::RequestLimits limits_;
+};
+
+TEST_F(QuantizeZooTest, PFakeDeltaBoundedAcrossZoo) {
+  // Same checkpoint bytes, fp32 vs int8 serving: every zoo model's
+  // fake-probability moves by less than the bound on every probe. The
+  // bound is deliberately loose against seeds (quantization noise through
+  // softmax) but tight enough that a broken scale would blow through it.
+  constexpr size_t kSamples = 6;
+  constexpr float kMaxDelta = 0.05f;
+  for (const std::string& name : models::AllModelNames()) {
+    SCOPED_TRACE(name);
+    auto fp32 = MakeSession(name);
+    ASSERT_FALSE(fp32->int8_active());
+    EXPECT_EQ(fp32->quantized_bytes(), 0);
+
+    ScopedInt8Enabled int8_on(true);
+    auto int8 = MakeSession(name);
+    ASSERT_TRUE(int8->int8_active());
+    EXPECT_GT(int8->quantized_bytes(), 0);
+
+    for (size_t i = 0; i < kSamples; ++i) {
+      const auto want = fp32->Predict(RequestFor(dataset_.samples[i]));
+      const auto got = int8->Predict(RequestFor(dataset_.samples[i]));
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_NEAR(got.value().p_fake, want.value().p_fake, kMaxDelta)
+          << "sample " << i;
+    }
+  }
+}
+
+TEST_F(QuantizeZooTest, HealthSurfacesInt8ActiveAndQuantizedBytes) {
+  ScopedInt8Enabled int8_on(true);
+  serve::ServerOptions options;
+  options.watchdog_period_nanos = 0;
+  serve::Server server(MakeSession("MDFEND"), options);
+  ASSERT_TRUE(server.Predict(RequestFor(dataset_.samples[0])).ok());
+  const serve::HealthReport health = server.Health();
+  EXPECT_TRUE(health.int8_active);
+  ASSERT_EQ(health.models.size(), 1u);
+  EXPECT_TRUE(health.models[0].int8_active);
+  EXPECT_GT(health.models[0].quantized_bytes, 0);
+  server.Stop();
+}
+
+// ----- Strict --int8 / DTDBD_INT8 resolution -----
+
+TEST(QuantizeTest, Int8EnvAndFlagResolution) {
+  // Same rule as --cache-bytes: the flag wins over the env, and a
+  // present-but-invalid value pins the default (off) — it never falls
+  // through to the env, and never guesses.
+  ::setenv("DTDBD_INT8", "1", 1);
+  EXPECT_TRUE(serve::Int8FromEnv());
+  {
+    const char* argv[] = {"test", "--int8"};
+    FlagParser flags(2, const_cast<char**>(argv));
+    EXPECT_TRUE(serve::ResolveInt8(flags));
+  }
+  {
+    const char* argv[] = {"test", "--int8=0"};
+    FlagParser flags(2, const_cast<char**>(argv));
+    EXPECT_FALSE(serve::ResolveInt8(flags));
+  }
+  {
+    const char* argv[] = {"test", "--no-int8"};
+    FlagParser flags(2, const_cast<char**>(argv));
+    EXPECT_FALSE(serve::ResolveInt8(flags));
+  }
+  {
+    const char* argv[] = {"test", "--int8=yes"};
+    FlagParser flags(2, const_cast<char**>(argv));
+    EXPECT_FALSE(serve::ResolveInt8(flags));  // NOT the env's 1
+  }
+  {
+    const char* argv[] = {"test"};
+    FlagParser flags(1, const_cast<char**>(argv));
+    EXPECT_TRUE(serve::ResolveInt8(flags));  // absent flag -> env
+  }
+  ::setenv("DTDBD_INT8", "0", 1);
+  EXPECT_FALSE(serve::Int8FromEnv());
+  ::setenv("DTDBD_INT8", "on", 1);
+  EXPECT_FALSE(serve::Int8FromEnv());  // strict: not a silent truthy guess
+  ::unsetenv("DTDBD_INT8");
+  EXPECT_FALSE(serve::Int8FromEnv());  // default OFF
+}
+
+}  // namespace
+}  // namespace dtdbd::tensor
